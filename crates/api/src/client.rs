@@ -1,0 +1,286 @@
+//! A blocking API client.
+//!
+//! One connection per request (`Connection: close`), which keeps the
+//! client state-free; the server's keep-alive path is exercised by its
+//! own tests. Typed helpers wrap the endpoints the examples use.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::dto::{
+    CreateMeasurementDto, CreateTracerouteDto, MeasurementDto, ProbeDto, RegionDto, ResultDto,
+    TracerouteDto,
+};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Response violated HTTP framing.
+    Protocol(String),
+    /// Server answered with a non-2xx status.
+    Status(u16, String),
+    /// Body did not decode as the expected type.
+    Decode(serde_json::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(why) => write!(f, "protocol: {why}"),
+            ClientError::Status(code, body) => write!(f, "status {code}: {body}"),
+            ClientError::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking HTTP client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct ApiClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl ApiClient {
+    /// Creates a client for the given server address.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Issues a request and returns `(status, body)`.
+    pub fn request(
+        &self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path_and_query} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("truncated header section".into()));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().ok();
+                }
+            }
+        }
+        let body = match content_length {
+            Some(len) => {
+                let mut buf = vec![0u8; len];
+                reader.read_exact(&mut buf)?;
+                buf
+            }
+            None => {
+                let mut buf = Vec::new();
+                reader.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        Ok((status, body))
+    }
+
+    fn get_json<T: serde::de::DeserializeOwned>(&self, path: &str) -> Result<T, ClientError> {
+        let (status, body) = self.request("GET", path, None)?;
+        if !(200..300).contains(&status) {
+            return Err(ClientError::Status(
+                status,
+                String::from_utf8_lossy(&body).into_owned(),
+            ));
+        }
+        serde_json::from_slice(&body).map_err(ClientError::Decode)
+    }
+
+    /// `GET /api/v2/probes` with optional country/tag filters.
+    pub fn list_probes(
+        &self,
+        country: Option<&str>,
+        tag: Option<&str>,
+        limit: usize,
+    ) -> Result<Vec<ProbeDto>, ClientError> {
+        let mut path = format!("/api/v2/probes?limit={limit}");
+        if let Some(c) = country {
+            path.push_str(&format!("&country={c}"));
+        }
+        if let Some(t) = tag {
+            path.push_str(&format!("&tag={t}"));
+        }
+        self.get_json(&path)
+    }
+
+    /// `GET /api/v2/probes/{id}`.
+    pub fn get_probe(&self, id: u32) -> Result<ProbeDto, ClientError> {
+        self.get_json(&format!("/api/v2/probes/{id}"))
+    }
+
+    /// `GET /api/v2/regions`.
+    pub fn list_regions(&self) -> Result<Vec<RegionDto>, ClientError> {
+        self.get_json("/api/v2/regions")
+    }
+
+    /// `POST /api/v2/measurements`.
+    pub fn create_measurement(
+        &self,
+        spec: &CreateMeasurementDto,
+    ) -> Result<MeasurementDto, ClientError> {
+        let body = serde_json::to_vec(spec).map_err(ClientError::Decode)?;
+        let (status, resp) = self.request("POST", "/api/v2/measurements", Some(&body))?;
+        if status != 201 {
+            return Err(ClientError::Status(
+                status,
+                String::from_utf8_lossy(&resp).into_owned(),
+            ));
+        }
+        serde_json::from_slice(&resp).map_err(ClientError::Decode)
+    }
+
+    /// `GET /api/v2/measurements/{id}/results`.
+    pub fn results(&self, id: u64) -> Result<Vec<ResultDto>, ClientError> {
+        self.get_json(&format!("/api/v2/measurements/{id}/results"))
+    }
+
+    /// `POST /api/v2/traceroutes`.
+    pub fn run_traceroutes(
+        &self,
+        spec: &CreateTracerouteDto,
+    ) -> Result<Vec<TracerouteDto>, ClientError> {
+        let body = serde_json::to_vec(spec).map_err(ClientError::Decode)?;
+        let (status, resp) = self.request("POST", "/api/v2/traceroutes", Some(&body))?;
+        if status != 200 {
+            return Err(ClientError::Status(
+                status,
+                String::from_utf8_lossy(&resp).into_owned(),
+            ));
+        }
+        serde_json::from_slice(&resp).map_err(ClientError::Decode)
+    }
+
+    /// `GET /api/v2/credits`.
+    pub fn credits(&self) -> Result<u64, ClientError> {
+        let v: serde_json::Value = self.get_json("/api/v2/credits")?;
+        v["balance"]
+            .as_u64()
+            .ok_or_else(|| ClientError::Protocol("missing balance".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ApiServer;
+    use crate::service::AtlasService;
+    use shears_atlas::{Platform, PlatformConfig};
+
+    fn server() -> ApiServer {
+        let platform = Platform::build(&PlatformConfig::quick(8));
+        ApiServer::spawn("127.0.0.1:0", AtlasService::new(platform)).unwrap()
+    }
+
+    #[test]
+    fn full_client_round_trip() {
+        let server = server();
+        let client = ApiClient::new(server.local_addr());
+
+        let regions = client.list_regions().unwrap();
+        assert_eq!(regions.len(), 101);
+
+        let probes = client.list_probes(Some("US"), None, 20).unwrap();
+        assert!(!probes.is_empty());
+        let one = client.get_probe(probes[0].id).unwrap();
+        assert_eq!(one.country_code, "US");
+
+        let before = client.credits().unwrap();
+        let m = client
+            .create_measurement(&CreateMeasurementDto {
+                target_region: regions[0].index,
+                packets: 3,
+                rounds: 1,
+                probe_limit: 8,
+                country: None,
+            })
+            .unwrap();
+        assert!(m.results > 0);
+        let after = client.credits().unwrap();
+        assert!(after < before);
+
+        let results = client.results(m.id).unwrap();
+        assert_eq!(results.len(), m.results);
+        assert!(results.iter().any(|r| r.min_ms.unwrap_or(f64::NAN) > 0.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_statuses_surface_as_typed_errors() {
+        let server = server();
+        let client = ApiClient::new(server.local_addr());
+        match client.get_probe(10_000_000) {
+            Err(ClientError::Status(404, body)) => assert!(body.contains("no such probe")),
+            other => panic!("expected 404, got {other:?}"),
+        }
+        match client.results(424242) {
+            Err(ClientError::Status(404, _)) => {}
+            other => panic!("expected 404, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = server();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let client = ApiClient::new(addr);
+                    client.list_probes(None, None, 5).unwrap().len()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap() > 0);
+        }
+        server.shutdown();
+    }
+}

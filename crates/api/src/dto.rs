@@ -1,0 +1,224 @@
+//! API data-transfer objects, mirroring the field shapes of the RIPE
+//! Atlas v2 API where they exist.
+
+use serde::{Deserialize, Serialize};
+use shears_atlas::{Probe, RttSample};
+use shears_cloud::Region;
+
+/// A probe as served by `GET /api/v2/probes`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeDto {
+    /// Probe id.
+    pub id: u32,
+    /// ISO country code.
+    pub country_code: String,
+    /// Continent short label.
+    pub continent: String,
+    /// Latitude.
+    pub latitude: f64,
+    /// Longitude.
+    pub longitude: f64,
+    /// Tag list.
+    pub tags: Vec<String>,
+    /// Whether the probe is wireless-tagged.
+    pub is_wireless: bool,
+}
+
+impl From<&Probe> for ProbeDto {
+    fn from(p: &Probe) -> Self {
+        Self {
+            id: p.id.0,
+            country_code: p.country.clone(),
+            continent: p.continent.short().to_string(),
+            latitude: p.location.lat,
+            longitude: p.location.lon,
+            tags: p.tags.clone(),
+            is_wireless: p.is_wireless_tagged(),
+        }
+    }
+}
+
+/// A cloud region as served by `GET /api/v2/regions`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionDto {
+    /// Index into the catalogue (the measurement target id).
+    pub index: usize,
+    /// Provider display name.
+    pub provider: String,
+    /// Region code.
+    pub code: String,
+    /// Metro city.
+    pub city: String,
+    /// ISO country code.
+    pub country_code: String,
+}
+
+impl RegionDto {
+    /// Builds the DTO for catalogue entry `index`.
+    pub fn new(index: usize, region: &Region) -> Self {
+        Self {
+            index,
+            provider: region.provider.to_string(),
+            code: region.code.to_string(),
+            city: region.city.to_string(),
+            country_code: region.country.to_string(),
+        }
+    }
+}
+
+/// Body of `POST /api/v2/measurements`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CreateMeasurementDto {
+    /// Catalogue index of the target region.
+    pub target_region: usize,
+    /// Packets per ping (default 3).
+    #[serde(default = "default_packets")]
+    pub packets: u32,
+    /// Measurement rounds to run (default 1, capped by the service).
+    #[serde(default = "default_rounds")]
+    pub rounds: u32,
+    /// Max probes to involve (default 50, capped by the service).
+    #[serde(default = "default_probe_limit")]
+    pub probe_limit: usize,
+    /// Restrict to probes in this country.
+    #[serde(default)]
+    pub country: Option<String>,
+}
+
+fn default_packets() -> u32 {
+    3
+}
+fn default_rounds() -> u32 {
+    1
+}
+fn default_probe_limit() -> usize {
+    50
+}
+
+/// A measurement as served by `GET /api/v2/measurements/{id}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasurementDto {
+    /// Measurement id.
+    pub id: u64,
+    /// Catalogue index of the target.
+    pub target_region: usize,
+    /// Target label, e.g. `Amazon/eu-central-1 (Frankfurt)`.
+    pub target_label: String,
+    /// Probes that participated.
+    pub probes: usize,
+    /// Stored result rows.
+    pub results: usize,
+    /// Credits spent running it.
+    pub credits_spent: u64,
+}
+
+/// Body of `POST /api/v2/traceroutes`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CreateTracerouteDto {
+    /// Catalogue index of the target region.
+    pub target_region: usize,
+    /// Max probes to trace from (default 10, capped by the service).
+    #[serde(default = "default_trace_probes")]
+    pub probe_limit: usize,
+    /// Restrict to probes in this country.
+    #[serde(default)]
+    pub country: Option<String>,
+}
+
+fn default_trace_probes() -> usize {
+    10
+}
+
+/// One hop of a traceroute result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HopDto {
+    /// TTL of the probe that elicited this hop.
+    pub ttl: u8,
+    /// Node role at this hop ("AccessRouter", "IxpHub", …).
+    pub kind: String,
+    /// RTT to the hop (ms); `null` when the router stayed silent.
+    pub rtt_ms: Option<f64>,
+}
+
+/// One probe's traceroute in `POST /api/v2/traceroutes`' response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TracerouteDto {
+    /// Originating probe.
+    pub probe_id: u32,
+    /// Whether the destination answered.
+    pub reached: bool,
+    /// Hops in path order.
+    pub hops: Vec<HopDto>,
+}
+
+/// One result row of `GET /api/v2/measurements/{id}/results`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultDto {
+    /// Originating probe.
+    pub probe_id: u32,
+    /// Round timestamp, simulated nanoseconds.
+    pub at_ns: u64,
+    /// Minimum RTT (ms), `null` when all packets were lost.
+    pub min_ms: Option<f64>,
+    /// Average RTT (ms).
+    pub avg_ms: Option<f64>,
+    /// Packets sent.
+    pub sent: u8,
+    /// Replies received.
+    pub received: u8,
+}
+
+impl From<&RttSample> for ResultDto {
+    fn from(s: &RttSample) -> Self {
+        let finite = |v: f32| {
+            if v.is_finite() {
+                Some(f64::from(v))
+            } else {
+                None
+            }
+        };
+        Self {
+            probe_id: s.probe.0,
+            at_ns: s.at.as_nanos(),
+            min_ms: finite(s.min_ms),
+            avg_ms: finite(s.avg_ms),
+            sent: s.sent,
+            received: s.received,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_atlas::ProbeId;
+    use shears_netsim::SimTime;
+
+    #[test]
+    fn result_dto_maps_lost_rounds_to_null() {
+        let lost = RttSample {
+            probe: ProbeId(7),
+            region: 3,
+            at: SimTime::from_hours(6),
+            min_ms: f32::INFINITY,
+            avg_ms: f32::INFINITY,
+            sent: 3,
+            received: 0,
+        };
+        let dto = ResultDto::from(&lost);
+        assert_eq!(dto.min_ms, None);
+        assert_eq!(dto.avg_ms, None);
+        let json = serde_json::to_string(&dto).unwrap();
+        assert!(json.contains("\"min_ms\":null"));
+    }
+
+    #[test]
+    fn create_measurement_defaults() {
+        let dto: CreateMeasurementDto =
+            serde_json::from_str(r#"{"target_region": 5}"#).unwrap();
+        assert_eq!(dto.packets, 3);
+        assert_eq!(dto.rounds, 1);
+        assert_eq!(dto.probe_limit, 50);
+        assert!(dto.country.is_none());
+    }
+}

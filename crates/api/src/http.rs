@@ -1,0 +1,431 @@
+//! Minimal HTTP/1.1 message handling.
+//!
+//! Implements exactly the subset the API needs, correctly: request-line
+//! and header parsing with size limits, content-length body framing
+//! (no chunked encoding — the client never sends it), percent-decoded
+//! query strings, and response serialisation with keep-alive semantics.
+//! Everything returns typed errors; a malformed request can never panic
+//! the connection thread.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+use bytes::BytesMut;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Parse/IO failure while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Connection closed before a full request arrived.
+    ConnectionClosed,
+    /// The request violated the grammar or a size limit.
+    BadRequest(String),
+    /// Underlying socket error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::BadRequest(why) => write!(f, "bad request: {why}"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// An HTTP method (the subset the API serves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+    /// DELETE.
+    Delete,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Path without the query string, percent-decoded per segment.
+    pub path: String,
+    /// Query parameters (last occurrence wins), percent-decoded.
+    pub query: BTreeMap<String, String>,
+    /// Header map, keys lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default yes, unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        self.headers
+            .get("connection")
+            .map(|v| !v.eq_ignore_ascii_case("close"))
+            .unwrap_or(true)
+    }
+
+    /// Path segments (`/api/v2/probes/7` → `["api", "v2", "probes", "7"]`).
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Percent-decodes a URL component; invalid escapes pass through
+/// verbatim (lenient, like most servers).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() {
+            let hex = &s[i + 1..i + 3];
+            if let Ok(v) = u8::from_str_radix(hex, 16) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        if bytes[i] == b'+' {
+            out.push(b' ');
+        } else {
+            out.push(bytes[i]);
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> BTreeMap<String, String> {
+    raw.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request from a buffered stream.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut head = String::new();
+    // Request line.
+    let n = reader.read_line(&mut head)?;
+    if n == 0 {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let line = head.trim_end();
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| HttpError::BadRequest(format!("unsupported method in {line:?}")))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported version {version}")));
+    }
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = path_raw
+        .split('/')
+        .map(percent_decode)
+        .collect::<Vec<_>>()
+        .join("/");
+    let query = parse_query(query_raw);
+
+    // Headers.
+    let mut headers = BTreeMap::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut hl = String::new();
+        let n = reader.read_line(&mut hl)?;
+        if n == 0 {
+            return Err(HttpError::ConnectionClosed);
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("header section too large".into()));
+        }
+        let hl = hl.trim_end();
+        if hl.is_empty() {
+            break;
+        }
+        let (k, v) = hl
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {hl:?}")))?;
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+    }
+
+    // Body.
+    let len: usize = match headers.get("content-length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::BadRequest(format!("body of {len} bytes too large")));
+    }
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        std::io::Read::read_exact(reader, &mut body)?;
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header map (content-length and connection are managed by the
+    /// writer).
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with a status.
+    pub fn status(status: u16) -> Self {
+        Self {
+            status,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A 200 JSON response.
+    pub fn json<T: serde::Serialize>(value: &T) -> Self {
+        Self::json_with_status(200, value)
+    }
+
+    /// A JSON response with an explicit status.
+    pub fn json_with_status<T: serde::Serialize>(status: u16, value: &T) -> Self {
+        let body = serde_json::to_vec(value).expect("DTOs serialise");
+        let mut r = Self::status(status);
+        r.headers
+            .insert("content-type".into(), "application/json".into());
+        r.body = body;
+        r
+    }
+
+    /// A plain-text error response.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut r = Self::json_with_status(status, &serde_json::json!({ "error": message }));
+        r.status = status;
+        r
+    }
+
+    /// The standard reason phrase for the status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialises the response head + body into `buf`, setting
+    /// content-length and the connection directive.
+    pub fn write_into(&self, buf: &mut BytesMut, keep_alive: bool) {
+        use std::fmt::Write as _;
+        let mut head = String::with_capacity(128);
+        let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        for (k, v) in &self.headers {
+            let _ = write!(head, "{k}: {v}\r\n");
+        }
+        let _ = write!(head, "content-length: {}\r\n", self.body.len());
+        let _ = write!(
+            head,
+            "connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        buf.extend_from_slice(head.as_bytes());
+        buf.extend_from_slice(&self.body);
+    }
+
+    /// Writes the response to a stream.
+    pub fn send<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let mut buf = BytesMut::with_capacity(256 + self.body.len());
+        self.write_into(&mut buf, keep_alive);
+        w.write_all(&buf)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /api/v2/probes?country=DE&tag=wired HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/api/v2/probes");
+        assert_eq!(req.query["country"], "DE");
+        assert_eq!(req.query["tag"], "wired");
+        assert_eq!(req.segments(), vec!["api", "v2", "probes"]);
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let body = r#"{"x":1}"#;
+        let raw = format!(
+            "POST /api/v2/measurements HTTP/1.1\r\ncontent-length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = parse(&raw).unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, body.as_bytes());
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn rejects_bad_method_and_version() {
+        assert!(matches!(
+            parse("BREW /tea HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/2\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = "POST /x HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn closed_connection_is_distinct() {
+        assert!(matches!(parse(""), Err(HttpError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("caf%C3%A9"), "café");
+    }
+
+    #[test]
+    fn response_round_trips_through_writer() {
+        let resp = Response::json(&serde_json::json!({"ok": true}));
+        let mut buf = BytesMut::new();
+        resp.write_into(&mut buf, true);
+        let text = String::from_utf8(buf.to_vec()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with(r#"{"ok":true}"#));
+        let cl = text
+            .lines()
+            .find(|l| l.starts_with("content-length"))
+            .unwrap();
+        assert_eq!(cl, "content-length: 11");
+    }
+
+    #[test]
+    fn error_responses_carry_json() {
+        let r = Response::error(404, "no such probe");
+        assert_eq!(r.status, 404);
+        assert_eq!(r.reason(), "Not Found");
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(v["error"], "no such probe");
+    }
+
+    #[test]
+    fn reason_phrases_cover_served_statuses() {
+        for (status, phrase) in [
+            (200u16, "OK"),
+            (201, "Created"),
+            (204, "No Content"),
+            (400, "Bad Request"),
+            (404, "Not Found"),
+            (405, "Method Not Allowed"),
+            (413, "Payload Too Large"),
+            (500, "Internal Server Error"),
+            (503, "Service Unavailable"),
+            (599, "Unknown"),
+        ] {
+            assert_eq!(Response::status(status).reason(), phrase);
+        }
+    }
+
+    #[test]
+    fn delete_method_parses() {
+        let req = parse("DELETE /api/v2/measurements/3 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Delete);
+        assert_eq!(req.segments(), vec!["api", "v2", "measurements", "3"]);
+    }
+
+    #[test]
+    fn header_keys_are_lowercased() {
+        let req = parse("GET / HTTP/1.1\r\nX-Custom-Header: Value\r\n\r\n").unwrap();
+        assert_eq!(req.headers["x-custom-header"], "Value");
+    }
+}

@@ -1,0 +1,51 @@
+//! # shears-api
+//!
+//! A RIPE-Atlas-style REST API over the measurement platform — the
+//! "HTTP API" substitution the reproduction plan calls for. The real
+//! study drove RIPE Atlas through its HTTP/JSON API; this crate serves
+//! the same interaction shape against the simulated platform:
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /api/v2/probes?country=DE&tag=wired&limit=50` | probe inventory |
+//! | `GET /api/v2/probes/{id}` | one probe |
+//! | `GET /api/v2/regions` | the cloud catalogue |
+//! | `POST /api/v2/measurements` | create + run a ping measurement |
+//! | `GET /api/v2/measurements/{id}` | measurement status |
+//! | `GET /api/v2/measurements/{id}/results` | its RTT samples |
+//! | `DELETE /api/v2/measurements/{id}` | forget a measurement |
+//! | `POST /api/v2/traceroutes` | hop-by-hop paths from selected probes |
+//! | `GET /api/v2/credits` | remaining credit balance |
+//!
+//! The stack is deliberately std-only: a blocking HTTP/1.1 server
+//! ([`server`]) with content-length framing and keep-alive on
+//! `std::net::TcpListener`, thread-per-connection with a connection
+//! cap, plus a matching blocking client ([`client`]). No async runtime
+//! — the API serves a handful of concurrent clients, which is exactly
+//! the regime where the Tokio guide itself recommends blocking I/O.
+//!
+//! ```no_run
+//! use shears_api::{server::ApiServer, client::ApiClient, service::AtlasService};
+//! use shears_atlas::{Platform, PlatformConfig};
+//!
+//! let platform = Platform::build(&PlatformConfig::quick(1));
+//! let service = AtlasService::new(platform);
+//! let server = ApiServer::spawn("127.0.0.1:0", service).unwrap();
+//! let client = ApiClient::new(server.local_addr());
+//! let probes = client.list_probes(Some("DE"), None, 10).unwrap();
+//! println!("{} German probes", probes.len());
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dto;
+pub mod http;
+pub mod server;
+pub mod service;
+
+pub use client::ApiClient;
+pub use server::ApiServer;
+pub use service::AtlasService;

@@ -1,0 +1,516 @@
+//! The API's application logic: routing plus measurement execution.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use shears_atlas::{CreditLedger, Platform, RttSample};
+use shears_netsim::ping::{PingConfig, PingProber};
+use shears_netsim::TracerouteProber;
+use shears_netsim::queue::DiurnalLoad;
+use shears_netsim::stochastic::SimRng;
+use shears_netsim::SimTime;
+
+use crate::dto::{
+    CreateMeasurementDto, CreateTracerouteDto, HopDto, MeasurementDto, ProbeDto, RegionDto,
+    ResultDto, TracerouteDto,
+};
+use crate::http::{Method, Request, Response};
+
+/// Service-enforced caps on on-demand measurements (an HTTP request
+/// must stay interactive; campaigns run offline).
+const MAX_ROUNDS: u32 = 20;
+const MAX_PROBES: usize = 200;
+/// Initial credit grant for API users.
+const INITIAL_CREDITS: u64 = 1_000_000;
+
+struct StoredMeasurement {
+    target_region: usize,
+    probes: usize,
+    credits_spent: u64,
+    samples: Vec<RttSample>,
+}
+
+struct ServiceState {
+    next_id: u64,
+    measurements: HashMap<u64, StoredMeasurement>,
+    ledger: CreditLedger,
+}
+
+/// The Atlas-style API service over a platform.
+pub struct AtlasService {
+    platform: Platform,
+    state: Mutex<ServiceState>,
+    seed: u64,
+}
+
+impl AtlasService {
+    /// Wraps a platform.
+    pub fn new(platform: Platform) -> Self {
+        Self {
+            platform,
+            state: Mutex::new(ServiceState {
+                next_id: 1,
+                measurements: HashMap::new(),
+                ledger: CreditLedger::new(INITIAL_CREDITS),
+            }),
+            seed: 0xA71_A50A1,
+        }
+    }
+
+    /// The wrapped platform (read-only).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Remaining credits.
+    pub fn credits(&self) -> u64 {
+        self.state.lock().ledger.balance()
+    }
+
+    /// Routes a request to a handler. Never panics: unknown routes get
+    /// 404, wrong methods 405, bad bodies 400.
+    pub fn handle(&self, req: &Request) -> Response {
+        let segments = req.segments();
+        match (req.method, segments.as_slice()) {
+            (Method::Get, ["api", "v2", "probes"]) => self.list_probes(req),
+            (Method::Get, ["api", "v2", "probes", id]) => self.get_probe(id),
+            (Method::Get, ["api", "v2", "regions"]) => self.list_regions(),
+            (Method::Post, ["api", "v2", "measurements"]) => self.create_measurement(req),
+            (Method::Post, ["api", "v2", "traceroutes"]) => self.run_traceroutes(req),
+            (Method::Get, ["api", "v2", "measurements", id]) => self.get_measurement(id),
+            (Method::Get, ["api", "v2", "measurements", id, "results"]) => {
+                self.get_results(id)
+            }
+            (Method::Delete, ["api", "v2", "measurements", id]) => {
+                self.delete_measurement(id)
+            }
+            (Method::Get, ["api", "v2", "credits"]) => Response::json(&serde_json::json!({
+                "balance": self.credits(),
+            })),
+            (_, ["api", "v2", ..]) => Response::error(405, "method not allowed"),
+            _ => Response::error(404, "no such resource"),
+        }
+    }
+
+    fn list_probes(&self, req: &Request) -> Response {
+        let country = req.query.get("country");
+        let tag = req.query.get("tag");
+        let limit: usize = req
+            .query
+            .get("limit")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        let offset: usize = req
+            .query
+            .get("offset")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let dtos: Vec<ProbeDto> = self
+            .platform
+            .probes()
+            .iter()
+            .filter(|p| country.is_none_or(|c| &p.country == c))
+            .filter(|p| tag.is_none_or(|t| p.tags.iter().any(|pt| pt == t)))
+            .skip(offset)
+            .take(limit.min(1000))
+            .map(ProbeDto::from)
+            .collect();
+        Response::json(&dtos)
+    }
+
+    fn get_probe(&self, id: &str) -> Response {
+        let Ok(idx) = id.parse::<usize>() else {
+            return Response::error(400, "probe id must be an integer");
+        };
+        match self.platform.probes().get(idx) {
+            Some(p) => Response::json(&ProbeDto::from(p)),
+            None => Response::error(404, "no such probe"),
+        }
+    }
+
+    fn list_regions(&self) -> Response {
+        let dtos: Vec<RegionDto> = self
+            .platform
+            .catalog()
+            .regions()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RegionDto::new(i, r))
+            .collect();
+        Response::json(&dtos)
+    }
+
+    fn create_measurement(&self, req: &Request) -> Response {
+        let spec: CreateMeasurementDto = match serde_json::from_slice(&req.body) {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &format!("invalid body: {e}")),
+        };
+        if spec.target_region >= self.platform.catalog().regions().len() {
+            return Response::error(400, "unknown target region");
+        }
+        if spec.packets == 0 || spec.packets > 16 {
+            return Response::error(400, "packets must be 1..=16");
+        }
+        let rounds = spec.rounds.clamp(1, MAX_ROUNDS);
+        let probe_limit = spec.probe_limit.clamp(1, MAX_PROBES);
+
+        // Probe selection: unprivileged, optional country filter.
+        let probes: Vec<_> = self
+            .platform
+            .probes()
+            .iter()
+            .filter(|p| !p.is_privileged())
+            .filter(|p| spec.country.as_ref().is_none_or(|c| &p.country == c))
+            .take(probe_limit)
+            .collect();
+        if probes.is_empty() {
+            return Response::error(400, "no matching probes");
+        }
+
+        // Charge first, then measure.
+        let cost =
+            CreditLedger::ping_cost(spec.packets) * probes.len() as u64 * u64::from(rounds);
+        {
+            let mut state = self.state.lock();
+            if let Err(e) = state.ledger.debit(cost) {
+                return Response::error(400, &e.to_string());
+            }
+        }
+
+        let mut prober = PingProber::new(self.platform.topology());
+        let master = SimRng::new(self.seed);
+        let cfg = PingConfig {
+            packets: spec.packets,
+            ..PingConfig::default()
+        };
+        let mut samples = Vec::new();
+        for round in 0..rounds {
+            let at = SimTime::from_hours(u64::from(round));
+            for probe in &probes {
+                let mut rng = master.fork_keyed(u64::from(probe.id.0), u64::from(round));
+                let Some(outcome) = prober.ping(
+                    self.platform.probe_node(probe.id),
+                    self.platform.dc_node(spec.target_region),
+                    Some(probe.access),
+                    DiurnalLoad::residential(),
+                    at,
+                    &cfg,
+                    &mut rng,
+                ) else {
+                    continue;
+                };
+                samples.push(RttSample {
+                    probe: probe.id,
+                    region: spec.target_region as u16,
+                    at,
+                    min_ms: outcome.min_ms().map_or(f32::INFINITY, |v| v as f32),
+                    avg_ms: outcome.avg_ms().map_or(f32::INFINITY, |v| v as f32),
+                    sent: outcome.sent.min(255) as u8,
+                    received: outcome.received.min(255) as u8,
+                });
+            }
+        }
+
+        let mut state = self.state.lock();
+        let id = state.next_id;
+        state.next_id += 1;
+        let stored = StoredMeasurement {
+            target_region: spec.target_region,
+            probes: probes.len(),
+            credits_spent: cost,
+            samples,
+        };
+        let dto = self.measurement_dto(id, &stored);
+        state.measurements.insert(id, stored);
+        Response::json_with_status(201, &dto)
+    }
+
+    fn run_traceroutes(&self, req: &Request) -> Response {
+        let spec: CreateTracerouteDto = match serde_json::from_slice(&req.body) {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &format!("invalid body: {e}")),
+        };
+        if spec.target_region >= self.platform.catalog().regions().len() {
+            return Response::error(400, "unknown target region");
+        }
+        let probes: Vec<_> = self
+            .platform
+            .probes()
+            .iter()
+            .filter(|p| !p.is_privileged())
+            .filter(|p| spec.country.as_ref().is_none_or(|c| &p.country == c))
+            .take(spec.probe_limit.clamp(1, 50))
+            .collect();
+        if probes.is_empty() {
+            return Response::error(400, "no matching probes");
+        }
+        let mut prober = TracerouteProber::new(self.platform.topology());
+        let master = SimRng::new(self.seed ^ 0x7ace);
+        let mut out = Vec::with_capacity(probes.len());
+        for probe in probes {
+            let mut rng = master.fork_keyed(u64::from(probe.id.0), 0);
+            let Some(trace) = prober.trace(
+                self.platform.probe_node(probe.id),
+                self.platform.dc_node(spec.target_region),
+                Some(probe.access),
+                DiurnalLoad::residential(),
+                SimTime::from_hours(1),
+                &mut rng,
+            ) else {
+                continue;
+            };
+            out.push(TracerouteDto {
+                probe_id: probe.id.0,
+                reached: trace.reached,
+                hops: trace
+                    .hops
+                    .iter()
+                    .map(|h| HopDto {
+                        ttl: h.ttl,
+                        kind: format!("{:?}", h.kind),
+                        rtt_ms: h.rtt_ms,
+                    })
+                    .collect(),
+            });
+        }
+        Response::json(&out)
+    }
+
+    fn measurement_dto(&self, id: u64, m: &StoredMeasurement) -> MeasurementDto {
+        MeasurementDto {
+            id,
+            target_region: m.target_region,
+            target_label: self.platform.region(m.target_region).label(),
+            probes: m.probes,
+            results: m.samples.len(),
+            credits_spent: m.credits_spent,
+        }
+    }
+
+    fn get_measurement(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "measurement id must be an integer");
+        };
+        let state = self.state.lock();
+        match state.measurements.get(&id) {
+            Some(m) => Response::json(&self.measurement_dto(id, m)),
+            None => Response::error(404, "no such measurement"),
+        }
+    }
+
+    fn delete_measurement(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "measurement id must be an integer");
+        };
+        let mut state = self.state.lock();
+        match state.measurements.remove(&id) {
+            Some(_) => Response::status(204),
+            None => Response::error(404, "no such measurement"),
+        }
+    }
+
+    fn get_results(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "measurement id must be an integer");
+        };
+        let state = self.state.lock();
+        match state.measurements.get(&id) {
+            Some(m) => {
+                let dtos: Vec<ResultDto> = m.samples.iter().map(ResultDto::from).collect();
+                Response::json(&dtos)
+            }
+            None => Response::error(404, "no such measurement"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Method, Request};
+    use shears_atlas::PlatformConfig;
+    use std::collections::BTreeMap;
+
+    fn service() -> AtlasService {
+        AtlasService::new(Platform::build(&PlatformConfig::quick(2)))
+    }
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: Method::Get,
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            path: path.to_string(),
+            query: BTreeMap::new(),
+            headers: BTreeMap::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn lists_probes_with_filters() {
+        let svc = service();
+        let resp = svc.handle(&get("/api/v2/probes", &[("country", "DE"), ("limit", "5")]));
+        assert_eq!(resp.status, 200);
+        let dtos: Vec<ProbeDto> = serde_json::from_slice(&resp.body).unwrap();
+        assert!(!dtos.is_empty() && dtos.len() <= 5);
+        assert!(dtos.iter().all(|p| p.country_code == "DE"));
+    }
+
+    #[test]
+    fn probe_lookup_errors() {
+        let svc = service();
+        assert_eq!(svc.handle(&get("/api/v2/probes/abc", &[])).status, 400);
+        assert_eq!(svc.handle(&get("/api/v2/probes/999999", &[])).status, 404);
+        assert_eq!(svc.handle(&get("/api/v2/probes/0", &[])).status, 200);
+    }
+
+    #[test]
+    fn regions_endpoint_serves_catalogue() {
+        let svc = service();
+        let resp = svc.handle(&get("/api/v2/regions", &[]));
+        let dtos: Vec<RegionDto> = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(dtos.len(), 101);
+    }
+
+    #[test]
+    fn measurement_lifecycle() {
+        let svc = service();
+        let create = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 9, "rounds": 2, "probe_limit": 10}"#,
+        ));
+        assert_eq!(create.status, 201, "{:?}", String::from_utf8_lossy(&create.body));
+        let m: MeasurementDto = serde_json::from_slice(&create.body).unwrap();
+        assert_eq!(m.target_region, 9);
+        assert!(m.results > 0);
+        assert!(m.credits_spent > 0);
+
+        let fetch = svc.handle(&get(&format!("/api/v2/measurements/{}", m.id), &[]));
+        assert_eq!(fetch.status, 200);
+
+        let results = svc.handle(&get(
+            &format!("/api/v2/measurements/{}/results", m.id),
+            &[],
+        ));
+        assert_eq!(results.status, 200);
+        let rows: Vec<ResultDto> = serde_json::from_slice(&results.body).unwrap();
+        assert_eq!(rows.len(), m.results);
+        assert!(rows.iter().any(|r| r.min_ms.is_some()));
+    }
+
+    #[test]
+    fn create_measurement_validation() {
+        let svc = service();
+        assert_eq!(
+            svc.handle(&post("/api/v2/measurements", "not json")).status,
+            400
+        );
+        assert_eq!(
+            svc.handle(&post("/api/v2/measurements", r#"{"target_region": 9999}"#))
+                .status,
+            400
+        );
+        assert_eq!(
+            svc.handle(&post(
+                "/api/v2/measurements",
+                r#"{"target_region": 1, "packets": 0}"#
+            ))
+            .status,
+            400
+        );
+        assert_eq!(
+            svc.handle(&post(
+                "/api/v2/measurements",
+                r#"{"target_region": 1, "country": "XX"}"#
+            ))
+            .status,
+            400,
+            "no probes in a non-country"
+        );
+    }
+
+    #[test]
+    fn traceroute_endpoint_returns_hops() {
+        let svc = service();
+        let resp = svc.handle(&post(
+            "/api/v2/traceroutes",
+            r#"{"target_region": 9, "probe_limit": 3, "country": "DE"}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let traces: Vec<crate::dto::TracerouteDto> =
+            serde_json::from_slice(&resp.body).unwrap();
+        assert!(!traces.is_empty());
+        for t in &traces {
+            assert!(t.reached);
+            assert!(t.hops.len() >= 3, "{} hops", t.hops.len());
+            assert_eq!(t.hops[0].kind, "AccessRouter");
+            assert!(t.hops.last().unwrap().kind == "Datacenter");
+        }
+        // Validation paths.
+        assert_eq!(
+            svc.handle(&post("/api/v2/traceroutes", r#"{"target_region": 9999}"#))
+                .status,
+            400
+        );
+        assert_eq!(
+            svc.handle(&post("/api/v2/traceroutes", "junk")).status,
+            400
+        );
+    }
+
+    #[test]
+    fn credits_are_debited() {
+        let svc = service();
+        let before = svc.credits();
+        svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 0, "probe_limit": 5}"#,
+        ));
+        let after = svc.credits();
+        assert_eq!(before - after, 5 * 3);
+    }
+
+    #[test]
+    fn measurements_can_be_deleted() {
+        let svc = service();
+        let create = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 2, "probe_limit": 4}"#,
+        ));
+        let m: MeasurementDto = serde_json::from_slice(&create.body).unwrap();
+        let del = Request {
+            method: Method::Delete,
+            path: format!("/api/v2/measurements/{}", m.id),
+            query: BTreeMap::new(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(svc.handle(&del).status, 204);
+        // Gone: results now 404, double delete 404.
+        assert_eq!(
+            svc.handle(&get(&format!("/api/v2/measurements/{}/results", m.id), &[]))
+                .status,
+            404
+        );
+        assert_eq!(svc.handle(&del).status, 404);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let svc = service();
+        assert_eq!(svc.handle(&get("/nope", &[])).status, 404);
+        assert_eq!(svc.handle(&post("/api/v2/probes", "{}")).status, 405);
+    }
+}

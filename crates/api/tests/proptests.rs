@@ -1,0 +1,127 @@
+//! Property-based hardening of the HTTP layer: arbitrary bytes must
+//! never panic the parser, and well-formed requests must round-trip.
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+
+use proptest::prelude::*;
+use shears_api::http::{percent_decode, read_request, HttpError, Method, Request, Response};
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Whatever arrives on the socket, the outcome is a Request or a
+        // typed error — panicking would kill the connection thread.
+        let mut reader = BufReader::new(bytes.as_slice());
+        let _ = read_request(&mut reader);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage_text(text in "[ -~\r\n]{0,512}") {
+        let mut reader = BufReader::new(text.as_bytes());
+        let _ = read_request(&mut reader);
+    }
+
+    #[test]
+    fn well_formed_requests_parse_exactly(
+        path_segments in proptest::collection::vec("[a-z0-9]{1,10}", 1..5),
+        query_pairs in proptest::collection::vec(("[a-z]{1,8}", "[a-z0-9]{0,8}"), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let path = format!("/{}", path_segments.join("/"));
+        let query: String = query_pairs
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("&");
+        let target = if query.is_empty() {
+            path.clone()
+        } else {
+            format!("{path}?{query}")
+        };
+        let mut raw = format!(
+            "POST {target} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let req = read_request(&mut BufReader::new(raw.as_slice())).expect("well-formed");
+        prop_assert_eq!(req.method, Method::Post);
+        prop_assert_eq!(&req.path, &path);
+        prop_assert_eq!(&req.body, &body);
+        // Last-wins query semantics: every key present.
+        for (k, _) in &query_pairs {
+            prop_assert!(req.query.contains_key(k.as_str()), "missing key {k}");
+        }
+        let expected_segments: Vec<&str> = path_segments.iter().map(String::as_str).collect();
+        prop_assert_eq!(req.segments(), expected_segments);
+    }
+
+    #[test]
+    fn responses_always_frame_correctly(
+        status in prop_oneof![Just(200u16), Just(201), Just(400), Just(404), Just(500)],
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        keep_alive in any::<bool>(),
+    ) {
+        let mut resp = Response::status(status);
+        resp.body = body.clone();
+        let mut buf = bytes::BytesMut::new();
+        resp.write_into(&mut buf, keep_alive);
+        let text = buf.to_vec();
+        // Head ends with CRLFCRLF and the body follows verbatim.
+        let sep = text
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head/body separator");
+        prop_assert_eq!(&text[sep + 4..], body.as_slice());
+        let head = String::from_utf8_lossy(&text[..sep]).into_owned();
+        let status_ok = head.starts_with(&format!("HTTP/1.1 {status} "));
+        let length_ok = head.contains(&format!("content-length: {}", body.len()));
+        let conn_token = if keep_alive { "keep-alive" } else { "close" };
+        let conn_ok = head.contains(conn_token);
+        prop_assert!(status_ok, "bad status line in {head}");
+        prop_assert!(length_ok, "bad content-length in {head}");
+        prop_assert!(conn_ok, "missing {conn_token} in {head}");
+    }
+
+    #[test]
+    fn percent_decode_is_total_and_idempotent_on_plain_text(s in "[a-zA-Z0-9._~-]{0,64}") {
+        // Unreserved characters pass through untouched.
+        prop_assert_eq!(percent_decode(&s), s);
+    }
+
+    #[test]
+    fn declared_content_length_governs_body(extra in 1usize..64) {
+        // A request declaring less body than sent: the parser reads
+        // exactly the declared bytes and leaves the rest (pipelining).
+        let raw = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc{}",
+            "y".repeat(extra)
+        );
+        let mut reader = BufReader::new(raw.as_bytes());
+        let req = read_request(&mut reader).expect("parses");
+        prop_assert_eq!(req.body, b"abc".to_vec());
+    }
+}
+
+#[test]
+fn keep_alive_defaults_follow_http11() {
+    let req = Request {
+        method: Method::Get,
+        path: "/".into(),
+        query: BTreeMap::new(),
+        headers: BTreeMap::new(),
+        body: Vec::new(),
+    };
+    assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+}
+
+#[test]
+fn oversized_declarations_are_rejected_not_allocated() {
+    let raw = "POST /x HTTP/1.1\r\ncontent-length: 18446744073709551615\r\n\r\n";
+    let mut reader = BufReader::new(raw.as_bytes());
+    match read_request(&mut reader) {
+        Err(HttpError::BadRequest(_)) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+}

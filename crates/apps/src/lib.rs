@@ -1,0 +1,39 @@
+//! # shears-apps
+//!
+//! The application-requirement model behind the paper's Figure 2
+//! ("Drivers of the edge hype") and Figure 8 ("feasibility zones").
+//!
+//! Each driving application is an ellipse in the (data-volume, latency)
+//! plane — log-space envelopes rather than points, "to overcompensate
+//! for any estimation errors" — coloured by its forecast 2025 market
+//! size. The module provides:
+//!
+//! * the human-perception latency thresholds (§3: MTP, PL, HRT) as
+//!   constants with their compute budgets ([`thresholds`]),
+//! * the application catalogue ([`catalog`]),
+//! * the quadrant classification of §3 ([`quadrant`]),
+//! * the feasibility-zone test of §5 ([`feasibility`]), parameterised by
+//!   *measured* boundaries so the analysis pipeline can feed in what the
+//!   campaign actually observed.
+//!
+//! ```
+//! use shears_apps::{catalog, feasibility::FeasibilityZone, quadrant::Quadrant};
+//!
+//! let apps = catalog::driving_applications();
+//! let zone = FeasibilityZone::paper_defaults();
+//! let gaming = apps.iter().find(|a| a.name == "Cloud gaming").unwrap();
+//! assert_eq!(Quadrant::classify(gaming), Quadrant::Q2LowLatencyHighBandwidth);
+//! assert!(zone.classify(gaming).in_zone());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod feasibility;
+pub mod quadrant;
+pub mod thresholds;
+
+pub use catalog::{Application, Envelope};
+pub use feasibility::{FeasibilityVerdict, FeasibilityZone};
+pub use quadrant::Quadrant;

@@ -1,0 +1,86 @@
+//! Human-perception latency thresholds (paper §3).
+//!
+//! These three constants structure every latency argument in the paper:
+//! an application is edge-compelling only if its budget falls between
+//! what wireless access physically allows and what the cloud already
+//! delivers.
+
+/// Motion-to-Photon: total input-to-display budget for immersive
+/// applications (AR/VR, 360° streaming), ms. Exceeding it causes motion
+/// sickness.
+pub const MTP_MS: f64 = 20.0;
+
+/// Of the MTP budget, display technology (refresh, pixel switching)
+/// consumes about 13 ms…
+pub const MTP_DISPLAY_MS: f64 = 13.0;
+
+/// …leaving ≈7 ms for computing and rendering, *including the RTT to
+/// the server*.
+pub const MTP_COMPUTE_BUDGET_MS: f64 = MTP_MS - MTP_DISPLAY_MS;
+
+/// NASA head-up-display studies put the compute part of MTP as low as
+/// 2.5 ms for the most demanding systems.
+pub const MTP_HUD_MS: f64 = 2.5;
+
+/// Perceivable Latency: when delay between input and visual feedback
+/// becomes visible (video stutter, gaming input lag), ms.
+pub const PL_MS: f64 = 100.0;
+
+/// Human Reaction Time: stimulus-to-motor-response delay; the budget
+/// for applications with a human in the loop (teleoperation, remote
+/// surgery), ms.
+pub const HRT_MS: f64 = 250.0;
+
+/// Classifies an RTT against the three thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdClass {
+    /// Below MTP: supports even immersive applications.
+    WithinMtp,
+    /// Between MTP and PL: interactive but not immersive.
+    WithinPl,
+    /// Between PL and HRT: human-in-the-loop only.
+    WithinHrt,
+    /// Above HRT: non-interactive workloads only.
+    AboveHrt,
+}
+
+/// Classify a round-trip time in milliseconds.
+pub fn classify_rtt(rtt_ms: f64) -> ThresholdClass {
+    if rtt_ms <= MTP_MS {
+        ThresholdClass::WithinMtp
+    } else if rtt_ms <= PL_MS {
+        ThresholdClass::WithinPl
+    } else if rtt_ms <= HRT_MS {
+        ThresholdClass::WithinHrt
+    } else {
+        ThresholdClass::AboveHrt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_are_ordered() {
+        // Read through locals so the relationships stay asserted even
+        // if the constants become configurable later.
+        let thresholds = [MTP_HUD_MS, MTP_COMPUTE_BUDGET_MS, MTP_MS, PL_MS, HRT_MS];
+        assert!(thresholds.windows(2).all(|w| w[0] < w[1]), "{thresholds:?}");
+    }
+
+    #[test]
+    fn compute_budget_is_seven_ms() {
+        assert!((MTP_COMPUTE_BUDGET_MS - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_boundaries_inclusive() {
+        assert_eq!(classify_rtt(20.0), ThresholdClass::WithinMtp);
+        assert_eq!(classify_rtt(20.1), ThresholdClass::WithinPl);
+        assert_eq!(classify_rtt(100.0), ThresholdClass::WithinPl);
+        assert_eq!(classify_rtt(250.0), ThresholdClass::WithinHrt);
+        assert_eq!(classify_rtt(251.0), ThresholdClass::AboveHrt);
+        assert_eq!(classify_rtt(0.0), ThresholdClass::WithinMtp);
+    }
+}

@@ -1,0 +1,586 @@
+//! The measurement campaign: the nine-month, three-hourly ping schedule.
+//!
+//! Rounds are driven by the discrete-event queue; within a round every
+//! online probe pings each of its targets. Randomness is keyed by
+//! `(probe, round)` so results are independent of execution order —
+//! which is what makes [`Campaign::run_parallel`] bit-identical to the
+//! sequential run.
+
+use crossbeam::thread;
+use shears_netsim::access::AccessLink;
+use shears_netsim::ping::{PingConfig, PingProber};
+use shears_netsim::queue::DiurnalLoad;
+use shears_netsim::stochastic::SimRng;
+use shears_netsim::tcp::{TcpConfig, TcpProber};
+use shears_netsim::{EventQueue, SimTime};
+
+use crate::availability::OutageSchedule;
+use crate::credits::{CreditError, CreditLedger};
+use crate::measurement::MeasurementType;
+use crate::platform::Platform;
+use crate::probe::Probe;
+use crate::store::{ResultStore, RttSample};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Number of measurement rounds (the paper: 9 months × 8/day ≈ 2160;
+    /// its public dataset holds 3.2 M samples ≈ 200 full-fleet rounds).
+    pub rounds: u32,
+    /// Round interval (paper: 3 h).
+    pub interval: SimTime,
+    /// Packets per ping (paper/Atlas default: 3).
+    pub packets: u32,
+    /// Same-continent targets per probe.
+    pub targets_per_probe: usize,
+    /// Adjacent-continent targets for Africa/LatAm probes.
+    pub adjacent_targets: usize,
+    /// Master seed (keyed per probe × round).
+    pub seed: u64,
+    /// Credit grant; [`CampaignConfig::credits_needed`] credits are
+    /// required for a full run.
+    pub credits: u64,
+    /// Availability model: `false` = per-round Bernoulli at the probe's
+    /// stability (fast, memoryless); `true` = episode churn via
+    /// [`OutageSchedule`] — probes disappear for days and return, as on
+    /// the real platform.
+    pub churn: bool,
+    /// Probe type: ICMP ping (the paper's method) or TCP connect-time
+    /// probing (§5's planned extension). TCP rounds store the connect
+    /// time as the sample's RTT with one "packet" per round.
+    pub kind: MeasurementType,
+}
+
+impl CampaignConfig {
+    /// The paper-scale default: 3.2 M-ish samples on the full fleet.
+    pub fn paper_scale() -> Self {
+        Self {
+            rounds: 200,
+            interval: SimTime::from_hours(3),
+            packets: 3,
+            targets_per_probe: 5,
+            adjacent_targets: 3,
+            seed: 0x10DE,
+            credits: u64::MAX,
+            churn: false,
+            kind: MeasurementType::Ping,
+        }
+    }
+
+    /// A fast configuration for tests and examples.
+    pub fn quick() -> Self {
+        Self {
+            rounds: 10,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// Derives a campaign configuration from an Atlas-style measurement
+    /// definition: the spec's interval, packet count, probe type and
+    /// duration (converted to rounds) override the defaults.
+    pub fn from_spec(spec: &crate::measurement::MeasurementSpec) -> Self {
+        Self {
+            rounds: spec.rounds().min(u64::from(u32::MAX)) as u32,
+            interval: spec.interval,
+            packets: spec.packets,
+            kind: spec.kind,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// Upper bound on the credits a full run can spend.
+    pub fn credits_needed(&self, probes: usize, targets_per_probe_max: usize) -> u64 {
+        self.rounds as u64
+            * probes as u64
+            * targets_per_probe_max as u64
+            * CreditLedger::ping_cost(self.packets)
+    }
+}
+
+/// A campaign bound to a platform.
+pub struct Campaign<'p> {
+    platform: &'p Platform,
+    cfg: CampaignConfig,
+}
+
+/// Internal round event payload.
+struct RoundEvent {
+    round: u32,
+}
+
+/// The per-worker prober, chosen by the campaign's measurement type.
+enum RoundProber<'t> {
+    Ping(PingProber<'t>),
+    Tcp(TcpProber<'t>),
+}
+
+impl<'t> RoundProber<'t> {
+    fn new(platform: &'t Platform, kind: MeasurementType) -> Self {
+        match kind {
+            MeasurementType::Ping => RoundProber::Ping(PingProber::new(platform.topology())),
+            MeasurementType::TcpConnect => {
+                RoundProber::Tcp(TcpProber::new(platform.topology()))
+            }
+        }
+    }
+}
+
+impl<'p> Campaign<'p> {
+    /// Creates a campaign over the platform.
+    pub fn new(platform: &'p Platform, cfg: CampaignConfig) -> Self {
+        Self { platform, cfg }
+    }
+
+    /// The targets of each probe, resolved once (they do not change
+    /// between rounds).
+    fn target_table(&self) -> Vec<Vec<u16>> {
+        self.platform
+            .probes()
+            .iter()
+            .map(|p| {
+                self.platform
+                    .targets_for(p, self.cfg.targets_per_probe, self.cfg.adjacent_targets)
+            })
+            .collect()
+    }
+
+    /// A probe's schedule offset within the round: real campaigns spread
+    /// probes over the interval to avoid thundering herds. Deterministic
+    /// per probe.
+    fn probe_offset(&self, probe: &Probe) -> SimTime {
+        let spread_ns = self.cfg.interval.as_nanos() / 2;
+        if spread_ns == 0 {
+            return SimTime::ZERO;
+        }
+        let h = (u64::from(probe.id.0))
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .rotate_left(17);
+        SimTime::from_nanos(h % spread_ns)
+    }
+
+    /// Precomputes the per-probe outage schedules when churn is on.
+    fn outage_table(&self, master: &SimRng) -> Option<Vec<OutageSchedule>> {
+        if !self.cfg.churn {
+            return None;
+        }
+        let horizon = SimTime::from_nanos(
+            self.cfg.interval.as_nanos() * u64::from(self.cfg.rounds) + 1,
+        );
+        Some(
+            self.platform
+                .probes()
+                .iter()
+                .map(|p| {
+                    // A dedicated keyed stream per probe, disjoint from
+                    // the per-round streams (which never use u64::MAX).
+                    let mut rng = master.fork_keyed(u64::from(p.id.0), u64::MAX);
+                    OutageSchedule::generate(&mut rng, p.stability, horizon)
+                })
+                .collect(),
+        )
+    }
+
+    /// Measures one probe in one round, appending its samples.
+    #[allow(clippy::too_many_arguments)]
+    fn run_probe_round(
+        &self,
+        prober: &mut RoundProber<'_>,
+        master: &SimRng,
+        targets: &[u16],
+        outages: Option<&[OutageSchedule]>,
+        probe: &Probe,
+        round: u32,
+        store: &mut ResultStore,
+        ledger: &mut CreditLedger,
+    ) -> Result<(), CreditError> {
+        let mut rng = master.fork_keyed(u64::from(probe.id.0), u64::from(round));
+        let at = SimTime::from_nanos(
+            self.cfg.interval.as_nanos() * u64::from(round) + self.probe_offset(probe).as_nanos(),
+        );
+        // Probe availability: episode churn when enabled, otherwise a
+        // memoryless per-round draw at the probe's stability.
+        let up = match outages {
+            Some(schedules) => schedules[probe.id.index()].is_up(at),
+            None => rng.chance(probe.stability),
+        };
+        if !up {
+            return Ok(());
+        }
+        let ping_cfg = PingConfig {
+            packets: self.cfg.packets,
+            ..PingConfig::default()
+        };
+        for &region in targets {
+            ledger.debit(CreditLedger::ping_cost(self.cfg.packets))?;
+            let from = self.platform.probe_node(probe.id);
+            let to = self.platform.dc_node(region as usize);
+            let sample = match prober {
+                RoundProber::Ping(prober) => {
+                    let outcome = prober
+                        .ping(
+                            from,
+                            to,
+                            Some(self.access_of(probe)),
+                            DiurnalLoad::residential(),
+                            at,
+                            &ping_cfg,
+                            &mut rng,
+                        )
+                        .expect("platform graph is connected");
+                    RttSample {
+                        probe: probe.id,
+                        region,
+                        at,
+                        min_ms: outcome.min_ms().map_or(f32::INFINITY, |v| v as f32),
+                        avg_ms: outcome.avg_ms().map_or(f32::INFINITY, |v| v as f32),
+                        sent: outcome.sent.min(u8::MAX as u32) as u8,
+                        received: outcome.received.min(u8::MAX as u32) as u8,
+                    }
+                }
+                RoundProber::Tcp(prober) => {
+                    let outcome = prober
+                        .connect(
+                            from,
+                            to,
+                            Some(self.access_of(probe)),
+                            DiurnalLoad::residential(),
+                            at,
+                            &TcpConfig::default(),
+                            &mut rng,
+                        )
+                        .expect("platform graph is connected");
+                    let ms = outcome.connect_ms.map_or(f32::INFINITY, |v| v as f32);
+                    RttSample {
+                        probe: probe.id,
+                        region,
+                        at,
+                        min_ms: ms,
+                        avg_ms: ms,
+                        sent: 1,
+                        received: u8::from(outcome.established()),
+                    }
+                }
+            };
+            store.push(sample);
+        }
+        Ok(())
+    }
+
+    fn access_of(&self, probe: &Probe) -> AccessLink {
+        probe.access
+    }
+
+    /// Runs the campaign sequentially, driven by the event queue.
+    pub fn run(&self) -> Result<ResultStore, CreditError> {
+        let targets = self.target_table();
+        let master = SimRng::new(self.cfg.seed);
+        let outages = self.outage_table(&master);
+        let mut ledger = CreditLedger::new(self.cfg.credits);
+        let mut store = ResultStore::with_capacity(
+            self.platform.probes().len() * self.cfg.targets_per_probe * self.cfg.rounds as usize,
+        );
+        let mut prober = RoundProber::new(self.platform, self.cfg.kind);
+        let mut queue: EventQueue<RoundEvent> = EventQueue::new();
+        for round in 0..self.cfg.rounds {
+            queue.schedule(
+                SimTime::from_nanos(self.cfg.interval.as_nanos() * u64::from(round)),
+                RoundEvent { round },
+            );
+        }
+        let mut failure = None;
+        while let Some(ev) = queue.pop() {
+            let round = ev.payload.round;
+            for probe in self.platform.probes() {
+                if let Err(e) = self.run_probe_round(
+                    &mut prober,
+                    &master,
+                    &targets[probe.id.index()],
+                    outages.as_deref(),
+                    probe,
+                    round,
+                    &mut store,
+                    &mut ledger,
+                ) {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            if failure.is_some() {
+                break;
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(store),
+        }
+    }
+
+    /// Runs the campaign sharded over `threads` worker threads. Probes
+    /// are partitioned contiguously; per-`(probe, round)` keyed RNG
+    /// makes each sample identical to the sequential run (the store is
+    /// ordered probe-major instead of round-major; analysis is
+    /// order-insensitive).
+    ///
+    /// Credit accounting is per-shard against an even split of the
+    /// grant.
+    pub fn run_parallel(&self, threads: usize) -> Result<ResultStore, CreditError> {
+        let threads = threads.max(1);
+        let targets = self.target_table();
+        let outage_master = SimRng::new(self.cfg.seed);
+        let outages = self.outage_table(&outage_master);
+        let probes = self.platform.probes();
+        let chunk = probes.len().div_ceil(threads);
+        let results = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for shard in probes.chunks(chunk.max(1)) {
+                let targets = &targets;
+                let outages = &outages;
+                handles.push(s.spawn(move |_| -> Result<ResultStore, CreditError> {
+                    let master = SimRng::new(self.cfg.seed);
+                    let mut ledger = CreditLedger::new(self.cfg.credits / threads as u64);
+                    let mut store = ResultStore::new();
+                    let mut prober = RoundProber::new(self.platform, self.cfg.kind);
+                    for round in 0..self.cfg.rounds {
+                        for probe in shard {
+                            self.run_probe_round(
+                                &mut prober,
+                                &master,
+                                &targets[probe.id.index()],
+                                outages.as_deref(),
+                                probe,
+                                round,
+                                &mut store,
+                                &mut ledger,
+                            )?;
+                        }
+                    }
+                    Ok(store)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign shard panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("campaign scope");
+        let mut merged = ResultStore::new();
+        for r in results {
+            merged.merge(r?);
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformConfig;
+    use crate::probe::ProbeId;
+
+    fn tiny_platform() -> Platform {
+        Platform::build(&PlatformConfig {
+            fleet: crate::fleet::FleetConfig {
+                target_size: 60,
+                seed: 5,
+            },
+            ..PlatformConfig::default()
+        })
+    }
+
+    fn tiny_cfg() -> CampaignConfig {
+        CampaignConfig {
+            rounds: 3,
+            targets_per_probe: 2,
+            adjacent_targets: 1,
+            ..CampaignConfig::quick()
+        }
+    }
+
+    #[test]
+    fn produces_samples_for_online_probes() {
+        let p = tiny_platform();
+        let store = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        assert!(!store.is_empty());
+        // Expected scale: probes × targets × rounds × stability ≈ 85 %.
+        let max = p.probes().len() * 3 * 3;
+        assert!(store.len() <= max);
+        assert!(store.len() > max / 3);
+        // Overwhelmingly responsive.
+        assert!(store.response_rate() > 0.95, "{}", store.response_rate());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = tiny_platform();
+        let a = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        let b = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_modulo_order() {
+        let p = tiny_platform();
+        let seq = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        let par = Campaign::new(&p, tiny_cfg()).run_parallel(4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        let key = |s: &RttSample| (s.probe, s.region, s.at.as_nanos());
+        let mut a: Vec<_> = seq.samples().to_vec();
+        let mut b: Vec<_> = par.samples().to_vec();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runs_out_of_credits() {
+        let p = tiny_platform();
+        let cfg = CampaignConfig {
+            credits: 10,
+            ..tiny_cfg()
+        };
+        let err = Campaign::new(&p, cfg).run().unwrap_err();
+        matches!(err, CreditError::InsufficientCredits { .. });
+    }
+
+    #[test]
+    fn credits_needed_bounds_actual_spend() {
+        let p = tiny_platform();
+        let cfg = tiny_cfg();
+        let needed = cfg.credits_needed(p.probes().len(), cfg.targets_per_probe + cfg.adjacent_targets);
+        let generous = CampaignConfig {
+            credits: needed,
+            ..cfg
+        };
+        assert!(Campaign::new(&p, generous).run().is_ok());
+    }
+
+    #[test]
+    fn samples_are_timestamped_within_campaign_window() {
+        let p = tiny_platform();
+        let cfg = tiny_cfg();
+        let store = Campaign::new(&p, cfg).run().unwrap();
+        let end = SimTime::from_nanos(cfg.interval.as_nanos() * u64::from(cfg.rounds));
+        for s in store.samples() {
+            assert!(s.at < end);
+        }
+    }
+
+    #[test]
+    fn from_spec_maps_measurement_definitions() {
+        let spec = crate::measurement::MeasurementSpec::paper_ping(
+            7,
+            3,
+            SimTime::from_days(9),
+        );
+        let cfg = CampaignConfig::from_spec(&spec);
+        assert_eq!(cfg.rounds, 9 * 8 + 1);
+        assert_eq!(cfg.interval, SimTime::from_hours(3));
+        assert_eq!(cfg.packets, 3);
+        assert_eq!(cfg.kind, MeasurementType::Ping);
+    }
+
+    #[test]
+    fn tcp_campaign_produces_connect_times() {
+        let p = tiny_platform();
+        let cfg = CampaignConfig {
+            kind: MeasurementType::TcpConnect,
+            ..tiny_cfg()
+        };
+        let store = Campaign::new(&p, cfg).run().unwrap();
+        assert!(!store.is_empty());
+        // TCP rounds carry exactly one attempt and min == avg.
+        for s in store.samples() {
+            assert_eq!(s.sent, 1);
+            assert!(s.received <= 1);
+            if s.responded() {
+                assert_eq!(s.min_ms, s.avg_ms);
+                assert!(s.min_ms > 0.0);
+            }
+        }
+        // TCP connect medians sit at or above ping minima on the same
+        // platform (no min-of-3 smoothing).
+        let ping_store = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        let med = |st: &ResultStore| {
+            let mut v: Vec<f32> = st
+                .samples()
+                .iter()
+                .filter(|s| s.responded())
+                .map(|s| s.min_ms)
+                .collect();
+            v.sort_by(f32::total_cmp);
+            v[v.len() / 2]
+        };
+        assert!(med(&store) >= med(&ping_store) * 0.8);
+    }
+
+    #[test]
+    fn churn_mode_produces_episodic_gaps() {
+        let p = tiny_platform();
+        let cfg = CampaignConfig {
+            rounds: 24,
+            churn: true,
+            ..tiny_cfg()
+        };
+        let store = Campaign::new(&p, cfg).run().unwrap();
+        assert!(!store.is_empty());
+        // Episodic availability: some probe has a contiguous block of
+        // missed rounds followed by a return (a memoryless model of the
+        // same average would virtually never produce week-long gaps,
+        // but with 3-hourly rounds over 3 days we check the weaker
+        // episode property: per-probe round participation is bursty —
+        // a probe that is up in round r is very likely up in r+1).
+        let mut same_state = 0u32;
+        let mut transitions = 0u32;
+        for probe in p.probes() {
+            let mut up_rounds = vec![false; cfg.rounds as usize];
+            for s in store.by_probe(probe.id) {
+                let round = (s.at.as_nanos() / cfg.interval.as_nanos()) as usize;
+                if round < up_rounds.len() {
+                    up_rounds[round] = true;
+                }
+            }
+            for w in up_rounds.windows(2) {
+                if w[0] == w[1] {
+                    same_state += 1;
+                } else {
+                    transitions += 1;
+                }
+            }
+        }
+        let persistence = f64::from(same_state) / f64::from(same_state + transitions);
+        assert!(
+            persistence > 0.9,
+            "availability should be strongly autocorrelated, got {persistence}"
+        );
+    }
+
+    #[test]
+    fn churn_mode_is_deterministic_and_parallel_safe() {
+        let p = tiny_platform();
+        let cfg = CampaignConfig {
+            rounds: 6,
+            churn: true,
+            ..tiny_cfg()
+        };
+        let seq = Campaign::new(&p, cfg).run().unwrap();
+        let par = Campaign::new(&p, cfg).run_parallel(3).unwrap();
+        let key = |s: &RttSample| (s.probe, s.region, s.at.as_nanos());
+        let mut a: Vec<_> = seq.samples().to_vec();
+        let mut b: Vec<_> = par.samples().to_vec();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn each_sample_has_known_probe_and_region() {
+        let p = tiny_platform();
+        let store = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        for s in store.samples() {
+            assert!(s.probe.index() < p.probes().len());
+            assert!((s.region as usize) < p.catalog().regions().len());
+            assert_eq!(s.probe, p.probes()[s.probe.index()].id);
+        }
+        let _ = ProbeId(0);
+    }
+}

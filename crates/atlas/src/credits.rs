@@ -1,0 +1,137 @@
+//! Credit accounting.
+//!
+//! RIPE Atlas meters measurements in credits (a ping costs its packet
+//! count). The paper's acknowledgements thank the Atlas team for
+//! "supporting our measurements with increased quota limits" — so the
+//! ledger supports exactly that: a base quota plus boosts.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a debit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CreditError {
+    /// The ledger does not hold enough credits.
+    InsufficientCredits {
+        /// Credits available at the time of the attempt.
+        available: u64,
+        /// Credits the operation needed.
+        needed: u64,
+    },
+}
+
+impl std::fmt::Display for CreditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CreditError::InsufficientCredits { available, needed } => write!(
+                f,
+                "insufficient credits: have {available}, need {needed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CreditError {}
+
+/// A measurement owner's credit balance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CreditLedger {
+    balance: u64,
+    spent: u64,
+}
+
+impl CreditLedger {
+    /// Opens a ledger with an initial grant.
+    pub fn new(initial: u64) -> Self {
+        Self {
+            balance: initial,
+            spent: 0,
+        }
+    }
+
+    /// Remaining credits.
+    pub fn balance(&self) -> u64 {
+        self.balance
+    }
+
+    /// Lifetime spend.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Grants additional credits (the "increased quota limits").
+    pub fn boost(&mut self, amount: u64) {
+        self.balance = self.balance.saturating_add(amount);
+    }
+
+    /// Cost of a ping round: one credit per packet (Atlas pricing for
+    /// the default packet size).
+    pub fn ping_cost(packets: u32) -> u64 {
+        u64::from(packets)
+    }
+
+    /// Debits `amount`, failing without side effects if the balance is
+    /// short.
+    pub fn debit(&mut self, amount: u64) -> Result<(), CreditError> {
+        if amount > self.balance {
+            return Err(CreditError::InsufficientCredits {
+                available: self.balance,
+                needed: amount,
+            });
+        }
+        self.balance -= amount;
+        self.spent += amount;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debit_and_balance() {
+        let mut l = CreditLedger::new(10);
+        assert!(l.debit(4).is_ok());
+        assert_eq!(l.balance(), 6);
+        assert_eq!(l.spent(), 4);
+    }
+
+    #[test]
+    fn refuses_overdraft_without_side_effects() {
+        let mut l = CreditLedger::new(3);
+        let err = l.debit(5).unwrap_err();
+        assert_eq!(
+            err,
+            CreditError::InsufficientCredits {
+                available: 3,
+                needed: 5
+            }
+        );
+        assert_eq!(l.balance(), 3);
+        assert_eq!(l.spent(), 0);
+    }
+
+    #[test]
+    fn boost_extends_quota() {
+        let mut l = CreditLedger::new(1);
+        assert!(l.debit(2).is_err());
+        l.boost(10);
+        assert!(l.debit(2).is_ok());
+        assert_eq!(l.balance(), 9);
+    }
+
+    #[test]
+    fn ping_cost_per_packet() {
+        assert_eq!(CreditLedger::ping_cost(3), 3);
+        assert_eq!(CreditLedger::ping_cost(0), 0);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = CreditError::InsufficientCredits {
+            available: 1,
+            needed: 2,
+        };
+        assert!(e.to_string().contains("insufficient"));
+    }
+}

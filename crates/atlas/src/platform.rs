@@ -1,0 +1,293 @@
+//! Platform assembly: world topology + cloud datacenters + probe fleet.
+//!
+//! [`Platform::build`] wires the three substrates together exactly as
+//! §4.1 describes the real setup: a VM ("end-point") in every selected
+//! cloud region, probes ("vantage points") attached to their national
+//! access infrastructure, and a target list per probe that covers the
+//! same-continent datacenters plus the adjacent-continent rule for
+//! Africa and Latin America.
+
+use shears_cloud::{Catalog, Provider, Region};
+use shears_geo::{Continent, CountryAtlas};
+use shears_netsim::{NodeId, Topology, WorldNet, WorldNetConfig};
+
+use crate::fleet::{FleetBuilder, FleetConfig};
+use crate::probe::{Probe, ProbeId};
+
+/// Platform construction parameters.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct PlatformConfig {
+    /// Fleet synthesis parameters.
+    pub fleet: FleetConfig,
+    /// World topology parameters.
+    pub world: WorldNetConfig,
+    /// Restrict the catalogue to regions launched in or before this
+    /// year (`None` = full 2020 catalogue). Drives the EXT3 ablation.
+    pub catalog_year: Option<u16>,
+    /// Restrict to a single provider (`None` = all seven).
+    pub provider: Option<Provider>,
+}
+
+
+impl PlatformConfig {
+    /// A small configuration for tests and examples: a few hundred
+    /// probes, full catalogue.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            fleet: FleetConfig {
+                target_size: 300,
+                seed,
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// The assembled measurement platform.
+pub struct Platform {
+    countries: CountryAtlas,
+    catalog: Catalog,
+    probes: Vec<Probe>,
+    world: WorldNet,
+    probe_nodes: Vec<NodeId>,
+    dc_nodes: Vec<NodeId>,
+    region_continents: Vec<Continent>,
+}
+
+impl Platform {
+    /// Builds the platform: world backbone, datacenter attachments for
+    /// every catalogue region, then the probe fleet.
+    pub fn build(cfg: &PlatformConfig) -> Self {
+        let countries = CountryAtlas::global();
+        let mut catalog = Catalog::global();
+        if cfg.catalog_year.is_some() || cfg.provider.is_some() {
+            catalog = catalog.snapshot(cfg.catalog_year.unwrap_or(u16::MAX), cfg.provider);
+        }
+        let mut world = WorldNet::build(&countries, &cfg.world);
+
+        let dc_nodes: Vec<NodeId> = catalog
+            .regions()
+            .iter()
+            .map(|r| {
+                world.attach_datacenter(
+                    r.location,
+                    r.country,
+                    r.provider.has_private_backbone(),
+                    &cfg.world,
+                )
+            })
+            .collect();
+        let region_continents: Vec<Continent> = catalog
+            .regions()
+            .iter()
+            .map(|r| {
+                countries
+                    .by_code(r.country)
+                    .expect("catalogue countries exist in the atlas")
+                    .continent
+            })
+            .collect();
+
+        let probes = FleetBuilder::new(cfg.fleet).build(&countries);
+        let probe_nodes: Vec<NodeId> = probes
+            .iter()
+            .map(|p| world.attach_probe(p.location, &p.country, p.access))
+            .collect();
+
+        Self {
+            countries,
+            catalog,
+            probes,
+            world,
+            probe_nodes,
+            dc_nodes,
+            region_continents,
+        }
+    }
+
+    /// The country atlas the platform was built from.
+    pub fn countries(&self) -> &CountryAtlas {
+        &self.countries
+    }
+
+    /// The (possibly snapshot-restricted) cloud catalogue.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The probe fleet.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// The underlying world (for attaching extension nodes such as edge
+    /// sites).
+    pub fn world_mut(&mut self) -> &mut WorldNet {
+        &mut self.world
+    }
+
+    /// Read access to the world.
+    pub fn world(&self) -> &WorldNet {
+        &self.world
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        self.world.topology()
+    }
+
+    /// The topology node of a probe.
+    pub fn probe_node(&self, id: ProbeId) -> NodeId {
+        self.probe_nodes[id.index()]
+    }
+
+    /// The topology node of a catalogue region.
+    pub fn dc_node(&self, region_index: usize) -> NodeId {
+        self.dc_nodes[region_index]
+    }
+
+    /// The catalogue region record by index.
+    pub fn region(&self, region_index: usize) -> &Region {
+        &self.catalog.regions()[region_index]
+    }
+
+    /// The continent a region sits on.
+    pub fn region_continent(&self, region_index: usize) -> Continent {
+        self.region_continents[region_index]
+    }
+
+    /// The measurement targets of a probe, as catalogue indices:
+    /// the `same_continent` nearest regions on the probe's continent,
+    /// plus — for probes on continents with low datacenter density
+    /// (Africa, Latin America) — the `adjacent` nearest regions on the
+    /// paper's designated adjacent continent.
+    pub fn targets_for(
+        &self,
+        probe: &Probe,
+        same_continent: usize,
+        adjacent: usize,
+    ) -> Vec<u16> {
+        let by_continent =
+            |continent: Continent, n: usize, out: &mut Vec<u16>| {
+                let mut candidates: Vec<(f64, u16)> = self
+                    .catalog
+                    .regions()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| self.region_continents[*i] == continent)
+                    .map(|(i, r)| (probe.location.distance_km(r.location), i as u16))
+                    .collect();
+                candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                out.extend(candidates.into_iter().take(n).map(|(_, i)| i));
+            };
+        let mut targets = Vec::with_capacity(same_continent + adjacent);
+        by_continent(probe.continent, same_continent, &mut targets);
+        for &adj in probe.continent.adjacent_measurement_targets() {
+            by_continent(adj, adjacent, &mut targets);
+        }
+        targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_platform() -> Platform {
+        Platform::build(&PlatformConfig::quick(3))
+    }
+
+    #[test]
+    fn builds_with_all_regions_attached() {
+        let p = quick_platform();
+        assert_eq!(p.dc_nodes.len(), 101);
+        assert_eq!(p.probe_nodes.len(), p.probes().len());
+        assert!(p.probes().len() >= 300);
+    }
+
+    #[test]
+    fn targets_are_same_continent() {
+        let p = quick_platform();
+        let eu_probe = p
+            .probes()
+            .iter()
+            .find(|pr| pr.continent == Continent::Europe)
+            .unwrap();
+        let targets = p.targets_for(eu_probe, 5, 3);
+        assert_eq!(targets.len(), 5, "no adjacency rule for Europe");
+        for &t in &targets {
+            assert_eq!(p.region_continent(t as usize), Continent::Europe);
+        }
+    }
+
+    #[test]
+    fn african_probes_also_target_europe() {
+        let p = quick_platform();
+        let af_probe = p
+            .probes()
+            .iter()
+            .find(|pr| pr.continent == Continent::Africa)
+            .unwrap();
+        let targets = p.targets_for(af_probe, 5, 3);
+        // Africa has exactly one region, so 1 + 3 adjacent.
+        assert_eq!(targets.len(), 1 + 3);
+        assert_eq!(p.region_continent(targets[0] as usize), Continent::Africa);
+        for &t in &targets[1..] {
+            assert_eq!(p.region_continent(t as usize), Continent::Europe);
+        }
+    }
+
+    #[test]
+    fn latam_probes_also_target_north_america() {
+        let p = quick_platform();
+        let la = p
+            .probes()
+            .iter()
+            .find(|pr| pr.continent == Continent::LatinAmerica)
+            .unwrap();
+        let targets = p.targets_for(la, 4, 2);
+        assert!(targets.len() > 4, "adjacency targets missing");
+        assert!(targets[4..]
+            .iter()
+            .all(|&t| p.region_continent(t as usize) == Continent::NorthAmerica));
+    }
+
+    #[test]
+    fn targets_sorted_by_distance() {
+        let p = quick_platform();
+        let probe = &p.probes()[0];
+        let targets = p.targets_for(probe, 5, 0);
+        let dists: Vec<f64> = targets
+            .iter()
+            .map(|&t| probe.location.distance_km(p.region(t as usize).location))
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{dists:?}");
+    }
+
+    #[test]
+    fn snapshot_platform_has_fewer_regions() {
+        let cfg = PlatformConfig {
+            catalog_year: Some(2010),
+            ..PlatformConfig::quick(3)
+        };
+        let p = Platform::build(&cfg);
+        assert!(p.catalog().regions().len() < 20, "2010 cloud was tiny");
+        assert!(!p.catalog().regions().is_empty());
+    }
+
+    #[test]
+    fn provider_restriction() {
+        let cfg = PlatformConfig {
+            provider: Some(Provider::Linode),
+            ..PlatformConfig::quick(3)
+        };
+        let p = Platform::build(&cfg);
+        assert_eq!(p.catalog().regions().len(), 10);
+        assert!(p
+            .catalog()
+            .regions()
+            .iter()
+            .all(|r| r.provider == Provider::Linode));
+    }
+}

@@ -1,0 +1,98 @@
+//! The probe model.
+
+use serde::{Deserialize, Serialize};
+use shears_geo::{Continent, GeoPoint};
+use shears_netsim::access::AccessLink;
+
+/// Platform-wide probe identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ProbeId(pub u32);
+
+impl ProbeId {
+    /// Raw index (probes are stored densely).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A measurement probe: the platform's vantage point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Probe {
+    /// Identifier, dense from 0.
+    pub id: ProbeId,
+    /// Host location.
+    pub location: GeoPoint,
+    /// ISO country code.
+    pub country: String,
+    /// Continent (copied from the country atlas at synthesis time so
+    /// analysis grouping needs no joins).
+    pub continent: Continent,
+    /// The probe's last-mile model.
+    pub access: AccessLink,
+    /// System + user tags (see [`crate::tags`]).
+    pub tags: Vec<String>,
+    /// Probability the probe is online in any given round. Real Atlas
+    /// probes disappear for days; the paper keeps them ("the result
+    /// includes probes without a stable Internet connection").
+    pub stability: f64,
+}
+
+impl Probe {
+    /// Whether the probe carries any of the given tags.
+    pub fn has_any_tag(&self, set: &[&str]) -> bool {
+        self.tags.iter().any(|t| set.iter().any(|s| s == t))
+    }
+
+    /// Whether the probe is in a privileged location (to be excluded by
+    /// the paper's methodology).
+    pub fn is_privileged(&self) -> bool {
+        self.has_any_tag(crate::tags::PRIVILEGED_TAGS)
+    }
+
+    /// Whether the probe's user tags mark it wireless.
+    pub fn is_wireless_tagged(&self) -> bool {
+        self.has_any_tag(crate::tags::WIRELESS_TAGS)
+    }
+
+    /// Whether the probe's user tags mark it wired (and not wireless —
+    /// dual-tagged probes count as wireless, see [`crate::tags`]).
+    pub fn is_wired_tagged(&self) -> bool {
+        self.has_any_tag(crate::tags::WIRED_TAGS) && !self.is_wireless_tagged()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_netsim::access::AccessTechnology;
+
+    fn probe_with_tags(tags: &[&str]) -> Probe {
+        Probe {
+            id: ProbeId(1),
+            location: GeoPoint::new(0.0, 0.0),
+            country: "DE".into(),
+            continent: Continent::Europe,
+            access: AccessLink::new(AccessTechnology::Dsl, 1.0),
+            tags: tags.iter().map(|s| s.to_string()).collect(),
+            stability: 0.95,
+        }
+    }
+
+    #[test]
+    fn privileged_detection() {
+        assert!(probe_with_tags(&["datacentre"]).is_privileged());
+        assert!(probe_with_tags(&["cloud", "ethernet"]).is_privileged());
+        assert!(!probe_with_tags(&["home", "dsl"]).is_privileged());
+    }
+
+    #[test]
+    fn wired_wireless_tagging() {
+        assert!(probe_with_tags(&["ethernet"]).is_wired_tagged());
+        assert!(probe_with_tags(&["lte"]).is_wireless_tagged());
+        let dual = probe_with_tags(&["ethernet", "wifi"]);
+        assert!(dual.is_wireless_tagged());
+        assert!(!dual.is_wired_tagged());
+    }
+}

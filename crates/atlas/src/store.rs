@@ -1,0 +1,257 @@
+//! Result storage.
+//!
+//! The campaign produces millions of samples (the paper's dataset holds
+//! 3.2 M datapoints), so the store is a flat, append-only column of
+//! compact records rather than anything fancier. Analysis passes stream
+//! over it; filtered views are iterators, not copies.
+
+use serde::{Deserialize, Serialize};
+use shears_netsim::SimTime;
+
+use crate::probe::ProbeId;
+
+/// One ping (or TCP-connect) measurement result.
+///
+/// 24 bytes packed: at 3.2 M samples the paper-scale store stays well
+/// under 100 MB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RttSample {
+    /// Originating probe.
+    pub probe: ProbeId,
+    /// Target region as an index into the cloud catalogue.
+    pub region: u16,
+    /// When the round fired.
+    pub at: SimTime,
+    /// Minimum RTT over the round's packets, ms. `NaN` never appears:
+    /// rounds with zero replies are stored with `received == 0` and
+    /// `min_ms`/`avg_ms` set to `f32::INFINITY`. JSON cannot carry
+    /// infinities, so (de)serialisation maps them to/from `null`.
+    #[serde(with = "inf_as_null")]
+    pub min_ms: f32,
+    /// Mean RTT over received packets, ms (`INFINITY` if none).
+    #[serde(with = "inf_as_null")]
+    pub avg_ms: f32,
+    /// Packets sent.
+    pub sent: u8,
+    /// Replies received in time.
+    pub received: u8,
+}
+
+/// Serialises non-finite RTT markers as JSON `null` (JSON has no
+/// infinity literal; without this, lost-round samples would not survive
+/// a dataset export/import round trip).
+mod inf_as_null {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f32, ser: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            ser.serialize_some(v)
+        } else {
+            ser.serialize_none()
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<f32, D::Error> {
+        Ok(Option::<f32>::deserialize(de)?.unwrap_or(f32::INFINITY))
+    }
+}
+
+impl RttSample {
+    /// Whether at least one reply arrived.
+    pub fn responded(&self) -> bool {
+        self.received > 0
+    }
+}
+
+/// Append-only sample store with filtered iteration.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ResultStore {
+    samples: Vec<RttSample>,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocates for an expected sample count.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: RttSample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples, in insertion (time-ish) order.
+    pub fn samples(&self) -> &[RttSample] {
+        &self.samples
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples from one probe.
+    pub fn by_probe(&self, probe: ProbeId) -> impl Iterator<Item = &RttSample> {
+        self.samples.iter().filter(move |s| s.probe == probe)
+    }
+
+    /// Samples towards one region.
+    pub fn by_region(&self, region: u16) -> impl Iterator<Item = &RttSample> {
+        self.samples.iter().filter(move |s| s.region == region)
+    }
+
+    /// Samples in the half-open interval `[from, to)`.
+    pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &RttSample> {
+        self.samples
+            .iter()
+            .filter(move |s| s.at >= from && s.at < to)
+    }
+
+    /// Only samples that got at least one reply.
+    pub fn responded(&self) -> impl Iterator<Item = &RttSample> {
+        self.samples.iter().filter(|s| s.responded())
+    }
+
+    /// Overall reply rate (fraction of rounds with ≥1 reply).
+    pub fn response_rate(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        self.samples.iter().filter(|s| s.responded()).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Merges another store into this one (used when campaigns run
+    /// sharded across threads).
+    pub fn merge(&mut self, other: ResultStore) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Serialises to JSON Lines (one sample per line), the format the
+    /// public dataset download uses.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            // Samples are plain records; serialisation cannot fail.
+            out.push_str(&serde_json::to_string(s).expect("sample serialises"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSON Lines dump produced by [`ResultStore::to_jsonl`].
+    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+        let mut store = ResultStore::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            store.push(serde_json::from_str(line)?);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(probe: u32, region: u16, at_h: u64, min: f32) -> RttSample {
+        RttSample {
+            probe: ProbeId(probe),
+            region,
+            at: SimTime::from_hours(at_h),
+            min_ms: min,
+            avg_ms: min + 1.0,
+            sent: 3,
+            received: 3,
+        }
+    }
+
+    #[test]
+    fn push_and_filter() {
+        let mut st = ResultStore::new();
+        st.push(sample(1, 10, 0, 12.0));
+        st.push(sample(1, 11, 3, 15.0));
+        st.push(sample(2, 10, 3, 30.0));
+        assert_eq!(st.len(), 3);
+        assert_eq!(st.by_probe(ProbeId(1)).count(), 2);
+        assert_eq!(st.by_region(10).count(), 2);
+        assert_eq!(
+            st.in_window(SimTime::from_hours(1), SimTime::from_hours(4))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn response_rate_counts_losses() {
+        let mut st = ResultStore::new();
+        st.push(sample(1, 0, 0, 10.0));
+        let mut lost = sample(2, 0, 0, 0.0);
+        lost.received = 0;
+        lost.min_ms = f32::INFINITY;
+        lost.avg_ms = f32::INFINITY;
+        st.push(lost);
+        assert!(!st.samples()[1].responded());
+        assert_eq!(st.response_rate(), 0.5);
+        assert_eq!(st.responded().count(), 1);
+    }
+
+    #[test]
+    fn empty_store_rate_is_one() {
+        assert_eq!(ResultStore::new().response_rate(), 1.0);
+        assert!(ResultStore::new().is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut st = ResultStore::new();
+        st.push(sample(1, 10, 0, 12.5));
+        st.push(sample(2, 11, 3, 99.0));
+        let text = st.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = ResultStore::from_jsonl(&text).unwrap();
+        assert_eq!(back.samples(), st.samples());
+    }
+
+    #[test]
+    fn jsonl_round_trips_lost_rounds() {
+        // Lost rounds carry INFINITY markers, which JSON cannot express;
+        // the null mapping must preserve them exactly.
+        let mut st = ResultStore::new();
+        let mut lost = sample(9, 4, 6, 0.0);
+        lost.received = 0;
+        lost.min_ms = f32::INFINITY;
+        lost.avg_ms = f32::INFINITY;
+        st.push(lost);
+        let text = st.to_jsonl();
+        assert!(text.contains("null"), "{text}");
+        let back = ResultStore::from_jsonl(&text).unwrap();
+        assert_eq!(back.samples(), st.samples());
+        assert!(!back.samples()[0].responded());
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(ResultStore::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = ResultStore::new();
+        a.push(sample(1, 0, 0, 1.0));
+        let mut b = ResultStore::new();
+        b.push(sample(2, 0, 0, 2.0));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+}

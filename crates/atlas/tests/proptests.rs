@@ -1,0 +1,141 @@
+//! Property-based tests for the measurement platform's invariants.
+
+use proptest::prelude::*;
+use shears_atlas::{
+    CreditLedger, FleetBuilder, FleetConfig, OutageSchedule, ProbeId, ResultStore, RttSample,
+    TagFilter,
+};
+use shears_geo::CountryAtlas;
+use shears_netsim::stochastic::SimRng;
+use shears_netsim::SimTime;
+
+fn arb_sample() -> impl Strategy<Value = RttSample> {
+    (
+        any::<u32>(),
+        0u16..101,
+        0u64..1_000_000_000_000,
+        0.1f32..2000.0,
+        0u8..=3,
+    )
+        .prop_map(|(probe, region, at_ns, rtt, received)| RttSample {
+            probe: ProbeId(probe),
+            region,
+            at: SimTime::from_nanos(at_ns),
+            min_ms: if received == 0 { f32::INFINITY } else { rtt },
+            avg_ms: if received == 0 {
+                f32::INFINITY
+            } else {
+                rtt * 1.1
+            },
+            sent: 3,
+            received,
+        })
+}
+
+proptest! {
+    #[test]
+    fn store_jsonl_round_trips_arbitrary_samples(
+        samples in proptest::collection::vec(arb_sample(), 0..80),
+    ) {
+        let mut store = ResultStore::new();
+        for s in &samples {
+            store.push(*s);
+        }
+        let text = store.to_jsonl();
+        let back = ResultStore::from_jsonl(&text).expect("own dump parses");
+        prop_assert_eq!(back.samples(), store.samples());
+    }
+
+    #[test]
+    fn response_rate_is_a_probability(
+        samples in proptest::collection::vec(arb_sample(), 0..80),
+    ) {
+        let mut store = ResultStore::new();
+        for s in &samples {
+            store.push(*s);
+        }
+        let rate = store.response_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        prop_assert_eq!(
+            store.responded().count(),
+            samples.iter().filter(|s| s.received > 0).count()
+        );
+    }
+
+    #[test]
+    fn ledger_conserves_credits(
+        initial in 0u64..1_000_000,
+        debits in proptest::collection::vec(1u64..10_000, 0..50),
+    ) {
+        let mut ledger = CreditLedger::new(initial);
+        for &d in &debits {
+            let before = (ledger.balance(), ledger.spent());
+            match ledger.debit(d) {
+                Ok(()) => {
+                    prop_assert_eq!(ledger.balance(), before.0 - d);
+                    prop_assert_eq!(ledger.spent(), before.1 + d);
+                }
+                Err(_) => {
+                    // Refused debits must not change state.
+                    prop_assert_eq!((ledger.balance(), ledger.spent()), before);
+                }
+            }
+            // Invariant: balance + spent == initial, always.
+            prop_assert_eq!(ledger.balance() + ledger.spent(), initial);
+        }
+    }
+
+    #[test]
+    fn tag_filters_never_match_excluded(
+        probe_tags in proptest::collection::vec("[a-z]{1,6}", 0..8),
+        exclude in "[a-z]{1,6}",
+    ) {
+        let f = TagFilter::any().reject(&exclude);
+        if probe_tags.iter().any(|t| t == &exclude) {
+            prop_assert!(!f.matches(&probe_tags));
+            prop_assert!(!f.matches_any(&probe_tags));
+        } else {
+            prop_assert!(f.matches(&probe_tags));
+        }
+    }
+
+    #[test]
+    fn allocation_is_at_least_one_everywhere_and_near_target(
+        target in 200usize..4000,
+        seed in any::<u64>(),
+    ) {
+        let atlas = CountryAtlas::global();
+        let counts = FleetBuilder::new(FleetConfig { target_size: target, seed })
+            .allocate(&atlas);
+        prop_assert_eq!(counts.len(), atlas.len());
+        prop_assert!(counts.iter().all(|&c| c >= 1));
+        let total: usize = counts.iter().sum();
+        // Rounding + minimums keep the total within the country count
+        // of the target.
+        prop_assert!(total >= target.saturating_sub(atlas.len()));
+        prop_assert!(total <= target + atlas.len());
+    }
+
+    #[test]
+    fn outage_schedule_up_fraction_is_sane(
+        seed in any::<u64>(),
+        stability in 0.05f64..1.0,
+        horizon_days in 1u64..400,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let horizon = SimTime::from_days(horizon_days);
+        let schedule = OutageSchedule::generate(&mut rng, stability, horizon);
+        let f = schedule.up_fraction(horizon);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Sampling is_up on a grid agrees with the interval arithmetic
+        // to coarse precision.
+        let n = 200u64;
+        let step = horizon.as_nanos() / n;
+        prop_assume!(step > 0);
+        let sampled = (0..n)
+            .filter(|i| schedule.is_up(SimTime::from_nanos(i * step)))
+            .count() as f64
+            / n as f64;
+        prop_assert!((sampled - f).abs() < 0.15, "sampled {sampled} vs exact {f}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Analysis-stage costs: ECDF construction and the per-figure passes
+//! over a realistic result store.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shears_analysis::distribution::all_samples_cdfs;
+use shears_analysis::headline::headline_numbers;
+use shears_analysis::lastmile::last_mile_report;
+use shears_analysis::proximity::{country_min_report, probe_min_cdfs};
+use shears_analysis::stats::Ecdf;
+use shears_analysis::CampaignData;
+use shears_bench::{build_platform, run_campaign, Scale};
+use shears_netsim::SimTime;
+
+fn bench_analysis(c: &mut Criterion) {
+    let scale = Scale {
+        probes: 600,
+        rounds: 8,
+    };
+    let platform = build_platform(scale);
+    let store = run_campaign(&platform, scale);
+    let data = CampaignData::new(&platform, &store);
+
+    let mut group = c.benchmark_group("analysis");
+    group.throughput(Throughput::Elements(store.len() as u64));
+    group.bench_function("fig4_country_min", |b| {
+        b.iter(|| country_min_report(&data).countries_measured())
+    });
+    group.bench_function("fig5_probe_min_cdfs", |b| {
+        b.iter(|| probe_min_cdfs(&data).by_continent.len())
+    });
+    group.bench_function("fig6_all_samples_cdfs", |b| {
+        b.iter(|| all_samples_cdfs(&data).by_continent.len())
+    });
+    group.bench_function("fig7_last_mile", |b| {
+        b.iter(|| {
+            last_mile_report(&data, SimTime::from_hours(6))
+                .map(|r| r.bins.len())
+                .unwrap_or(0)
+        })
+    });
+    group.bench_function("headline_full_pass", |b| {
+        b.iter(|| headline_numbers(&data).countries_under_10ms)
+    });
+
+    let samples: Vec<f64> = (0..100_000)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) % 100_000) as f64 / 100.0)
+        .collect();
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("ecdf_build_100k", |b| {
+        b.iter(|| Ecdf::new(samples.clone()).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

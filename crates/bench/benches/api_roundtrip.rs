@@ -1,0 +1,28 @@
+//! HTTP API round-trip latency over real loopback sockets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shears_api::{ApiClient, ApiServer, AtlasService};
+use shears_atlas::{Platform, PlatformConfig};
+
+fn bench_api(c: &mut Criterion) {
+    let platform = Platform::build(&PlatformConfig::quick(5));
+    let server =
+        ApiServer::spawn("127.0.0.1:0", AtlasService::new(platform)).expect("bind server");
+    let client = ApiClient::new(server.local_addr());
+
+    let mut group = c.benchmark_group("api");
+    group.bench_function("get_credits", |b| {
+        b.iter(|| client.credits().expect("credits endpoint"))
+    });
+    group.bench_function("list_probes_limit_50", |b| {
+        b.iter(|| client.list_probes(None, None, 50).expect("probes").len())
+    });
+    group.bench_function("list_regions_101", |b| {
+        b.iter(|| client.list_regions().expect("regions").len())
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_api);
+criterion_main!(benches);

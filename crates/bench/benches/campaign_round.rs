@@ -1,0 +1,43 @@
+//! End-to-end campaign throughput: sequential vs sharded execution of
+//! full measurement rounds (the number each figure run pays per round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shears_atlas::{Campaign, CampaignConfig, Platform};
+use shears_bench::{build_platform, Scale};
+
+fn bench_campaign(c: &mut Criterion) {
+    let platform: Platform = build_platform(Scale {
+        probes: 300,
+        rounds: 1,
+    });
+    let cfg = CampaignConfig {
+        rounds: 2,
+        targets_per_probe: 3,
+        adjacent_targets: 2,
+        ..CampaignConfig::paper_scale()
+    };
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("sequential_300probes_2rounds", |b| {
+        b.iter(|| Campaign::new(&platform, cfg).run().unwrap().len())
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_300probes_2rounds", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Campaign::new(&platform, cfg)
+                        .run_parallel(threads)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

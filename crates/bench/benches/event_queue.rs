@@ -1,0 +1,50 @@
+//! Discrete-event core throughput: schedule/pop cycles and cascaded
+//! scheduling, the inner loop of every campaign.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use shears_netsim::{EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    // Pseudo-random firing times without an RNG dependency.
+                    let t = i.wrapping_mul(0x9E3779B97F4A7C15) % 1_000_000;
+                    q.schedule(SimTime::from_nanos(t), i);
+                }
+                let mut acc = 0u64;
+                while let Some(e) = q.pop() {
+                    acc = acc.wrapping_add(e.payload);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("cascade_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            q.schedule(SimTime::ZERO, 0u32);
+            let mut n = 0u64;
+            q.run_until(SimTime::from_secs(1), |q, ev| {
+                n += 1;
+                if ev.payload < 9_999 {
+                    q.schedule_after(SimTime::from_nanos(50), ev.payload + 1);
+                }
+            });
+            n
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Geodesy primitives: haversine distance and grid nearest-neighbour,
+//! called once per probe×target in topology construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shears_geo::{CountryAtlas, GeoPoint, SpatialGrid};
+
+fn bench_geodesy(c: &mut Criterion) {
+    let atlas = CountryAtlas::global();
+    let points: Vec<GeoPoint> = atlas.countries().iter().map(|c| c.centroid).collect();
+
+    let mut group = c.benchmark_group("geodesy");
+    group.throughput(Throughput::Elements((points.len() * points.len()) as u64));
+    group.bench_function("haversine_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in &points {
+                for bpt in &points {
+                    acc += a.distance_km(*bpt);
+                }
+            }
+            acc
+        })
+    });
+
+    let mut grid = SpatialGrid::new(5.0);
+    for (i, p) in points.iter().enumerate() {
+        grid.insert(*p, i);
+    }
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function("grid_nearest_per_country", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &points {
+                let q = GeoPoint::new(p.lat + 3.0, p.lon - 3.0);
+                acc += grid.nearest(q).map(|e| e.id).unwrap_or(0);
+            }
+            acc
+        })
+    });
+
+    group.bench_function("grid_within_1000km", |b| {
+        let munich = GeoPoint::new(48.1, 11.6);
+        b.iter(|| grid.within(munich, 1000.0).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_geodesy);
+criterion_main!(benches);

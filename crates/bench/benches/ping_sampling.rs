@@ -1,0 +1,53 @@
+//! Per-ping delay sampling: the per-round inner loop (RNG draws,
+//! queueing model, access jitter) once routes are cached.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shears_bench::{build_platform, Scale};
+use shears_netsim::access::{AccessLink, AccessTechnology};
+use shears_netsim::ping::{PingConfig, PingProber};
+use shears_netsim::queue::DiurnalLoad;
+use shears_netsim::stochastic::SimRng;
+use shears_netsim::SimTime;
+
+fn bench_ping(c: &mut Criterion) {
+    let platform = build_platform(Scale {
+        probes: 400,
+        rounds: 1,
+    });
+    let probe = platform
+        .probes()
+        .iter()
+        .find(|p| p.country == "DE")
+        .expect("German probe exists");
+    let target = platform.targets_for(probe, 1, 0)[0];
+
+    let mut group = c.benchmark_group("ping");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("ping_1k_rounds_cached_route", |b| {
+        let mut prober = PingProber::new(platform.topology());
+        // Warm the route cache.
+        let _ = prober.route(platform.probe_node(probe.id), platform.dc_node(target as usize));
+        b.iter(|| {
+            let mut rng = SimRng::new(7);
+            let mut acc = 0.0;
+            for i in 0..1000u64 {
+                if let Some(out) = prober.ping(
+                    platform.probe_node(probe.id),
+                    platform.dc_node(target as usize),
+                    Some(AccessLink::new(AccessTechnology::Dsl, 1.1)),
+                    DiurnalLoad::residential(),
+                    SimTime::from_hours(i % 24),
+                    &PingConfig::default(),
+                    &mut rng,
+                ) {
+                    acc += out.min_ms().unwrap_or(0.0);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ping);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Dijkstra routing over the world topology: the dominant cost of
+//! campaign start-up (every probe×target pair is routed once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shears_bench::{build_platform, Scale};
+use shears_netsim::routing::Router;
+
+fn bench_routing(c: &mut Criterion) {
+    let platform = build_platform(Scale {
+        probes: 400,
+        rounds: 1,
+    });
+    let probes: Vec<_> = platform.probes().iter().take(32).collect();
+
+    let mut group = c.benchmark_group("routing");
+    group.bench_function("dijkstra_cold_32_probes", |b| {
+        b.iter(|| {
+            let mut router = Router::new(platform.topology());
+            let mut acc = 0.0;
+            for probe in &probes {
+                let targets = platform.targets_for(probe, 2, 0);
+                for &t in &targets {
+                    if let Some(p) =
+                        router.path(platform.probe_node(probe.id), platform.dc_node(t as usize))
+                    {
+                        acc += p.base_one_way_ms;
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("dijkstra_warm_cache", |b| {
+        let mut router = Router::new(platform.topology());
+        // Prime the cache.
+        for probe in &probes {
+            for &t in &platform.targets_for(probe, 2, 0) {
+                let _ = router.path(platform.probe_node(probe.id), platform.dc_node(t as usize));
+            }
+        }
+        b.iter(|| {
+            let mut acc = 0.0;
+            for probe in &probes {
+                for &t in &platform.targets_for(probe, 2, 0) {
+                    if let Some(p) =
+                        router.path(platform.probe_node(probe.id), platform.dc_node(t as usize))
+                    {
+                        acc += p.base_one_way_ms;
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

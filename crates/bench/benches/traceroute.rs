@@ -1,0 +1,52 @@
+//! Traceroute driver cost: per-trace route resolution plus hop
+//! sampling on the world topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shears_bench::{build_platform, Scale};
+use shears_netsim::queue::DiurnalLoad;
+use shears_netsim::stochastic::SimRng;
+use shears_netsim::{SimTime, TracerouteProber};
+
+fn bench_traceroute(c: &mut Criterion) {
+    let platform = build_platform(Scale {
+        probes: 300,
+        rounds: 1,
+    });
+    let probe = platform
+        .probes()
+        .iter()
+        .find(|p| p.country == "BR")
+        .expect("Brazilian probe");
+    let target = platform.targets_for(probe, 1, 1)[0];
+
+    let mut group = c.benchmark_group("traceroute");
+    group.bench_function("trace_warm_cache", |b| {
+        let mut prober = TracerouteProber::new(platform.topology());
+        let mut rng = SimRng::new(3);
+        // Prime the sub-path cache.
+        let _ = prober.trace(
+            platform.probe_node(probe.id),
+            platform.dc_node(target as usize),
+            Some(probe.access),
+            DiurnalLoad::residential(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        b.iter(|| {
+            prober
+                .trace(
+                    platform.probe_node(probe.id),
+                    platform.dc_node(target as usize),
+                    Some(probe.access),
+                    DiurnalLoad::residential(),
+                    SimTime::from_hours(1),
+                    &mut rng,
+                )
+                .map(|t| t.hops.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traceroute);
+criterion_main!(benches);

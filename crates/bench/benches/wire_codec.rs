@@ -1,0 +1,25 @@
+//! Wire-format codec throughput: encode/parse of Atlas-default echo
+//! packets and raw checksum bandwidth.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shears_netsim::wire::{internet_checksum, EchoPacket};
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let pkt = EchoPacket::atlas_default(true, 42, 7);
+    let encoded = pkt.encode();
+
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_echo_76B", |b| b.iter(|| pkt.encode().len()));
+    group.bench_function("parse_echo_76B", |b| {
+        b.iter(|| EchoPacket::parse(&encoded).expect("valid"))
+    });
+
+    let block = vec![0xA5u8; 1500];
+    group.throughput(Throughput::Bytes(block.len() as u64));
+    group.bench_function("checksum_1500B", |b| b.iter(|| internet_checksum(&block)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Exports the campaign dataset the way the paper publishes its own
+//! (3.2 M datapoints, "available for public use"): a JSON-Lines sample
+//! file plus JSON metadata for probes and regions, then verifies the
+//! dump round-trips.
+//!
+//! ```sh
+//! cargo run --release -p shears-bench --bin export_dataset -- /tmp/shears-dataset
+//! SHEARS_SCALE=paper cargo run --release -p shears-bench --bin export_dataset -- out/
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use shears_atlas::ResultStore;
+use shears_bench::campaign_prologue;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("shears-dataset"));
+    let (platform, store) = campaign_prologue("export");
+
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Samples as JSON Lines.
+    let samples_path = out_dir.join("samples.jsonl");
+    fs::write(&samples_path, store.to_jsonl()).expect("write samples");
+
+    // Probe metadata (the fields analysis joins on).
+    let probes: Vec<serde_json::Value> = platform
+        .probes()
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "id": p.id.0,
+                "country": p.country,
+                "continent": p.continent.short(),
+                "lat": p.location.lat,
+                "lon": p.location.lon,
+                "tags": p.tags,
+                "stability": p.stability,
+            })
+        })
+        .collect();
+    let probes_path = out_dir.join("probes.json");
+    fs::write(
+        &probes_path,
+        serde_json::to_string_pretty(&probes).expect("probes serialise"),
+    )
+    .expect("write probes");
+
+    // Region metadata.
+    let regions: Vec<serde_json::Value> = platform
+        .catalog()
+        .regions()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            serde_json::json!({
+                "index": i,
+                "provider": r.provider.to_string(),
+                "code": r.code,
+                "city": r.city,
+                "country": r.country,
+                "launched": r.launched,
+            })
+        })
+        .collect();
+    let regions_path = out_dir.join("regions.json");
+    fs::write(
+        &regions_path,
+        serde_json::to_string_pretty(&regions).expect("regions serialise"),
+    )
+    .expect("write regions");
+
+    // Verify the dump round-trips before declaring success.
+    let reloaded =
+        ResultStore::from_jsonl(&fs::read_to_string(&samples_path).expect("re-read samples"))
+            .expect("parse own dump");
+    assert_eq!(reloaded.len(), store.len(), "round-trip lost samples");
+
+    let size = |p: &PathBuf| fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    println!("dataset written to {}:", out_dir.display());
+    println!(
+        "  samples.jsonl  {:>12} bytes  ({} samples, verified round-trip)",
+        size(&samples_path),
+        store.len()
+    );
+    println!(
+        "  probes.json    {:>12} bytes  ({} probes)",
+        size(&probes_path),
+        platform.probes().len()
+    );
+    println!(
+        "  regions.json   {:>12} bytes  ({} regions)",
+        size(&regions_path),
+        platform.catalog().regions().len()
+    );
+}

@@ -1,0 +1,42 @@
+//! EXT1 — the edge-at-the-metro reality check (§5's Hadzic/Cartas
+//! argument): deploy an edge site at every metro PoP and measure what
+//! it buys over the nearest cloud datacenter, per continent.
+
+use shears_analysis::edgegain::edge_gain_study;
+use shears_analysis::report::{ms, pct, Table};
+use shears_bench::{build_platform, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "[ext1] scale: {} probes (set SHEARS_SCALE=paper for the full fleet)",
+        scale.probes
+    );
+    let mut platform = build_platform(scale);
+    let report = edge_gain_study(&mut platform, 400);
+
+    let mut t = Table::new(vec![
+        "continent",
+        "probes",
+        "cloud median ms",
+        "edge median ms",
+        "median gain ms",
+        "gain < 10 ms",
+    ]);
+    for row in &report.rows {
+        t.row(vec![
+            row.continent.to_string(),
+            row.probes.to_string(),
+            ms(row.cloud_median_ms),
+            ms(row.edge_median_ms),
+            ms(row.median_gain_ms),
+            pct(row.small_gain_fraction),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\npaper expectation: minimal gains in well-connected continents\n\
+         (edge \"yields little benefits in well-connected areas\"), large\n\
+         gains only in under-served regions."
+    );
+}

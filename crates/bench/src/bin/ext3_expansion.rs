@@ -1,0 +1,77 @@
+//! EXT3 — the cloud-expansion ablation: §4's motivation ("Amazon's
+//! cloud has increased from 3 to 22 datacenter locations" since 2010;
+//! CDN latencies fell from ~100 ms to 10–25 ms) tested by running the
+//! same fleet against the 2010 catalogue snapshot and the full
+//! 2019/2020 catalogue.
+
+use shears_analysis::expansion::compare;
+use shears_analysis::report::{ms_opt, Table};
+use shears_analysis::CampaignData;
+use shears_atlas::{Campaign, CampaignConfig, FleetConfig, Platform, PlatformConfig};
+use shears_bench::Scale;
+
+fn run(year: Option<u16>, scale: Scale) -> (Platform, shears_atlas::ResultStore) {
+    let platform = Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: scale.probes,
+            seed: 42, // identical fleet in both runs
+        },
+        catalog_year: year,
+        ..PlatformConfig::default()
+    });
+    let cfg = CampaignConfig {
+        rounds: scale.rounds,
+        ..CampaignConfig::paper_scale()
+    };
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let store = Campaign::new(&platform, cfg).run_parallel(threads).unwrap();
+    (platform, store)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ext3] scale: {} probes x {} rounds, two campaigns", scale.probes, scale.rounds);
+
+    let (p2010, s2010) = run(Some(2010), scale);
+    eprintln!(
+        "[ext3] 2010 catalogue: {} regions",
+        p2010.catalog().regions().len()
+    );
+    let (p2020, s2020) = run(None, scale);
+    eprintln!(
+        "[ext3] 2020 catalogue: {} regions",
+        p2020.catalog().regions().len()
+    );
+
+    let report = compare(
+        &CampaignData::new(&p2010, &s2010),
+        "2010",
+        &CampaignData::new(&p2020, &s2020),
+        "2020",
+    );
+
+    let mut t = Table::new(vec![
+        "continent",
+        "median min RTT 2010 ms",
+        "median min RTT 2020 ms",
+        "improvement",
+        "KS distance",
+    ]);
+    for row in &report.rows {
+        t.row(vec![
+            row.continent.to_string(),
+            ms_opt(row.old_median_ms),
+            ms_opt(row.new_median_ms),
+            row.improvement()
+                .map(|f| format!("{f:.2}x"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.3}", row.ks),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\npaper expectation: a decade of build-out moved the cloud from\n\
+         ~100 ms to 10-25 ms for most users — the improvement factors\n\
+         above quantify that on identical fleets."
+    );
+}

@@ -1,0 +1,41 @@
+//! EXT5 — the 5G what-if: can wireless users ever meet MTP, against
+//! the cloud or against a basestation edge, under LTE as deployed,
+//! early 5G as measured, and the ITU IMT-2020 promise?
+
+use shears_analysis::report::{pct, Table};
+use shears_analysis::whatif::fiveg_whatif;
+use shears_bench::{build_platform, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ext5] scale: {} probes", scale.probes);
+    let platform = build_platform(scale);
+    let report = fiveg_whatif(&platform, 2000);
+
+    let mut t = Table::new(vec![
+        "last-mile assumption",
+        "one-way access ms",
+        "wireless probes meeting MTP via cloud",
+        "via basestation edge",
+        "edge within 7 ms compute budget",
+    ]);
+    for row in &report.rows {
+        t.row(vec![
+            row.assumption.label.to_string(),
+            format!("{:.1}", row.assumption.one_way_ms),
+            pct(row.cloud_mtp),
+            pct(row.edge_mtp),
+            pct(row.edge_compute_budget),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\npaper reading (§5): with today's wireless, \"supporting strict\n\
+         MTP thresholds, even with edge servers located at basestations,\n\
+         seems uncertain\"; and once the last mile improves enough to\n\
+         change that, the *cloud* becomes MTP-viable for a large share of\n\
+         wireless users too — eroding the latency case for the edge from\n\
+         the other side."
+    );
+}

@@ -1,0 +1,84 @@
+//! EXT7 — infrastructure-failure study: cut a whole submarine corridor
+//! and measure the per-continent impact on cloud reachability. The
+//! fragility counterpart of §6's "plausible deployments" argument:
+//! regions whose connectivity hangs on one corridor need infrastructure
+//! before they need edge servers.
+
+use shears_analysis::report::{ms, ms_opt, pct, Table};
+use shears_analysis::resilience::{corridor_cut, failure_study};
+use shears_bench::{build_platform, Scale};
+use shears_geo::Continent;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ext7] scale: {} probes", scale.probes);
+    let platform = build_platform(scale);
+
+    let scenarios = [
+        (
+            corridor_cut(
+                &platform,
+                Continent::Europe,
+                Continent::NorthAmerica,
+                "transatlantic corridor down",
+            ),
+            // Measured against each probe's nearest NA datacenter: the
+            // corridor's actual traffic.
+            Some(Continent::NorthAmerica),
+        ),
+        (
+            corridor_cut(
+                &platform,
+                Continent::LatinAmerica,
+                Continent::NorthAmerica,
+                "LatAm-NA (Miami) corridor down",
+            ),
+            Some(Continent::NorthAmerica),
+        ),
+        (
+            corridor_cut(
+                &platform,
+                Continent::Africa,
+                Continent::Europe,
+                "Africa-Europe cables down",
+            ),
+            Some(Continent::Europe),
+        ),
+    ];
+
+    for (scenario, target) in scenarios {
+        let report = failure_study(&platform, &scenario, 300, target);
+        println!(
+            "== {} ({} links cut; targets: nearest {} DC) ==",
+            report.scenario,
+            report.links_cut,
+            target.map(|c| c.short()).unwrap_or("any")
+        );
+        let mut t = Table::new(vec![
+            "probe continent",
+            "probes",
+            "healthy median ms",
+            "failed median ms",
+            "degraded >25%",
+            "disconnected",
+        ]);
+        for row in &report.rows {
+            t.row(vec![
+                row.continent.to_string(),
+                row.probes.to_string(),
+                ms(row.healthy_median_ms),
+                ms_opt(row.failed_median_ms),
+                pct(row.degraded_fraction),
+                pct(row.disconnected_fraction),
+            ]);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!(
+        "reading: continents with redundant corridors degrade gracefully;\n\
+         those served by thin infrastructure lose reachability outright —\n\
+         §6's case for infrastructure investment over edge deployment in\n\
+         under-served regions."
+    );
+}

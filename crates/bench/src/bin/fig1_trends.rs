@@ -1,0 +1,53 @@
+//! FIG1 — regenerates Figure 1: search interest and publications for
+//! "cloud computing" vs "edge computing", 2004–2019, with the detected
+//! era boundaries (CDN → Cloud → Edge).
+
+use shears_analysis::report::Table;
+use shears_trends::{
+    crawl_publications, detect_eras, Keyword, ScholarService, TrendDataset, TrendSeries,
+};
+
+fn main() {
+    let mut data = TrendDataset::figure1(42);
+
+    // Publication counts go through the scholar crawler, as in the
+    // paper (reference [38]): synthetic service, real parsing/backoff.
+    let mut scholar = ScholarService::from_dataset(&data, 0.15, 7);
+    let (cloud_pubs, cloud_stats) =
+        crawl_publications(&mut scholar, Keyword::CloudComputing, 20)
+            .expect("crawl within retry budget");
+    let (edge_pubs, edge_stats) =
+        crawl_publications(&mut scholar, Keyword::EdgeComputing, 20)
+            .expect("crawl within retry budget");
+    eprintln!(
+        "[fig1] scholar crawl: {} pages fetched, {} CAPTCHAs retried",
+        cloud_stats.fetched + edge_stats.fetched,
+        cloud_stats.throttled + edge_stats.throttled
+    );
+    data.cloud_pubs = cloud_pubs;
+    data.edge_pubs = edge_pubs;
+
+    let mut t = Table::new(vec![
+        "year",
+        "cloud search",
+        "edge search",
+        "cloud pubs",
+        "edge pubs",
+    ]);
+    for year in TrendSeries::years() {
+        t.row(vec![
+            year.to_string(),
+            format!("{:.1}", data.cloud_search.at(year).unwrap()),
+            format!("{:.1}", data.edge_search.at(year).unwrap()),
+            format!("{:.0}", data.cloud_pubs.at(year).unwrap()),
+            format!("{:.0}", data.edge_pubs.at(year).unwrap()),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\ndetected eras (CUSUM changepoints):");
+    for span in detect_eras(&data) {
+        println!("  {:<10} {}-{}", span.era.name(), span.from, span.to);
+    }
+    println!("(paper narrative: CDN era through the late 2000s, cloud era to ~2015, edge era after)");
+}

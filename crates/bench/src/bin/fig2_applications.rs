@@ -1,0 +1,60 @@
+//! FIG2 — regenerates Figure 2: the driving applications as envelopes
+//! in the (data volume, latency) plane, with quadrant classification
+//! and 2025 market sizes.
+
+use shears_analysis::report::Table;
+use shears_apps::{catalog, Quadrant};
+
+fn main() {
+    let apps = catalog::driving_applications();
+    let mut t = Table::new(vec![
+        "application",
+        "latency ms (lo..hi)",
+        "data GB/day (lo..hi)",
+        "market 2025 B$",
+        "quadrant",
+        "human-centric",
+    ]);
+    let mut rows: Vec<_> = apps.iter().collect();
+    rows.sort_by(|a, b| {
+        Quadrant::classify(a)
+            .label()
+            .cmp(Quadrant::classify(b).label())
+            .then(a.name.cmp(b.name))
+    });
+    for app in rows {
+        t.row(vec![
+            app.name.to_string(),
+            format!("{:.1}..{:.0}", app.latency_ms.lo, app.latency_ms.hi),
+            format!("{}..{}", app.data_gb_per_day.lo, app.data_gb_per_day.hi),
+            format!("{:.0}", app.market_2025_busd),
+            Quadrant::classify(app).label().to_string(),
+            if app.human_centric { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nper-quadrant totals:");
+    for q in Quadrant::ALL {
+        let members: Vec<&str> = apps
+            .iter()
+            .filter(|a| Quadrant::classify(a) == q)
+            .map(|a| a.name)
+            .collect();
+        let market: f64 = apps
+            .iter()
+            .filter(|a| Quadrant::classify(a) == q)
+            .map(|a| a.market_2025_busd)
+            .sum();
+        println!(
+            "  {}: {} apps, {:.0} B$ — {}",
+            q.label(),
+            members.len(),
+            market,
+            members.join(", ")
+        );
+    }
+    println!(
+        "\nthresholds: MTP 20 ms (7 ms compute budget, 2.5 ms NASA HUD), PL 100 ms, HRT 250 ms"
+    );
+}

@@ -1,0 +1,77 @@
+//! FIG3 — regenerates Figure 3a/3b: the measurement setup. 3a is the
+//! distribution of cloud regions (seven providers, 101 regions, 21
+//! countries); 3b is the probe fleet (3200+, 166+ countries) by
+//! continent.
+
+use shears_analysis::report::{pct, Table};
+use shears_bench::{build_platform, Scale};
+use shears_cloud::Provider;
+use shears_geo::Continent;
+
+fn main() {
+    let scale = Scale::from_env();
+    let platform = build_platform(scale);
+    let catalog = platform.catalog();
+    let atlas = platform.countries();
+
+    println!("Figure 3a — cloud regions (targets):");
+    let mut t = Table::new(vec!["provider", "regions", "countries", "backbone"]);
+    for p in Provider::ALL {
+        let regions: Vec<_> = catalog.by_provider(p).collect();
+        let countries: std::collections::BTreeSet<_> =
+            regions.iter().map(|r| r.country).collect();
+        t.row(vec![
+            p.to_string(),
+            regions.len().to_string(),
+            countries.len().to_string(),
+            if p.has_private_backbone() {
+                "private"
+            } else {
+                "public transit"
+            }
+            .to_string(),
+        ]);
+    }
+    t.row(vec![
+        "TOTAL".to_string(),
+        catalog.regions().len().to_string(),
+        catalog.countries().len().to_string(),
+        String::new(),
+    ]);
+    print!("{}", t.render());
+
+    let mut by_continent = Table::new(vec!["continent", "regions"]);
+    for c in Continent::ALL {
+        by_continent.row(vec![
+            c.to_string(),
+            catalog.on_continent(c, atlas).count().to_string(),
+        ]);
+    }
+    print!("\n{}", by_continent.render());
+
+    println!("\nFigure 3b — probe fleet (vantage points):");
+    let probes = platform.probes();
+    let countries: std::collections::BTreeSet<&str> =
+        probes.iter().map(|p| p.country.as_str()).collect();
+    println!(
+        "{} probes in {} countries ({} privileged, excluded from analysis)",
+        probes.len(),
+        countries.len(),
+        probes.iter().filter(|p| p.is_privileged()).count()
+    );
+    let mut t = Table::new(vec!["continent", "probes", "share", "wireless-tagged"]);
+    for c in Continent::ALL {
+        let n = probes.iter().filter(|p| p.continent == c).count();
+        let wl = probes
+            .iter()
+            .filter(|p| p.continent == c && p.is_wireless_tagged())
+            .count();
+        t.row(vec![
+            c.to_string(),
+            n.to_string(),
+            pct(n as f64 / probes.len() as f64),
+            wl.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,69 @@
+//! FIG4 — regenerates Figure 4: per-country minimum RTT to the nearest
+//! datacenter, in the paper's choropleth buckets, plus the in-text
+//! headline counts (32 countries < 10 ms; 21 in 10–20 ms; all but 16
+//! under the PL threshold).
+
+use shears_analysis::proximity::{country_min_report, CountryMinReport, FIG4_BUCKETS};
+use shears_analysis::report::{ms, AsciiWorldMap, Table};
+use shears_bench::{campaign_prologue, view};
+
+fn main() {
+    let (platform, store) = campaign_prologue("fig4");
+    let data = view(&platform, &store);
+    let report = country_min_report(&data);
+
+    let mut t = Table::new(vec!["bucket (ms)", "countries", "paper"]);
+    let paper = ["32", "21", "-", "-", "-", "-"];
+    for (i, &(lo, hi)) in FIG4_BUCKETS.iter().enumerate() {
+        let label = if hi.is_infinite() {
+            format!(">= {lo}")
+        } else {
+            format!("{lo}..{hi}")
+        };
+        t.row(vec![
+            label,
+            report.bucket_counts[i].to_string(),
+            paper[i].to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\ncountries measured: {} | above PL (paper: 16, mostly Africa): {}",
+        report.countries_measured(),
+        report.above_pl.len()
+    );
+    println!("above-PL countries: {}", report.above_pl.join(", "));
+
+    // The choropleth, as a terminal map: each country's Fig. 4 bucket
+    // digit (0 = <10 ms … 5 = >=200 ms) at its centroid; '#' marks
+    // datacenter locations (the paper's red diamonds).
+    let mut map = AsciiWorldMap::new();
+    // Plot slow countries first so fast ones win shared cells.
+    let mut rows: Vec<(&String, &f64)> = report.min_by_country.iter().collect();
+    rows.sort_by(|a, b| b.1.total_cmp(a.1));
+    for (cc, &rtt) in rows {
+        if let Some(country) = platform.countries().by_code(cc) {
+            let digit = char::from(b'0' + CountryMinReport::bucket_of(rtt) as u8);
+            map.place(country.centroid.lat, country.centroid.lon, digit);
+        }
+    }
+    for region in platform.catalog().regions() {
+        map.place(region.location.lat, region.location.lon, '#');
+    }
+    println!("\nmap (bucket digit per country; # = datacenter):");
+    print!("{}", map.render());
+
+    // The choropleth itself, as rows (sorted fastest first).
+    let mut rows: Vec<(&String, &f64)> = report.min_by_country.iter().collect();
+    rows.sort_by(|a, b| a.1.total_cmp(b.1));
+    let mut t = Table::new(vec!["country", "min RTT ms", "continent"]);
+    for (cc, min) in &rows {
+        let continent = platform
+            .countries()
+            .by_code(cc)
+            .map(|c| c.continent.to_string())
+            .unwrap_or_default();
+        t.row(vec![cc.to_string(), ms(**min), continent]);
+    }
+    print!("\n{}", t.render());
+}

@@ -1,0 +1,63 @@
+//! FIG5 — regenerates Figure 5: CDF of every probe's campaign-wide
+//! minimum RTT to any datacenter, grouped by continent.
+
+use shears_analysis::proximity::probe_min_cdfs;
+use shears_analysis::report::{pct, AsciiCdfChart, Table};
+use shears_bench::{campaign_prologue, view};
+use shears_geo::Continent;
+
+const GRID: [f64; 12] = [
+    5.0, 10.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1000.0,
+];
+
+fn main() {
+    let (platform, store) = campaign_prologue("fig5");
+    let data = view(&platform, &store);
+    let cdfs = probe_min_cdfs(&data);
+
+    let mut headers = vec!["RTT <= ms".to_string()];
+    headers.extend(Continent::ALL.iter().map(|c| c.to_string()));
+    let mut t = Table::new(headers);
+    for x in GRID {
+        let mut row = vec![format!("{x}")];
+        for c in Continent::ALL {
+            row.push(pct(cdfs.fraction_within(c, x)));
+        }
+        t.row(row);
+    }
+    print!("{}", t.render());
+
+    // The figure itself, as a terminal chart.
+    let mut chart = AsciiCdfChart::new(1.0, 1000.0);
+    let grid: Vec<f64> = (0..=40)
+        .map(|i| 1.0 * (1000.0f64 / 1.0).powf(f64::from(i) / 40.0))
+        .collect();
+    for (c, marker) in Continent::ALL.iter().zip(['n', 'e', 'o', 'a', 'l', 'f']) {
+        if let Some(ecdf) = cdfs.continent(*c) {
+            chart.series(c.short(), marker, ecdf.curve(&grid));
+        }
+    }
+    print!("\n{}", chart.render());
+
+    println!("\npaper checkpoints:");
+    println!(
+        "  ~80% of EU probes within MTP (20 ms): measured {}",
+        pct(cdfs.fraction_within(Continent::Europe, 20.0))
+    );
+    println!(
+        "  ~80% of NA probes within MTP (20 ms): measured {}",
+        pct(cdfs.fraction_within(Continent::NorthAmerica, 20.0))
+    );
+    println!(
+        "  Oceania almost all within 50 ms: measured {}",
+        pct(cdfs.fraction_within(Continent::Oceania, 50.0))
+    );
+    println!(
+        "  ~75% of Africa within PL (100 ms): measured {}",
+        pct(cdfs.fraction_within(Continent::Africa, 100.0))
+    );
+    println!(
+        "  ~75% of LatAm within PL (100 ms): measured {}",
+        pct(cdfs.fraction_within(Continent::LatinAmerica, 100.0))
+    );
+}

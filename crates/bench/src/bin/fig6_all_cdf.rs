@@ -1,0 +1,82 @@
+//! FIG6 — regenerates Figure 6: CDF of *all* ping rounds from every
+//! probe to its closest datacenter, by continent, plus the summary
+//! table and the eastern-EU tail check.
+
+use shears_analysis::distribution::{all_samples_cdfs, europe_tail_split};
+use shears_analysis::report::{ms, pct, AsciiCdfChart, Table};
+use shears_bench::{campaign_prologue, view};
+use shears_geo::Continent;
+
+const GRID: [f64; 12] = [
+    5.0, 10.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1000.0,
+];
+
+fn main() {
+    let (platform, store) = campaign_prologue("fig6");
+    let data = view(&platform, &store);
+    let cdfs = all_samples_cdfs(&data);
+
+    let mut headers = vec!["RTT <= ms".to_string()];
+    headers.extend(Continent::ALL.iter().map(|c| c.to_string()));
+    let mut t = Table::new(headers);
+    for x in GRID {
+        let mut row = vec![format!("{x}")];
+        for c in Continent::ALL {
+            row.push(pct(cdfs.fraction_within(c, x)));
+        }
+        t.row(row);
+    }
+    print!("{}", t.render());
+
+    // The figure itself, as a terminal chart.
+    let mut chart = AsciiCdfChart::new(1.0, 1000.0);
+    let grid: Vec<f64> = (0..=40)
+        .map(|i| 1.0 * (1000.0f64 / 1.0).powf(f64::from(i) / 40.0))
+        .collect();
+    for (c, marker) in Continent::ALL.iter().zip(['n', 'e', 'o', 'a', 'l', 'f']) {
+        if let Some(ecdf) = cdfs.continent(*c) {
+            chart.series(c.short(), marker, ecdf.curve(&grid));
+        }
+    }
+    print!("\n{}", chart.render());
+
+    let mut t = Table::new(vec![
+        "continent", "n", "p25", "median", "mean", "p75", "p95",
+    ]);
+    for (c, s) in cdfs.summaries() {
+        if let Some(s) = s {
+            t.row(vec![
+                c.to_string(),
+                s.n.to_string(),
+                ms(s.p25),
+                ms(s.median),
+                ms(s.mean),
+                ms(s.p75),
+                ms(s.p95),
+            ]);
+        }
+    }
+    print!("\n{}", t.render());
+
+    println!("\npaper checkpoints:");
+    for c in [Continent::NorthAmerica, Continent::Europe, Continent::Oceania] {
+        println!(
+            "  {c}: rounds below PL (paper: >75%): {}",
+            pct(cdfs.fraction_within(c, 100.0))
+        );
+    }
+    for c in [Continent::NorthAmerica, Continent::Europe] {
+        let q25 = cdfs
+            .continent(c)
+            .and_then(|e| e.quantile(0.25))
+            .unwrap_or(f64::NAN);
+        println!("  {c}: p25 (paper: top quartile under MTP): {} ms", ms(q25));
+    }
+    if let Some((advanced, lower)) = europe_tail_split(&data) {
+        println!(
+            "  EU tail provenance: p95 advanced-infra {} ms vs lower-infra {} ms (paper: tail is eastern EU)",
+            ms(advanced),
+            ms(lower)
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! FIG7 — regenerates Figure 7: wired vs wireless last-mile RTT over
+//! the measurement period (paper: wireless ≈2.5× wired, 10–40 ms
+//! added).
+
+use shears_analysis::lastmile::last_mile_report;
+use shears_analysis::report::{ms_opt, Table};
+use shears_analysis::stats::bootstrap_median_ci;
+use shears_bench::{campaign_prologue, view};
+use shears_netsim::SimTime;
+
+fn main() {
+    let (platform, store) = campaign_prologue("fig7");
+    let data = view(&platform, &store);
+    let report = last_mile_report(&data, SimTime::from_hours(6))
+        .expect("fleet contains both tagged sets");
+
+    println!(
+        "matched countries: {} | wired probes: {} | wireless probes: {}",
+        report.matched_countries, report.wired_probes, report.wireless_probes
+    );
+    println!(
+        "medians: wired {:.1} ms, wireless {:.1} ms  ->  ratio {:.2}x (paper ~2.5x), +{:.1} ms (paper 10-40 ms)",
+        report.wired_median_ms, report.wireless_median_ms, report.ratio, report.added_ms
+    );
+
+    // Bootstrap 95% confidence intervals on the two campaign medians
+    // (seeded, so the printed interval is reproducible).
+    let wired_samples: Vec<f64> = data
+        .filtered_responded()
+        .filter(|(p, _)| p.is_wired_tagged())
+        .map(|(_, s)| f64::from(s.min_ms))
+        .collect();
+    let wireless_samples: Vec<f64> = data
+        .filtered_responded()
+        .filter(|(p, _)| p.is_wireless_tagged())
+        .map(|(_, s)| f64::from(s.min_ms))
+        .collect();
+    if let (Some(w), Some(wl)) = (
+        bootstrap_median_ci(&wired_samples, 300, 0.95, 0xF17),
+        bootstrap_median_ci(&wireless_samples, 300, 0.95, 0xF17),
+    ) {
+        println!(
+            "95% bootstrap CIs: wired [{:.1}, {:.1}] ms, wireless [{:.1}, {:.1}] ms — disjoint: {}\n",
+            w.lo,
+            w.hi,
+            wl.lo,
+            wl.hi,
+            w.hi < wl.lo
+        );
+    }
+
+    let mut t = Table::new(vec!["t (h)", "wired median ms", "wireless median ms"]);
+    for bin in &report.bins {
+        t.row(vec![
+            bin.at.as_hours().to_string(),
+            ms_opt(bin.wired_ms),
+            ms_opt(bin.wireless_ms),
+        ]);
+    }
+    print!("{}", t.render());
+}

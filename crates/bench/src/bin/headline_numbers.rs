@@ -1,0 +1,74 @@
+//! TEXT1 — regenerates every in-text headline number of §4/§5 with the
+//! paper's claimed value alongside.
+
+use shears_analysis::headline::headline_numbers;
+use shears_analysis::report::{pct, Table};
+use shears_bench::{campaign_prologue, view};
+
+fn main() {
+    let (platform, store) = campaign_prologue("headline");
+    let data = view(&platform, &store);
+    let h = headline_numbers(&data);
+
+    let mut t = Table::new(vec!["statistic", "paper", "measured"]);
+    t.row(vec![
+        "countries with min RTT < 10 ms".to_string(),
+        "32".to_string(),
+        h.countries_under_10ms.to_string(),
+    ]);
+    t.row(vec![
+        "countries in 10-20 ms".to_string(),
+        "21".to_string(),
+        h.countries_10_to_20ms.to_string(),
+    ]);
+    t.row(vec![
+        "countries above PL".to_string(),
+        "16 (mostly Africa)".to_string(),
+        format!("{} ({} African)", h.countries_above_pl, h.countries_above_pl_african),
+    ]);
+    t.row(vec![
+        "EU probes within MTP".to_string(),
+        "~80%".to_string(),
+        pct(h.eu_probes_within_mtp),
+    ]);
+    t.row(vec![
+        "NA probes within MTP".to_string(),
+        "~80%".to_string(),
+        pct(h.na_probes_within_mtp),
+    ]);
+    t.row(vec![
+        "Oceania probes within 50 ms".to_string(),
+        "almost all".to_string(),
+        pct(h.oceania_within_50ms),
+    ]);
+    t.row(vec![
+        "Africa probes within PL".to_string(),
+        "~75%".to_string(),
+        pct(h.africa_within_pl),
+    ]);
+    t.row(vec![
+        "LatAm probes within PL".to_string(),
+        "~75%".to_string(),
+        pct(h.latam_within_pl),
+    ]);
+    t.row(vec![
+        "EU+NA rounds <= 40 ms (Facebook check)".to_string(),
+        "\"rarely above 40 ms\"".to_string(),
+        pct(h.eu_na_rounds_under_40ms),
+    ]);
+    t.row(vec![
+        "wireless / wired ratio".to_string(),
+        "~2.5x".to_string(),
+        h.wireless_ratio
+            .map(|r| format!("{r:.2}x"))
+            .unwrap_or_else(|| "-".into()),
+    ]);
+    print!("{}", t.render());
+
+    println!(
+        "\nimplied feasibility zone: {:.1}..{:.1} ms, >= {:.0} GB/entity/day",
+        h.feasibility_zone.latency_floor_ms,
+        h.feasibility_zone.latency_ceiling_ms,
+        h.feasibility_zone.bandwidth_gain_gb_per_day
+    );
+}

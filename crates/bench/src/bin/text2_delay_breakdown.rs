@@ -1,0 +1,49 @@
+//! TEXT2 — "Where is the Delay?" (§4.3), answered with traceroute-style
+//! hop attribution: each continent's RTT decomposed into access, metro,
+//! national-backbone, interconnect and datacenter segments.
+
+use shears_analysis::breakdown::{delay_breakdown, Segment};
+use shears_analysis::report::{ms, pct, Table};
+use shears_bench::{build_platform, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[text2] scale: {} probes", scale.probes);
+    let platform = build_platform(scale);
+    let report = delay_breakdown(&platform, 200, 5, 0xDE1A);
+
+    let mut headers = vec!["continent".to_string(), "probes".to_string(), "median RTT".to_string()];
+    headers.extend(Segment::ALL.iter().map(|s| format!("{} ms", s.label())));
+    let mut t = Table::new(headers);
+    for row in &report.rows {
+        let mut cells = vec![
+            row.continent.to_string(),
+            row.probes.to_string(),
+            ms(row.median_rtt_ms),
+        ];
+        cells.extend(row.segment_ms.iter().map(|&v| ms(v)));
+        t.row(cells);
+    }
+    print!("{}", t.render());
+
+    println!("\nshares of the decomposed RTT:");
+    let mut t = Table::new(
+        std::iter::once("continent".to_string())
+            .chain(Segment::ALL.iter().map(|s| s.label().to_string()))
+            .collect::<Vec<_>>(),
+    );
+    for row in &report.rows {
+        let mut cells = vec![row.continent.to_string()];
+        cells.extend(Segment::ALL.iter().map(|&s| pct(row.share(s))));
+        t.row(cells);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\npaper reading (§4.3): in EU/NA the access segment dominates —\n\
+         \"the consensus of last-mile being the bottleneck is well\n\
+         established\" — while under-served continents pay most of their\n\
+         delay in the national backbone and interconnection segments,\n\
+         i.e. \"insufficient infrastructure deployment\"."
+    );
+}

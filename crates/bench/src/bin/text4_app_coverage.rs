@@ -1,0 +1,44 @@
+//! TEXT4 — the abstract's claim, computed: "for most applications the
+//! cloud is already 'close enough' for majority of the world's
+//! population." Population-weighted cloud coverage per driving
+//! application.
+
+use shears_analysis::coverage::population_coverage;
+use shears_analysis::report::{ms, pct, Table};
+use shears_apps::catalog::driving_applications;
+use shears_bench::{campaign_prologue, view};
+
+fn main() {
+    let (platform, store) = campaign_prologue("text4");
+    let data = view(&platform, &store);
+    let apps = driving_applications();
+    let report = population_coverage(&data, &apps);
+
+    println!(
+        "population measured: {:.0} M (countries with responding probes)\n",
+        report.population_measured_m
+    );
+    let mut t = Table::new(vec![
+        "application",
+        "needs <= ms",
+        "population covered",
+        "countries covered",
+    ]);
+    for row in &report.rows {
+        t.row(vec![
+            row.name.to_string(),
+            ms(row.required_ms),
+            pct(row.population_covered),
+            pct(row.countries_covered),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\n{} of driving applications are cloud-feasible (best case) for a\n\
+         majority of the measured population — the abstract's \"for most\n\
+         applications the cloud is already close enough for majority of\n\
+         the world's population\".",
+        pct(report.majority_covered_fraction())
+    );
+}

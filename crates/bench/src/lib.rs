@@ -1,0 +1,137 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every `fig*`/`ext*` binary builds a platform and campaign through
+//! [`Scale`], so one environment variable switches between a quick
+//! desktop run and the paper-scale reproduction:
+//!
+//! ```sh
+//! cargo run --release -p shears-bench --bin fig5_min_cdf                  # default scale
+//! SHEARS_SCALE=paper cargo run --release -p shears-bench --bin fig5_min_cdf
+//! SHEARS_SCALE=800x12 cargo run --release -p shears-bench --bin fig5_min_cdf
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use shears_analysis::CampaignData;
+use shears_atlas::{
+    Campaign, CampaignConfig, FleetConfig, Platform, PlatformConfig, ResultStore,
+};
+
+/// Campaign scale: fleet size × rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Probe-fleet target size.
+    pub probes: usize,
+    /// Three-hourly measurement rounds.
+    pub rounds: u32,
+}
+
+impl Scale {
+    /// The default for interactive runs: a few minutes of wall clock.
+    pub const DEFAULT: Scale = Scale {
+        probes: 1200,
+        rounds: 24,
+    };
+
+    /// The paper-scale run: 3200+ probes, ≈3.2 M samples.
+    pub const PAPER: Scale = Scale {
+        probes: 3200,
+        rounds: 200,
+    };
+
+    /// Reads `SHEARS_SCALE` (`quick`, `paper`, or `<probes>x<rounds>`);
+    /// anything unset or unparseable falls back to [`Scale::DEFAULT`].
+    pub fn from_env() -> Scale {
+        match std::env::var("SHEARS_SCALE") {
+            Ok(v) => Self::parse(&v).unwrap_or(Scale::DEFAULT),
+            Err(_) => Scale::DEFAULT,
+        }
+    }
+
+    /// Parses a scale spec.
+    pub fn parse(spec: &str) -> Option<Scale> {
+        match spec {
+            "quick" => Some(Scale {
+                probes: 400,
+                rounds: 8,
+            }),
+            "default" => Some(Scale::DEFAULT),
+            "paper" => Some(Scale::PAPER),
+            custom => {
+                let (p, r) = custom.split_once('x')?;
+                Some(Scale {
+                    probes: p.trim().parse().ok()?,
+                    rounds: r.trim().parse().ok()?,
+                })
+            }
+        }
+    }
+}
+
+/// Builds the platform for a scale (full catalogue, fixed seed so every
+/// figure binary sees the same world).
+pub fn build_platform(scale: Scale) -> Platform {
+    Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: scale.probes,
+            seed: 42,
+        },
+        ..PlatformConfig::default()
+    })
+}
+
+/// Runs the campaign for a scale on all available cores.
+pub fn run_campaign(platform: &Platform, scale: Scale) -> ResultStore {
+    let cfg = CampaignConfig {
+        rounds: scale.rounds,
+        ..CampaignConfig::paper_scale()
+    };
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    Campaign::new(platform, cfg)
+        .run_parallel(threads)
+        .expect("paper-scale config carries an unlimited credit grant")
+}
+
+/// Convenience: platform + campaign + banner, the prologue every
+/// campaign-based figure binary shares.
+pub fn campaign_prologue(figure: &str) -> (Platform, ResultStore) {
+    let scale = Scale::from_env();
+    eprintln!(
+        "[{figure}] scale: {} probes x {} rounds (set SHEARS_SCALE=paper for the full run)",
+        scale.probes, scale.rounds
+    );
+    let platform = build_platform(scale);
+    let store = run_campaign(&platform, scale);
+    eprintln!(
+        "[{figure}] campaign done: {} samples from {} probes",
+        store.len(),
+        platform.probes().len()
+    );
+    (platform, store)
+}
+
+/// Borrow a [`CampaignData`] view (helper so binaries stay terse).
+pub fn view<'a>(platform: &'a Platform, store: &'a ResultStore) -> CampaignData<'a> {
+    CampaignData::new(platform, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::PAPER));
+        assert_eq!(
+            Scale::parse("800x12"),
+            Some(Scale {
+                probes: 800,
+                rounds: 12
+            })
+        );
+        assert_eq!(Scale::parse("800x"), None);
+        assert_eq!(Scale::parse("nonsense"), None);
+        assert_eq!(Scale::parse("quick").unwrap().probes, 400);
+    }
+}

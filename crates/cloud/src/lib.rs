@@ -1,0 +1,41 @@
+//! # shears-cloud
+//!
+//! The cloud-provider catalogue of the latency-shears reproduction:
+//! 101 compute regions across the seven providers the paper measured
+//! (Amazon, Google, Microsoft Azure, Digital Ocean, Linode, Alibaba and
+//! Vultr), in 21 countries, with 2019/2020-era city locations and
+//! launch years.
+//!
+//! Besides the static catalogue this crate carries the two provider
+//! attributes the paper's methodology distinguishes:
+//!
+//! * **backbone class** — §4.1: "Some, e.g. Amazon, Google etc. have
+//!   installed private, large bandwidth, low latency network backbones
+//!   with wide-scale ISP peering, while others, e.g. Linode, largely
+//!   rely on the public Internet". [`Provider::has_private_backbone`]
+//!   feeds the topology builder's peering decisions.
+//! * **expansion timeline** — §4: "Amazon's cloud has increased from 3
+//!   to 22 datacenter locations" since 2010. [`Catalog::snapshot`]
+//!   filters the catalogue to any year, powering the EXT3 ablation.
+//!
+//! ```
+//! use shears_cloud::{Catalog, Provider};
+//!
+//! let catalog = Catalog::global();
+//! assert_eq!(catalog.regions().len(), 101);
+//! assert_eq!(catalog.countries().len(), 21);
+//! assert!(Provider::Amazon.has_private_backbone());
+//! assert!(!Provider::Linode.has_private_backbone());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod catalog_data;
+mod provider;
+mod region;
+
+pub use catalog::Catalog;
+pub use provider::Provider;
+pub use region::Region;

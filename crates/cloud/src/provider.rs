@@ -1,0 +1,92 @@
+//! The seven cloud providers measured by the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A cloud provider in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Provider {
+    /// Amazon Web Services.
+    Amazon,
+    /// Google Cloud Platform.
+    Google,
+    /// Microsoft Azure.
+    Azure,
+    /// Digital Ocean.
+    DigitalOcean,
+    /// Linode.
+    Linode,
+    /// Alibaba Cloud.
+    Alibaba,
+    /// Vultr.
+    Vultr,
+}
+
+impl Provider {
+    /// All providers, in the paper's listing order.
+    pub const ALL: [Provider; 7] = [
+        Provider::Amazon,
+        Provider::Google,
+        Provider::Azure,
+        Provider::DigitalOcean,
+        Provider::Linode,
+        Provider::Alibaba,
+        Provider::Vultr,
+    ];
+
+    /// Whether the provider runs a private wide-area backbone with broad
+    /// ISP peering (Amazon, Google, Azure, Alibaba) rather than relying
+    /// on public Internet transit (Digital Ocean, Linode, Vultr).
+    pub fn has_private_backbone(self) -> bool {
+        matches!(
+            self,
+            Provider::Amazon | Provider::Google | Provider::Azure | Provider::Alibaba
+        )
+    }
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Provider::Amazon => "Amazon",
+            Provider::Google => "Google",
+            Provider::Azure => "Microsoft Azure",
+            Provider::DigitalOcean => "Digital Ocean",
+            Provider::Linode => "Linode",
+            Provider::Alibaba => "Alibaba",
+            Provider::Vultr => "Vultr",
+        }
+    }
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_providers() {
+        assert_eq!(Provider::ALL.len(), 7);
+        let unique: std::collections::HashSet<_> = Provider::ALL.iter().collect();
+        assert_eq!(unique.len(), 7);
+    }
+
+    #[test]
+    fn backbone_split_matches_paper() {
+        assert!(Provider::Amazon.has_private_backbone());
+        assert!(Provider::Google.has_private_backbone());
+        assert!(!Provider::Linode.has_private_backbone());
+        assert!(!Provider::Vultr.has_private_backbone());
+        assert!(!Provider::DigitalOcean.has_private_backbone());
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Provider::Azure.to_string(), "Microsoft Azure");
+    }
+}

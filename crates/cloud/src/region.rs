@@ -1,0 +1,49 @@
+//! A cloud compute region.
+
+use serde::{Deserialize, Serialize};
+use shears_geo::GeoPoint;
+
+use crate::Provider;
+
+/// One compute region (the paper's unit: "101 cloud regions with
+/// compute datacenters (e.g. ec2)").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    /// Operating provider.
+    pub provider: Provider,
+    /// Provider's region identifier (e.g. `eu-central-1`).
+    pub code: &'static str,
+    /// Metro area the datacenter cluster sits in.
+    pub city: &'static str,
+    /// ISO 3166-1 alpha-2 country code.
+    pub country: &'static str,
+    /// Datacenter location (metro-level precision).
+    pub location: GeoPoint,
+    /// Year the region went live (for the expansion ablation).
+    pub launched: u16,
+}
+
+impl Region {
+    /// A human-readable label, e.g. `Amazon/eu-central-1 (Frankfurt)`.
+    pub fn label(&self) -> String {
+        format!("{}/{} ({})", self.provider, self.code, self.city)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_format() {
+        let r = Region {
+            provider: Provider::Amazon,
+            code: "eu-central-1",
+            city: "Frankfurt",
+            country: "DE",
+            location: GeoPoint::new(50.1, 8.7),
+            launched: 2014,
+        };
+        assert_eq!(r.label(), "Amazon/eu-central-1 (Frankfurt)");
+    }
+}

@@ -1,0 +1,172 @@
+//! EXT4: the bandwidth side of the edge argument, quantified.
+//!
+//! The paper's second motivation for edge computing is "saving network
+//! bandwidth by aggregating large flows before sending them to the
+//! cloud", and §5 fixes the boundary at "1GB/entity data generation".
+//! This study derives that boundary from first principles and computes
+//! per-application backhaul savings:
+//!
+//! * a metro uplink is a [`LinkClass::MetroAggregation`] fibre
+//!   (100 Gbit/s in the model);
+//! * a metro serves on the order of a million attached entities
+//!   ([`REFERENCE_ENTITIES_PER_METRO`]);
+//! * an application congests the backhaul when its aggregate upstream
+//!   rate approaches the uplink capacity — which works out to almost
+//!   exactly 1 GB/entity/day, the paper's threshold;
+//! * edge pre-processing multiplies each stream by the application's
+//!   `edge_reduction` factor, which converts directly into saved
+//!   backhaul and extra supportable entities.
+
+use serde::Serialize;
+use shears_apps::Application;
+use shears_netsim::LinkClass;
+
+/// Entities (cameras, cars, sensors, households…) attached to one
+/// metro's aggregation uplink in the reference deployment.
+pub const REFERENCE_ENTITIES_PER_METRO: f64 = 1_000_000.0;
+
+/// Converts GB/day into Gbit/s.
+pub fn gb_per_day_to_gbps(gb_per_day: f64) -> f64 {
+    gb_per_day * 8.0 / 86_400.0
+}
+
+/// The per-entity daily volume (GB) at which a full metro's entities
+/// saturate the metro uplink — the model-derived version of the paper's
+/// "1 GB/entity" boundary.
+pub fn derived_bandwidth_boundary_gb_per_day() -> f64 {
+    let capacity = LinkClass::MetroAggregation.capacity_gbps();
+    capacity * 86_400.0 / 8.0 / REFERENCE_ENTITIES_PER_METRO
+}
+
+/// Per-application bandwidth analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct BandwidthRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Upstream rate per entity, Gbit/s (envelope centre).
+    pub per_entity_gbps: f64,
+    /// Raw aggregate at the reference metro, Gbit/s.
+    pub raw_metro_gbps: f64,
+    /// Aggregate after edge pre-processing, Gbit/s.
+    pub reduced_metro_gbps: f64,
+    /// Fraction of backhaul saved by the edge (`1 − edge_reduction`).
+    pub saving_fraction: f64,
+    /// Metro-uplink utilisation without edge (can exceed 1 = congested).
+    pub raw_utilization: f64,
+    /// Utilisation with edge.
+    pub reduced_utilization: f64,
+    /// Max entities one metro uplink supports without edge.
+    pub entities_without_edge: f64,
+    /// …and with edge aggregation.
+    pub entities_with_edge: f64,
+}
+
+impl BandwidthRow {
+    /// Whether edge aggregation is *material* for this application:
+    /// the raw deployment pushes the uplink past half capacity and the
+    /// edge removes a meaningful share of it.
+    pub fn edge_materially_helps(&self) -> bool {
+        self.raw_utilization > 0.5 && self.saving_fraction > 0.3
+    }
+}
+
+/// Computes the bandwidth study over an application catalogue.
+pub fn bandwidth_study(apps: &[Application]) -> Vec<BandwidthRow> {
+    let capacity = LinkClass::MetroAggregation.capacity_gbps();
+    apps.iter()
+        .map(|app| {
+            let per_entity_gbps = gb_per_day_to_gbps(app.data_gb_per_day.center());
+            let raw = per_entity_gbps * app.entities_per_metro;
+            let reduced = raw * app.edge_reduction;
+            BandwidthRow {
+                name: app.name,
+                per_entity_gbps,
+                raw_metro_gbps: raw,
+                reduced_metro_gbps: reduced,
+                saving_fraction: 1.0 - app.edge_reduction,
+                raw_utilization: raw / capacity,
+                reduced_utilization: reduced / capacity,
+                entities_without_edge: capacity / per_entity_gbps,
+                entities_with_edge: capacity / (per_entity_gbps * app.edge_reduction.max(1e-9)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_apps::catalog::driving_applications;
+
+    #[test]
+    fn derived_boundary_matches_the_papers_1gb() {
+        // 100 Gbit/s ÷ 1 M entities = 100 kbit/s/entity ≈ 1.08 GB/day.
+        let boundary = derived_bandwidth_boundary_gb_per_day();
+        assert!(
+            (0.5..2.0).contains(&boundary),
+            "derived boundary {boundary} GB/day should straddle the paper's 1 GB"
+        );
+    }
+
+    #[test]
+    fn unit_conversion() {
+        // 10.8 GB/day = 1 Mbit/s.
+        let gbps = gb_per_day_to_gbps(10.8);
+        assert!((gbps - 0.001).abs() < 1e-9, "{gbps}");
+    }
+
+    #[test]
+    fn camera_monitoring_congests_and_edge_fixes_it() {
+        let apps = driving_applications();
+        let study = bandwidth_study(&apps);
+        let cameras = study
+            .iter()
+            .find(|r| r.name == "Traffic camera monitoring")
+            .unwrap();
+        assert!(
+            cameras.raw_utilization > 1.0,
+            "a metro of cameras should congest the uplink, got {}",
+            cameras.raw_utilization
+        );
+        assert!(cameras.reduced_utilization < 1.0);
+        assert!(cameras.edge_materially_helps());
+        assert!(cameras.entities_with_edge > 10.0 * cameras.entities_without_edge);
+    }
+
+    #[test]
+    fn wearables_never_need_edge_bandwidth() {
+        let apps = driving_applications();
+        let study = bandwidth_study(&apps);
+        let wearables = study.iter().find(|r| r.name == "Wearables").unwrap();
+        assert!(
+            wearables.raw_utilization < 0.05,
+            "wearables at {} of uplink",
+            wearables.raw_utilization
+        );
+        assert!(!wearables.edge_materially_helps());
+    }
+
+    #[test]
+    fn gaming_gets_no_bandwidth_relief() {
+        // Cloud gaming's stream cannot be aggregated away (reduction 1.0):
+        // its edge case is latency, not bandwidth — matching Fig. 8 where
+        // it sits in the FZ through the latency zone.
+        let apps = driving_applications();
+        let study = bandwidth_study(&apps);
+        let gaming = study.iter().find(|r| r.name == "Cloud gaming").unwrap();
+        assert_eq!(gaming.saving_fraction, 0.0);
+        assert!((gaming.entities_with_edge - gaming.entities_without_edge).abs() < 1e-6);
+    }
+
+    #[test]
+    fn study_covers_catalogue_and_is_internally_consistent() {
+        let apps = driving_applications();
+        let study = bandwidth_study(&apps);
+        assert_eq!(study.len(), apps.len());
+        for row in &study {
+            assert!(row.reduced_metro_gbps <= row.raw_metro_gbps + 1e-12);
+            assert!((0.0..=1.0).contains(&row.saving_fraction));
+            assert!(row.entities_with_edge >= row.entities_without_edge - 1e-6);
+        }
+    }
+}

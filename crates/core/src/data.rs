@@ -1,0 +1,207 @@
+//! The joined campaign-data view every analysis consumes.
+//!
+//! [`CampaignData`] binds the platform (probe metadata, catalogue,
+//! geography) to a result store and applies the paper's global
+//! filtering rule — §4.1: "We filter out all the probes that are
+//! clearly installed in privileged locations (e.g., datacenters, cloud
+//! network) from our measurements using their user-defined tags."
+
+use std::collections::HashMap;
+
+use shears_atlas::{Platform, Probe, ProbeId, ResultStore, RttSample};
+
+/// A joined view over one campaign run.
+pub struct CampaignData<'a> {
+    platform: &'a Platform,
+    store: &'a ResultStore,
+}
+
+impl<'a> CampaignData<'a> {
+    /// Creates the view.
+    pub fn new(platform: &'a Platform, store: &'a ResultStore) -> Self {
+        Self { platform, store }
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The raw store (unfiltered).
+    pub fn store(&self) -> &'a ResultStore {
+        self.store
+    }
+
+    /// The probe record behind a sample.
+    pub fn probe(&self, id: ProbeId) -> &'a Probe {
+        &self.platform.probes()[id.index()]
+    }
+
+    /// Samples surviving the privileged-probe filter, with their probe
+    /// records. This is the iterator every figure consumes.
+    pub fn filtered(&self) -> impl Iterator<Item = (&'a Probe, &'a RttSample)> + '_ {
+        self.store.samples().iter().filter_map(move |s| {
+            let p = self.probe(s.probe);
+            if p.is_privileged() {
+                None
+            } else {
+                Some((p, s))
+            }
+        })
+    }
+
+    /// Like [`CampaignData::filtered`], keeping only samples that got a
+    /// reply.
+    pub fn filtered_responded(&self) -> impl Iterator<Item = (&'a Probe, &'a RttSample)> + '_ {
+        self.filtered().filter(|(_, s)| s.responded())
+    }
+
+    /// Per-probe minimum RTT (ms) over the whole campaign and all
+    /// targets — the probe-level statistic behind Fig. 5. Privileged
+    /// probes are absent from the map; probes whose every round was
+    /// lost are also absent.
+    pub fn per_probe_min(&self) -> HashMap<ProbeId, f64> {
+        let mut min: HashMap<ProbeId, f64> = HashMap::new();
+        for (p, s) in self.filtered_responded() {
+            let v = f64::from(s.min_ms);
+            min.entry(p.id)
+                .and_modify(|m| *m = m.min(v))
+                .or_insert(v);
+        }
+        min
+    }
+
+    /// Per-country minimum RTT (ms): the best probe of each country to
+    /// any datacenter — Fig. 4's statistic.
+    pub fn per_country_min(&self) -> HashMap<&'a str, f64> {
+        let mut min: HashMap<&str, f64> = HashMap::new();
+        for (p, s) in self.filtered_responded() {
+            let v = f64::from(s.min_ms);
+            min.entry(p.country.as_str())
+                .and_modify(|m| *m = m.min(v))
+                .or_insert(v);
+        }
+        min
+    }
+
+    /// For each probe, the minimum RTT *to its closest datacenter* per
+    /// round — Fig. 6's population ("all ping measurements from all
+    /// probes to their closest datacenter"). "Closest" is resolved per
+    /// probe as the region with the lowest campaign-wide minimum.
+    pub fn samples_to_closest_dc(&self) -> Vec<(&'a Probe, f64)> {
+        // First pass: per (probe, region) minimum to find each probe's
+        // best region.
+        let mut best_region: HashMap<ProbeId, (u16, f64)> = HashMap::new();
+        for (p, s) in self.filtered_responded() {
+            let v = f64::from(s.min_ms);
+            best_region
+                .entry(p.id)
+                .and_modify(|(region, m)| {
+                    if v < *m {
+                        *region = s.region;
+                        *m = v;
+                    }
+                })
+                .or_insert((s.region, v));
+        }
+        // Second pass: all rounds towards that region.
+        self.filtered_responded()
+            .filter(|(p, s)| {
+                best_region
+                    .get(&p.id)
+                    .is_some_and(|(region, _)| *region == s.region)
+            })
+            .map(|(p, s)| (p, f64::from(s.min_ms)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_atlas::{Campaign, CampaignConfig, FleetConfig, PlatformConfig};
+
+    fn data() -> (Platform, ResultStore) {
+        let platform = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: 80,
+                seed: 11,
+            },
+            ..PlatformConfig::default()
+        });
+        let store = Campaign::new(
+            &platform,
+            CampaignConfig {
+                rounds: 4,
+                targets_per_probe: 2,
+                adjacent_targets: 1,
+                ..CampaignConfig::quick()
+            },
+        )
+        .run()
+        .unwrap();
+        (platform, store)
+    }
+
+    #[test]
+    fn filtered_excludes_privileged_probes() {
+        let (platform, store) = data();
+        let view = CampaignData::new(&platform, &store);
+        assert!(view
+            .filtered()
+            .all(|(p, _)| !p.is_privileged()));
+        // And the raw store does contain some privileged samples to
+        // prove the filter does something (4 % of a decent fleet).
+        let privileged_ids: std::collections::HashSet<_> = platform
+            .probes()
+            .iter()
+            .filter(|p| p.is_privileged())
+            .map(|p| p.id)
+            .collect();
+        if !privileged_ids.is_empty() {
+            assert!(store
+                .samples()
+                .iter()
+                .any(|s| privileged_ids.contains(&s.probe)));
+        }
+    }
+
+    #[test]
+    fn per_probe_min_is_a_lower_bound() {
+        let (platform, store) = data();
+        let view = CampaignData::new(&platform, &store);
+        let mins = view.per_probe_min();
+        assert!(!mins.is_empty());
+        for (p, s) in view.filtered_responded() {
+            assert!(mins[&p.id] <= f64::from(s.min_ms) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_country_min_bounds_probe_minima() {
+        let (platform, store) = data();
+        let view = CampaignData::new(&platform, &store);
+        let by_country = view.per_country_min();
+        let by_probe = view.per_probe_min();
+        for (id, v) in &by_probe {
+            let country = view.probe(*id).country.as_str();
+            assert!(by_country[country] <= *v + 1e-9);
+        }
+    }
+
+    #[test]
+    fn closest_dc_view_uses_one_region_per_probe() {
+        let (platform, store) = data();
+        let view = CampaignData::new(&platform, &store);
+        let rows = view.samples_to_closest_dc();
+        assert!(!rows.is_empty());
+        // Each probe contributes at most `rounds` samples (one region).
+        let mut counts: HashMap<ProbeId, usize> = HashMap::new();
+        for (p, _) in &rows {
+            *counts.entry(p.id).or_default() += 1;
+        }
+        for (_, c) in counts {
+            assert!(c <= 4, "more than one region per probe leaked in: {c}");
+        }
+    }
+}

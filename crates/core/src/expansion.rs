@@ -1,0 +1,156 @@
+//! EXT3: the cloud-expansion ablation.
+//!
+//! §4 motivates the re-evaluation with a decade of build-out: "Amazon's
+//! cloud has increased from 3 to 22 datacenter locations" and CDN
+//! latencies fell from ~100 ms to 10–25 ms. This module compares two
+//! campaign runs — one against a year-restricted catalogue snapshot,
+//! one against the full catalogue — and quantifies how much of today's
+//! "cloud is close enough" is down to that expansion.
+
+use serde::{Deserialize, Serialize};
+use shears_geo::Continent;
+
+use crate::data::CampaignData;
+use crate::proximity::probe_min_cdfs;
+use crate::stats::ks_distance;
+
+/// Per-continent before/after medians.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpansionRow {
+    /// Continent.
+    pub continent: Continent,
+    /// Median per-probe minimum against the old catalogue, ms.
+    pub old_median_ms: Option<f64>,
+    /// Median per-probe minimum against the new catalogue, ms.
+    pub new_median_ms: Option<f64>,
+    /// Kolmogorov–Smirnov distance between the two minima distributions.
+    pub ks: f64,
+}
+
+impl ExpansionRow {
+    /// Multiplicative improvement (old ÷ new), when both medians exist.
+    pub fn improvement(&self) -> Option<f64> {
+        match (self.old_median_ms, self.new_median_ms) {
+            (Some(o), Some(n)) if n > 0.0 => Some(o / n),
+            _ => None,
+        }
+    }
+}
+
+/// The EXT3 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpansionReport {
+    /// Label of the old snapshot (e.g. "2010").
+    pub old_label: String,
+    /// Label of the new snapshot.
+    pub new_label: String,
+    /// One row per continent.
+    pub rows: Vec<ExpansionRow>,
+}
+
+impl ExpansionReport {
+    /// Row lookup.
+    pub fn continent(&self, c: Continent) -> Option<&ExpansionRow> {
+        self.rows.iter().find(|r| r.continent == c)
+    }
+}
+
+/// Compares two campaigns (typically: catalogue snapshot year X vs the
+/// full catalogue, same fleet seed so the probe population is
+/// identical).
+pub fn compare(
+    old: &CampaignData<'_>,
+    old_label: &str,
+    new: &CampaignData<'_>,
+    new_label: &str,
+) -> ExpansionReport {
+    let old_cdfs = probe_min_cdfs(old);
+    let new_cdfs = probe_min_cdfs(new);
+    let rows = Continent::ALL
+        .iter()
+        .map(|&c| {
+            let o = old_cdfs.continent(c);
+            let n = new_cdfs.continent(c);
+            ExpansionRow {
+                continent: c,
+                old_median_ms: o.and_then(|e| e.median()),
+                new_median_ms: n.and_then(|e| e.median()),
+                ks: match (o, n) {
+                    (Some(a), Some(b)) if !a.is_empty() && !b.is_empty() => ks_distance(a, b),
+                    _ => 0.0,
+                },
+            }
+        })
+        .collect();
+    ExpansionReport {
+        old_label: old_label.to_string(),
+        new_label: new_label.to_string(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CampaignData;
+    use shears_atlas::{Campaign, CampaignConfig, FleetConfig, Platform, PlatformConfig};
+
+    fn run(year: Option<u16>) -> (Platform, shears_atlas::ResultStore) {
+        let platform = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: 250,
+                seed: 77, // same fleet both runs
+            },
+            catalog_year: year,
+            ..PlatformConfig::default()
+        });
+        let store = Campaign::new(
+            &platform,
+            CampaignConfig {
+                rounds: 4,
+                targets_per_probe: 3,
+                adjacent_targets: 2,
+                ..CampaignConfig::quick()
+            },
+        )
+        .run()
+        .unwrap();
+        (platform, store)
+    }
+
+    #[test]
+    fn expansion_improved_every_continent() {
+        let (p_old, s_old) = run(Some(2010));
+        let (p_new, s_new) = run(None);
+        let report = compare(
+            &CampaignData::new(&p_old, &s_old),
+            "2010",
+            &CampaignData::new(&p_new, &s_new),
+            "2020",
+        );
+        assert_eq!(report.rows.len(), 6);
+        let mut improved = 0;
+        for row in &report.rows {
+            if let Some(f) = row.improvement() {
+                assert!(
+                    f >= 0.95,
+                    "{}: 2020 should not be slower (factor {f})",
+                    row.continent
+                );
+                if f > 1.1 {
+                    improved += 1;
+                }
+            }
+        }
+        assert!(improved >= 3, "only {improved} continents improved >10 %");
+        // Europe specifically: 2010's AWS had only Dublin; 2020 has a
+        // dense mesh, so the improvement should be clear.
+        let eu = report.continent(Continent::Europe).unwrap();
+        assert!(
+            eu.improvement().unwrap() > 1.2,
+            "EU improvement {:?}",
+            eu.improvement()
+        );
+        assert!(eu.ks > 0.1, "EU KS {}", eu.ks);
+    }
+}

@@ -1,0 +1,292 @@
+//! EXT6: per-provider comparison (the CloudCmp angle).
+//!
+//! §4.1 notes the providers differ structurally — private backbones
+//! with wide ISP peering (Amazon, Google, Azure, Alibaba) versus public
+//! Internet transit (Digital Ocean, Linode, Vultr) — and cites Li et
+//! al.'s decade-old CloudCmp as the last multi-cloud comparison. This
+//! study redoes that comparison on the simulated platform: for every
+//! probe, the RTT floor to each provider's nearest region, aggregated
+//! per provider and continent.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use shears_atlas::Platform;
+use shears_cloud::Provider;
+use shears_geo::Continent;
+use shears_netsim::ping::PathSampler;
+use shears_netsim::queue::DiurnalLoad;
+use shears_netsim::routing::Router;
+
+use crate::stats::Ecdf;
+
+/// Per-provider, per-continent medians.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderRow {
+    /// The provider.
+    pub provider: Provider,
+    /// Median floor RTT per continent (paper display order; `None`
+    /// where no probe produced a value).
+    pub median_ms: Vec<(Continent, Option<f64>)>,
+    /// Global median over all probes.
+    pub global_median_ms: Option<f64>,
+}
+
+impl ProviderRow {
+    /// Median for one continent.
+    pub fn continent(&self, c: Continent) -> Option<f64> {
+        self.median_ms
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .and_then(|(_, v)| *v)
+    }
+}
+
+/// The EXT6 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderReport {
+    /// One row per provider, in [`Provider::ALL`] order.
+    pub rows: Vec<ProviderRow>,
+}
+
+impl ProviderReport {
+    /// Row lookup.
+    pub fn provider(&self, p: Provider) -> Option<&ProviderRow> {
+        self.rows.iter().find(|r| r.provider == p)
+    }
+
+    /// Median of the private-backbone providers' global medians vs the
+    /// public-transit providers' — the structural split the paper
+    /// describes.
+    pub fn backbone_split(&self) -> (Option<f64>, Option<f64>) {
+        let collect = |private: bool| {
+            let v: Vec<f64> = self
+                .rows
+                .iter()
+                .filter(|r| r.provider.has_private_backbone() == private)
+                .filter_map(|r| r.global_median_ms)
+                .collect();
+            Ecdf::new(v).median()
+        };
+        (collect(true), collect(false))
+    }
+}
+
+/// Footprint-controlled comparison: median floor RTT from distant
+/// probes to each provider's region *in the same city*. Because every
+/// provider is measured at the same location, any difference is purely
+/// the backbone class (private peering with several hubs vs a single
+/// transit attachment). Returns `(provider, median_ms)` for providers
+/// present in `city`, sorted fastest first.
+///
+/// Probes closer than `min_distance_km` to the city are skipped: the
+/// backbone difference only materialises on paths that actually cross
+/// the core.
+pub fn controlled_city_comparison(
+    platform: &Platform,
+    city: &str,
+    min_distance_km: f64,
+    max_probes: usize,
+) -> Vec<(Provider, f64)> {
+    let mut router = Router::new(platform.topology());
+    let regions = platform.catalog().regions();
+    let mut out = Vec::new();
+    for provider in Provider::ALL {
+        let Some((idx, region)) = regions
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.provider == provider && r.city == city)
+        else {
+            continue;
+        };
+        let mut floors = Vec::new();
+        for probe in platform
+            .probes()
+            .iter()
+            .filter(|p| !p.is_privileged())
+            .filter(|p| p.location.distance_km(region.location) >= min_distance_km)
+            .take(max_probes)
+        {
+            if let Some(path) = router.path(platform.probe_node(probe.id), platform.dc_node(idx))
+            {
+                floors.push(
+                    PathSampler::new(
+                        &path.clone(),
+                        platform.topology(),
+                        Some(probe.access),
+                        DiurnalLoad::residential(),
+                    )
+                    .floor_rtt_ms(),
+                );
+            }
+        }
+        if let Some(median) = Ecdf::new(floors).median() {
+            out.push((provider, median));
+        }
+    }
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
+/// Computes the comparison over up to `max_probes` unprivileged probes.
+pub fn provider_comparison(platform: &Platform, max_probes: usize) -> ProviderReport {
+    let mut router = Router::new(platform.topology());
+    let mut per_provider: HashMap<Provider, HashMap<Continent, Vec<f64>>> = HashMap::new();
+    let regions = platform.catalog().regions();
+    for probe in platform
+        .probes()
+        .iter()
+        .filter(|p| !p.is_privileged())
+        .take(max_probes)
+    {
+        for provider in Provider::ALL {
+            // Nearest region of this provider by geography.
+            let Some((idx, _)) = regions
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.provider == provider)
+                .min_by(|a, b| {
+                    probe
+                        .location
+                        .distance_km(a.1.location)
+                        .total_cmp(&probe.location.distance_km(b.1.location))
+                })
+            else {
+                continue;
+            };
+            let Some(path) = router.path(platform.probe_node(probe.id), platform.dc_node(idx))
+            else {
+                continue;
+            };
+            let floor = PathSampler::new(
+                &path.clone(),
+                platform.topology(),
+                Some(probe.access),
+                DiurnalLoad::residential(),
+            )
+            .floor_rtt_ms();
+            per_provider
+                .entry(provider)
+                .or_default()
+                .entry(probe.continent)
+                .or_default()
+                .push(floor);
+        }
+    }
+    let rows = Provider::ALL
+        .iter()
+        .map(|&provider| {
+            let by_continent = per_provider.remove(&provider).unwrap_or_default();
+            let mut all = Vec::new();
+            let median_ms = Continent::ALL
+                .iter()
+                .map(|&c| {
+                    let v = by_continent.get(&c).cloned().unwrap_or_default();
+                    all.extend_from_slice(&v);
+                    (c, Ecdf::new(v).median())
+                })
+                .collect();
+            ProviderRow {
+                provider,
+                median_ms,
+                global_median_ms: Ecdf::new(all).median(),
+            }
+        })
+        .collect();
+    ProviderReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_atlas::{FleetConfig, PlatformConfig};
+
+    fn report() -> ProviderReport {
+        let platform = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: 300,
+                seed: 83,
+            },
+            ..PlatformConfig::default()
+        });
+        provider_comparison(&platform, 150)
+    }
+
+    #[test]
+    fn all_seven_providers_reported() {
+        let r = report();
+        assert_eq!(r.rows.len(), 7);
+        for row in &r.rows {
+            assert!(
+                row.global_median_ms.is_some(),
+                "{} has no data",
+                row.provider
+            );
+        }
+    }
+
+    #[test]
+    fn private_backbones_beat_public_transit_footprint_controlled() {
+        // Frankfurt hosts regions of six providers, so comparing the
+        // same city isolates the backbone class from footprint effects
+        // (raw nearest-region medians are footprint-confounded: Vultr's
+        // sixteen well-placed regions can beat Alibaba's private but
+        // China-centric network).
+        let platform = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: 300,
+                seed: 83,
+            },
+            ..PlatformConfig::default()
+        });
+        let rows = controlled_city_comparison(&platform, "Frankfurt", 1500.0, 150);
+        assert!(rows.len() >= 5, "Frankfurt is multi-provider: {rows:?}");
+        let median_of = |private: bool| {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|(p, _)| p.has_private_backbone() == private)
+                .map(|(_, m)| *m)
+                .collect();
+            Ecdf::new(v).median().unwrap()
+        };
+        let private = median_of(true);
+        let public = median_of(false);
+        assert!(
+            private < public,
+            "same-city private {private} should beat public {public}"
+        );
+    }
+
+    #[test]
+    fn dense_providers_beat_sparse_ones_in_europe() {
+        // Amazon/Google/Azure have many EU regions; Digital Ocean has
+        // three cities. The EU median must reflect footprint density.
+        let r = report();
+        let amazon = r
+            .provider(Provider::Amazon)
+            .unwrap()
+            .continent(Continent::Europe)
+            .unwrap();
+        let digital_ocean = r
+            .provider(Provider::DigitalOcean)
+            .unwrap()
+            .continent(Continent::Europe)
+            .unwrap();
+        assert!(
+            amazon <= digital_ocean + 5.0,
+            "Amazon EU {amazon} vs Digital Ocean EU {digital_ocean}"
+        );
+    }
+
+    #[test]
+    fn africa_is_slowest_for_every_provider() {
+        let r = report();
+        for row in &r.rows {
+            let af = row.continent(Continent::Africa);
+            let eu = row.continent(Continent::Europe);
+            if let (Some(af), Some(eu)) = (af, eu) {
+                assert!(af > eu, "{}: Africa {af} <= EU {eu}", row.provider);
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! §4.2 "Proximity to the Cloud": Figures 4 and 5.
+//!
+//! Fig. 4 asks "what is the least latency with which countries can
+//! access the nearest datacenter?" and buckets countries by the answer;
+//! Fig. 5 plots the CDF of every probe's campaign-wide minimum RTT,
+//! grouped by continent.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use shears_geo::Continent;
+
+use crate::data::CampaignData;
+use crate::stats::Ecdf;
+
+/// The latency buckets of the Fig. 4 choropleth, in ms.
+pub const FIG4_BUCKETS: [(f64, f64); 6] = [
+    (0.0, 10.0),
+    (10.0, 20.0),
+    (20.0, 50.0),
+    (50.0, 100.0),
+    (100.0, 200.0),
+    (200.0, f64::INFINITY),
+];
+
+/// Fig. 4's per-country minimum-latency report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountryMinReport {
+    /// Country code → minimum observed RTT (ms), best probe to any DC.
+    pub min_by_country: HashMap<String, f64>,
+    /// Countries per Fig. 4 bucket (same order as [`FIG4_BUCKETS`]).
+    pub bucket_counts: [usize; 6],
+    /// Countries measured but never under the PL threshold (100 ms) —
+    /// the paper's "all but 16 countries (mostly in Africa)".
+    pub above_pl: Vec<String>,
+}
+
+impl CountryMinReport {
+    /// Which bucket a latency falls into.
+    pub fn bucket_of(rtt_ms: f64) -> usize {
+        FIG4_BUCKETS
+            .iter()
+            .position(|&(lo, hi)| rtt_ms >= lo && rtt_ms < hi)
+            .unwrap_or(FIG4_BUCKETS.len() - 1)
+    }
+
+    /// Number of countries with data.
+    pub fn countries_measured(&self) -> usize {
+        self.min_by_country.len()
+    }
+}
+
+/// Computes the Fig. 4 report.
+pub fn country_min_report(data: &CampaignData<'_>) -> CountryMinReport {
+    let min_by_country: HashMap<String, f64> = data
+        .per_country_min()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let mut bucket_counts = [0usize; 6];
+    let mut above_pl = Vec::new();
+    for (country, &rtt) in &min_by_country {
+        bucket_counts[CountryMinReport::bucket_of(rtt)] += 1;
+        if rtt > 100.0 {
+            above_pl.push(country.clone());
+        }
+    }
+    above_pl.sort();
+    CountryMinReport {
+        min_by_country,
+        bucket_counts,
+        above_pl,
+    }
+}
+
+/// Fig. 5: per-continent ECDFs of each probe's campaign minimum.
+#[derive(Debug, Clone)]
+pub struct ProbeMinCdfs {
+    /// One ECDF per continent (paper display order).
+    pub by_continent: Vec<(Continent, Ecdf)>,
+}
+
+impl ProbeMinCdfs {
+    /// The ECDF of one continent.
+    pub fn continent(&self, c: Continent) -> Option<&Ecdf> {
+        self.by_continent
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .map(|(_, e)| e)
+    }
+
+    /// Fraction of a continent's probes with minimum RTT ≤ `ms`.
+    pub fn fraction_within(&self, c: Continent, ms: f64) -> f64 {
+        self.continent(c)
+            .map(|e| e.fraction_at_or_below(ms))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Computes the Fig. 5 CDFs.
+pub fn probe_min_cdfs(data: &CampaignData<'_>) -> ProbeMinCdfs {
+    let mins = data.per_probe_min();
+    let mut per_continent: HashMap<Continent, Vec<f64>> = HashMap::new();
+    for (id, v) in mins {
+        let continent = data.probe(id).continent;
+        per_continent.entry(continent).or_default().push(v);
+    }
+    ProbeMinCdfs {
+        by_continent: Continent::ALL
+            .iter()
+            .map(|&c| (c, Ecdf::new(per_continent.remove(&c).unwrap_or_default())))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_atlas::{Campaign, CampaignConfig, FleetConfig, Platform, PlatformConfig};
+
+    fn campaign_data() -> (Platform, shears_atlas::ResultStore) {
+        let platform = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: 400,
+                seed: 21,
+            },
+            ..PlatformConfig::default()
+        });
+        let store = Campaign::new(
+            &platform,
+            CampaignConfig {
+                rounds: 6,
+                targets_per_probe: 3,
+                adjacent_targets: 2,
+                ..CampaignConfig::quick()
+            },
+        )
+        .run()
+        .unwrap();
+        (platform, store)
+    }
+
+    #[test]
+    fn bucket_of_boundaries() {
+        assert_eq!(CountryMinReport::bucket_of(5.0), 0);
+        assert_eq!(CountryMinReport::bucket_of(10.0), 1);
+        assert_eq!(CountryMinReport::bucket_of(19.9), 1);
+        assert_eq!(CountryMinReport::bucket_of(20.0), 2);
+        assert_eq!(CountryMinReport::bucket_of(99.9), 3);
+        assert_eq!(CountryMinReport::bucket_of(150.0), 4);
+        assert_eq!(CountryMinReport::bucket_of(1e6), 5);
+    }
+
+    #[test]
+    fn fig4_shape_holds() {
+        let (platform, store) = campaign_data();
+        let data = CampaignData::new(&platform, &store);
+        let report = country_min_report(&data);
+        // Broad coverage: nearly all atlas countries have a probe.
+        assert!(report.countries_measured() >= 150);
+        // A solid set of countries sits under 10 ms (DC-hosting ones).
+        assert!(
+            report.bucket_counts[0] >= 15,
+            "only {} countries under 10 ms",
+            report.bucket_counts[0]
+        );
+        // Bucket counts are consistent with the map.
+        assert_eq!(
+            report.bucket_counts.iter().sum::<usize>(),
+            report.countries_measured()
+        );
+        // The >PL stragglers are a small minority and mostly African.
+        assert!(
+            report.above_pl.len() < report.countries_measured() / 4,
+            "{} countries above PL",
+            report.above_pl.len()
+        );
+    }
+
+    #[test]
+    fn dc_hosting_countries_are_fast() {
+        let (platform, store) = campaign_data();
+        let data = CampaignData::new(&platform, &store);
+        let report = country_min_report(&data);
+        for cc in ["DE", "US", "NL", "JP", "SG"] {
+            let rtt = report.min_by_country.get(cc).copied().unwrap_or(f64::NAN);
+            assert!(
+                rtt < 20.0,
+                "{cc} hosts datacenters yet its best probe sees {rtt} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_continental_ordering() {
+        let (platform, store) = campaign_data();
+        let data = CampaignData::new(&platform, &store);
+        let cdfs = probe_min_cdfs(&data);
+        // EU and NA dominate Africa at the MTP threshold.
+        let eu = cdfs.fraction_within(Continent::Europe, 20.0);
+        let na = cdfs.fraction_within(Continent::NorthAmerica, 20.0);
+        let af = cdfs.fraction_within(Continent::Africa, 20.0);
+        assert!(eu > 0.5, "EU within MTP: {eu}");
+        assert!(na > 0.5, "NA within MTP: {na}");
+        assert!(af < eu, "Africa ({af}) should trail Europe ({eu})");
+        // Most of Africa and LatAm still meets PL (paper: ≈75 %).
+        let af_pl = cdfs.fraction_within(Continent::Africa, 100.0);
+        let la_pl = cdfs.fraction_within(Continent::LatinAmerica, 100.0);
+        assert!(af_pl > 0.4, "Africa within PL: {af_pl}");
+        assert!(la_pl > 0.5, "LatAm within PL: {la_pl}");
+    }
+
+    #[test]
+    fn every_continent_has_a_cdf() {
+        let (platform, store) = campaign_data();
+        let data = CampaignData::new(&platform, &store);
+        let cdfs = probe_min_cdfs(&data);
+        assert_eq!(cdfs.by_continent.len(), 6);
+        for (c, e) in &cdfs.by_continent {
+            assert!(!e.is_empty(), "{c} has no probes");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Statistical primitives: ECDFs, quantiles and summaries.
+//!
+//! Everything the paper plots is either an empirical CDF (Figs. 5, 6)
+//! or an order statistic of one; these are the only tools the pipeline
+//! needs, so they are implemented exactly rather than approximately.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over f64 samples.
+///
+/// Construction sorts once; evaluation is a binary search. Non-finite
+/// inputs are rejected at construction so every query is total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF, dropping non-finite samples.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(f64::total_cmp);
+        Self { sorted: samples }
+    }
+
+    /// Number of (finite) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0 for an empty ECDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (nearest-rank, `q` clamped to `[0, 1]`), or
+    /// `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Evaluates the CDF on a fixed grid — the series the figure
+    /// binaries print: `(x, P(X <= x))` pairs.
+    pub fn curve(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+
+    /// The sorted samples (read-only).
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Five-number-plus summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// Mean.
+    pub mean: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises samples (non-finite values dropped); `None` if none
+    /// remain.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        let ecdf = Ecdf::new(samples.to_vec());
+        if ecdf.is_empty() {
+            return None;
+        }
+        let mean = ecdf.samples().iter().sum::<f64>() / ecdf.len() as f64;
+        Some(Summary {
+            n: ecdf.len(),
+            min: ecdf.min()?,
+            p25: ecdf.quantile(0.25)?,
+            median: ecdf.median()?,
+            mean,
+            p75: ecdf.quantile(0.75)?,
+            p95: ecdf.quantile(0.95)?,
+            max: ecdf.max()?,
+        })
+    }
+}
+
+/// A bootstrap confidence interval for a median.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MedianCi {
+    /// Point estimate (sample median).
+    pub median: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal coverage (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Seeded bootstrap confidence interval for the median: `resamples`
+/// with-replacement resamples, percentile method. Deterministic given
+/// the seed, like everything else in the reproduction — figure outputs
+/// can carry intervals without losing bit-reproducibility.
+///
+/// Returns `None` for empty input (after dropping non-finite values).
+pub fn bootstrap_median_ci(
+    samples: &[f64],
+    resamples: u32,
+    level: f64,
+    seed: u64,
+) -> Option<MedianCi> {
+    let base = Ecdf::new(samples.to_vec());
+    if base.is_empty() {
+        return None;
+    }
+    let level = level.clamp(0.5, 0.999);
+    let data = base.samples();
+    let n = data.len();
+    // SplitMix64: self-contained, avoids a rand dependency here.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut medians: Vec<f64> = (0..resamples.max(1))
+        .map(|_| {
+            let mut resample: Vec<f64> =
+                (0..n).map(|_| data[(next() % n as u64) as usize]).collect();
+            resample.sort_by(f64::total_cmp);
+            resample[n / 2]
+        })
+        .collect();
+    medians.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| {
+        ((q * medians.len() as f64).floor() as usize).min(medians.len() - 1)
+    };
+    Some(MedianCi {
+        median: base.median()?,
+        lo: medians[idx(alpha)],
+        hi: medians[idx(1.0 - alpha)],
+        level,
+    })
+}
+
+/// Kolmogorov–Smirnov distance between two ECDFs: the maximum vertical
+/// gap. Used by tests to compare distributions and by the expansion
+/// study to quantify how much the 2010→2020 build-out moved latency.
+pub fn ks_distance(a: &Ecdf, b: &Ecdf) -> f64 {
+    let mut d: f64 = 0.0;
+    for &x in a.samples().iter().chain(b.samples()) {
+        d = d.max((a.fraction_at_or_below(x) - b.fraction_at_or_below(x)).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basic_evaluation() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(e.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_drops_non_finite() {
+        let e = Ecdf::new(vec![1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.max(), Some(2.0));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect());
+        assert_eq!(e.quantile(0.25), Some(25.0));
+        assert_eq!(e.median(), Some(50.0));
+        assert_eq!(e.quantile(0.95), Some(95.0));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(100.0));
+        assert_eq!(e.quantile(2.0), Some(100.0), "clamped");
+    }
+
+    #[test]
+    fn empty_ecdf_is_total() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_at_or_below(10.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.min(), None);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new(vec![5.0, 1.0, 9.0, 3.0, 3.0]);
+        let grid: Vec<f64> = (0..12).map(f64::from).collect();
+        let curve = e.curve(&grid);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn summary_of_known_set() {
+        let s = Summary::of(&(1..=100).map(f64::from).collect::<Vec<_>>()).unwrap();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 50.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn summary_of_empty_or_nan_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_median() {
+        let samples: Vec<f64> = (1..=99).map(f64::from).collect();
+        let ci = bootstrap_median_ci(&samples, 400, 0.95, 7).unwrap();
+        assert_eq!(ci.median, 50.0);
+        assert!(ci.lo <= ci.median && ci.median <= ci.hi);
+        // For n=99 uniform-ish data the 95% CI is comfortably inside
+        // [35, 65].
+        assert!(ci.lo > 35.0 && ci.hi < 65.0, "{ci:?}");
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_and_narrows_with_n() {
+        let small: Vec<f64> = (1..=20).map(f64::from).collect();
+        let large: Vec<f64> = (1..=2000).map(|i| f64::from(i) / 20.0).collect();
+        let a = bootstrap_median_ci(&small, 300, 0.95, 1).unwrap();
+        let b = bootstrap_median_ci(&small, 300, 0.95, 1).unwrap();
+        assert_eq!(a, b, "same seed, same interval");
+        let big = bootstrap_median_ci(&large, 300, 0.95, 1).unwrap();
+        let rel = |ci: &MedianCi| (ci.hi - ci.lo) / ci.median;
+        assert!(rel(&big) < rel(&a), "more data, tighter interval");
+    }
+
+    #[test]
+    fn bootstrap_ci_handles_degenerate_input() {
+        assert!(bootstrap_median_ci(&[], 100, 0.95, 1).is_none());
+        assert!(bootstrap_median_ci(&[f64::NAN], 100, 0.95, 1).is_none());
+        let one = bootstrap_median_ci(&[5.0], 100, 0.95, 1).unwrap();
+        assert_eq!((one.lo, one.median, one.hi), (5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn ks_distance_properties() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        let b = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(ks_distance(&a, &b), 0.0);
+        let c = Ecdf::new(vec![11.0, 12.0, 13.0]);
+        assert_eq!(ks_distance(&a, &c), 1.0);
+        let d = Ecdf::new(vec![1.0, 2.0, 13.0]);
+        let ks = ks_distance(&a, &d);
+        assert!(ks > 0.3 && ks < 0.4, "{ks}");
+    }
+}

@@ -1,0 +1,102 @@
+//! # shears-geo
+//!
+//! Geodesy primitives, a country atlas and spatial indexing for the
+//! latency-shears reproduction of *Pruning Edge Research with Latency
+//! Shears* (HotNets '20).
+//!
+//! The paper's measurement study is fundamentally geographic: RIPE Atlas
+//! probes in 166 countries ping cloud datacenters in 21 countries, and
+//! every figure groups the resulting RTT samples by country or continent.
+//! This crate provides exactly the geographic substrate that pipeline
+//! needs and nothing more:
+//!
+//! * [`GeoPoint`] with great-circle math ([`GeoPoint::distance_km`],
+//!   bearings, destination points) — the propagation-delay input of the
+//!   network simulator,
+//! * a [`CountryAtlas`] of ~170 countries with centroids, population and
+//!   an *infrastructure quality index* used to calibrate path inflation
+//!   and access-network quality,
+//! * a [`SpatialGrid`] nearest-neighbour index used to attach probes to
+//!   metro points-of-presence and to find the closest datacenter,
+//! * deterministic, seedable point sampling ([`sample`]) for synthesising
+//!   probe locations around population centres.
+//!
+//! Everything is deterministic given a seed; no wall-clock or I/O.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use shears_geo::{CountryAtlas, GeoPoint};
+//!
+//! let atlas = CountryAtlas::global();
+//! let de = atlas.by_code("DE").unwrap();
+//! let us = atlas.by_code("US").unwrap();
+//! let km = de.centroid.distance_km(us.centroid);
+//! assert!(km > 6000.0 && km < 9000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atlas_data;
+mod country;
+mod grid;
+mod point;
+pub mod sample;
+
+pub use country::{Continent, Country, CountryAtlas, InfraTier};
+pub use grid::{GridEntry, SpatialGrid};
+pub use point::{GeoPoint, EARTH_RADIUS_KM};
+
+/// Speed of light in vacuum, km per millisecond.
+pub const LIGHT_SPEED_KM_PER_MS: f64 = 299.792_458;
+
+/// Effective signal propagation speed in optical fibre, km per millisecond.
+///
+/// Light in glass travels at roughly two thirds of `c`; this is the constant
+/// the measurement literature (and the paper's latency reasoning) uses to
+/// convert geodesic distance into a propagation-delay lower bound.
+pub const FIBER_SPEED_KM_PER_MS: f64 = LIGHT_SPEED_KM_PER_MS * 2.0 / 3.0;
+
+/// Lower bound on the round-trip time between two points, in milliseconds,
+/// assuming a great-circle fibre run at [`FIBER_SPEED_KM_PER_MS`].
+///
+/// Real paths are longer than the great circle; the network simulator
+/// multiplies this bound by a region-dependent *path inflation* factor.
+///
+/// ```
+/// use shears_geo::{min_rtt_ms, GeoPoint};
+/// let a = GeoPoint::new(48.85, 2.35);   // Paris
+/// let b = GeoPoint::new(52.52, 13.40);  // Berlin
+/// let rtt = min_rtt_ms(a, b);
+/// assert!(rtt > 8.0 && rtt < 11.0);
+/// ```
+pub fn min_rtt_ms(a: GeoPoint, b: GeoPoint) -> f64 {
+    2.0 * a.distance_km(b) / FIBER_SPEED_KM_PER_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fiber_speed_is_two_thirds_c() {
+        assert!((FIBER_SPEED_KM_PER_MS - 199.861_638_666).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_rtt_zero_for_same_point() {
+        let p = GeoPoint::new(10.0, 20.0);
+        assert_eq!(min_rtt_ms(p, p), 0.0);
+    }
+
+    #[test]
+    fn min_rtt_antipodal_is_about_200ms() {
+        // Half the Earth's circumference (~20'015 km) and back at 2/3 c
+        // is very nearly 200 ms — the classic rule of thumb.
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let rtt = min_rtt_ms(a, b);
+        assert!((rtt - 200.3).abs() < 1.0, "rtt = {rtt}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the geodesy primitives.
+
+use proptest::prelude::*;
+use shears_geo::{min_rtt_ms, GeoPoint, SpatialGrid, EARTH_RADIUS_KM};
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..=90.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_symmetric(a in arb_point(), b in arb_point()) {
+        let d1 = a.distance_km(b);
+        let d2 = b.distance_km(a);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_nonnegative_and_bounded(a in arb_point(), b in arb_point()) {
+        let d = a.distance_km(b);
+        prop_assert!(d >= 0.0);
+        // No two surface points are farther apart than half the circumference.
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = a.distance_km(b);
+        let bc = b.distance_km(c);
+        let ac = a.distance_km(c);
+        prop_assert!(ac <= ab + bc + 1e-6, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn destination_reaches_requested_distance(
+        a in arb_point(),
+        bearing in 0.0f64..360.0,
+        dist in 0.0f64..15_000.0,
+    ) {
+        // Skip starts inside the polar caps where bearing is ill-conditioned.
+        prop_assume!(a.lat.abs() < 89.0);
+        let end = a.destination(bearing, dist);
+        let back = a.distance_km(end);
+        prop_assert!((back - dist).abs() < 1e-3 * dist.max(1.0), "want {dist} got {back}");
+    }
+
+    #[test]
+    fn min_rtt_monotone_in_distance(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let (d_ab, d_ac) = (a.distance_km(b), a.distance_km(c));
+        let (r_ab, r_ac) = (min_rtt_ms(a, b), min_rtt_ms(a, c));
+        prop_assert_eq!(d_ab < d_ac, r_ab < r_ac);
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent(lat in -200.0f64..200.0, lon in -720.0f64..720.0) {
+        let p = GeoPoint::new(lat, lon);
+        let q = GeoPoint::new(p.lat, p.lon);
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn grid_nearest_matches_brute_force(
+        pts in proptest::collection::vec(arb_point(), 1..80),
+        q in arb_point(),
+    ) {
+        let mut grid = SpatialGrid::new(5.0);
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(*p, i);
+        }
+        let got = grid.nearest(q).expect("non-empty grid");
+        let best = pts
+            .iter()
+            .map(|p| q.distance_km(*p))
+            .fold(f64::INFINITY, f64::min);
+        let got_d = q.distance_km(got.point);
+        prop_assert!((got_d - best).abs() < 1e-9, "grid {got_d} brute {best}");
+    }
+
+    #[test]
+    fn grid_within_is_exact(
+        pts in proptest::collection::vec(arb_point(), 0..60),
+        q in arb_point(),
+        radius in 1.0f64..8000.0,
+    ) {
+        let mut grid = SpatialGrid::new(5.0);
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(*p, i);
+        }
+        let got: std::collections::BTreeSet<usize> =
+            grid.within(q, radius).into_iter().map(|(_, e)| e.id).collect();
+        let want: std::collections::BTreeSet<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance_km(**p) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

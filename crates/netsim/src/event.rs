@@ -1,0 +1,247 @@
+//! Discrete-event core.
+//!
+//! A classic calendar queue over a binary heap. Determinism matters more
+//! than raw speed here: two events at the same instant are delivered in
+//! the order they were scheduled (FIFO tie-break via a monotone sequence
+//! number), so a simulation run is a pure function of its inputs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event drawn from the queue: the payload plus when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The instant the event fires.
+    pub at: SimTime,
+    /// Monotone schedule order; unique per queue.
+    pub seq: u64,
+    /// The caller's payload.
+    pub payload: E,
+}
+
+struct HeapItem<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first,
+        // then lowest sequence number (FIFO among simultaneous events).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use shears_netsim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(10), "b");
+/// q.schedule(SimTime::from_millis(5), "a");
+/// assert_eq!(q.pop().unwrap().payload, "a");
+/// assert_eq!(q.pop().unwrap().payload, "b");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapItem<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time: the firing time of the most recently
+    /// popped event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past (before the last popped event) is a logic
+    /// error that would break causality, so it panics in debug and is
+    /// clamped to `now` in release.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> u64 {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {now}",
+            now = self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapItem { at, seq, payload });
+        seq
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: E) -> u64 {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Removes and returns the earliest event, advancing `now`.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|item| {
+            self.now = item.at;
+            self.popped += 1;
+            ScheduledEvent {
+                at: item.at,
+                seq: item.seq,
+                payload: item.payload,
+            }
+        })
+    }
+
+    /// Returns the firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|i| i.at)
+    }
+
+    /// Drains events until the queue is empty or `until` is reached,
+    /// calling `handler` for each. The handler may schedule more events.
+    /// Returns the number of events delivered by this call.
+    pub fn run_until(
+        &mut self,
+        until: SimTime,
+        mut handler: impl FnMut(&mut Self, ScheduledEvent<E>),
+    ) -> u64 {
+        let mut count = 0;
+        while let Some(at) = self.peek_time() {
+            if at > until {
+                break;
+            }
+            // Pop re-checked: peek_time and pop see the same heap top.
+            let ev = self.pop().expect("peeked event present");
+            count += 1;
+            handler(self, ev);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_millis(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_popped_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_millis(5), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "first");
+        q.pop();
+        q.schedule_after(SimTime::from_millis(5), "second");
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_cascades() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 1u32);
+        q.schedule(SimTime::from_millis(100), 99u32);
+        let mut seen = Vec::new();
+        let n = q.run_until(SimTime::from_millis(50), |q, ev| {
+            seen.push(ev.payload);
+            // Cascade: each event under 5 schedules a follow-up 1 ms later.
+            if ev.payload < 5 {
+                q.schedule_after(SimTime::from_millis(1), ev.payload + 1);
+            }
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(n, 5);
+        assert_eq!(q.len(), 1, "the 100 ms event must remain queued");
+    }
+
+    #[test]
+    fn delivered_counter() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(2), ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.delivered(), 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(1), ());
+    }
+}

@@ -1,0 +1,477 @@
+//! ICMP-echo-style probing: the paper's measurement primitive.
+//!
+//! "We measured end-to-end latencies between users (Atlas probes) and
+//! cloud datacenters … via ping every three hours." A ping here sends
+//! `packets` echo requests over the routed path; each request samples
+//! per-link queueing and jitter independently (and the access segment's
+//! bufferbloat model), may be lost, and otherwise yields one RTT.
+//!
+//! [`PathSampler`] is the shared delay engine: given a resolved path, an
+//! access link and an instant, it produces one-way delay samples. The
+//! TCP prober ([`crate::tcp`]) reuses it, so ICMP and TCP probing are
+//! guaranteed to see the same underlying network.
+
+use crate::access::AccessLink;
+use crate::queue::{DiurnalLoad, Mm1Queue};
+use crate::routing::{PathInfo, Router};
+use crate::stochastic::SimRng;
+use crate::time::SimTime;
+use crate::topology::{LinkClass, Topology};
+use crate::NodeId;
+
+/// Ping measurement parameters (Atlas defaults: 3 packets).
+#[derive(Debug, Clone, Copy)]
+pub struct PingConfig {
+    /// Echo requests per measurement.
+    pub packets: u32,
+    /// Per-packet timeout; slower replies count as lost.
+    pub timeout_ms: f64,
+}
+
+impl Default for PingConfig {
+    fn default() -> Self {
+        Self {
+            packets: 3,
+            timeout_ms: 4000.0,
+        }
+    }
+}
+
+/// Result of one ping measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PingOutcome {
+    /// Echo requests sent.
+    pub sent: u32,
+    /// Replies received in time.
+    pub received: u32,
+    /// RTTs of the received replies, ms, in send order.
+    pub rtts_ms: Vec<f64>,
+}
+
+impl PingOutcome {
+    /// Minimum RTT, or `None` if all packets were lost. The paper's
+    /// analysis is built on minima ("we extract the minimum ping
+    /// latency"), which strip congestion noise.
+    pub fn min_ms(&self) -> Option<f64> {
+        self.rtts_ms.iter().copied().reduce(f64::min)
+    }
+
+    /// Mean RTT over received replies, or `None` if none arrived.
+    pub fn avg_ms(&self) -> Option<f64> {
+        if self.rtts_ms.is_empty() {
+            None
+        } else {
+            Some(self.rtts_ms.iter().sum::<f64>() / self.rtts_ms.len() as f64)
+        }
+    }
+
+    /// Fraction of packets lost.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            1.0 - self.received as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Per-class bottleneck service times for the M/M/1 congestion model, ms.
+fn service_time_ms(class: LinkClass) -> f64 {
+    match class {
+        LinkClass::Access => 1.0,
+        LinkClass::MetroAggregation => 0.3,
+        LinkClass::TerrestrialBackbone => 0.15,
+        LinkClass::SubmarineCable => 0.3,
+        LinkClass::PrivateBackbone => 0.08,
+        LinkClass::DatacenterFabric => 0.05,
+    }
+}
+
+/// Caps on queueing delay per traversal, ms (finite buffers).
+fn max_wait_ms(class: LinkClass) -> f64 {
+    match class {
+        LinkClass::Access => 400.0,
+        LinkClass::MetroAggregation => 60.0,
+        LinkClass::TerrestrialBackbone => 40.0,
+        LinkClass::SubmarineCable => 60.0,
+        LinkClass::PrivateBackbone => 10.0,
+        LinkClass::DatacenterFabric => 5.0,
+    }
+}
+
+/// Loss probability for traversing `path.links[link_idx]` once. The
+/// probe-adjacent link (`link_idx == 0`) uses the access technology's
+/// loss when the caller supplied one.
+pub fn hop_loss_probability(
+    topo: &Topology,
+    path: &PathInfo,
+    link_idx: usize,
+    access: Option<AccessLink>,
+    _is_direction_head: bool,
+) -> f64 {
+    let link = topo.link(path.links[link_idx]);
+    if link_idx == 0 && link.class == LinkClass::Access {
+        access.map_or(link.class.base_loss(), |a| a.tech.loss_probability())
+    } else {
+        link.class.base_loss()
+    }
+}
+
+/// Samples the delay of one traversal of `path.links[link_idx]` at
+/// instant `t`: the access model for the probe-adjacent access link,
+/// otherwise propagation floor plus M/M/1 congestion at the link
+/// midpoint's local hour. Exactly one (access) or at most one
+/// (congestion) RNG draw beyond the caller's loss draw, in a fixed
+/// order — the analytic and event-driven executions share this function
+/// so their RNG streams stay aligned.
+#[allow(clippy::too_many_arguments)]
+pub fn hop_delay_ms(
+    topo: &Topology,
+    path: &PathInfo,
+    link_idx: usize,
+    access: Option<AccessLink>,
+    _is_direction_head: bool,
+    load: DiurnalLoad,
+    t: SimTime,
+    rng: &mut SimRng,
+) -> f64 {
+    let link = topo.link(path.links[link_idx]);
+    if link_idx == 0 && link.class == LinkClass::Access {
+        if let Some(access) = access {
+            return access.sample_one_way_ms(rng);
+        }
+    }
+    let mut total = link.base_delay_ms;
+    let mid = topo
+        .node(link.a)
+        .location
+        .midpoint(topo.node(link.b).location);
+    let rho = load.utilization(t, mid.lon)
+        * link.class.congestion_sensitivity()
+        * link.inflation.min(2.0);
+    let q = Mm1Queue::new(service_time_ms(link.class), max_wait_ms(link.class));
+    let expected = q.expected_wait_ms(rho);
+    if expected > 0.0 {
+        total += rng.exponential(expected).min(q.max_wait_ms);
+    }
+    total
+}
+
+/// Samples one-way delays and loss along a resolved path.
+///
+/// The deterministic floor comes from [`PathInfo::base_one_way_ms`]; on
+/// top of it every non-access link contributes a congestion wait drawn
+/// from an exponential around the M/M/1 expectation at the link's local
+/// hour, and the access segment (if the path starts at a probe host)
+/// contributes the [`AccessLink`] sample including bufferbloat.
+///
+/// Links with higher inflation also congest more: inflation proxies how
+/// under-provisioned a segment is, which couples the two effects the
+/// paper observes in under-served regions (long *and* variable paths).
+pub struct PathSampler<'p, 't> {
+    path: &'p PathInfo,
+    topo: &'t Topology,
+    access: Option<AccessLink>,
+    load: DiurnalLoad,
+}
+
+impl<'p, 't> PathSampler<'p, 't> {
+    /// Creates a sampler; pass `access` when the path's first hop is the
+    /// probe's last-mile segment (its stochastic model then replaces the
+    /// topology link's flat delay for that hop).
+    pub fn new(
+        path: &'p PathInfo,
+        topo: &'t Topology,
+        access: Option<AccessLink>,
+        load: DiurnalLoad,
+    ) -> Self {
+        Self {
+            path,
+            topo,
+            access,
+            load,
+        }
+    }
+
+    /// Samples a single one-way traversal delay at instant `t`, or
+    /// `None` if a packet is dropped on the way. Per-hop loss and delay
+    /// come from [`hop_loss_probability`] / [`hop_delay_ms`] — the same
+    /// functions the event-driven executor uses, keeping the two modes'
+    /// RNG streams aligned.
+    pub fn sample_one_way_ms(&self, t: SimTime, rng: &mut SimRng) -> Option<f64> {
+        let mut total = 0.0;
+        for i in 0..self.path.links.len() {
+            if rng.chance(hop_loss_probability(
+                self.topo, self.path, i, self.access, i == 0,
+            )) {
+                return None;
+            }
+            total += hop_delay_ms(
+                self.topo, self.path, i, self.access, i == 0, self.load, t, rng,
+            );
+        }
+        // Processing at intermediate nodes (endpoints excluded).
+        for &node in &self.path.nodes[1..self.path.nodes.len().saturating_sub(1)] {
+            total += self.topo.node(node).kind.processing_delay_ms();
+        }
+        Some(total)
+    }
+
+    /// Samples a full round trip (two independent one-way traversals).
+    pub fn sample_rtt_ms(&self, t: SimTime, rng: &mut SimRng) -> Option<f64> {
+        let fwd = self.sample_one_way_ms(t, rng)?;
+        let rev = self.sample_one_way_ms(t, rng)?;
+        Some(fwd + rev)
+    }
+
+    /// The deterministic RTT floor of the path (no congestion, jitter at
+    /// its median, no bufferbloat).
+    pub fn floor_rtt_ms(&self) -> f64 {
+        let mut one_way = self.path.base_one_way_ms;
+        if let (Some(access), Some(&first)) = (self.access, self.path.links.first()) {
+            let link = self.topo.link(first);
+            if link.class == LinkClass::Access {
+                one_way = one_way - link.base_delay_ms + access.floor_one_way_ms();
+            }
+        }
+        2.0 * one_way
+    }
+}
+
+/// Ping driver: resolves routes (cached) and produces [`PingOutcome`]s.
+pub struct PingProber<'t> {
+    topo: &'t Topology,
+    router: Router<'t>,
+}
+
+impl<'t> PingProber<'t> {
+    /// Creates a prober over a frozen topology.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self {
+            topo,
+            router: Router::new(topo),
+        }
+    }
+
+    /// Runs one ping measurement from `from` to `to` at instant `t`.
+    /// Returns `None` if the nodes are not connected at all.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ping(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        access: Option<AccessLink>,
+        load: DiurnalLoad,
+        t: SimTime,
+        cfg: &PingConfig,
+        rng: &mut SimRng,
+    ) -> Option<PingOutcome> {
+        let path = self.router.path(from, to)?.clone();
+        let sampler = PathSampler::new(&path, self.topo, access, load);
+        let mut outcome = PingOutcome {
+            sent: cfg.packets,
+            received: 0,
+            rtts_ms: Vec::with_capacity(cfg.packets as usize),
+        };
+        for i in 0..cfg.packets {
+            // Packets are paced 1 s apart like the Atlas ping default.
+            let at = t + SimTime::from_secs(u64::from(i));
+            match sampler.sample_rtt_ms(at, rng) {
+                Some(rtt) if rtt <= cfg.timeout_ms => {
+                    outcome.received += 1;
+                    outcome.rtts_ms.push(rtt);
+                }
+                _ => {}
+            }
+        }
+        Some(outcome)
+    }
+
+    /// The route the prober would use (exposed for path introspection in
+    /// reports and tests).
+    pub fn route(&mut self, from: NodeId, to: NodeId) -> Option<&PathInfo> {
+        self.router.path(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessTechnology;
+    use crate::topology::NodeKind;
+    use shears_geo::GeoPoint;
+
+    /// Probe — access router — metro — DC, with an explicit access link.
+    fn simple_net() -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let probe = t.add_node(NodeKind::ProbeHost, GeoPoint::new(48.1, 11.6), "DE");
+        let ar = t.add_node(NodeKind::AccessRouter, GeoPoint::new(48.15, 11.58), "DE");
+        let metro = t.add_node(NodeKind::MetroPop, GeoPoint::new(48.14, 11.56), "DE");
+        let dc = t.add_node(NodeKind::Datacenter, GeoPoint::new(50.1, 8.7), "DE");
+        t.connect_with_delay(probe, ar, LinkClass::Access, 4.0);
+        t.connect(ar, metro, LinkClass::MetroAggregation, 1.2);
+        t.connect(metro, dc, LinkClass::TerrestrialBackbone, 1.3);
+        (t, probe, dc)
+    }
+
+    fn dsl() -> AccessLink {
+        AccessLink::new(AccessTechnology::Dsl, 1.0)
+    }
+
+    #[test]
+    fn ping_produces_rtts_above_floor() {
+        let (t, probe, dc) = simple_net();
+        let mut prober = PingProber::new(&t);
+        let mut rng = SimRng::new(1);
+        let out = prober
+            .ping(
+                probe,
+                dc,
+                Some(dsl()),
+                DiurnalLoad::residential(),
+                SimTime::from_hours(3),
+                &PingConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.sent, 3);
+        assert!(out.received >= 1, "all three packets lost is implausible here");
+        let path = prober.route(probe, dc).unwrap().clone();
+        let sampler = PathSampler::new(&path, &t, Some(dsl()), DiurnalLoad::residential());
+        let floor = sampler.floor_rtt_ms();
+        for &rtt in &out.rtts_ms {
+            // Jitter is log-normal around the floor, so individual samples
+            // can dip slightly below it, but not to half.
+            assert!(rtt > floor * 0.5, "rtt {rtt} vs floor {floor}");
+        }
+    }
+
+    #[test]
+    fn floor_includes_access_substitution() {
+        let (t, probe, dc) = simple_net();
+        let mut prober = PingProber::new(&t);
+        let path = prober.route(probe, dc).unwrap().clone();
+        let with_eth = PathSampler::new(
+            &path,
+            &t,
+            Some(AccessLink::new(AccessTechnology::Ethernet, 1.0)),
+            DiurnalLoad::residential(),
+        )
+        .floor_rtt_ms();
+        let with_lte = PathSampler::new(
+            &path,
+            &t,
+            Some(AccessLink::new(AccessTechnology::Lte, 1.0)),
+            DiurnalLoad::residential(),
+        )
+        .floor_rtt_ms();
+        let delta = with_lte - with_eth;
+        let want = 2.0 * (20.0 - 0.3);
+        assert!((delta - want).abs() < 1e-9, "delta {delta}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (t, probe, dc) = simple_net();
+        let run = || {
+            let mut prober = PingProber::new(&t);
+            let mut rng = SimRng::new(77);
+            prober
+                .ping(
+                    probe,
+                    dc,
+                    Some(dsl()),
+                    DiurnalLoad::residential(),
+                    SimTime::from_hours(6),
+                    &PingConfig::default(),
+                    &mut rng,
+                )
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disconnected_nodes_yield_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::ProbeHost, GeoPoint::new(0.0, 0.0), "XX");
+        let b = t.add_node(NodeKind::Datacenter, GeoPoint::new(1.0, 1.0), "XX");
+        let mut prober = PingProber::new(&t);
+        let mut rng = SimRng::new(1);
+        assert!(prober
+            .ping(
+                a,
+                b,
+                None,
+                DiurnalLoad::backbone(),
+                SimTime::ZERO,
+                &PingConfig::default(),
+                &mut rng
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn timeout_counts_as_loss() {
+        let (t, probe, dc) = simple_net();
+        let mut prober = PingProber::new(&t);
+        let mut rng = SimRng::new(5);
+        let cfg = PingConfig {
+            packets: 10,
+            timeout_ms: 0.001, // nothing can be this fast
+        };
+        let out = prober
+            .ping(
+                probe,
+                dc,
+                Some(dsl()),
+                DiurnalLoad::residential(),
+                SimTime::ZERO,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.received, 0);
+        assert_eq!(out.loss_rate(), 1.0);
+        assert!(out.min_ms().is_none());
+        assert!(out.avg_ms().is_none());
+    }
+
+    #[test]
+    fn outcome_statistics() {
+        let o = PingOutcome {
+            sent: 4,
+            received: 3,
+            rtts_ms: vec![10.0, 12.0, 8.0],
+        };
+        assert_eq!(o.min_ms(), Some(8.0));
+        assert_eq!(o.avg_ms(), Some(10.0));
+        assert!((o.loss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evening_congestion_raises_mean_rtt() {
+        let (t, probe, dc) = simple_net();
+        let mut prober = PingProber::new(&t);
+        let path = prober.route(probe, dc).unwrap().clone();
+        // Munich is ~11.6°E, so local 21:00 ≈ 20:13 UTC. Compare a quiet
+        // local 04:00 against the local evening peak.
+        let sampler = PathSampler::new(&path, &t, Some(dsl()), DiurnalLoad::residential());
+        let mean_at = |hour_utc: u64, seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let mut sum = 0.0;
+            let mut n = 0;
+            for day in 0..40u64 {
+                let t0 = SimTime::from_hours(day * 24 + hour_utc);
+                if let Some(r) = sampler.sample_rtt_ms(t0, &mut rng) {
+                    sum += r;
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let quiet = mean_at(3, 9);
+        let busy = mean_at(20, 9);
+        assert!(busy > quiet, "busy {busy} <= quiet {quiet}");
+    }
+}

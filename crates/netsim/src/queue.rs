@@ -1,0 +1,156 @@
+//! Congestion model: diurnal load and M/M/1-style queueing delay.
+//!
+//! We do not simulate individual background flows — at the scale of a
+//! nine-month, 3-million-sample campaign that would be both intractable
+//! and unidentifiable. Instead each link carries an analytic congestion
+//! model: a diurnal utilisation curve (local-time evening peak, the
+//! standard shape in ISP traffic reports) feeding an M/M/1 sojourn
+//! approximation `W = S · ρ/(1−ρ)`. The paper's measurements span all
+//! hours ("every three hours" per probe), so the diurnal spread is part
+//! of the distribution shape in Fig. 6.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Diurnal utilisation curve: base load plus an evening peak, in local
+/// time. Values are utilisation ρ ∈ [0, 1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DiurnalLoad {
+    /// Utilisation at the quietest hour.
+    pub base: f64,
+    /// Extra utilisation at the busiest hour (base + peak < 1).
+    pub peak: f64,
+    /// Local hour of the busiest point (e.g. 20.5 ≈ 20:30).
+    pub peak_hour: f64,
+}
+
+impl DiurnalLoad {
+    /// A typical residential access profile: quiet at 04:00, busy at 21:00.
+    pub fn residential() -> Self {
+        Self {
+            base: 0.15,
+            peak: 0.55,
+            peak_hour: 21.0,
+        }
+    }
+
+    /// A lightly loaded, over-provisioned backbone profile.
+    pub fn backbone() -> Self {
+        Self {
+            base: 0.10,
+            peak: 0.25,
+            peak_hour: 20.0,
+        }
+    }
+
+    /// Utilisation at the given local hour `[0, 24)`, following a raised
+    /// cosine centred on `peak_hour`.
+    ///
+    /// # Panics
+    /// Debug-asserts that the resulting utilisation stays below 1.
+    pub fn utilization_at(&self, local_hour: f64) -> f64 {
+        let phase = (local_hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let rho = self.base + self.peak * 0.5 * (1.0 + phase.cos());
+        debug_assert!((0.0..1.0).contains(&rho), "utilisation {rho} out of range");
+        rho.clamp(0.0, 0.999)
+    }
+
+    /// Utilisation at simulated instant `t` for a site at `longitude_deg`.
+    pub fn utilization(&self, t: SimTime, longitude_deg: f64) -> f64 {
+        self.utilization_at(t.local_hour_of_day(longitude_deg))
+    }
+}
+
+/// M/M/1 sojourn-time approximation for queueing delay on a link.
+///
+/// `service_ms` is the mean per-packet service time of the bottleneck
+/// queue; the expected waiting time at utilisation ρ is
+/// `service_ms · ρ / (1 − ρ)`, capped to keep pathological utilisations
+/// from producing unbounded delays (real queues drop instead).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Mm1Queue {
+    /// Mean service time of the bottleneck, ms.
+    pub service_ms: f64,
+    /// Hard cap on the waiting time, ms (models finite buffers).
+    pub max_wait_ms: f64,
+}
+
+impl Mm1Queue {
+    /// A queue with the given service time and a buffer cap.
+    pub fn new(service_ms: f64, max_wait_ms: f64) -> Self {
+        assert!(service_ms >= 0.0 && max_wait_ms >= 0.0);
+        Self {
+            service_ms,
+            max_wait_ms,
+        }
+    }
+
+    /// Expected waiting time at utilisation `rho`.
+    pub fn expected_wait_ms(&self, rho: f64) -> f64 {
+        let rho = rho.clamp(0.0, 0.999);
+        (self.service_ms * rho / (1.0 - rho)).min(self.max_wait_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_peaks_at_peak_hour() {
+        let d = DiurnalLoad::residential();
+        let at_peak = d.utilization_at(21.0);
+        let off_peak = d.utilization_at(9.0);
+        let trough = d.utilization_at(9.0_f64.min(33.0 - 24.0)); // 09:00
+        assert!(at_peak > off_peak);
+        assert!((at_peak - (0.15 + 0.55)).abs() < 1e-9);
+        assert!(trough >= d.base);
+    }
+
+    #[test]
+    fn utilization_is_periodic() {
+        let d = DiurnalLoad::residential();
+        for h in 0..24 {
+            let a = d.utilization_at(h as f64);
+            let b = d.utilization_at(h as f64 + 24.0 - 24.0);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn utilization_uses_local_time() {
+        let d = DiurnalLoad::residential();
+        // 21:00 UTC is peak for longitude 0 but 06:00 for longitude 135E.
+        let t = SimTime::from_hours(21);
+        let at_zero = d.utilization(t, 0.0);
+        let at_east = d.utilization(t, 135.0);
+        assert!(at_zero > at_east);
+    }
+
+    #[test]
+    fn mm1_wait_grows_convexly() {
+        let q = Mm1Queue::new(2.0, 1000.0);
+        let w25 = q.expected_wait_ms(0.25);
+        let w50 = q.expected_wait_ms(0.50);
+        let w90 = q.expected_wait_ms(0.90);
+        assert!(w25 < w50 && w50 < w90);
+        // Convexity: the second difference is positive.
+        assert!(w90 - w50 > w50 - w25);
+        assert!((w50 - 2.0).abs() < 1e-9, "rho=0.5 gives one service time");
+    }
+
+    #[test]
+    fn mm1_wait_is_capped() {
+        let q = Mm1Queue::new(2.0, 50.0);
+        assert_eq!(q.expected_wait_ms(0.9999), 50.0);
+        assert_eq!(q.expected_wait_ms(5.0), 50.0);
+    }
+
+    #[test]
+    fn mm1_zero_load_zero_wait() {
+        let q = Mm1Queue::new(2.0, 50.0);
+        assert_eq!(q.expected_wait_ms(0.0), 0.0);
+        assert_eq!(q.expected_wait_ms(-1.0), 0.0);
+    }
+}

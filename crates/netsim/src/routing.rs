@@ -1,0 +1,314 @@
+//! Shortest-path routing with a path cache.
+//!
+//! Routes are computed by Dijkstra over the link base delays plus
+//! per-node processing delays — i.e. the *uncongested* floor. Real
+//! interdomain routing is not delay-optimal, but the detours BGP
+//! introduces are already encoded structurally in the topology (probes
+//! can only exit a country through its PoPs and hubs), so delay-shortest
+//! paths over that graph reproduce the inflation the paper observes
+//! without simulating BGP itself.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// A resolved route between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathInfo {
+    /// Endpoints, in order.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Links traversed, in order from `from` to `to`.
+    pub links: Vec<LinkId>,
+    /// Nodes visited, `from` first, `to` last (`links.len() + 1` entries).
+    pub nodes: Vec<NodeId>,
+    /// One-way delay floor in ms: link base delays plus processing at
+    /// every intermediate node (endpoints excluded).
+    pub base_one_way_ms: f64,
+}
+
+impl PathInfo {
+    /// Number of hops (links) on the path.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Dijkstra router with a per-source cache.
+///
+/// The measurement campaign resolves the same probe→DC pairs for every
+/// round, so the cache turns routing into a one-time cost. The cache is
+/// invalidated by generation: callers that mutate the topology must
+/// create a new router (the borrow checker enforces this at compile time
+/// since the router borrows the topology).
+pub struct Router<'t> {
+    topo: &'t Topology,
+    cache: HashMap<(NodeId, NodeId), Option<PathInfo>>,
+    disabled: HashSet<LinkId>,
+}
+
+#[derive(PartialEq)]
+struct QueueItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance; tie-break on node id for determinism.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl<'t> Router<'t> {
+    /// Creates a router over the given (frozen) topology.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self {
+            topo,
+            cache: HashMap::new(),
+            disabled: HashSet::new(),
+        }
+    }
+
+    /// Creates a router that treats the given links as failed (cable
+    /// cuts, maintenance). Paths route around them or report
+    /// disconnection — the failure-injection entry point.
+    pub fn with_disabled(topo: &'t Topology, disabled: HashSet<LinkId>) -> Self {
+        Self {
+            topo,
+            cache: HashMap::new(),
+            disabled,
+        }
+    }
+
+    /// Resolves the delay-shortest path from `from` to `to`, or `None`
+    /// if the nodes are disconnected. Results are cached.
+    pub fn path(&mut self, from: NodeId, to: NodeId) -> Option<&PathInfo> {
+        // Entry-or-insert keeps the borrow simple at the cost of a clone
+        // on first miss; paths are short (≤ ~12 hops) so this is cheap.
+        if !self.cache.contains_key(&(from, to)) {
+            let computed = self.dijkstra(from, to);
+            self.cache.insert((from, to), computed);
+        }
+        self.cache.get(&(from, to)).and_then(|p| p.as_ref())
+    }
+
+    /// Number of cached (source, target) entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn dijkstra(&self, from: NodeId, to: NodeId) -> Option<PathInfo> {
+        let n = self.topo.node_count();
+        if from.index() >= n || to.index() >= n {
+            return None;
+        }
+        if from == to {
+            return Some(PathInfo {
+                from,
+                to,
+                links: Vec::new(),
+                nodes: vec![from],
+                base_one_way_ms: 0.0,
+            });
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.index()] = 0.0;
+        heap.push(QueueItem {
+            dist: 0.0,
+            node: from,
+        });
+        while let Some(QueueItem { dist: d, node }) = heap.pop() {
+            if d > dist[node.index()] {
+                continue; // stale entry
+            }
+            if node == to {
+                break;
+            }
+            // Stub endpoints (probes, datacenters, edge sites) never
+            // forward third-party traffic: expanding them as transit
+            // would let a multi-homed datacenter act as a wormhole
+            // between its peering hubs.
+            if node != from && self.topo.node(node).kind.is_stub() {
+                continue;
+            }
+            // Processing cost applies when transiting a node, not at the
+            // source; folded into the outgoing edge relaxation.
+            let proc = if node == from {
+                0.0
+            } else {
+                self.topo.node(node).kind.processing_delay_ms()
+            };
+            for (next, link) in self.topo.neighbors(node) {
+                if self.disabled.contains(&link) {
+                    continue;
+                }
+                let nd = d + proc + self.topo.link(link).base_delay_ms;
+                if nd < dist[next.index()] {
+                    dist[next.index()] = nd;
+                    prev[next.index()] = Some((node, link));
+                    heap.push(QueueItem {
+                        dist: nd,
+                        node: next,
+                    });
+                }
+            }
+        }
+        if dist[to.index()].is_infinite() {
+            return None;
+        }
+        // Reconstruct.
+        let mut links = Vec::new();
+        let mut nodes = vec![to];
+        let mut cur = to;
+        while cur != from {
+            let (p, l) = prev[cur.index()].expect("prev chain intact");
+            links.push(l);
+            nodes.push(p);
+            cur = p;
+        }
+        links.reverse();
+        nodes.reverse();
+        Some(PathInfo {
+            from,
+            to,
+            links,
+            nodes,
+            base_one_way_ms: dist[to.index()],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkClass, NodeKind};
+    use shears_geo::GeoPoint;
+
+    /// Line topology A—B—C—D at 1° longitude spacing on the equator.
+    fn line() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, i as f64), "XX"))
+            .collect();
+        for w in ids.windows(2) {
+            t.connect(w[0], w[1], LinkClass::TerrestrialBackbone, 1.0);
+        }
+        (t, ids)
+    }
+
+    #[test]
+    fn direct_path_on_line() {
+        let (t, ids) = line();
+        let mut r = Router::new(&t);
+        let p = r.path(ids[0], ids[3]).unwrap();
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(p.nodes.first(), Some(&ids[0]));
+        assert_eq!(p.nodes.last(), Some(&ids[3]));
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let (t, ids) = line();
+        let mut r = Router::new(&t);
+        let p = r.path(ids[1], ids[1]).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.base_one_way_ms, 0.0);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 0.0), "XX");
+        let b = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 1.0), "XX");
+        let mut r = Router::new(&t);
+        assert!(r.path(a, b).is_none());
+    }
+
+    #[test]
+    fn prefers_faster_detour_over_slow_direct() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 0.0), "XX");
+        let b = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 10.0), "XX");
+        let via = t.add_node(NodeKind::BackbonePop, GeoPoint::new(0.0, 5.0), "XX");
+        // Direct link heavily inflated; two-hop detour nearly geodesic.
+        t.connect(a, b, LinkClass::TerrestrialBackbone, 3.0);
+        t.connect(a, via, LinkClass::TerrestrialBackbone, 1.0);
+        t.connect(via, b, LinkClass::TerrestrialBackbone, 1.0);
+        let mut r = Router::new(&t);
+        let p = r.path(a, b).unwrap();
+        assert_eq!(p.hop_count(), 2, "should route via the middle node");
+        assert_eq!(p.nodes, vec![a, via, b]);
+    }
+
+    #[test]
+    fn intermediate_processing_counts_endpoints_do_not() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::ProbeHost, GeoPoint::new(0.0, 0.0), "XX");
+        let m = t.add_node(NodeKind::IxpHub, GeoPoint::new(0.0, 1.0), "XX");
+        let b = t.add_node(NodeKind::Datacenter, GeoPoint::new(0.0, 2.0), "XX");
+        let l1 = t.connect(a, m, LinkClass::TerrestrialBackbone, 1.0);
+        let l2 = t.connect(m, b, LinkClass::TerrestrialBackbone, 1.0);
+        let mut r = Router::new(&t);
+        let p = r.path(a, b).unwrap();
+        let want = t.link(l1).base_delay_ms
+            + NodeKind::IxpHub.processing_delay_ms()
+            + t.link(l2).base_delay_ms;
+        assert!((p.base_one_way_ms - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_hits_return_same_path() {
+        let (t, ids) = line();
+        let mut r = Router::new(&t);
+        let first = r.path(ids[0], ids[3]).unwrap().clone();
+        assert_eq!(r.cache_len(), 1);
+        let second = r.path(ids[0], ids[3]).unwrap().clone();
+        assert_eq!(first, second);
+        assert_eq!(r.cache_len(), 1);
+    }
+
+    #[test]
+    fn disabled_links_force_detours_or_disconnect() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 0.0), "XX");
+        let b = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 10.0), "XX");
+        let via = t.add_node(NodeKind::BackbonePop, GeoPoint::new(5.0, 5.0), "XX");
+        let direct = t.connect(a, b, LinkClass::TerrestrialBackbone, 1.0);
+        t.connect(a, via, LinkClass::TerrestrialBackbone, 1.0);
+        let l2 = t.connect(via, b, LinkClass::TerrestrialBackbone, 1.0);
+        // Healthy: direct link wins.
+        let mut healthy = Router::new(&t);
+        assert_eq!(healthy.path(a, b).unwrap().hop_count(), 1);
+        // Direct cut: detour via the middle node.
+        let mut cut = Router::with_disabled(&t, [direct].into_iter().collect());
+        let detour = cut.path(a, b).unwrap().clone();
+        assert_eq!(detour.hop_count(), 2);
+        assert!(detour.base_one_way_ms > healthy.path(a, b).unwrap().base_one_way_ms);
+        // Both cut: disconnected.
+        let mut dead = Router::with_disabled(&t, [direct, l2].into_iter().collect());
+        assert!(dead.path(a, b).is_none());
+    }
+
+    #[test]
+    fn symmetric_delay_on_undirected_graph() {
+        let (t, ids) = line();
+        let mut r = Router::new(&t);
+        let fwd = r.path(ids[0], ids[3]).unwrap().base_one_way_ms;
+        let rev = r.path(ids[3], ids[0]).unwrap().base_one_way_ms;
+        assert!((fwd - rev).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Simulation time.
+//!
+//! Time is a `u64` count of **nanoseconds** since the start of the
+//! simulation. Nanosecond resolution keeps sub-millisecond access-network
+//! effects exact while still allowing simulations of several simulated
+//! years (`u64::MAX` ns ≈ 584 years) without overflow.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates a time from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime::from_secs(h * 3600)
+    }
+
+    /// Creates a time from whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimTime::from_hours(d * 24)
+    }
+
+    /// Creates a time from a (possibly fractional) number of
+    /// milliseconds, rounding to the nearest nanosecond. Negative or
+    /// non-finite inputs saturate to zero — delay contributions are never
+    /// allowed to push time backwards.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        if !ms.is_finite() || ms <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((ms * 1e6).round() as u64)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time as whole hours (truncating).
+    pub const fn as_hours(self) -> u64 {
+        self.0 / 3_600_000_000_000
+    }
+
+    /// The hour-of-day in `[0, 24)` for a site at the given longitude,
+    /// treating the epoch as midnight UTC. Used by the diurnal load model:
+    /// congestion follows *local* time, so two probes measuring at the
+    /// same instant see different load depending on where they are.
+    pub fn local_hour_of_day(self, longitude_deg: f64) -> f64 {
+        let utc_h = (self.0 as f64 / 3.6e12) % 24.0;
+        let offset = longitude_deg / 15.0;
+        (utc_h + offset).rem_euclid(24.0)
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.as_millis_f64();
+        if ms < 1000.0 {
+            write!(f, "{ms:.3} ms")
+        } else {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_secs(2).as_millis_f64(), 2000.0);
+        assert_eq!(SimTime::from_hours(3).as_hours(), 3);
+        assert_eq!(SimTime::from_days(2).as_hours(), 48);
+    }
+
+    #[test]
+    fn fractional_millis() {
+        let t = SimTime::from_millis_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000);
+        assert_eq!(SimTime::from_millis_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_millis_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_millis_f64(f64::INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!((a + b).as_millis_f64(), 14.0);
+        assert_eq!((a - b).as_millis_f64(), 6.0);
+        assert_eq!(b.saturating_since(a), SimTime::ZERO);
+        assert_eq!(a.saturating_since(b), SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn local_hour_follows_longitude() {
+        let noon_utc = SimTime::from_hours(12);
+        assert!((noon_utc.local_hour_of_day(0.0) - 12.0).abs() < 1e-9);
+        // +90° east is +6 hours.
+        assert!((noon_utc.local_hour_of_day(90.0) - 18.0).abs() < 1e-9);
+        // -180° wraps below zero.
+        assert!((noon_utc.local_hour_of_day(-180.0) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_millis_f64(12.345)), "12.345 ms");
+        assert_eq!(format!("{}", SimTime::from_secs(3)), "3.000 s");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests for the network simulator's invariants.
+
+use proptest::prelude::*;
+use shears_geo::GeoPoint;
+use shears_netsim::stochastic::SimRng;
+use shears_netsim::wire::{internet_checksum, EchoPacket, WireError};
+use shears_netsim::{EventQueue, LinkClass, NodeKind, Router, SimTime, Topology};
+
+proptest! {
+    // ---- event queue ------------------------------------------------
+
+    #[test]
+    fn events_always_pop_in_time_then_fifo_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(ev.at >= lt);
+                if ev.at == lt {
+                    prop_assert!(ev.payload > li, "FIFO violated among ties");
+                }
+            }
+            last = Some((ev.at, ev.payload));
+        }
+        prop_assert_eq!(q.delivered(), times.len() as u64);
+    }
+
+    #[test]
+    fn run_until_never_delivers_late_events(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        deadline in 0u64..1000,
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        let deadline_t = SimTime::from_nanos(deadline);
+        let mut seen = Vec::new();
+        q.run_until(deadline_t, |_, ev| seen.push(ev.at));
+        prop_assert!(seen.iter().all(|&t| t <= deadline_t));
+        let expected = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(seen.len(), expected);
+    }
+
+    // ---- time --------------------------------------------------------
+
+    #[test]
+    fn local_hour_is_always_in_range(
+        ns in 0u64..u64::MAX / 2,
+        lon in -180.0f64..180.0,
+    ) {
+        let h = SimTime::from_nanos(ns).local_hour_of_day(lon);
+        prop_assert!((0.0..24.0).contains(&h), "{h}");
+    }
+
+    // ---- wire formats --------------------------------------------------
+
+    #[test]
+    fn echo_packets_round_trip(
+        ident in any::<u16>(),
+        seq in any::<u16>(),
+        ttl in 1u8..=255,
+        is_request in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+    ) {
+        let pkt = EchoPacket { is_request, src, dst, ttl, ident, seq, payload };
+        let encoded = pkt.encode();
+        let parsed = EchoPacket::parse(&encoded).expect("own encoding parses");
+        prop_assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn corrupting_any_byte_is_detected_or_changes_the_packet(
+        ident in any::<u16>(),
+        seq in any::<u16>(),
+        flip_at in 0usize..76,
+        flip_bits in 1u8..=255,
+    ) {
+        let pkt = EchoPacket::atlas_default(true, ident, seq);
+        let mut bytes = pkt.encode().to_vec();
+        bytes[flip_at] ^= flip_bits;
+        match EchoPacket::parse(&bytes) {
+            // Either the checksum/structure catches it…
+            Err(
+                WireError::BadChecksum
+                | WireError::BadHeader
+                | WireError::Truncated
+                | WireError::WrongProtocol,
+            ) => {}
+            // …or a flip the checksum algebra cancels slipped through;
+            // the Internet checksum is weak against some multi-bit
+            // patterns, but then the parsed packet must differ from the
+            // original (the flip is visible, never silent).
+            Ok(parsed) => {
+                prop_assert_ne!(parsed, pkt);
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_verifies_to_zero_over_checksummed_block(
+        data in proptest::collection::vec(any::<u8>(), 2..256),
+    ) {
+        // Append the checksum to the data; the checksum of the whole
+        // must be zero (the receiver-side verification identity).
+        let mut block = data.clone();
+        // Pad to even length first (the identity holds for whole words).
+        if block.len() % 2 == 1 {
+            block.push(0);
+        }
+        let csum = internet_checksum(&block);
+        block.extend_from_slice(&csum.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&block), 0);
+    }
+
+    // ---- topology & routing -----------------------------------------
+
+    #[test]
+    fn random_line_topology_routes_end_to_end(
+        lats in proptest::collection::vec(-60.0f64..60.0, 2..30),
+        inflation in 1.0f64..2.5,
+    ) {
+        let mut topo = Topology::new();
+        let nodes: Vec<_> = lats
+            .iter()
+            .enumerate()
+            .map(|(i, &lat)| {
+                topo.add_node(NodeKind::MetroPop, GeoPoint::new(lat, i as f64), "XX")
+            })
+            .collect();
+        for w in nodes.windows(2) {
+            topo.connect(w[0], w[1], LinkClass::TerrestrialBackbone, inflation);
+        }
+        let mut router = Router::new(&topo);
+        let path = router.path(nodes[0], *nodes.last().unwrap()).expect("line is connected");
+        // The path visits every node exactly once, in order.
+        prop_assert_eq!(path.nodes.len(), nodes.len());
+        // Its delay equals the sum of link delays plus intermediate
+        // processing.
+        let link_sum: f64 = path
+            .links
+            .iter()
+            .map(|&l| topo.link(l).base_delay_ms)
+            .sum();
+        let proc: f64 = path.nodes[1..path.nodes.len() - 1]
+            .iter()
+            .map(|&n| topo.node(n).kind.processing_delay_ms())
+            .sum();
+        prop_assert!((path.base_one_way_ms - (link_sum + proc)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_is_symmetric_on_random_graphs(
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 5..40),
+    ) {
+        let mut topo = Topology::new();
+        let nodes: Vec<_> = (0..12)
+            .map(|i| {
+                topo.add_node(
+                    NodeKind::BackbonePop,
+                    GeoPoint::new(f64::from(i) * 4.0 - 22.0, f64::from(i) * 7.0),
+                    "XX",
+                )
+            })
+            .collect();
+        for &(a, b) in &edges {
+            if a != b && topo.link_between(nodes[a], nodes[b]).is_none() {
+                topo.connect(nodes[a], nodes[b], LinkClass::TerrestrialBackbone, 1.2);
+            }
+        }
+        let mut router = Router::new(&topo);
+        for &(a, b) in edges.iter().take(10) {
+            let fwd = router.path(nodes[a], nodes[b]).map(|p| p.base_one_way_ms);
+            let rev = router.path(nodes[b], nodes[a]).map(|p| p.base_one_way_ms);
+            match (fwd, rev) {
+                (Some(f), Some(r)) => prop_assert!((f - r).abs() < 1e-9),
+                (None, None) => {}
+                _ => prop_assert!(false, "asymmetric reachability"),
+            }
+        }
+    }
+
+    // ---- stochastic ----------------------------------------------------
+
+    #[test]
+    fn keyed_forks_are_reproducible_and_distinct(
+        seed in any::<u64>(),
+        stream in any::<u64>(),
+        index in any::<u64>(),
+    ) {
+        let parent = SimRng::new(seed);
+        let mut a = parent.fork_keyed(stream, index);
+        let mut b = parent.fork_keyed(stream, index);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = parent.fork_keyed(stream, index.wrapping_add(1));
+        // Distinct keys virtually never collide on the first draw.
+        prop_assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_scales_with_median(
+        median in 0.1f64..1000.0,
+        sigma in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            let v = rng.lognormal(median, sigma);
+            prop_assert!(v > 0.0);
+            prop_assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Era segmentation: recovering "CDN → Cloud → Edge" from the series.
+//!
+//! §2: "three eras can be distinguished: content delivery networks
+//! (CDN), cloud, and edge". We recover the two boundaries from the
+//! data with a CUSUM-style changepoint detector on each keyword's
+//! take-off, rather than hard-coding years: the cloud era begins at the
+//! changepoint of cloud search interest, the edge era at the
+//! changepoint of edge search interest.
+
+use serde::{Deserialize, Serialize};
+
+use crate::series::{TrendDataset, TrendSeries, FIRST_YEAR, LAST_YEAR};
+
+/// One of the three eras of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Era {
+    /// Edge servers as CDN caches (early 2000s).
+    Cdn,
+    /// Centralised elastic datacenters.
+    Cloud,
+    /// Cloudlets/fog/edge computing.
+    Edge,
+}
+
+impl Era {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Era::Cdn => "CDN era",
+            Era::Cloud => "Cloud era",
+            Era::Edge => "Edge era",
+        }
+    }
+}
+
+/// A contiguous span of years belonging to one era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EraSpan {
+    /// The era.
+    pub era: Era,
+    /// First year (inclusive).
+    pub from: u16,
+    /// Last year (inclusive).
+    pub to: u16,
+}
+
+/// Finds the changepoint (index) of a series' take-off using an offset
+/// CUSUM: the year where the cumulative excess over the global mean is
+/// most negative marks the end of the low regime; the changepoint is
+/// the following year. Returns `None` for an (almost) flat series.
+pub fn cusum_changepoint(values: &[f64]) -> Option<usize> {
+    if values.len() < 3 {
+        return None;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let spread = values.iter().fold(0.0_f64, |a, &v| a.max((v - mean).abs()));
+    if spread < 1e-9 || mean <= 0.0 || spread < 0.05 * mean {
+        return None; // flat: no regime change
+    }
+    let mut cum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut argmin = 0;
+    for (i, &v) in values.iter().enumerate() {
+        cum += v - mean;
+        if cum < min {
+            min = cum;
+            argmin = i;
+        }
+    }
+    let cp = argmin + 1;
+    if cp >= values.len() {
+        None
+    } else {
+        Some(cp)
+    }
+}
+
+/// Changepoint of a trend series, as a calendar year.
+pub fn takeoff_year(series: &TrendSeries) -> Option<u16> {
+    cusum_changepoint(&series.values).map(|i| FIRST_YEAR + i as u16)
+}
+
+/// Segments the figure's window into the three eras.
+///
+/// The Cloud era starts at the cloud-search take-off, the Edge era at
+/// the edge-search take-off; whatever precedes the cloud take-off is
+/// the CDN era. Take-offs that cannot be detected fall back to the
+/// paper's nominal years (2008, 2015).
+pub fn detect_eras(data: &TrendDataset) -> Vec<EraSpan> {
+    let cloud_start = takeoff_year(&data.cloud_search).unwrap_or(2008);
+    let edge_start = takeoff_year(&data.edge_search)
+        .unwrap_or(2015)
+        .max(cloud_start + 1);
+    vec![
+        EraSpan {
+            era: Era::Cdn,
+            from: FIRST_YEAR,
+            to: cloud_start - 1,
+        },
+        EraSpan {
+            era: Era::Cloud,
+            from: cloud_start,
+            to: edge_start - 1,
+        },
+        EraSpan {
+            era: Era::Edge,
+            from: edge_start,
+            to: LAST_YEAR,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TrendDataset;
+
+    #[test]
+    fn cusum_finds_an_obvious_step() {
+        let values = [1.0, 1.0, 1.0, 1.0, 10.0, 10.0, 10.0];
+        assert_eq!(cusum_changepoint(&values), Some(4));
+    }
+
+    #[test]
+    fn cusum_rejects_flat_series() {
+        assert_eq!(cusum_changepoint(&[5.0; 10]), None);
+        assert_eq!(cusum_changepoint(&[5.0, 5.01, 4.99, 5.0]), None);
+        assert_eq!(cusum_changepoint(&[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn eras_cover_the_window_contiguously() {
+        let data = TrendDataset::figure1(7);
+        let eras = detect_eras(&data);
+        assert_eq!(eras.len(), 3);
+        assert_eq!(eras[0].era, Era::Cdn);
+        assert_eq!(eras[1].era, Era::Cloud);
+        assert_eq!(eras[2].era, Era::Edge);
+        assert_eq!(eras[0].from, 2004);
+        assert_eq!(eras[2].to, 2019);
+        for w in eras.windows(2) {
+            assert_eq!(w[0].to + 1, w[1].from, "gap between eras");
+        }
+    }
+
+    #[test]
+    fn boundaries_land_near_the_papers_narrative() {
+        // Cloudlets (2009) started the edge era per §2; the cloud era
+        // began in the late 2000s. Allow a ±2-year window on each.
+        let data = TrendDataset::figure1(11);
+        let eras = detect_eras(&data);
+        let cloud_start = eras[1].from;
+        let edge_start = eras[2].from;
+        assert!(
+            (2006..=2010).contains(&cloud_start),
+            "cloud era starts {cloud_start}"
+        );
+        assert!(
+            (2014..=2018).contains(&edge_start),
+            "edge era starts {edge_start}"
+        );
+    }
+
+    #[test]
+    fn detection_is_stable_across_seeds() {
+        let spans: Vec<Vec<EraSpan>> = (0..10)
+            .map(|s| detect_eras(&TrendDataset::figure1(s)))
+            .collect();
+        for eras in &spans {
+            let d = (eras[1].from as i32 - spans[0][1].from as i32).abs();
+            assert!(d <= 2, "cloud boundary jitters by {d} years");
+        }
+    }
+
+    #[test]
+    fn era_names() {
+        assert_eq!(Era::Cdn.name(), "CDN era");
+        assert_eq!(Era::Edge.name(), "Edge era");
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-country cloud-reachability report (the Fig. 4 drill-down).
+//!
+//! ```sh
+//! cargo run --release --example country_report -- BR KE DE
+//! ```
+//!
+//! With no arguments, reports on a representative set.
+
+use latency_shears::analysis::proximity::{country_min_report, CountryMinReport, FIG4_BUCKETS};
+use latency_shears::analysis::report::{ms, Table};
+use latency_shears::analysis::stats::Summary;
+use latency_shears::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requested: Vec<String> = if args.is_empty() {
+        ["US", "DE", "BR", "KE", "IN", "AU", "TD"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args.iter().map(|s| s.to_uppercase()).collect()
+    };
+
+    let platform = Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: 800,
+            seed: 7,
+        },
+        ..PlatformConfig::default()
+    });
+    let store = Campaign::new(
+        &platform,
+        CampaignConfig {
+            rounds: 12,
+            ..CampaignConfig::quick()
+        },
+    )
+    .run_parallel(4)
+    .expect("quick config has unlimited credits");
+    let data = CampaignData::new(&platform, &store);
+    let fig4 = country_min_report(&data);
+
+    for code in &requested {
+        report_country(&platform, &data, &fig4, code);
+    }
+}
+
+fn report_country(
+    platform: &Platform,
+    data: &CampaignData<'_>,
+    fig4: &CountryMinReport,
+    code: &str,
+) {
+    let Some(country) = platform.countries().by_code(code) else {
+        println!("== {code}: unknown country code ==\n");
+        return;
+    };
+    println!(
+        "== {} ({}) — {} | population {:.1} M | infra {:?} ==",
+        country.name,
+        country.code,
+        country.continent,
+        country.population_m,
+        country.tier()
+    );
+
+    match fig4.min_by_country.get(code) {
+        Some(&min) => {
+            let bucket = CountryMinReport::bucket_of(min);
+            let (lo, hi) = FIG4_BUCKETS[bucket];
+            println!(
+                "best probe to any datacenter: {} ms (Fig. 4 bucket {}..{} ms)",
+                ms(min),
+                lo,
+                if hi.is_finite() {
+                    format!("{hi}")
+                } else {
+                    "inf".into()
+                }
+            );
+        }
+        None => println!("no responding probes in this campaign"),
+    }
+
+    // Nearest catalogue regions by geography.
+    let mut t = Table::new(vec!["nearest regions", "distance km"]);
+    for r in platform.catalog().nearest(country.centroid, 3) {
+        t.row(vec![
+            r.label(),
+            format!("{:.0}", country.centroid.distance_km(r.location)),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Distribution over this country's probes.
+    let rtts: Vec<f64> = data
+        .filtered_responded()
+        .filter(|(p, _)| p.country == code)
+        .map(|(_, s)| f64::from(s.min_ms))
+        .collect();
+    match Summary::of(&rtts) {
+        Some(s) => println!(
+            "all rounds: n={} min={} p25={} median={} p95={} max={}\n",
+            s.n,
+            ms(s.min),
+            ms(s.p25),
+            ms(s.median),
+            ms(s.p95),
+            ms(s.max)
+        ),
+        None => println!("no samples\n"),
+    }
+}

@@ -1,0 +1,103 @@
+//! Quickstart: build the platform, run a small campaign, print the
+//! paper's headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use latency_shears::analysis::headline::headline_numbers;
+use latency_shears::analysis::report::{pct, Table};
+use latency_shears::prelude::*;
+
+fn main() {
+    // 1. The platform: 101 cloud regions, a ~600-probe fleet (scale the
+    //    target_size up to 3200 for the paper-scale run).
+    let platform = Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: 600,
+            seed: 42,
+        },
+        ..PlatformConfig::default()
+    });
+    println!(
+        "platform: {} probes in {} countries, {} cloud regions, {} topology nodes",
+        platform.probes().len(),
+        platform
+            .probes()
+            .iter()
+            .map(|p| p.country.as_str())
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        platform.catalog().regions().len(),
+        platform.topology().node_count(),
+    );
+
+    // 2. The campaign: ping every 3 hours, 3 packets, nearest targets.
+    let cfg = CampaignConfig {
+        rounds: 16,
+        ..CampaignConfig::quick()
+    };
+    let store = Campaign::new(&platform, cfg)
+        .run_parallel(std::thread::available_parallelism().map_or(2, |n| n.get()))
+        .expect("credit grant is unlimited in quick configs");
+    println!(
+        "campaign: {} samples, {:.1}% responded\n",
+        store.len(),
+        store.response_rate() * 100.0
+    );
+
+    // 3. The analysis.
+    let data = CampaignData::new(&platform, &store);
+    let h = headline_numbers(&data);
+
+    let mut t = Table::new(vec!["headline (paper \u{2192} measured)", "value"]);
+    t.row(vec![
+        "countries with min RTT < 10 ms   (paper: 32)".to_string(),
+        h.countries_under_10ms.to_string(),
+    ]);
+    t.row(vec![
+        "countries in 10-20 ms            (paper: 21)".to_string(),
+        h.countries_10_to_20ms.to_string(),
+    ]);
+    t.row(vec![
+        "countries above PL               (paper: 16)".to_string(),
+        format!(
+            "{} ({} African)",
+            h.countries_above_pl, h.countries_above_pl_african
+        ),
+    ]);
+    t.row(vec![
+        "EU probes within MTP             (paper: ~80%)".to_string(),
+        pct(h.eu_probes_within_mtp),
+    ]);
+    t.row(vec![
+        "NA probes within MTP             (paper: ~80%)".to_string(),
+        pct(h.na_probes_within_mtp),
+    ]);
+    t.row(vec![
+        "Africa probes within PL          (paper: ~75%)".to_string(),
+        pct(h.africa_within_pl),
+    ]);
+    t.row(vec![
+        "LatAm probes within PL           (paper: ~75%)".to_string(),
+        pct(h.latam_within_pl),
+    ]);
+    t.row(vec![
+        "EU+NA rounds under 40 ms         (Facebook check)".to_string(),
+        pct(h.eu_na_rounds_under_40ms),
+    ]);
+    t.row(vec![
+        "wireless / wired RTT ratio       (paper: ~2.5x)".to_string(),
+        h.wireless_ratio
+            .map(|r| format!("{r:.2}x"))
+            .unwrap_or_else(|| "-".into()),
+    ]);
+    print!("{}", t.render());
+
+    println!(
+        "\nimplied feasibility zone: latency {:.0}..{:.0} ms, data >= {:.0} GB/entity/day",
+        h.feasibility_zone.latency_floor_ms,
+        h.feasibility_zone.latency_ceiling_ms,
+        h.feasibility_zone.bandwidth_gain_gb_per_day,
+    );
+}

@@ -1,0 +1,266 @@
+//! `shears` — the command-line face of the latency-shears reproduction.
+//!
+//! ```text
+//! shears headline [--probes N] [--rounds N]   headline numbers vs the paper
+//! shears country CC [CC...]                   per-country reachability report
+//! shears trace CC                             traceroute a country's probe to its nearest region
+//! shears serve [--addr HOST:PORT]             run the Atlas-style HTTP API
+//! shears dataset OUT_DIR                      export a campaign dataset (JSONL + metadata)
+//! ```
+//!
+//! Argument parsing is hand-rolled: the surface is five subcommands and
+//! three flags, which does not justify a dependency.
+
+use std::process::ExitCode;
+
+use latency_shears::analysis::headline::headline_numbers;
+use latency_shears::analysis::report::{ms, pct, Table};
+use latency_shears::analysis::stats::Summary;
+use latency_shears::api::{ApiServer, AtlasService};
+use latency_shears::netsim::queue::DiurnalLoad;
+use latency_shears::netsim::stochastic::SimRng;
+use latency_shears::netsim::TracerouteProber;
+use latency_shears::prelude::*;
+
+struct Options {
+    probes: usize,
+    rounds: u32,
+    addr: String,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        probes: 800,
+        rounds: 12,
+        addr: "127.0.0.1:8780".to_string(),
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--probes" => {
+                opts.probes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--probes needs an integer")?;
+            }
+            "--rounds" => {
+                opts.rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--rounds needs an integer")?;
+            }
+            "--addr" => {
+                opts.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            positional => opts.positional.push(positional.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn build(opts: &Options) -> Platform {
+    eprintln!("building platform ({} probes)...", opts.probes);
+    Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: opts.probes,
+            seed: 42,
+        },
+        ..PlatformConfig::default()
+    })
+}
+
+fn run_campaign(platform: &Platform, opts: &Options) -> ResultStore {
+    eprintln!("running campaign ({} rounds)...", opts.rounds);
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    Campaign::new(
+        platform,
+        CampaignConfig {
+            rounds: opts.rounds,
+            ..CampaignConfig::paper_scale()
+        },
+    )
+    .run_parallel(threads)
+    .expect("default configs carry unlimited credits")
+}
+
+fn cmd_headline(opts: &Options) -> ExitCode {
+    let platform = build(opts);
+    let store = run_campaign(&platform, opts);
+    let data = CampaignData::new(&platform, &store);
+    let h = headline_numbers(&data);
+    let mut t = Table::new(vec!["statistic", "paper", "measured"]);
+    t.row(vec!["countries < 10 ms".into(), "32".into(), h.countries_under_10ms.to_string()]);
+    t.row(vec!["countries 10-20 ms".into(), "21".into(), h.countries_10_to_20ms.to_string()]);
+    t.row(vec!["countries above PL".into(), "16".into(), h.countries_above_pl.to_string()]);
+    t.row(vec!["EU within MTP".into(), "~80%".into(), pct(h.eu_probes_within_mtp)]);
+    t.row(vec!["NA within MTP".into(), "~80%".into(), pct(h.na_probes_within_mtp)]);
+    t.row(vec!["Africa within PL".into(), "~75%".into(), pct(h.africa_within_pl)]);
+    t.row(vec![
+        "wireless/wired".into(),
+        "~2.5x".into(),
+        h.wireless_ratio.map(|r| format!("{r:.2}x")).unwrap_or_else(|| "-".into()),
+    ]);
+    print!("{}", t.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_country(opts: &Options) -> ExitCode {
+    if opts.positional.is_empty() {
+        eprintln!("usage: shears country CC [CC...]");
+        return ExitCode::FAILURE;
+    }
+    let platform = build(opts);
+    let store = run_campaign(&platform, opts);
+    let data = CampaignData::new(&platform, &store);
+    for code in &opts.positional {
+        let code = code.to_uppercase();
+        let Some(country) = platform.countries().by_code(&code) else {
+            eprintln!("unknown country code {code}");
+            continue;
+        };
+        let rtts: Vec<f64> = data
+            .filtered_responded()
+            .filter(|(p, _)| p.country == code)
+            .map(|(_, s)| f64::from(s.min_ms))
+            .collect();
+        match Summary::of(&rtts) {
+            Some(s) => println!(
+                "{} ({}): n={} min={} median={} p95={} — nearest region: {}",
+                country.name,
+                country.continent,
+                s.n,
+                ms(s.min),
+                ms(s.median),
+                ms(s.p95),
+                platform
+                    .catalog()
+                    .nearest(country.centroid, 1)
+                    .first()
+                    .map(|r| r.label())
+                    .unwrap_or_default(),
+            ),
+            None => println!("{}: no samples", country.name),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(opts: &Options) -> ExitCode {
+    let Some(code) = opts.positional.first().map(|c| c.to_uppercase()) else {
+        eprintln!("usage: shears trace CC");
+        return ExitCode::FAILURE;
+    };
+    let platform = build(opts);
+    let Some(probe) = platform.probes().iter().find(|p| p.country == code && !p.is_privileged())
+    else {
+        eprintln!("no probe in {code}");
+        return ExitCode::FAILURE;
+    };
+    let Some(&target) = platform.targets_for(probe, 1, 1).first() else {
+        eprintln!("no reachable region for {code}");
+        return ExitCode::FAILURE;
+    };
+    let region = platform.region(target as usize);
+    println!(
+        "traceroute from probe #{} ({}, {}) to {}:",
+        probe.id.0,
+        code,
+        probe.access.tech.atlas_tag(),
+        region.label()
+    );
+    let mut prober = TracerouteProber::new(platform.topology());
+    let mut rng = SimRng::new(0x7ace);
+    let Some(out) = prober.trace(
+        platform.probe_node(probe.id),
+        platform.dc_node(target as usize),
+        Some(probe.access),
+        DiurnalLoad::residential(),
+        SimTime::from_hours(2),
+        &mut rng,
+    ) else {
+        eprintln!("disconnected");
+        return ExitCode::FAILURE;
+    };
+    for hop in &out.hops {
+        println!(
+            "  {:>2}  {:<14} {}",
+            hop.ttl,
+            format!("{:?}", hop.kind),
+            hop.rtt_ms.map(ms).unwrap_or_else(|| "*".into())
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(opts: &Options) -> ExitCode {
+    let platform = build(opts);
+    let server = match ApiServer::spawn(opts.addr.as_str(), AtlasService::new(platform)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("Atlas-style API listening on http://{}", server.local_addr());
+    println!("endpoints: /api/v2/probes /api/v2/regions /api/v2/measurements /api/v2/traceroutes /api/v2/credits");
+    println!("press Ctrl-C to stop.");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_dataset(opts: &Options) -> ExitCode {
+    let Some(out_dir) = opts.positional.first() else {
+        eprintln!("usage: shears dataset OUT_DIR");
+        return ExitCode::FAILURE;
+    };
+    let platform = build(opts);
+    let store = run_campaign(&platform, opts);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let path = std::path::Path::new(out_dir).join("samples.jsonl");
+    if let Err(e) = std::fs::write(&path, store.to_jsonl()) {
+        eprintln!("write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} samples to {}", store.len(), path.display());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: shears <headline|country|trace|serve|dataset> [args]\n\
+             flags: --probes N   fleet size (default 800)\n\
+             \x20      --rounds N   campaign rounds (default 12)\n\
+             \x20      --addr A     serve address (default 127.0.0.1:8780)"
+        );
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_args(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "headline" => cmd_headline(&opts),
+        "country" => cmd_country(&opts),
+        "trace" => cmd_trace(&opts),
+        "serve" => cmd_serve(&opts),
+        "dataset" => cmd_dataset(&opts),
+        other => {
+            eprintln!("unknown command {other}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # latency-shears
+//!
+//! A full reproduction of *Pruning Edge Research with Latency Shears*
+//! (Mohan et al., HotNets 2020) as a Rust workspace: a synthetic — but
+//! carefully calibrated — RIPE-Atlas-style measurement platform over a
+//! discrete-event Internet simulator, plus the paper's complete
+//! analysis pipeline and every figure's regeneration harness.
+//!
+//! This crate is the facade: it re-exports the workspace crates under
+//! stable names so applications can depend on one crate.
+//!
+//! ```
+//! use latency_shears::prelude::*;
+//!
+//! // Build the world, run a small campaign, compute a headline number.
+//! let platform = Platform::build(&PlatformConfig::quick(7));
+//! let store = Campaign::new(&platform, CampaignConfig { rounds: 2, ..CampaignConfig::quick() })
+//!     .run()
+//!     .expect("enough credits");
+//! let data = CampaignData::new(&platform, &store);
+//! let fig4 = country_min_report(&data);
+//! assert!(fig4.countries_measured() > 100);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Role |
+//! |---|---|---|
+//! | [`geo`] | `shears-geo` | geodesy, country atlas, spatial index |
+//! | [`netsim`] | `shears-netsim` | event engine, topology, routing, ping/TCP |
+//! | [`cloud`] | `shears-cloud` | the 101-region, 7-provider catalogue |
+//! | [`atlas`] | `shears-atlas` | probes, tags, credits, campaign |
+//! | [`api`] | `shears-api` | Atlas-style HTTP API (server + client) |
+//! | [`apps`] | `shears-apps` | application envelopes, quadrants, FZ |
+//! | [`trends`] | `shears-trends` | Fig. 1 era series & changepoints |
+//! | [`analysis`] | `shears-analysis` | the paper's analysis pipeline |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use shears_analysis as analysis;
+pub use shears_api as api;
+pub use shears_apps as apps;
+pub use shears_atlas as atlas;
+pub use shears_cloud as cloud;
+pub use shears_geo as geo;
+pub use shears_netsim as netsim;
+pub use shears_trends as trends;
+
+/// The names most applications need, in one import.
+pub mod prelude {
+    pub use shears_analysis::data::CampaignData;
+    pub use shears_analysis::distribution::all_samples_cdfs;
+    pub use shears_analysis::headline::headline_numbers;
+    pub use shears_analysis::lastmile::last_mile_report;
+    pub use shears_analysis::proximity::{country_min_report, probe_min_cdfs};
+    pub use shears_analysis::stats::{Ecdf, Summary};
+    pub use shears_apps::{FeasibilityZone, Quadrant};
+    pub use shears_atlas::{
+        Campaign, CampaignConfig, FleetBuilder, FleetConfig, Platform, PlatformConfig, Probe,
+        ProbeId, ResultStore, RttSample, TagFilter,
+    };
+    pub use shears_cloud::{Catalog, Provider, Region};
+    pub use shears_geo::{Continent, Country, CountryAtlas, GeoPoint};
+    pub use shears_netsim::{SimTime, Topology};
+}

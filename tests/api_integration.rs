@@ -1,0 +1,133 @@
+//! API integration: the HTTP surface must agree with direct platform
+//! queries, under concurrency, over real sockets.
+
+use latency_shears::api::dto::CreateMeasurementDto;
+use latency_shears::api::{ApiClient, ApiServer, AtlasService};
+use latency_shears::prelude::*;
+
+fn spawn() -> (ApiServer, usize, usize) {
+    let platform = Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: 250,
+            seed: 77,
+        },
+        ..PlatformConfig::default()
+    });
+    let probes = platform.probes().len();
+    let regions = platform.catalog().regions().len();
+    let server = ApiServer::spawn("127.0.0.1:0", AtlasService::new(platform)).unwrap();
+    (server, probes, regions)
+}
+
+#[test]
+fn api_inventory_matches_platform() {
+    let (server, probes, regions) = spawn();
+    let client = ApiClient::new(server.local_addr());
+    assert_eq!(client.list_regions().unwrap().len(), regions);
+    // Paginated listing converges on the full fleet.
+    let mut seen = 0;
+    let mut offset = 0;
+    loop {
+        let (status, body) = client
+            .request(
+                "GET",
+                &format!("/api/v2/probes?limit=100&offset={offset}"),
+                None,
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        let page: Vec<serde_json::Value> = serde_json::from_slice(&body).unwrap();
+        if page.is_empty() {
+            break;
+        }
+        seen += page.len();
+        offset += 100;
+    }
+    assert_eq!(seen, probes);
+    server.shutdown();
+}
+
+#[test]
+fn measurement_results_reflect_geography() {
+    let (server, _, _) = spawn();
+    let client = ApiClient::new(server.local_addr());
+    let regions = client.list_regions().unwrap();
+    let frankfurt = regions
+        .iter()
+        .find(|r| r.city == "Frankfurt")
+        .expect("Frankfurt region");
+    let sydney = regions
+        .iter()
+        .find(|r| r.city == "Sydney")
+        .expect("Sydney region");
+
+    let median = |target: usize| -> f64 {
+        let m = client
+            .create_measurement(&CreateMeasurementDto {
+                target_region: target,
+                packets: 3,
+                rounds: 2,
+                probe_limit: 30,
+                country: Some("DE".into()),
+            })
+            .unwrap();
+        let mut rtts: Vec<f64> = client
+            .results(m.id)
+            .unwrap()
+            .iter()
+            .filter_map(|r| r.min_ms)
+            .collect();
+        assert!(!rtts.is_empty());
+        rtts.sort_by(f64::total_cmp);
+        rtts[rtts.len() / 2]
+    };
+
+    let to_frankfurt = median(frankfurt.index);
+    let to_sydney = median(sydney.index);
+    assert!(
+        to_sydney > 3.0 * to_frankfurt,
+        "German probes: Sydney {to_sydney} ms should dwarf Frankfurt {to_frankfurt} ms"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_measurements_keep_credit_accounting_consistent() {
+    let (server, _, _) = spawn();
+    let addr = server.local_addr();
+    let before = ApiClient::new(addr).credits().unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let client = ApiClient::new(addr);
+                client
+                    .create_measurement(&CreateMeasurementDto {
+                        target_region: i,
+                        packets: 3,
+                        rounds: 1,
+                        probe_limit: 10,
+                        country: None,
+                    })
+                    .unwrap()
+                    .credits_spent
+            })
+        })
+        .collect();
+    let spent: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let after = ApiClient::new(addr).credits().unwrap();
+    assert_eq!(before - after, spent);
+    server.shutdown();
+}
+
+#[test]
+fn api_rejects_garbage_without_dying() {
+    let (server, _, _) = spawn();
+    let client = ApiClient::new(server.local_addr());
+    let (status, _) = client
+        .request("POST", "/api/v2/measurements", Some(b"{{{{"))
+        .unwrap();
+    assert_eq!(status, 400);
+    // The server survives and keeps serving.
+    assert_eq!(client.list_regions().unwrap().len(), 101);
+    server.shutdown();
+}

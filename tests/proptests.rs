@@ -1,0 +1,137 @@
+//! Cross-crate property tests on the pipeline's structural invariants.
+
+use latency_shears::analysis::proximity::CountryMinReport;
+use latency_shears::analysis::report::Table;
+use latency_shears::apps::catalog::Envelope;
+use latency_shears::apps::feasibility::FeasibilityZone;
+use latency_shears::apps::{Application, Quadrant};
+use latency_shears::atlas::TagFilter;
+use latency_shears::prelude::*;
+use proptest::prelude::*;
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (0.001f64..1e6, 1.0f64..1e3).prop_map(|(lo, factor)| Envelope::new(lo, lo * factor))
+}
+
+fn arb_application() -> impl Strategy<Value = Application> {
+    (arb_envelope(), arb_envelope(), 0.0f64..500.0, any::<bool>(), 0.0f64..=1.0).prop_map(
+        |(latency_ms, data_gb_per_day, market, human_centric, edge_reduction)| Application {
+            name: "synthetic",
+            latency_ms,
+            data_gb_per_day,
+            market_2025_busd: market,
+            human_centric,
+            edge_reduction,
+            entities_per_metro: 1e5,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn ecdf_fraction_is_monotone_cdf(
+        mut samples in proptest::collection::vec(0.0f64..1e5, 1..200),
+        xs in proptest::collection::vec(0.0f64..1e5, 1..20),
+    ) {
+        samples.sort_by(f64::total_cmp);
+        let e = Ecdf::new(samples);
+        let mut sorted_xs = xs;
+        sorted_xs.sort_by(f64::total_cmp);
+        let mut prev = 0.0;
+        for x in sorted_xs {
+            let f = e.fraction_at_or_below(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn ecdf_quantile_and_fraction_are_inverse_ish(
+        samples in proptest::collection::vec(0.0f64..1e4, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let e = Ecdf::new(samples);
+        let v = e.quantile(q).unwrap();
+        // At least q of the mass sits at or below the q-quantile.
+        prop_assert!(e.fraction_at_or_below(v) >= q - 1e-9);
+    }
+
+    #[test]
+    fn summary_orders_its_statistics(samples in proptest::collection::vec(0.0f64..1e5, 1..300)) {
+        let s = Summary::of(&samples).unwrap();
+        prop_assert!(s.min <= s.p25);
+        prop_assert!(s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75);
+        prop_assert!(s.p75 <= s.p95);
+        prop_assert!(s.p95 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn fig4_buckets_partition_the_line(rtt in 0.0f64..1e4) {
+        let b = CountryMinReport::bucket_of(rtt);
+        prop_assert!(b < 6);
+        // Buckets are ordered: a larger RTT never lands in a smaller bucket.
+        let b2 = CountryMinReport::bucket_of(rtt * 2.0 + 1.0);
+        prop_assert!(b2 >= b);
+    }
+
+    #[test]
+    fn quadrant_and_feasibility_are_total(app in arb_application()) {
+        // Every synthetic application classifies without panicking, and
+        // an in-zone verdict implies the quadrant with bandwidth demand
+        // matches the zone's bandwidth rule.
+        let q = Quadrant::classify(&app);
+        let zone = FeasibilityZone::paper_defaults();
+        let v = zone.classify(&app);
+        if v.in_zone() {
+            prop_assert!(
+                app.data_gb_per_day.center() >= zone.bandwidth_gain_gb_per_day,
+                "{q:?} in zone without bandwidth demand"
+            );
+            prop_assert!(app.latency_ms.center() >= zone.latency_floor_ms);
+            prop_assert!(app.latency_ms.center() <= zone.latency_ceiling_ms);
+        }
+    }
+
+    #[test]
+    fn envelope_center_is_within_bounds(e in arb_envelope()) {
+        prop_assert!(e.lo <= e.center() && e.center() <= e.hi);
+        prop_assert!(e.decades() >= 0.0);
+    }
+
+    #[test]
+    fn tag_filter_exclusion_dominates(
+        tags in proptest::collection::vec("[a-z]{2,8}", 0..6),
+        needle in "[a-z]{2,8}",
+    ) {
+        let filter = TagFilter::any().require(&needle).reject(&needle);
+        // A filter requiring and rejecting the same tag matches nothing
+        // that carries the tag.
+        let mut with = tags.clone();
+        with.push(needle.clone());
+        prop_assert!(!filter.matches(&with));
+        prop_assert!(!filter.matches_any(&with));
+    }
+
+    #[test]
+    fn table_render_never_panics_and_aligns(
+        headers in proptest::collection::vec("[ -~]{1,12}", 1..5),
+        rows in proptest::collection::vec(proptest::collection::vec("[ -~]{0,16}", 0..7), 0..10),
+    ) {
+        let mut t = Table::new(headers.clone());
+        for r in rows {
+            t.row(r);
+        }
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        prop_assert_eq!(lines.len(), 2 + t.len());
+    }
+
+    #[test]
+    fn simtime_roundtrips_millis(ms in 0.0f64..1e12) {
+        let t = SimTime::from_millis_f64(ms);
+        prop_assert!((t.as_millis_f64() - ms).abs() < 1e-3);
+    }
+}
