@@ -151,6 +151,35 @@ pub struct TracerouteDto {
     pub hops: Vec<HopDto>,
 }
 
+/// Aggregate statistics of one measurement, as served by
+/// `GET /api/v2/measurements/{id}/stats` — computed server-side from
+/// the indexed analysis frame so clients don't have to download every
+/// result row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasurementStatsDto {
+    /// Measurement id.
+    pub id: u64,
+    /// Stored result rows.
+    pub samples: usize,
+    /// Rows with at least one reply.
+    pub responded: usize,
+    /// Reply rate; `null` when the measurement stored no rows (an
+    /// empty store has no reply-rate evidence).
+    pub response_rate: Option<f64>,
+    /// Probes with at least one responding round.
+    pub probes_with_data: usize,
+    /// Countries with at least one responding probe.
+    pub countries_measured: usize,
+    /// Probe with the lowest minimum RTT, when any responded.
+    pub fastest_probe_id: Option<u32>,
+    /// That probe's minimum RTT (ms).
+    pub fastest_probe_min_ms: Option<f64>,
+    /// Country with the lowest minimum RTT.
+    pub fastest_country: Option<String>,
+    /// That country's minimum RTT (ms).
+    pub fastest_country_min_ms: Option<f64>,
+}
+
 /// One result row of `GET /api/v2/measurements/{id}/results`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResultDto {

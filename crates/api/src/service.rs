@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use shears_atlas::{CreditLedger, Platform, RttSample};
+use shears_analysis::CampaignFrame;
+use shears_atlas::{CreditLedger, Platform, ResultStore, RttSample};
 use shears_netsim::ping::{PingConfig, PingProber};
 use shears_netsim::TracerouteProber;
 use shears_netsim::queue::DiurnalLoad;
@@ -11,8 +12,8 @@ use shears_netsim::stochastic::SimRng;
 use shears_netsim::SimTime;
 
 use crate::dto::{
-    CreateMeasurementDto, CreateTracerouteDto, HopDto, MeasurementDto, ProbeDto, RegionDto,
-    ResultDto, TracerouteDto,
+    CreateMeasurementDto, CreateTracerouteDto, HopDto, MeasurementDto, MeasurementStatsDto,
+    ProbeDto, RegionDto, ResultDto, TracerouteDto,
 };
 use crate::http::{Method, Request, Response};
 
@@ -80,6 +81,9 @@ impl AtlasService {
             (Method::Get, ["api", "v2", "measurements", id]) => self.get_measurement(id),
             (Method::Get, ["api", "v2", "measurements", id, "results"]) => {
                 self.get_results(id)
+            }
+            (Method::Get, ["api", "v2", "measurements", id, "stats"]) => {
+                self.get_stats(id)
             }
             (Method::Delete, ["api", "v2", "measurements", id]) => {
                 self.delete_measurement(id)
@@ -157,9 +161,7 @@ impl AtlasService {
         // Probe selection: unprivileged, optional country filter.
         let probes: Vec<_> = self
             .platform
-            .probes()
-            .iter()
-            .filter(|p| !p.is_privileged())
+            .unprivileged_probes()
             .filter(|p| spec.country.as_ref().is_none_or(|c| &p.country == c))
             .take(probe_limit)
             .collect();
@@ -235,9 +237,7 @@ impl AtlasService {
         }
         let probes: Vec<_> = self
             .platform
-            .probes()
-            .iter()
-            .filter(|p| !p.is_privileged())
+            .unprivileged_probes()
             .filter(|p| spec.country.as_ref().is_none_or(|c| &p.country == c))
             .take(spec.probe_limit.clamp(1, 50))
             .collect();
@@ -307,6 +307,44 @@ impl AtlasService {
             Some(_) => Response::status(204),
             None => Response::error(404, "no such measurement"),
         }
+    }
+
+    /// Aggregate statistics over one measurement's samples, computed
+    /// through the analysis frame (privileged-probe mask, per-probe and
+    /// per-country minima) instead of ad-hoc loops — the same indexed
+    /// path the figure pipeline uses.
+    fn get_stats(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "measurement id must be an integer");
+        };
+        let state = self.state.lock();
+        let Some(m) = state.measurements.get(&id) else {
+            return Response::error(404, "no such measurement");
+        };
+        let mut store = ResultStore::with_capacity(m.samples.len());
+        for s in &m.samples {
+            store.push(*s);
+        }
+        let frame = CampaignFrame::build(&self.platform, &store);
+        let rate = store.response_rate();
+        let fastest_probe = frame
+            .probe_minima()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let fastest_country = frame
+            .country_minima()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)));
+        Response::json(&MeasurementStatsDto {
+            id,
+            samples: store.len(),
+            responded: store.responded().count(),
+            response_rate: rate.is_finite().then_some(rate),
+            probes_with_data: frame.probe_minima().count(),
+            countries_measured: frame.countries_measured(),
+            fastest_probe_id: fastest_probe.map(|(p, _)| p.0),
+            fastest_probe_min_ms: fastest_probe.map(|(_, v)| v),
+            fastest_country: fastest_country.map(|(c, _)| c.to_string()),
+            fastest_country_min_ms: fastest_country.map(|(_, v)| v),
+        })
     }
 
     fn get_results(&self, id: &str) -> Response {
@@ -467,6 +505,45 @@ mod tests {
         assert_eq!(
             svc.handle(&post("/api/v2/traceroutes", "junk")).status,
             400
+        );
+    }
+
+    #[test]
+    fn stats_endpoint_summarises_a_measurement() {
+        let svc = service();
+        let create = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 9, "rounds": 3, "probe_limit": 20}"#,
+        ));
+        assert_eq!(create.status, 201);
+        let m: MeasurementDto = serde_json::from_slice(&create.body).unwrap();
+
+        let resp = svc.handle(&get(&format!("/api/v2/measurements/{}/stats", m.id), &[]));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let stats: MeasurementStatsDto = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(stats.id, m.id);
+        assert_eq!(stats.samples, m.results);
+        assert!(stats.responded <= stats.samples);
+        let rate = stats.response_rate.expect("non-empty measurement");
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(stats.probes_with_data > 0);
+        assert!(stats.countries_measured > 0);
+        // The fastest probe/country pair is internally consistent.
+        let probe_min = stats.fastest_probe_min_ms.unwrap();
+        let country_min = stats.fastest_country_min_ms.unwrap();
+        assert!(probe_min > 0.0);
+        assert_eq!(country_min, probe_min, "best country is the best probe's");
+        assert!(stats.fastest_probe_id.is_some());
+        assert!(stats.fastest_country.is_some());
+
+        // Error paths.
+        assert_eq!(
+            svc.handle(&get("/api/v2/measurements/abc/stats", &[])).status,
+            400
+        );
+        assert_eq!(
+            svc.handle(&get("/api/v2/measurements/999/stats", &[])).status,
+            404
         );
     }
 

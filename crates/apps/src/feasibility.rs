@@ -79,7 +79,9 @@ impl FeasibilityZone {
     /// Builds a zone from *measured* quantities: the observed wireless
     /// access floor (Fig. 7 analysis) and the RTT the cloud delivers to
     /// most of the world (Fig. 5/6 analysis; the paper uses HRT because
-    /// the cloud meets it almost globally).
+    /// the cloud meets it almost globally). Both inputs come out of the
+    /// campaign's indexed frame via `headline_numbers`, so deriving the
+    /// zone adds no extra store scan.
     pub fn from_measurements(wireless_floor_ms: f64, cloud_served_ms: f64) -> Self {
         Self {
             latency_floor_ms: wireless_floor_ms,

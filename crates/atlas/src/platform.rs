@@ -121,6 +121,12 @@ impl Platform {
         &self.probes
     }
 
+    /// The fleet minus §4.1 privileged probes — the starting point of
+    /// every analysis and of on-demand measurement selection.
+    pub fn unprivileged_probes(&self) -> impl Iterator<Item = &Probe> {
+        self.probes.iter().filter(|p| !p.is_privileged())
+    }
+
     /// The underlying world (for attaching extension nodes such as edge
     /// sites).
     pub fn world_mut(&mut self) -> &mut WorldNet {

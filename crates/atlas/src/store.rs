@@ -125,9 +125,14 @@ impl ResultStore {
     }
 
     /// Overall reply rate (fraction of rounds with ≥1 reply).
+    ///
+    /// Returns `f64::NAN` for an empty store: there is no evidence
+    /// either way, and the old `1.0` sentinel let an empty campaign
+    /// read as a perfect reply rate. Callers reporting the rate should
+    /// gate on [`ResultStore::is_empty`] (or `is_finite`) first.
     pub fn response_rate(&self) -> f64 {
         if self.samples.is_empty() {
-            return 1.0;
+            return f64::NAN;
         }
         self.samples.iter().filter(|s| s.responded()).count() as f64 / self.samples.len() as f64
     }
@@ -207,8 +212,9 @@ mod tests {
     }
 
     #[test]
-    fn empty_store_rate_is_one() {
-        assert_eq!(ResultStore::new().response_rate(), 1.0);
+    fn empty_store_rate_is_nan_not_perfect() {
+        // No rounds means no evidence, not a 100 % reply rate.
+        assert!(ResultStore::new().response_rate().is_nan());
         assert!(ResultStore::new().is_empty());
     }
 

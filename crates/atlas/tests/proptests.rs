@@ -55,7 +55,12 @@ proptest! {
             store.push(*s);
         }
         let rate = store.response_rate();
-        prop_assert!((0.0..=1.0).contains(&rate));
+        if samples.is_empty() {
+            // An empty store has no reply-rate evidence: NaN, not 1.0.
+            prop_assert!(rate.is_nan());
+        } else {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
         prop_assert_eq!(
             store.responded().count(),
             samples.iter().filter(|s| s.received > 0).count()

@@ -112,6 +112,11 @@ pub fn campaign_prologue(figure: &str) -> (Platform, ResultStore) {
 }
 
 /// Borrow a [`CampaignData`] view (helper so binaries stay terse).
+///
+/// The view lazily builds and memoizes the indexed `CampaignFrame` on
+/// first use, so a binary that renders several figures from one view
+/// pays for exactly one store scan — create the view once per campaign
+/// and pass it to every analysis call.
 pub fn view<'a>(platform: &'a Platform, store: &'a ResultStore) -> CampaignData<'a> {
     CampaignData::new(platform, store)
 }

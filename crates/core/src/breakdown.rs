@@ -128,7 +128,7 @@ pub fn delay_breakdown(
     let master = SimRng::new(seed);
     let mut acc: HashMap<Continent, (Vec<f64>, [Vec<f64>; 5])> = HashMap::new();
     let mut counted: HashMap<Continent, usize> = HashMap::new();
-    for probe in platform.probes().iter().filter(|p| !p.is_privileged()) {
+    for probe in platform.unprivileged_probes() {
         let slot = counted.entry(probe.continent).or_default();
         if *slot >= max_probes_per_continent {
             continue;

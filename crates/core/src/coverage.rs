@@ -14,7 +14,6 @@ use serde::Serialize;
 use shears_apps::Application;
 
 use crate::data::CampaignData;
-use crate::proximity::country_min_report;
 
 /// Population coverage of one application.
 #[derive(Debug, Clone, Serialize)]
@@ -66,13 +65,14 @@ impl CoverageReport {
 /// Coverage uses each country's best-case (minimum) RTT — the paper's
 /// own optimistic framing in §4.2 — so it reads as "could the cloud
 /// serve this country's population", not "does every household get it".
+/// Minima come straight from the frame index (no Fig. 4 report build,
+/// no string allocation per country).
 pub fn population_coverage(data: &CampaignData<'_>, apps: &[Application]) -> CoverageReport {
-    let fig4 = country_min_report(data);
     let atlas = data.platform().countries();
-    let measured: Vec<(&str, f64, f64)> = fig4
-        .min_by_country
-        .iter()
-        .filter_map(|(code, &rtt)| {
+    let measured: Vec<(&str, f64, f64)> = data
+        .frame()
+        .country_minima()
+        .filter_map(|(code, rtt)| {
             atlas
                 .by_code(code)
                 .map(|c| (c.code, c.population_m, rtt))

@@ -5,21 +5,38 @@
 //! filtering rule — §4.1: "We filter out all the probes that are
 //! clearly installed in privileged locations (e.g., datacenters, cloud
 //! network) from our measurements using their user-defined tags."
+//!
+//! Since the frame refactor this type is a thin compatibility wrapper:
+//! aggregate queries ([`CampaignData::per_probe_min`],
+//! [`CampaignData::per_country_min`],
+//! [`CampaignData::samples_to_closest_dc`]) delegate to a lazily built,
+//! memoized [`CampaignFrame`] — so a full report pays for one store
+//! scan instead of one per figure — while the streaming iterators
+//! ([`CampaignData::filtered`], [`CampaignData::filtered_responded`])
+//! keep their original store-order semantics.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use shears_atlas::{Platform, Probe, ProbeId, ResultStore, RttSample};
+
+use crate::frame::CampaignFrame;
 
 /// A joined view over one campaign run.
 pub struct CampaignData<'a> {
     platform: &'a Platform,
     store: &'a ResultStore,
+    frame: OnceLock<CampaignFrame<'a>>,
 }
 
 impl<'a> CampaignData<'a> {
-    /// Creates the view.
+    /// Creates the view. Cheap: the frame index is built on first use.
     pub fn new(platform: &'a Platform, store: &'a ResultStore) -> Self {
-        Self { platform, store }
+        Self {
+            platform,
+            store,
+            frame: OnceLock::new(),
+        }
     }
 
     /// The platform.
@@ -32,13 +49,21 @@ impl<'a> CampaignData<'a> {
         self.store
     }
 
+    /// The indexed frame over this campaign, built (in one parallel
+    /// store scan) and memoized on first access.
+    pub fn frame(&self) -> &CampaignFrame<'a> {
+        self.frame
+            .get_or_init(|| CampaignFrame::build(self.platform, self.store))
+    }
+
     /// The probe record behind a sample.
     pub fn probe(&self, id: ProbeId) -> &'a Probe {
         &self.platform.probes()[id.index()]
     }
 
     /// Samples surviving the privileged-probe filter, with their probe
-    /// records. This is the iterator every figure consumes.
+    /// records, in store order. This is the streaming path; aggregate
+    /// statistics come precomputed from [`CampaignData::frame`].
     pub fn filtered(&self) -> impl Iterator<Item = (&'a Probe, &'a RttSample)> + '_ {
         self.store.samples().iter().filter_map(move |s| {
             let p = self.probe(s.probe);
@@ -61,58 +86,22 @@ impl<'a> CampaignData<'a> {
     /// probes are absent from the map; probes whose every round was
     /// lost are also absent.
     pub fn per_probe_min(&self) -> HashMap<ProbeId, f64> {
-        let mut min: HashMap<ProbeId, f64> = HashMap::new();
-        for (p, s) in self.filtered_responded() {
-            let v = f64::from(s.min_ms);
-            min.entry(p.id)
-                .and_modify(|m| *m = m.min(v))
-                .or_insert(v);
-        }
-        min
+        self.frame().probe_minima().collect()
     }
 
     /// Per-country minimum RTT (ms): the best probe of each country to
     /// any datacenter — Fig. 4's statistic.
     pub fn per_country_min(&self) -> HashMap<&'a str, f64> {
-        let mut min: HashMap<&str, f64> = HashMap::new();
-        for (p, s) in self.filtered_responded() {
-            let v = f64::from(s.min_ms);
-            min.entry(p.country.as_str())
-                .and_modify(|m| *m = m.min(v))
-                .or_insert(v);
-        }
-        min
+        self.frame().country_minima().collect()
     }
 
     /// For each probe, the minimum RTT *to its closest datacenter* per
     /// round — Fig. 6's population ("all ping measurements from all
     /// probes to their closest datacenter"). "Closest" is resolved per
     /// probe as the region with the lowest campaign-wide minimum.
+    /// Served from the frame's cached resolution, in store order.
     pub fn samples_to_closest_dc(&self) -> Vec<(&'a Probe, f64)> {
-        // First pass: per (probe, region) minimum to find each probe's
-        // best region.
-        let mut best_region: HashMap<ProbeId, (u16, f64)> = HashMap::new();
-        for (p, s) in self.filtered_responded() {
-            let v = f64::from(s.min_ms);
-            best_region
-                .entry(p.id)
-                .and_modify(|(region, m)| {
-                    if v < *m {
-                        *region = s.region;
-                        *m = v;
-                    }
-                })
-                .or_insert((s.region, v));
-        }
-        // Second pass: all rounds towards that region.
-        self.filtered_responded()
-            .filter(|(p, s)| {
-                best_region
-                    .get(&p.id)
-                    .is_some_and(|(region, _)| *region == s.region)
-            })
-            .map(|(p, s)| (p, f64::from(s.min_ms)))
-            .collect()
+        self.frame().closest_dc().collect()
     }
 }
 
@@ -203,5 +192,14 @@ mod tests {
         for (_, c) in counts {
             assert!(c <= 4, "more than one region per probe leaked in: {c}");
         }
+    }
+
+    #[test]
+    fn frame_is_memoized() {
+        let (platform, store) = data();
+        let view = CampaignData::new(&platform, &store);
+        let a = view.frame() as *const _;
+        let b = view.frame() as *const _;
+        assert_eq!(a, b, "frame must be built once and reused");
     }
 }

@@ -43,10 +43,13 @@ impl AllSamplesCdfs {
     }
 }
 
-/// Computes Fig. 6 over each probe's closest-DC rounds.
+/// Computes Fig. 6 over each probe's closest-DC rounds, streamed from
+/// the frame's cached resolution (the historical path materialized the
+/// full per-sample `Vec` on every call — twice per report, once here
+/// and once in [`europe_tail_split`]).
 pub fn all_samples_cdfs(data: &CampaignData<'_>) -> AllSamplesCdfs {
     let mut per_continent: HashMap<Continent, Vec<f64>> = HashMap::new();
-    for (probe, rtt) in data.samples_to_closest_dc() {
+    for (probe, rtt) in data.frame().closest_dc() {
         per_continent
             .entry(probe.continent)
             .or_default()
@@ -69,7 +72,7 @@ pub fn europe_tail_split(data: &CampaignData<'_>) -> Option<(f64, f64)> {
     let atlas = data.platform().countries();
     let mut advanced = Vec::new();
     let mut lower = Vec::new();
-    for (probe, rtt) in data.samples_to_closest_dc() {
+    for (probe, rtt) in data.frame().closest_dc() {
         if probe.continent != Continent::Europe {
             continue;
         }

@@ -81,7 +81,6 @@ pub fn edge_gain_study(
     }
 
     // 2. Per-probe floors.
-    let probes = platform.probes().to_vec();
     let topo = platform.topology();
     let mut router = Router::new(topo);
     // Per continent: (cloud floors, edge floors, per-probe gains).
@@ -89,7 +88,7 @@ pub fn edge_gain_study(
     let mut per_continent: HashMap<Continent, FloorTriple> = HashMap::new();
     let mut counted: HashMap<Continent, usize> = HashMap::new();
     let dc_count = platform.catalog().regions().len();
-    for probe in probes.iter().filter(|p| !p.is_privileged()) {
+    for probe in platform.unprivileged_probes() {
         let slot = counted.entry(probe.continent).or_default();
         if *slot >= max_probes_per_continent {
             continue;

@@ -58,6 +58,10 @@ impl ExpansionReport {
 /// Compares two campaigns (typically: catalogue snapshot year X vs the
 /// full catalogue, same fleet seed so the probe population is
 /// identical).
+///
+/// Each campaign's per-probe minima come out of its memoized
+/// [`crate::frame::CampaignFrame`] via [`probe_min_cdfs`], so comparing
+/// the two snapshots costs two index builds, not repeated store scans.
 pub fn compare(
     old: &CampaignData<'_>,
     old_label: &str,

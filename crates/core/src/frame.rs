@@ -1,0 +1,624 @@
+//! The single-pass indexed view every analysis queries.
+//!
+//! [`CampaignFrame`] is built **once** per campaign from a platform and
+//! a result store, in one parallel scan (crossbeam scoped threads, the
+//! same shard-and-merge idiom as `Campaign::run_parallel`). It
+//! precomputes everything the figure modules used to re-derive with
+//! their own O(n) passes:
+//!
+//! * the §4.1 **privileged mask** (one `bool` per probe, so the filter
+//!   is an index instead of a per-sample tag scan);
+//! * a **per-probe partition** of sample indices (offset table over a
+//!   probe-major row index — the indexed replacement for
+//!   `ResultStore::by_probe`'s full-store filter);
+//! * **per-probe / per-country / per-(probe, region) minima**, the
+//!   statistics behind Figs. 4 and 5;
+//! * the **closest-datacenter resolution** behind
+//!   `CampaignData::samples_to_closest_dc` (Fig. 6's population),
+//!   cached as row indices in store order;
+//! * a **time-sorted round index** for windowed queries (the indexed
+//!   replacement for `ResultStore::in_window`).
+//!
+//! The contract is build-once / query-many: construction costs one
+//! parallel scan plus index assembly, after which every query is a
+//! lookup (or an iteration over a precomputed slice). All results are
+//! bit-identical to the historical iterator path — minima are plain
+//! `f64` mins over the same sample sets, and the best-region tie-break
+//! reproduces the sequential first-sample-wins rule exactly by tracking
+//! `(value, first store index achieving it)` pairs and merging shards
+//! with the lexicographic minimum.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crossbeam::thread;
+use shears_atlas::{Platform, Probe, ProbeId, ResultStore, RttSample};
+use shears_netsim::SimTime;
+
+/// Sentinel for "this probe has no responding region".
+const NO_REGION: u16 = u16::MAX;
+
+/// Below this store size the build runs on one thread: the scan is
+/// cheaper than spawning.
+const PARALLEL_THRESHOLD: usize = 8_192;
+
+/// Per-shard scan output, merged in the build's reduce step.
+struct ShardScan {
+    /// Sample count per probe (all samples, matching `by_probe`).
+    counts: Vec<u32>,
+    /// `(probe, region)` → `(min RTT, first store index achieving it)`
+    /// over unprivileged responded samples.
+    region_min: HashMap<(u32, u16), (f64, u32)>,
+    /// Unprivileged samples seen.
+    filtered: usize,
+    /// Unprivileged responded samples seen.
+    responded: usize,
+}
+
+/// Scans one contiguous shard of the store. `base` is the store index
+/// of `shard[0]`, so recorded indices are global.
+fn scan_shard(shard: &[RttSample], base: usize, privileged: &[bool], n_probes: usize) -> ShardScan {
+    let mut out = ShardScan {
+        counts: vec![0; n_probes],
+        region_min: HashMap::new(),
+        filtered: 0,
+        responded: 0,
+    };
+    for (i, s) in shard.iter().enumerate() {
+        let p = s.probe.index();
+        out.counts[p] += 1;
+        if privileged[p] {
+            continue;
+        }
+        out.filtered += 1;
+        if !s.responded() {
+            continue;
+        }
+        out.responded += 1;
+        let v = f64::from(s.min_ms);
+        let idx = (base + i) as u32;
+        out.region_min
+            .entry((s.probe.0, s.region))
+            .and_modify(|e| {
+                // Strict `<` keeps the first index achieving the min,
+                // mirroring the sequential update rule.
+                if v < e.0 {
+                    *e = (v, idx);
+                }
+            })
+            .or_insert((v, idx));
+    }
+    out
+}
+
+/// The indexed campaign view. See the module docs for the contract.
+pub struct CampaignFrame<'a> {
+    platform: &'a Platform,
+    store: &'a ResultStore,
+    /// `privileged[p]` — the §4.1 mask, indexed by probe id.
+    privileged: Vec<bool>,
+    /// Offsets into [`CampaignFrame::probe_rows`]; slot `p` owns
+    /// `probe_rows[probe_offsets[p]..probe_offsets[p + 1]]`.
+    probe_offsets: Vec<u32>,
+    /// Store indices grouped by probe, ascending within each probe.
+    probe_rows: Vec<u32>,
+    /// Campaign-wide min RTT per probe (`INFINITY` = no responding
+    /// sample or privileged).
+    probe_min: Vec<f64>,
+    /// Each probe's closest region ([`NO_REGION`] = none).
+    best_region: Vec<u16>,
+    /// Per-probe `(region, min RTT)` pairs, sorted by region index.
+    region_minima: Vec<Vec<(u16, f64)>>,
+    /// Country code → min RTT over the country's unprivileged probes.
+    country_min: BTreeMap<&'a str, f64>,
+    /// Store indices of Fig. 6's population (each probe's responded
+    /// rounds towards its closest region), in store order.
+    closest_rows: Vec<u32>,
+    /// Store indices sorted by round time (stable, so ties keep store
+    /// order).
+    time_order: Vec<u32>,
+    filtered_len: usize,
+    responded_len: usize,
+}
+
+impl<'a> CampaignFrame<'a> {
+    /// Builds the frame in one parallel scan over the store.
+    pub fn build(platform: &'a Platform, store: &'a ResultStore) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::build_with_threads(platform, store, threads)
+    }
+
+    /// Builds with an explicit scan-thread count (testing and tuning;
+    /// the result is identical for every count).
+    pub fn build_with_threads(
+        platform: &'a Platform,
+        store: &'a ResultStore,
+        threads: usize,
+    ) -> Self {
+        let samples = store.samples();
+        assert!(
+            samples.len() <= u32::MAX as usize,
+            "store exceeds the u32 row-index space"
+        );
+        let probes = platform.probes();
+        let n_probes = probes.len();
+        let privileged: Vec<bool> = probes.iter().map(Probe::is_privileged).collect();
+
+        // 1. The parallel scan: shard the store, scan each shard, merge.
+        let shards: Vec<ShardScan> = if threads <= 1 || samples.len() < PARALLEL_THRESHOLD {
+            vec![scan_shard(samples, 0, &privileged, n_probes)]
+        } else {
+            let chunk = samples.len().div_ceil(threads).max(1);
+            thread::scope(|s| {
+                let privileged = &privileged;
+                let mut handles = Vec::new();
+                for (i, shard) in samples.chunks(chunk).enumerate() {
+                    handles.push(
+                        s.spawn(move |_| scan_shard(shard, i * chunk, privileged, n_probes)),
+                    );
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("frame scan shard panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("frame scan scope")
+        };
+
+        let mut counts = vec![0u32; n_probes];
+        let mut region_min: HashMap<(u32, u16), (f64, u32)> = HashMap::new();
+        let mut filtered_len = 0;
+        let mut responded_len = 0;
+        for shard in shards {
+            for (c, n) in counts.iter_mut().zip(&shard.counts) {
+                *c += n;
+            }
+            filtered_len += shard.filtered;
+            responded_len += shard.responded;
+            for (key, (v, idx)) in shard.region_min {
+                region_min
+                    .entry(key)
+                    .and_modify(|e| {
+                        // Lexicographic min on (value, index): order-
+                        // independent, and equal values keep the
+                        // earliest store index — the sequential
+                        // first-sample-wins rule.
+                        if (v, idx) < (e.0, e.1) {
+                            *e = (v, idx);
+                        }
+                    })
+                    .or_insert((v, idx));
+            }
+        }
+
+        // 2. Per-probe tables from the merged (probe, region) minima.
+        let mut region_minima: Vec<Vec<(u16, f64)>> = vec![Vec::new(); n_probes];
+        let mut best: Vec<(f64, u32, u16)> = vec![(f64::INFINITY, u32::MAX, NO_REGION); n_probes];
+        for (&(probe, region), &(v, idx)) in &region_min {
+            let p = probe as usize;
+            region_minima[p].push((region, v));
+            // Same rule as the shard merge: the winning region is the
+            // one whose sample first reached the probe's overall min.
+            if (v, idx) < (best[p].0, best[p].1) {
+                best[p] = (v, idx, region);
+            }
+        }
+        for rm in &mut region_minima {
+            rm.sort_unstable_by_key(|&(region, _)| region);
+        }
+        let probe_min: Vec<f64> = best.iter().map(|&(v, _, _)| v).collect();
+        let best_region: Vec<u16> = best.iter().map(|&(_, _, r)| r).collect();
+
+        // 3. Country minima over probe minima (min is associative, so
+        //    this equals the historical per-sample accumulation).
+        let mut country_min: BTreeMap<&'a str, f64> = BTreeMap::new();
+        for (p, probe) in probes.iter().enumerate() {
+            let v = probe_min[p];
+            if v.is_finite() {
+                country_min
+                    .entry(probe.country.as_str())
+                    .and_modify(|m| *m = m.min(v))
+                    .or_insert(v);
+            }
+        }
+
+        // 4. The per-probe partition: prefix-sum offsets, then one
+        //    placement pass (counting sort on probe id).
+        let mut probe_offsets = vec![0u32; n_probes + 1];
+        for (p, &c) in counts.iter().enumerate() {
+            probe_offsets[p + 1] = probe_offsets[p] + c;
+        }
+        let mut cursor: Vec<u32> = probe_offsets[..n_probes].to_vec();
+        let mut probe_rows = vec![0u32; samples.len()];
+        for (idx, s) in samples.iter().enumerate() {
+            let slot = &mut cursor[s.probe.index()];
+            probe_rows[*slot as usize] = idx as u32;
+            *slot += 1;
+        }
+
+        // 5. The closest-DC row cache, read off the partition and
+        //    re-sorted into store order (what the two-pass iterator
+        //    produced).
+        let mut closest_rows = Vec::with_capacity(responded_len);
+        for p in 0..n_probes {
+            if privileged[p] || best_region[p] == NO_REGION {
+                continue;
+            }
+            let rows = &probe_rows[probe_offsets[p] as usize..probe_offsets[p + 1] as usize];
+            for &idx in rows {
+                let s = &samples[idx as usize];
+                if s.region == best_region[p] && s.responded() {
+                    closest_rows.push(idx);
+                }
+            }
+        }
+        closest_rows.sort_unstable();
+
+        // 6. The time index (stable: equal timestamps keep store order).
+        let mut time_order: Vec<u32> = (0..samples.len() as u32).collect();
+        time_order.sort_by_key(|&idx| samples[idx as usize].at);
+
+        Self {
+            platform,
+            store,
+            privileged,
+            probe_offsets,
+            probe_rows,
+            probe_min,
+            best_region,
+            region_minima,
+            country_min,
+            closest_rows,
+            time_order,
+            filtered_len,
+            responded_len,
+        }
+    }
+
+    /// The platform the frame joins against.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The raw store (unfiltered).
+    pub fn store(&self) -> &'a ResultStore {
+        self.store
+    }
+
+    /// The probe record behind a sample.
+    pub fn probe(&self, id: ProbeId) -> &'a Probe {
+        &self.platform.probes()[id.index()]
+    }
+
+    /// The §4.1 mask: whether a probe is excluded as privileged.
+    pub fn is_privileged(&self, id: ProbeId) -> bool {
+        self.privileged[id.index()]
+    }
+
+    /// Samples surviving the privileged filter.
+    pub fn filtered_len(&self) -> usize {
+        self.filtered_len
+    }
+
+    /// Filtered samples that got at least one reply.
+    pub fn responded_len(&self) -> usize {
+        self.responded_len
+    }
+
+    /// One probe's samples via the partition index — the O(k) indexed
+    /// replacement for `ResultStore::by_probe`'s full-store filter.
+    /// Yields store order.
+    pub fn by_probe(&self, id: ProbeId) -> impl Iterator<Item = &'a RttSample> + '_ {
+        let samples = self.store.samples();
+        let lo = self.probe_offsets[id.index()] as usize;
+        let hi = self.probe_offsets[id.index() + 1] as usize;
+        self.probe_rows[lo..hi]
+            .iter()
+            .map(move |&idx| &samples[idx as usize])
+    }
+
+    /// A probe's campaign-wide minimum RTT (ms); `None` for privileged
+    /// probes and probes whose every round was lost.
+    pub fn probe_min(&self, id: ProbeId) -> Option<f64> {
+        let v = self.probe_min[id.index()];
+        v.is_finite().then_some(v)
+    }
+
+    /// All per-probe minima (Fig. 5's statistic), in probe-id order.
+    pub fn probe_minima(&self) -> impl Iterator<Item = (ProbeId, f64)> + '_ {
+        self.probe_min
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_finite())
+            .map(|(p, &v)| (ProbeId(p as u32), v))
+    }
+
+    /// The region a probe reaches fastest — its "closest datacenter".
+    pub fn best_region(&self, id: ProbeId) -> Option<u16> {
+        let r = self.best_region[id.index()];
+        (r != NO_REGION).then_some(r)
+    }
+
+    /// A probe's per-region minima, sorted by region index.
+    pub fn region_minima(&self, id: ProbeId) -> &[(u16, f64)] {
+        &self.region_minima[id.index()]
+    }
+
+    /// Per-country minima (Fig. 4's statistic), in country-code order.
+    pub fn country_minima(&self) -> impl Iterator<Item = (&'a str, f64)> + '_ {
+        self.country_min.iter().map(|(&c, &v)| (c, v))
+    }
+
+    /// Number of countries with at least one responding probe.
+    pub fn countries_measured(&self) -> usize {
+        self.country_min.len()
+    }
+
+    /// Fig. 6's population: each probe's responded rounds towards its
+    /// closest region, in store order — the cached resolution behind
+    /// `CampaignData::samples_to_closest_dc`.
+    pub fn closest_dc(&self) -> impl Iterator<Item = (&'a Probe, f64)> + '_ {
+        let samples = self.store.samples();
+        let probes = self.platform.probes();
+        self.closest_rows.iter().map(move |&idx| {
+            let s = &samples[idx as usize];
+            (&probes[s.probe.index()], f64::from(s.min_ms))
+        })
+    }
+
+    /// Samples in `[from, to)` via the time index (binary search on the
+    /// sorted round times) — the indexed replacement for
+    /// `ResultStore::in_window`. Yields time order, ties in store order.
+    pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &'a RttSample> + '_ {
+        let samples = self.store.samples();
+        let lo = self
+            .time_order
+            .partition_point(|&idx| samples[idx as usize].at < from);
+        let hi = self
+            .time_order
+            .partition_point(|&idx| samples[idx as usize].at < to);
+        self.time_order[lo..hi]
+            .iter()
+            .map(move |&idx| &samples[idx as usize])
+    }
+
+    /// First and last round times in the store, `None` when empty.
+    pub fn time_span(&self) -> Option<(SimTime, SimTime)> {
+        let samples = self.store.samples();
+        let first = *self.time_order.first()?;
+        let last = *self.time_order.last()?;
+        Some((samples[first as usize].at, samples[last as usize].at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_atlas::{Campaign, CampaignConfig, FleetConfig, PlatformConfig};
+
+    fn data() -> (Platform, ResultStore) {
+        let platform = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: 80,
+                seed: 11,
+            },
+            ..PlatformConfig::default()
+        });
+        let store = Campaign::new(
+            &platform,
+            CampaignConfig {
+                rounds: 4,
+                targets_per_probe: 2,
+                adjacent_targets: 1,
+                ..CampaignConfig::quick()
+            },
+        )
+        .run()
+        .unwrap();
+        (platform, store)
+    }
+
+    /// The historical sequential algorithms, kept verbatim as the
+    /// reference the frame must match bit for bit.
+    mod reference {
+        use super::*;
+
+        pub fn per_probe_min(platform: &Platform, store: &ResultStore) -> HashMap<ProbeId, f64> {
+            let mut min: HashMap<ProbeId, f64> = HashMap::new();
+            for s in store.samples() {
+                let p = &platform.probes()[s.probe.index()];
+                if p.is_privileged() || !s.responded() {
+                    continue;
+                }
+                let v = f64::from(s.min_ms);
+                min.entry(p.id).and_modify(|m| *m = m.min(v)).or_insert(v);
+            }
+            min
+        }
+
+        pub fn per_country_min<'a>(
+            platform: &'a Platform,
+            store: &ResultStore,
+        ) -> HashMap<&'a str, f64> {
+            let mut min: HashMap<&str, f64> = HashMap::new();
+            for s in store.samples() {
+                let p = &platform.probes()[s.probe.index()];
+                if p.is_privileged() || !s.responded() {
+                    continue;
+                }
+                let v = f64::from(s.min_ms);
+                min.entry(p.country.as_str())
+                    .and_modify(|m| *m = m.min(v))
+                    .or_insert(v);
+            }
+            min
+        }
+
+        pub fn samples_to_closest_dc<'a>(
+            platform: &'a Platform,
+            store: &ResultStore,
+        ) -> Vec<(&'a Probe, f64)> {
+            let mut best_region: HashMap<ProbeId, (u16, f64)> = HashMap::new();
+            for s in store.samples() {
+                let p = &platform.probes()[s.probe.index()];
+                if p.is_privileged() || !s.responded() {
+                    continue;
+                }
+                let v = f64::from(s.min_ms);
+                best_region
+                    .entry(p.id)
+                    .and_modify(|(region, m)| {
+                        if v < *m {
+                            *region = s.region;
+                            *m = v;
+                        }
+                    })
+                    .or_insert((s.region, v));
+            }
+            store
+                .samples()
+                .iter()
+                .filter_map(|s| {
+                    let p = &platform.probes()[s.probe.index()];
+                    if p.is_privileged() || !s.responded() {
+                        return None;
+                    }
+                    best_region
+                        .get(&p.id)
+                        .is_some_and(|(region, _)| *region == s.region)
+                        .then_some((p, f64::from(s.min_ms)))
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn minima_match_the_sequential_reference_bit_for_bit() {
+        let (platform, store) = data();
+        let frame = CampaignFrame::build(&platform, &store);
+        let probe_ref = reference::per_probe_min(&platform, &store);
+        let got: HashMap<ProbeId, f64> = frame.probe_minima().collect();
+        assert_eq!(got, probe_ref);
+        let country_ref = reference::per_country_min(&platform, &store);
+        let got: HashMap<&str, f64> = frame.country_minima().collect();
+        assert_eq!(got, country_ref);
+        assert_eq!(frame.countries_measured(), country_ref.len());
+    }
+
+    #[test]
+    fn closest_dc_matches_the_two_pass_reference_in_order() {
+        let (platform, store) = data();
+        let frame = CampaignFrame::build(&platform, &store);
+        let reference: Vec<(ProbeId, f64)> = reference::samples_to_closest_dc(&platform, &store)
+            .into_iter()
+            .map(|(p, v)| (p.id, v))
+            .collect();
+        let got: Vec<(ProbeId, f64)> =
+            frame.closest_dc().map(|(p, v)| (p.id, v)).collect();
+        assert_eq!(got, reference, "rows must match in store order");
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let (platform, store) = data();
+        let one = CampaignFrame::build_with_threads(&platform, &store, 1);
+        for threads in [2, 3, 8] {
+            let many = CampaignFrame::build_with_threads(&platform, &store, threads);
+            assert_eq!(many.probe_min, one.probe_min, "{threads} threads");
+            assert_eq!(many.best_region, one.best_region, "{threads} threads");
+            assert_eq!(many.closest_rows, one.closest_rows, "{threads} threads");
+            assert_eq!(many.country_min, one.country_min, "{threads} threads");
+            assert_eq!(many.probe_rows, one.probe_rows, "{threads} threads");
+            assert_eq!(many.filtered_len, one.filtered_len);
+            assert_eq!(many.responded_len, one.responded_len);
+        }
+    }
+
+    #[test]
+    fn partition_agrees_with_store_by_probe() {
+        let (platform, store) = data();
+        let frame = CampaignFrame::build(&platform, &store);
+        for p in platform.probes() {
+            let indexed: Vec<&RttSample> = frame.by_probe(p.id).collect();
+            let filtered: Vec<&RttSample> = store.by_probe(p.id).collect();
+            assert_eq!(indexed, filtered, "probe {:?}", p.id);
+        }
+    }
+
+    #[test]
+    fn time_index_agrees_with_store_in_window() {
+        let (platform, store) = data();
+        let frame = CampaignFrame::build(&platform, &store);
+        let (first, last) = frame.time_span().unwrap();
+        assert!(first <= last);
+        let mid = SimTime::from_nanos((first.as_nanos() + last.as_nanos()) / 2);
+        for (from, to) in [(first, mid), (mid, last), (first, last)] {
+            let mut indexed: Vec<RttSample> = frame.in_window(from, to).copied().collect();
+            let mut filtered: Vec<RttSample> = store.in_window(from, to).copied().collect();
+            let key = |s: &RttSample| (s.at, s.probe, s.region);
+            indexed.sort_by_key(key);
+            filtered.sort_by_key(key);
+            assert_eq!(indexed, filtered);
+        }
+        // The window iterator itself is time-ordered.
+        assert!(frame
+            .in_window(first, SimTime::from_nanos(last.as_nanos() + 1))
+            .zip(frame.in_window(first, SimTime::from_nanos(last.as_nanos() + 1)).skip(1))
+            .all(|(a, b)| a.at <= b.at));
+    }
+
+    #[test]
+    fn privileged_probes_are_fully_masked() {
+        let (platform, store) = data();
+        let frame = CampaignFrame::build(&platform, &store);
+        for p in platform.probes() {
+            assert_eq!(frame.is_privileged(p.id), p.is_privileged());
+            if p.is_privileged() {
+                assert_eq!(frame.probe_min(p.id), None);
+                assert_eq!(frame.best_region(p.id), None);
+                assert!(frame.region_minima(p.id).is_empty());
+            }
+        }
+        assert!(frame.filtered_len() <= store.len());
+        assert!(frame.responded_len() <= frame.filtered_len());
+    }
+
+    #[test]
+    fn region_minima_are_consistent_with_probe_min() {
+        let (platform, store) = data();
+        let frame = CampaignFrame::build(&platform, &store);
+        for p in platform.probes() {
+            let rm = frame.region_minima(p.id);
+            assert!(rm.windows(2).all(|w| w[0].0 < w[1].0), "sorted by region");
+            if let Some(min) = frame.probe_min(p.id) {
+                let best = rm
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(min, best);
+                let best_region = frame.best_region(p.id).unwrap();
+                assert!(rm.iter().any(|&(r, v)| r == best_region && v == min));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_builds_an_empty_frame() {
+        let platform = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: 80,
+                seed: 11,
+            },
+            ..PlatformConfig::default()
+        });
+        let store = ResultStore::new();
+        let frame = CampaignFrame::build(&platform, &store);
+        assert_eq!(frame.filtered_len(), 0);
+        assert_eq!(frame.responded_len(), 0);
+        assert_eq!(frame.probe_minima().count(), 0);
+        assert_eq!(frame.country_minima().count(), 0);
+        assert_eq!(frame.closest_dc().count(), 0);
+        assert!(frame.time_span().is_none());
+        assert_eq!(frame.by_probe(ProbeId(0)).count(), 0);
+    }
+}

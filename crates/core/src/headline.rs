@@ -47,7 +47,12 @@ pub struct Headline {
     pub feasibility_zone: FeasibilityZone,
 }
 
-/// Computes every headline number from one campaign.
+/// Computes every headline number from one campaign. The four figure
+/// passes below all draw on the view's memoized [`CampaignFrame`], so
+/// the whole report costs one store scan (the frame build) plus index
+/// lookups.
+///
+/// [`CampaignFrame`]: crate::frame::CampaignFrame
 pub fn headline_numbers(data: &CampaignData<'_>) -> Headline {
     let fig4 = country_min_report(data);
     let atlas = data.platform().countries();

@@ -56,15 +56,16 @@ pub struct LastMileReport {
 /// resolution (e.g. one day).
 pub fn last_mile_report(data: &CampaignData<'_>, bin_width: SimTime) -> Option<LastMileReport> {
     assert!(bin_width.as_nanos() > 0, "bin width must be positive");
-    // 1. Tag-based selection.
+    let frame = data.frame();
+    // 1. Tag-based selection (privileged exclusion via the frame mask).
     let probes = data.platform().probes();
     let wired_set: Vec<_> = probes
         .iter()
-        .filter(|p| !p.is_privileged() && p.is_wired_tagged())
+        .filter(|p| !frame.is_privileged(p.id) && p.is_wired_tagged())
         .collect();
     let wireless_set: Vec<_> = probes
         .iter()
-        .filter(|p| !p.is_privileged() && p.is_wireless_tagged())
+        .filter(|p| !frame.is_privileged(p.id) && p.is_wireless_tagged())
         .collect();
 
     // 2. Country matching.
@@ -82,11 +83,11 @@ pub fn last_mile_report(data: &CampaignData<'_>, bin_width: SimTime) -> Option<L
     // 3. Baseline verification: a probe's baseline (campaign minimum to
     //    its closest DC) must be within BASELINE_OUTLIER_FACTOR of its
     //    country's median baseline among *wired* probes (the reference
-    //    for what the country's network can do).
-    let baselines = data.per_probe_min();
+    //    for what the country's network can do). Baselines come from
+    //    the frame's precomputed per-probe minima.
     let mut wired_baselines_by_country: HashMap<&str, Vec<f64>> = HashMap::new();
     for p in &wired_set {
-        if let Some(&b) = baselines.get(&p.id) {
+        if let Some(b) = frame.probe_min(p.id) {
             wired_baselines_by_country
                 .entry(p.country.as_str())
                 .or_default()
@@ -98,8 +99,8 @@ pub fn last_mile_report(data: &CampaignData<'_>, bin_width: SimTime) -> Option<L
         .filter_map(|(c, v)| Ecdf::new(v).median().map(|m| (c, m)))
         .collect();
     let in_line = |id: ProbeId, country: &str| -> bool {
-        match (baselines.get(&id), country_median.get(country)) {
-            (Some(&b), Some(&m)) => b <= m * BASELINE_OUTLIER_FACTOR,
+        match (frame.probe_min(id), country_median.get(country)) {
+            (Some(b), Some(&m)) => b <= m * BASELINE_OUTLIER_FACTOR,
             _ => false,
         }
     };
@@ -115,8 +116,8 @@ pub fn last_mile_report(data: &CampaignData<'_>, bin_width: SimTime) -> Option<L
         .iter()
         .filter(|p| {
             matched.contains(p.country.as_str())
-                && match (baselines.get(&p.id), country_median.get(p.country.as_str())) {
-                    (Some(&b), Some(&m)) => b <= m * BASELINE_OUTLIER_FACTOR * 3.0,
+                && match (frame.probe_min(p.id), country_median.get(p.country.as_str())) {
+                    (Some(b), Some(&m)) => b <= m * BASELINE_OUTLIER_FACTOR * 3.0,
                     _ => false,
                 }
         })

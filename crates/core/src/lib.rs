@@ -18,6 +18,10 @@
 //! All analyses consume a [`CampaignData`] view (platform + result
 //! store) and apply the paper's filtering discipline: probes tagged as
 //! privileged (datacentre/cloud-hosted) are excluded from everything.
+//! Aggregate statistics are served by the [`CampaignFrame`] index
+//! ([`frame`]), built once per campaign in a single parallel store scan
+//! and memoized behind the view — rendering every figure costs one scan
+//! plus index lookups, not one scan per figure.
 //!
 //! ```no_run
 //! use shears_atlas::{Campaign, CampaignConfig, Platform, PlatformConfig};
@@ -40,6 +44,7 @@ pub mod data;
 pub mod distribution;
 pub mod edgegain;
 pub mod expansion;
+pub mod frame;
 pub mod headline;
 pub mod lastmile;
 pub mod providers;
@@ -51,4 +56,5 @@ pub mod temporal;
 pub mod whatif;
 
 pub use data::CampaignData;
+pub use frame::CampaignFrame;
 pub use stats::{Ecdf, Summary};

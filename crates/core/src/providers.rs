@@ -101,9 +101,7 @@ pub fn controlled_city_comparison(
         };
         let mut floors = Vec::new();
         for probe in platform
-            .probes()
-            .iter()
-            .filter(|p| !p.is_privileged())
+            .unprivileged_probes()
             .filter(|p| p.location.distance_km(region.location) >= min_distance_km)
             .take(max_probes)
         {
@@ -133,11 +131,7 @@ pub fn provider_comparison(platform: &Platform, max_probes: usize) -> ProviderRe
     let mut router = Router::new(platform.topology());
     let mut per_provider: HashMap<Provider, HashMap<Continent, Vec<f64>>> = HashMap::new();
     let regions = platform.catalog().regions();
-    for probe in platform
-        .probes()
-        .iter()
-        .filter(|p| !p.is_privileged())
-        .take(max_probes)
+    for probe in platform.unprivileged_probes().take(max_probes)
     {
         for provider in Provider::ALL {
             // Nearest region of this provider by geography.

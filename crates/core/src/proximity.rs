@@ -50,19 +50,18 @@ impl CountryMinReport {
     }
 }
 
-/// Computes the Fig. 4 report.
+/// Computes the Fig. 4 report from the frame's precomputed per-country
+/// minima (no store scan).
 pub fn country_min_report(data: &CampaignData<'_>) -> CountryMinReport {
-    let min_by_country: HashMap<String, f64> = data
-        .per_country_min()
-        .into_iter()
-        .map(|(k, v)| (k.to_string(), v))
-        .collect();
+    let frame = data.frame();
+    let mut min_by_country = HashMap::with_capacity(frame.countries_measured());
     let mut bucket_counts = [0usize; 6];
     let mut above_pl = Vec::new();
-    for (country, &rtt) in &min_by_country {
+    for (country, rtt) in frame.country_minima() {
+        min_by_country.insert(country.to_string(), rtt);
         bucket_counts[CountryMinReport::bucket_of(rtt)] += 1;
         if rtt > 100.0 {
-            above_pl.push(country.clone());
+            above_pl.push(country.to_string());
         }
     }
     above_pl.sort();
@@ -97,12 +96,12 @@ impl ProbeMinCdfs {
     }
 }
 
-/// Computes the Fig. 5 CDFs.
+/// Computes the Fig. 5 CDFs from the frame's per-probe minima.
 pub fn probe_min_cdfs(data: &CampaignData<'_>) -> ProbeMinCdfs {
-    let mins = data.per_probe_min();
+    let frame = data.frame();
     let mut per_continent: HashMap<Continent, Vec<f64>> = HashMap::new();
-    for (id, v) in mins {
-        let continent = data.probe(id).continent;
+    for (id, v) in frame.probe_minima() {
+        let continent = frame.probe(id).continent;
         per_continent.entry(continent).or_default().push(v);
     }
     ProbeMinCdfs {

@@ -124,9 +124,8 @@ pub fn failure_study(
         let mut disconnected = 0usize;
         let mut probes = 0usize;
         for probe in platform
-            .probes()
-            .iter()
-            .filter(|p| !p.is_privileged() && p.continent == continent)
+            .unprivileged_probes()
+            .filter(|p| p.continent == continent)
             .take(max_probes_per_continent)
         {
             let target = match target_continent {

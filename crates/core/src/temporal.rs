@@ -63,7 +63,9 @@ impl DiurnalProfile {
 
 /// Computes the diurnal profile over every responded round (all
 /// continents pooled; congestion follows local time by construction,
-/// so pooling is sound once hours are localised).
+/// so pooling is sound once hours are localised). This stays on the
+/// streaming iterator: it touches every sample exactly once with no
+/// aggregate the frame could pre-answer.
 pub fn diurnal_profile(data: &CampaignData<'_>) -> DiurnalProfile {
     let mut per_hour: Vec<Vec<f64>> = vec![Vec::new(); 24];
     let mut samples = 0;
@@ -109,27 +111,30 @@ impl StabilitySeries {
     }
 }
 
-/// Computes the per-window median series.
+/// Computes the per-window median series via the frame's time index:
+/// each window is a binary-searched slice instead of a full-store
+/// bucketing pass. Windows with no surviving samples are skipped, as
+/// the bucketing path did.
 pub fn stability_series(data: &CampaignData<'_>, window: SimTime) -> StabilitySeries {
     assert!(window.as_nanos() > 0, "window must be positive");
-    let mut buckets: std::collections::BTreeMap<u64, Vec<f64>> = Default::default();
-    for (_, s) in data.filtered_responded() {
-        buckets
-            .entry(s.at.as_nanos() / window.as_nanos())
-            .or_default()
-            .push(f64::from(s.min_ms));
+    let frame = data.frame();
+    let mut points = Vec::new();
+    if let Some((first, last)) = frame.time_span() {
+        let w = window.as_nanos();
+        for k in (first.as_nanos() / w)..=(last.as_nanos() / w) {
+            let from = SimTime::from_nanos(k * w);
+            let to = SimTime::from_nanos((k + 1) * w);
+            let values: Vec<f64> = frame
+                .in_window(from, to)
+                .filter(|s| !frame.is_privileged(s.probe) && s.responded())
+                .map(|s| f64::from(s.min_ms))
+                .collect();
+            if let Some(m) = Ecdf::new(values).median() {
+                points.push((from, m));
+            }
+        }
     }
-    StabilitySeries {
-        window,
-        points: buckets
-            .into_iter()
-            .filter_map(|(k, v)| {
-                Ecdf::new(v)
-                    .median()
-                    .map(|m| (SimTime::from_nanos(k * window.as_nanos()), m))
-            })
-            .collect(),
-    }
+    StabilitySeries { window, points }
 }
 
 #[cfg(test)]

@@ -78,9 +78,8 @@ pub fn fiveg_whatif(platform: &Platform, max_probes: usize) -> WhatIfReport {
     // pure network part) for the nearest DC.
     let mut network_parts: Vec<f64> = Vec::new();
     for probe in platform
-        .probes()
-        .iter()
-        .filter(|p| !p.is_privileged() && p.access.tech.is_wireless())
+        .unprivileged_probes()
+        .filter(|p| p.access.tech.is_wireless())
         .take(max_probes)
     {
         let Some(&target) = platform.targets_for(probe, 1, 1).first() else {

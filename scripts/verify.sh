@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo verification: build, tier-1 tests, and lint-as-error.
+#
+# Requires a working cargo registry (the workspace has path-only internal
+# deps but external ones — serde, crossbeam, … — must be resolvable).
+# In an offline container without a pre-populated registry cache, cargo
+# cannot resolve the workspace at all; run this where crates.io (or a
+# mirror) is reachable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

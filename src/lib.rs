@@ -51,6 +51,7 @@ pub use shears_trends as trends;
 pub mod prelude {
     pub use shears_analysis::data::CampaignData;
     pub use shears_analysis::distribution::all_samples_cdfs;
+    pub use shears_analysis::frame::CampaignFrame;
     pub use shears_analysis::headline::headline_numbers;
     pub use shears_analysis::lastmile::last_mile_report;
     pub use shears_analysis::proximity::{country_min_report, probe_min_cdfs};
