@@ -12,7 +12,7 @@ use shears_netsim::ping::{PingConfig, PingProber};
 use shears_netsim::queue::DiurnalLoad;
 use shears_netsim::stochastic::SimRng;
 use shears_netsim::tcp::{TcpConfig, TcpProber};
-use shears_netsim::{EventQueue, SimTime};
+use shears_netsim::{EventQueue, RouteTable, SimTime};
 
 use crate::availability::OutageSchedule;
 use crate::credits::{CreditError, CreditLedger};
@@ -109,17 +109,21 @@ struct RoundEvent {
 }
 
 /// The per-worker prober, chosen by the campaign's measurement type.
+/// Every worker reads routes from the campaign's shared [`RouteTable`],
+/// so no shard ever re-runs Dijkstra or clones a path.
 enum RoundProber<'t> {
     Ping(PingProber<'t>),
     Tcp(TcpProber<'t>),
 }
 
 impl<'t> RoundProber<'t> {
-    fn new(platform: &'t Platform, kind: MeasurementType) -> Self {
+    fn new(platform: &'t Platform, kind: MeasurementType, table: &'t RouteTable) -> Self {
         match kind {
-            MeasurementType::Ping => RoundProber::Ping(PingProber::new(platform.topology())),
+            MeasurementType::Ping => {
+                RoundProber::Ping(PingProber::with_table(platform.topology(), table))
+            }
             MeasurementType::TcpConnect => {
-                RoundProber::Tcp(TcpProber::new(platform.topology()))
+                RoundProber::Tcp(TcpProber::with_table(platform.topology(), table))
             }
         }
     }
@@ -142,6 +146,37 @@ impl<'p> Campaign<'p> {
                     .targets_for(p, self.cfg.targets_per_probe, self.cfg.adjacent_targets)
             })
             .collect()
+    }
+
+    /// Resolves the shared route table for the campaign's probe→DC
+    /// pairs: one shortest-path-tree search per probe, fanned out over
+    /// `threads` workers, assembled deterministically.
+    fn route_table(&self, targets: &[Vec<u16>], threads: usize) -> RouteTable {
+        let wants: Vec<_> = self
+            .platform
+            .probes()
+            .iter()
+            .map(|p| {
+                (
+                    self.platform.probe_node(p.id),
+                    targets[p.id.index()]
+                        .iter()
+                        .map(|&region| self.platform.dc_node(region as usize))
+                        .collect(),
+                )
+            })
+            .collect();
+        RouteTable::build(self.platform.topology(), &wants, threads)
+    }
+
+    /// Exact upper bound on the samples the given probes can produce
+    /// over the whole campaign (used to pre-size result stores).
+    fn sample_bound(&self, targets: &[Vec<u16>], probes: &[Probe]) -> usize {
+        probes
+            .iter()
+            .map(|p| targets[p.id.index()].len())
+            .sum::<usize>()
+            * self.cfg.rounds as usize
     }
 
     /// A probe's schedule offset within the round: real campaigns spread
@@ -270,16 +305,20 @@ impl<'p> Campaign<'p> {
         probe.access
     }
 
-    /// Runs the campaign sequentially, driven by the event queue.
+    /// Runs the campaign sequentially, driven by the event queue. Routes
+    /// are resolved once into a [`RouteTable`] (built in parallel — the
+    /// build is embarrassingly parallel even when the measurement loop
+    /// is not) before the first round fires.
     pub fn run(&self) -> Result<ResultStore, CreditError> {
         let targets = self.target_table();
+        let build_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let table = self.route_table(&targets, build_threads);
         let master = SimRng::new(self.cfg.seed);
         let outages = self.outage_table(&master);
         let mut ledger = CreditLedger::new(self.cfg.credits);
-        let mut store = ResultStore::with_capacity(
-            self.platform.probes().len() * self.cfg.targets_per_probe * self.cfg.rounds as usize,
-        );
-        let mut prober = RoundProber::new(self.platform, self.cfg.kind);
+        let mut store =
+            ResultStore::with_capacity(self.sample_bound(&targets, self.platform.probes()));
+        let mut prober = RoundProber::new(self.platform, self.cfg.kind, &table);
         let mut queue: EventQueue<RoundEvent> = EventQueue::new();
         for round in 0..self.cfg.rounds {
             queue.schedule(
@@ -326,6 +365,8 @@ impl<'p> Campaign<'p> {
     pub fn run_parallel(&self, threads: usize) -> Result<ResultStore, CreditError> {
         let threads = threads.max(1);
         let targets = self.target_table();
+        // One table for the whole run, shared read-only by every shard.
+        let table = self.route_table(&targets, threads);
         let outage_master = SimRng::new(self.cfg.seed);
         let outages = self.outage_table(&outage_master);
         let probes = self.platform.probes();
@@ -335,11 +376,13 @@ impl<'p> Campaign<'p> {
             for shard in probes.chunks(chunk.max(1)) {
                 let targets = &targets;
                 let outages = &outages;
+                let table = &table;
                 handles.push(s.spawn(move |_| -> Result<ResultStore, CreditError> {
                     let master = SimRng::new(self.cfg.seed);
                     let mut ledger = CreditLedger::new(self.cfg.credits / threads as u64);
-                    let mut store = ResultStore::new();
-                    let mut prober = RoundProber::new(self.platform, self.cfg.kind);
+                    let mut store =
+                        ResultStore::with_capacity(self.sample_bound(targets, shard));
+                    let mut prober = RoundProber::new(self.platform, self.cfg.kind, table);
                     for round in 0..self.cfg.rounds {
                         for probe in shard {
                             self.run_probe_round(
@@ -363,7 +406,7 @@ impl<'p> Campaign<'p> {
                 .collect::<Vec<_>>()
         })
         .expect("campaign scope");
-        let mut merged = ResultStore::new();
+        let mut merged = ResultStore::with_capacity(self.sample_bound(&targets, probes));
         for r in results {
             merged.merge(r?);
         }

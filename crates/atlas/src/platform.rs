@@ -9,7 +9,7 @@
 
 use shears_cloud::{Catalog, Provider, Region};
 use shears_geo::{Continent, CountryAtlas};
-use shears_netsim::{NodeId, Topology, WorldNet, WorldNetConfig};
+use shears_netsim::{NodeId, RouteTable, Topology, WorldNet, WorldNetConfig};
 
 use crate::fleet::{FleetBuilder, FleetConfig};
 use crate::probe::{Probe, ProbeId};
@@ -194,6 +194,33 @@ impl Platform {
         }
         targets
     }
+
+    /// Precomputes the routes from every probe to its measurement
+    /// targets (per [`Platform::targets_for`]) into a frozen
+    /// [`RouteTable`], fanning the per-probe searches over `threads`
+    /// workers. The table is thread-count invariant and can be shared
+    /// read-only by any number of probers.
+    pub fn route_table(
+        &self,
+        same_continent: usize,
+        adjacent: usize,
+        threads: usize,
+    ) -> RouteTable {
+        let wants: Vec<(NodeId, Vec<NodeId>)> = self
+            .probes
+            .iter()
+            .map(|p| {
+                (
+                    self.probe_node(p.id),
+                    self.targets_for(p, same_continent, adjacent)
+                        .iter()
+                        .map(|&region| self.dc_node(region as usize))
+                        .collect(),
+                )
+            })
+            .collect();
+        RouteTable::build(self.topology(), &wants, threads)
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +307,21 @@ mod tests {
         let p = Platform::build(&cfg);
         assert!(p.catalog().regions().len() < 20, "2010 cloud was tiny");
         assert!(!p.catalog().regions().is_empty());
+    }
+
+    #[test]
+    fn route_table_resolves_probe_targets() {
+        let p = quick_platform();
+        let table = p.route_table(2, 1, 4);
+        assert!(!table.is_empty());
+        let probe = &p.probes()[0];
+        let from = p.probe_node(probe.id);
+        for &t in &p.targets_for(probe, 2, 1) {
+            let to = p.dc_node(t as usize);
+            let path = table.path(from, to).expect("platform graph is connected");
+            assert_eq!(path.source(), from);
+            assert_eq!(path.dest(), to);
+        }
     }
 
     #[test]

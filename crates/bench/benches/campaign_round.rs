@@ -2,7 +2,7 @@
 //! full measurement rounds (the number each figure run pays per round).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use shears_atlas::{Campaign, CampaignConfig, Platform};
+use shears_atlas::{Campaign, CampaignConfig, MeasurementType, Platform};
 use shears_bench::{build_platform, Scale};
 
 fn bench_campaign(c: &mut Criterion) {
@@ -36,6 +36,30 @@ fn bench_campaign(c: &mut Criterion) {
             },
         );
     }
+    // One full parallel round on all cores: the shared-RouteTable fast
+    // path end to end (table build + every shard measuring through it).
+    let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let round_cfg = CampaignConfig { rounds: 1, ..cfg };
+    group.bench_function("full_parallel_round_all_cores", |b| {
+        b.iter(|| {
+            Campaign::new(&platform, round_cfg)
+                .run_parallel(cores)
+                .unwrap()
+                .len()
+        })
+    });
+    let tcp_cfg = CampaignConfig {
+        kind: MeasurementType::TcpConnect,
+        ..round_cfg
+    };
+    group.bench_function("full_parallel_round_tcp", |b| {
+        b.iter(|| {
+            Campaign::new(&platform, tcp_cfg)
+                .run_parallel(cores)
+                .unwrap()
+                .len()
+        })
+    });
     group.finish();
 }
 

@@ -1,0 +1,77 @@
+//! RouteTable construction and lookup: campaign start-up cost (one
+//! shortest-path tree per probe, fanned out over threads) and the
+//! steady-state route-resolution hot path (arena slice lookup vs the
+//! incremental router's cache).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shears_bench::{build_platform, Scale};
+use shears_netsim::routing::Router;
+
+fn bench_route_table(c: &mut Criterion) {
+    let platform = build_platform(Scale {
+        probes: 400,
+        rounds: 1,
+    });
+    let (same_continent, adjacent) = (3, 2);
+
+    let mut group = c.benchmark_group("route_table");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("route_table_build", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    platform
+                        .route_table(same_continent, adjacent, threads)
+                        .route_count()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Lookup path: every probe's first target, resolved repeatedly.
+    let table = platform.route_table(same_continent, adjacent, 8);
+    let pairs: Vec<_> = platform
+        .probes()
+        .iter()
+        .filter_map(|p| {
+            let &target = platform.targets_for(p, same_continent, adjacent).first()?;
+            Some((platform.probe_node(p.id), platform.dc_node(target as usize)))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("route_resolution");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("table_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(from, to) in &pairs {
+                if let Some(p) = table.path(from, to) {
+                    acc += p.base_one_way_ms;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("router_warm_cache", |b| {
+        let mut router = Router::new(platform.topology());
+        for &(from, to) in &pairs {
+            let _ = router.path(from, to);
+        }
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(from, to) in &pairs {
+                if let Some(p) = router.path(from, to) {
+                    acc += p.base_one_way_ms;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_table);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Collects Criterion estimates from `target/criterion` into a compact
+//! JSON summary so the perf trajectory of the campaign/analysis hot
+//! paths survives across PRs (`scripts/bench.sh` writes it to
+//! `BENCH_campaign.json`).
+//!
+//! ```sh
+//! cargo run --release -p shears-bench --bin bench_summary -- \
+//!     target/criterion BENCH_campaign.json
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+/// One benchmark's headline estimates, in nanoseconds.
+fn estimates(path: &Path) -> Option<(f64, f64)> {
+    let text = fs::read_to_string(path).ok()?;
+    let v: serde_json::Value = serde_json::from_str(&text).ok()?;
+    let mean = v.get("mean")?.get("point_estimate")?.as_f64()?;
+    let median = v.get("median")?.get("point_estimate")?.as_f64()?;
+    Some((mean, median))
+}
+
+/// Walks a Criterion output tree, recording every `<id>/new/estimates.json`
+/// under its slash-joined benchmark id.
+fn collect(dir: &Path, id: &mut Vec<String>, out: &mut Vec<serde_json::Value>) {
+    let new_estimates = dir.join("new").join("estimates.json");
+    if let Some((mean, median)) = estimates(&new_estimates) {
+        out.push(serde_json::json!({
+            "id": id.join("/"),
+            "mean_ns": mean,
+            "median_ns": median,
+        }));
+        return;
+    }
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut children: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name != "report" && name != "new" && name != "base")
+        .collect();
+    children.sort();
+    for name in children {
+        id.push(name.clone());
+        collect(&dir.join(&name), id, out);
+        id.pop();
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let criterion_dir = args
+        .next()
+        .unwrap_or_else(|| "target/criterion".to_string());
+    let output = args
+        .next()
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+
+    let mut benchmarks = Vec::new();
+    collect(Path::new(&criterion_dir), &mut Vec::new(), &mut benchmarks);
+    benchmarks.sort_by(|a, b| a["id"].as_str().cmp(&b["id"].as_str()));
+
+    if benchmarks.is_empty() {
+        eprintln!(
+            "bench_summary: no estimates under {criterion_dir} — run the benches first \
+             (scripts/bench.sh)"
+        );
+        std::process::exit(1);
+    }
+
+    let summary = serde_json::json!({
+        "source": criterion_dir,
+        "unit": "ns",
+        "benchmarks": benchmarks,
+    });
+    let text = serde_json::to_string_pretty(&summary).expect("summary serialises");
+    fs::write(&output, text + "\n").expect("summary written");
+    eprintln!(
+        "bench_summary: {} benchmarks -> {output}",
+        summary["benchmarks"].as_array().map_or(0, Vec::len)
+    );
+}

@@ -96,9 +96,9 @@ pub fn edge_gain_study(
         *slot += 1;
         let probe_node = platform.probe_node(probe.id);
         let floor_to = |router: &mut Router, to: NodeId| -> Option<f64> {
-            let path = router.path(probe_node, to)?.clone();
+            let path = router.path(probe_node, to)?;
             Some(
-                PathSampler::new(&path, topo, Some(probe.access), DiurnalLoad::residential())
+                PathSampler::new(path, topo, Some(probe.access), DiurnalLoad::residential())
                     .floor_rtt_ms(),
             )
         };

@@ -109,7 +109,7 @@ pub fn controlled_city_comparison(
             {
                 floors.push(
                     PathSampler::new(
-                        &path.clone(),
+                        path,
                         platform.topology(),
                         Some(probe.access),
                         DiurnalLoad::residential(),
@@ -153,7 +153,7 @@ pub fn provider_comparison(platform: &Platform, max_probes: usize) -> ProviderRe
                 continue;
             };
             let floor = PathSampler::new(
-                &path.clone(),
+                path,
                 platform.topology(),
                 Some(probe.access),
                 DiurnalLoad::residential(),

@@ -92,7 +92,7 @@ pub fn fiveg_whatif(platform: &Platform, max_probes: usize) -> WhatIfReport {
             continue;
         };
         let floor = PathSampler::new(
-            &path.clone(),
+            path,
             platform.topology(),
             Some(probe.access),
             DiurnalLoad::residential(),

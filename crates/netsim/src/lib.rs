@@ -55,8 +55,8 @@ pub mod wire;
 pub mod worldnet;
 
 pub use event::{EventQueue, ScheduledEvent};
-pub use ping::{PingConfig, PingOutcome, PingProber};
-pub use routing::{PathInfo, Router};
+pub use ping::{PingConfig, PingOutcome, PingProber, RttBuf};
+pub use routing::{PathInfo, PathRef, RouteSource, RouteTable, Router};
 pub use tcp::{TcpConfig, TcpOutcome, TcpProber};
 pub use traceroute::{TracerouteOutcome, TracerouteProber};
 pub use time::SimTime;

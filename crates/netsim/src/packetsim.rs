@@ -99,7 +99,7 @@ pub fn ping_event_driven(
         // Loss.
         if rng.chance(hop_loss_probability(
             topo,
-            path,
+            &path.links,
             link_idx,
             access,
             is_first_hop_of_direction,
@@ -108,7 +108,7 @@ pub fn ping_event_driven(
         }
         let delay = hop_delay_ms(
             topo,
-            path,
+            &path.links,
             link_idx,
             access,
             is_first_hop_of_direction,
@@ -134,11 +134,11 @@ pub fn ping_event_driven(
         );
     }
     rtts.sort_by_key(|&(p, _)| p);
-    PingOutcome {
-        sent: packets,
-        received: rtts.len() as u32,
-        rtts_ms: rtts.into_iter().map(|(_, r)| r).collect(),
+    let mut outcome = PingOutcome::new(packets);
+    for (_, rtt) in rtts {
+        outcome.record(rtt);
     }
+    outcome
 }
 
 #[cfg(test)]
@@ -189,12 +189,18 @@ mod tests {
             let mut total = 0.0;
             for (step, &link_idx) in order.iter().enumerate() {
                 let head = step == 0 || step == n;
-                if rng.chance(hop_loss_probability(&t, &path, link_idx, Some(access()), head)) {
+                if rng.chance(hop_loss_probability(
+                    &t,
+                    &path.links,
+                    link_idx,
+                    Some(access()),
+                    head,
+                )) {
                     return None;
                 }
                 total += hop_delay_ms(
                     &t,
-                    &path,
+                    &path.links,
                     link_idx,
                     Some(access()),
                     head,
@@ -226,7 +232,7 @@ mod tests {
                     f64::INFINITY,
                     &mut rng,
                 )
-                .rtts_ms
+                .rtts_ms()
                 .first()
                 .copied()
             };
@@ -245,7 +251,8 @@ mod tests {
     fn multi_packet_round_agrees_statistically_with_prober() {
         let (t, probe, dc) = net();
         let mut prober = PingProber::new(&t);
-        let path = prober.route(probe, dc).unwrap().clone();
+        let mut router = Router::new(&t);
+        let path = router.path(probe, dc).unwrap().clone();
         let mut analytic = Vec::new();
         let mut eventful = Vec::new();
         let mut rng_a = SimRng::new(5);
@@ -332,7 +339,7 @@ mod tests {
         );
         // rtts_ms is ordered by packet index regardless of completion
         // interleaving (matching the prober's contract).
-        assert_eq!(out.rtts_ms.len() as u32, out.received);
+        assert_eq!(out.rtts_ms().len() as u32, out.received);
         assert!(out.received >= 2, "loss should be rare here");
     }
 }

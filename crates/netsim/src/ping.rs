@@ -10,13 +10,19 @@
 //! access link and an instant, it produces one-way delay samples. The
 //! TCP prober ([`crate::tcp`]) reuses it, so ICMP and TCP probing are
 //! guaranteed to see the same underlying network.
+//!
+//! The per-measurement hot path is allocation-free when the prober is
+//! backed by a shared [`RouteTable`]: the route arrives as a borrowed
+//! [`PathRef`] slice (no `PathInfo` clone) and the round's RTTs land in
+//! [`RttBuf`]'s inline storage (no heap `Vec` for the ≤8-packet rounds
+//! campaigns actually run).
 
 use crate::access::AccessLink;
 use crate::queue::{DiurnalLoad, Mm1Queue};
-use crate::routing::{PathInfo, Router};
+use crate::routing::{PathInfo, PathRef, RouteSource, RouteTable, Router};
 use crate::stochastic::SimRng;
 use crate::time::SimTime;
-use crate::topology::{LinkClass, Topology};
+use crate::topology::{LinkClass, LinkId, Topology};
 use crate::NodeId;
 
 /// Ping measurement parameters (Atlas defaults: 3 packets).
@@ -37,31 +43,116 @@ impl Default for PingConfig {
     }
 }
 
+/// RTT sample buffer with inline storage for [`RttBuf::INLINE`] values;
+/// rounds with more packets spill to the heap. The Atlas default is 3
+/// packets per round, so campaign measurements never allocate here.
+#[derive(Debug, Clone, Default)]
+pub struct RttBuf {
+    inline: [f64; Self::INLINE],
+    len: u8,
+    spill: Vec<f64>,
+}
+
+impl RttBuf {
+    /// Samples held without heap allocation.
+    pub const INLINE: usize = 8;
+
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Self {
+            inline: [0.0; Self::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, v: f64) {
+        let n = self.len as usize;
+        if self.spill.is_empty() && n < Self::INLINE {
+            self.inline[n] = v;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(n + 1);
+                self.spill.extend_from_slice(&self.inline[..n]);
+            }
+            self.spill.push(v);
+        }
+    }
+
+    /// The recorded samples, in push order.
+    pub fn as_slice(&self) -> &[f64] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PartialEq for RttBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// Result of one ping measurement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PingOutcome {
     /// Echo requests sent.
     pub sent: u32,
     /// Replies received in time.
     pub received: u32,
     /// RTTs of the received replies, ms, in send order.
-    pub rtts_ms: Vec<f64>,
+    rtts: RttBuf,
 }
 
 impl PingOutcome {
+    /// An outcome with `sent` requests and no replies recorded yet.
+    pub fn new(sent: u32) -> Self {
+        Self {
+            sent,
+            received: 0,
+            rtts: RttBuf::new(),
+        }
+    }
+
+    /// Records one in-time reply.
+    pub fn record(&mut self, rtt_ms: f64) {
+        self.received += 1;
+        self.rtts.push(rtt_ms);
+    }
+
+    /// RTTs of the received replies, ms, in send order.
+    pub fn rtts_ms(&self) -> &[f64] {
+        self.rtts.as_slice()
+    }
+
     /// Minimum RTT, or `None` if all packets were lost. The paper's
     /// analysis is built on minima ("we extract the minimum ping
     /// latency"), which strip congestion noise.
     pub fn min_ms(&self) -> Option<f64> {
-        self.rtts_ms.iter().copied().reduce(f64::min)
+        self.rtts_ms().iter().copied().reduce(f64::min)
     }
 
     /// Mean RTT over received replies, or `None` if none arrived.
     pub fn avg_ms(&self) -> Option<f64> {
-        if self.rtts_ms.is_empty() {
+        let rtts = self.rtts_ms();
+        if rtts.is_empty() {
             None
         } else {
-            Some(self.rtts_ms.iter().sum::<f64>() / self.rtts_ms.len() as f64)
+            Some(rtts.iter().sum::<f64>() / rtts.len() as f64)
         }
     }
 
@@ -99,17 +190,17 @@ fn max_wait_ms(class: LinkClass) -> f64 {
     }
 }
 
-/// Loss probability for traversing `path.links[link_idx]` once. The
+/// Loss probability for traversing `links[link_idx]` once. The
 /// probe-adjacent link (`link_idx == 0`) uses the access technology's
 /// loss when the caller supplied one.
 pub fn hop_loss_probability(
     topo: &Topology,
-    path: &PathInfo,
+    links: &[LinkId],
     link_idx: usize,
     access: Option<AccessLink>,
     _is_direction_head: bool,
 ) -> f64 {
-    let link = topo.link(path.links[link_idx]);
+    let link = topo.link(links[link_idx]);
     if link_idx == 0 && link.class == LinkClass::Access {
         access.map_or(link.class.base_loss(), |a| a.tech.loss_probability())
     } else {
@@ -117,17 +208,17 @@ pub fn hop_loss_probability(
     }
 }
 
-/// Samples the delay of one traversal of `path.links[link_idx]` at
-/// instant `t`: the access model for the probe-adjacent access link,
-/// otherwise propagation floor plus M/M/1 congestion at the link
-/// midpoint's local hour. Exactly one (access) or at most one
-/// (congestion) RNG draw beyond the caller's loss draw, in a fixed
-/// order — the analytic and event-driven executions share this function
-/// so their RNG streams stay aligned.
+/// Samples the delay of one traversal of `links[link_idx]` at instant
+/// `t`: the access model for the probe-adjacent access link, otherwise
+/// propagation floor plus M/M/1 congestion at the link midpoint's local
+/// hour. Exactly one (access) or at most one (congestion) RNG draw
+/// beyond the caller's loss draw, in a fixed order — the analytic and
+/// event-driven executions share this function so their RNG streams
+/// stay aligned.
 #[allow(clippy::too_many_arguments)]
 pub fn hop_delay_ms(
     topo: &Topology,
-    path: &PathInfo,
+    links: &[LinkId],
     link_idx: usize,
     access: Option<AccessLink>,
     _is_direction_head: bool,
@@ -135,7 +226,7 @@ pub fn hop_delay_ms(
     t: SimTime,
     rng: &mut SimRng,
 ) -> f64 {
-    let link = topo.link(path.links[link_idx]);
+    let link = topo.link(links[link_idx]);
     if link_idx == 0 && link.class == LinkClass::Access {
         if let Some(access) = access {
             return access.sample_one_way_ms(rng);
@@ -159,7 +250,7 @@ pub fn hop_delay_ms(
 
 /// Samples one-way delays and loss along a resolved path.
 ///
-/// The deterministic floor comes from [`PathInfo::base_one_way_ms`]; on
+/// The deterministic floor comes from [`PathRef::base_one_way_ms`]; on
 /// top of it every non-access link contributes a congestion wait drawn
 /// from an exponential around the M/M/1 expectation at the link's local
 /// hour, and the access segment (if the path starts at a probe host)
@@ -169,18 +260,29 @@ pub fn hop_delay_ms(
 /// under-provisioned a segment is, which couples the two effects the
 /// paper observes in under-served regions (long *and* variable paths).
 pub struct PathSampler<'p, 't> {
-    path: &'p PathInfo,
+    path: PathRef<'p>,
     topo: &'t Topology,
     access: Option<AccessLink>,
     load: DiurnalLoad,
 }
 
 impl<'p, 't> PathSampler<'p, 't> {
-    /// Creates a sampler; pass `access` when the path's first hop is the
-    /// probe's last-mile segment (its stochastic model then replaces the
-    /// topology link's flat delay for that hop).
+    /// Creates a sampler over an owned path; pass `access` when the
+    /// path's first hop is the probe's last-mile segment (its stochastic
+    /// model then replaces the topology link's flat delay for that hop).
     pub fn new(
         path: &'p PathInfo,
+        topo: &'t Topology,
+        access: Option<AccessLink>,
+        load: DiurnalLoad,
+    ) -> Self {
+        Self::from_ref(path.as_path_ref(), topo, access, load)
+    }
+
+    /// Creates a sampler over a borrowed path view (e.g. a
+    /// [`RouteTable`] arena slice) — the allocation-free entry point.
+    pub fn from_ref(
+        path: PathRef<'p>,
         topo: &'t Topology,
         access: Option<AccessLink>,
         load: DiurnalLoad,
@@ -202,12 +304,23 @@ impl<'p, 't> PathSampler<'p, 't> {
         let mut total = 0.0;
         for i in 0..self.path.links.len() {
             if rng.chance(hop_loss_probability(
-                self.topo, self.path, i, self.access, i == 0,
+                self.topo,
+                self.path.links,
+                i,
+                self.access,
+                i == 0,
             )) {
                 return None;
             }
             total += hop_delay_ms(
-                self.topo, self.path, i, self.access, i == 0, self.load, t, rng,
+                self.topo,
+                self.path.links,
+                i,
+                self.access,
+                i == 0,
+                self.load,
+                t,
+                rng,
             );
         }
         // Processing at intermediate nodes (endpoints excluded).
@@ -238,23 +351,40 @@ impl<'p, 't> PathSampler<'p, 't> {
     }
 }
 
-/// Ping driver: resolves routes (cached) and produces [`PingOutcome`]s.
+/// Ping driver: resolves routes and produces [`PingOutcome`]s.
+///
+/// Routes come from either a private cached [`Router`]
+/// ([`PingProber::new`]) or a shared precomputed [`RouteTable`]
+/// ([`PingProber::with_table`]); sampling is bit-identical between the
+/// two, and the table-backed path performs zero per-call allocations.
 pub struct PingProber<'t> {
     topo: &'t Topology,
-    router: Router<'t>,
+    routes: RouteSource<'t>,
 }
 
 impl<'t> PingProber<'t> {
-    /// Creates a prober over a frozen topology.
+    /// Creates a prober over a frozen topology with its own incremental
+    /// route cache.
     pub fn new(topo: &'t Topology) -> Self {
         Self {
             topo,
-            router: Router::new(topo),
+            routes: RouteSource::Dynamic(Router::new(topo)),
+        }
+    }
+
+    /// Creates a prober that reads routes from a shared precomputed
+    /// table (the campaign fast path; the table may be shared read-only
+    /// across any number of probers and threads).
+    pub fn with_table(topo: &'t Topology, table: &'t RouteTable) -> Self {
+        Self {
+            topo,
+            routes: RouteSource::Shared(table),
         }
     }
 
     /// Runs one ping measurement from `from` to `to` at instant `t`.
-    /// Returns `None` if the nodes are not connected at all.
+    /// Returns `None` if the nodes are not connected (or, for a
+    /// table-backed prober, the pair was not resolved at build time).
     #[allow(clippy::too_many_arguments)]
     pub fn ping(
         &mut self,
@@ -266,21 +396,15 @@ impl<'t> PingProber<'t> {
         cfg: &PingConfig,
         rng: &mut SimRng,
     ) -> Option<PingOutcome> {
-        let path = self.router.path(from, to)?.clone();
-        let sampler = PathSampler::new(&path, self.topo, access, load);
-        let mut outcome = PingOutcome {
-            sent: cfg.packets,
-            received: 0,
-            rtts_ms: Vec::with_capacity(cfg.packets as usize),
-        };
+        let topo = self.topo;
+        let path = self.routes.path(from, to)?;
+        let sampler = PathSampler::from_ref(path, topo, access, load);
+        let mut outcome = PingOutcome::new(cfg.packets);
         for i in 0..cfg.packets {
             // Packets are paced 1 s apart like the Atlas ping default.
             let at = t + SimTime::from_secs(u64::from(i));
             match sampler.sample_rtt_ms(at, rng) {
-                Some(rtt) if rtt <= cfg.timeout_ms => {
-                    outcome.received += 1;
-                    outcome.rtts_ms.push(rtt);
-                }
+                Some(rtt) if rtt <= cfg.timeout_ms => outcome.record(rtt),
                 _ => {}
             }
         }
@@ -289,8 +413,8 @@ impl<'t> PingProber<'t> {
 
     /// The route the prober would use (exposed for path introspection in
     /// reports and tests).
-    pub fn route(&mut self, from: NodeId, to: NodeId) -> Option<&PathInfo> {
-        self.router.path(from, to)
+    pub fn route(&mut self, from: NodeId, to: NodeId) -> Option<PathRef<'_>> {
+        self.routes.path(from, to)
     }
 }
 
@@ -336,10 +460,10 @@ mod tests {
             .unwrap();
         assert_eq!(out.sent, 3);
         assert!(out.received >= 1, "all three packets lost is implausible here");
-        let path = prober.route(probe, dc).unwrap().clone();
-        let sampler = PathSampler::new(&path, &t, Some(dsl()), DiurnalLoad::residential());
+        let path = prober.route(probe, dc).unwrap();
+        let sampler = PathSampler::from_ref(path, &t, Some(dsl()), DiurnalLoad::residential());
         let floor = sampler.floor_rtt_ms();
-        for &rtt in &out.rtts_ms {
+        for &rtt in out.rtts_ms() {
             // Jitter is log-normal around the floor, so individual samples
             // can dip slightly below it, but not to half.
             assert!(rtt > floor * 0.5, "rtt {rtt} vs floor {floor}");
@@ -350,16 +474,16 @@ mod tests {
     fn floor_includes_access_substitution() {
         let (t, probe, dc) = simple_net();
         let mut prober = PingProber::new(&t);
-        let path = prober.route(probe, dc).unwrap().clone();
-        let with_eth = PathSampler::new(
-            &path,
+        let path = prober.route(probe, dc).unwrap();
+        let with_eth = PathSampler::from_ref(
+            path,
             &t,
             Some(AccessLink::new(AccessTechnology::Ethernet, 1.0)),
             DiurnalLoad::residential(),
         )
         .floor_rtt_ms();
-        let with_lte = PathSampler::new(
-            &path,
+        let with_lte = PathSampler::from_ref(
+            path,
             &t,
             Some(AccessLink::new(AccessTechnology::Lte, 1.0)),
             DiurnalLoad::residential(),
@@ -389,6 +513,34 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn table_backed_prober_matches_dynamic_prober() {
+        // The campaign's bit-identity rests on this: same seed, same
+        // pair, same instants — the shared-table prober must reproduce
+        // the router-backed prober's outcome exactly.
+        let (t, probe, dc) = simple_net();
+        let table = RouteTable::build(&t, &[(probe, vec![dc])], 2);
+        for seed in [1u64, 7, 42, 99] {
+            let run = |prober: &mut PingProber| {
+                let mut rng = SimRng::new(seed);
+                prober
+                    .ping(
+                        probe,
+                        dc,
+                        Some(dsl()),
+                        DiurnalLoad::residential(),
+                        SimTime::from_hours(5),
+                        &PingConfig::default(),
+                        &mut rng,
+                    )
+                    .unwrap()
+            };
+            let dynamic = run(&mut PingProber::new(&t));
+            let shared = run(&mut PingProber::with_table(&t, &table));
+            assert_eq!(dynamic, shared, "seed {seed}");
+        }
     }
 
     #[test]
@@ -439,24 +591,47 @@ mod tests {
 
     #[test]
     fn outcome_statistics() {
-        let o = PingOutcome {
-            sent: 4,
-            received: 3,
-            rtts_ms: vec![10.0, 12.0, 8.0],
-        };
+        let mut o = PingOutcome::new(4);
+        for rtt in [10.0, 12.0, 8.0] {
+            o.record(rtt);
+        }
+        assert_eq!(o.rtts_ms(), &[10.0, 12.0, 8.0]);
         assert_eq!(o.min_ms(), Some(8.0));
         assert_eq!(o.avg_ms(), Some(10.0));
         assert!((o.loss_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]
+    fn rtt_buf_spills_past_inline_capacity() {
+        let mut buf = RttBuf::new();
+        let values: Vec<f64> = (0..RttBuf::INLINE as u32 + 4).map(f64::from).collect();
+        for (i, &v) in values.iter().enumerate() {
+            buf.push(v);
+            assert_eq!(buf.len(), i + 1);
+            assert_eq!(buf.as_slice(), &values[..=i], "push order preserved");
+        }
+        assert!(!buf.is_empty());
+        // Equality is by contents, not storage mode.
+        let mut inline_only = RttBuf::new();
+        for &v in &values[..3] {
+            inline_only.push(v);
+        }
+        let mut other = RttBuf::new();
+        for &v in &values[..3] {
+            other.push(v);
+        }
+        assert_eq!(inline_only, other);
+        assert_ne!(inline_only, buf);
+    }
+
+    #[test]
     fn evening_congestion_raises_mean_rtt() {
         let (t, probe, dc) = simple_net();
         let mut prober = PingProber::new(&t);
-        let path = prober.route(probe, dc).unwrap().clone();
+        let path = prober.route(probe, dc).unwrap();
         // Munich is ~11.6°E, so local 21:00 ≈ 20:13 UTC. Compare a quiet
         // local 04:00 against the local evening peak.
-        let sampler = PathSampler::new(&path, &t, Some(dsl()), DiurnalLoad::residential());
+        let sampler = PathSampler::from_ref(path, &t, Some(dsl()), DiurnalLoad::residential());
         let mean_at = |hour_utc: u64, seed: u64| {
             let mut rng = SimRng::new(seed);
             let mut sum = 0.0;

@@ -1,4 +1,5 @@
-//! Shortest-path routing with a path cache.
+//! Shortest-path routing: a dynamic cached [`Router`] and a frozen,
+//! shareable [`RouteTable`].
 //!
 //! Routes are computed by Dijkstra over the link base delays plus
 //! per-node processing delays — i.e. the *uncongested* floor. Real
@@ -7,13 +8,25 @@
 //! can only exit a country through its PoPs and hubs), so delay-shortest
 //! paths over that graph reproduce the inflation the paper observes
 //! without simulating BGP itself.
+//!
+//! Two resolution strategies share one Dijkstra core (same relaxation
+//! order, same `total_cmp`-then-node-id tie-break, therefore bit-equal
+//! paths):
+//!
+//! * [`Router`] — incremental, per-pair, with a cache and optional
+//!   disabled links. The dynamic / failure-injection path.
+//! * [`RouteTable`] — all probe→target routes resolved up front, one
+//!   shortest-path tree per source (one Dijkstra covers all of that
+//!   source's targets), stored in a flat CSR-style arena and shared
+//!   read-only across campaign shards. The frozen fast path: lookups
+//!   hand out borrowed [`PathRef`]s, never cloning.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use crate::topology::{LinkId, NodeId, Topology};
 
-/// A resolved route between two nodes.
+/// A resolved route between two nodes (owned form).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PathInfo {
     /// Endpoints, in order.
@@ -34,19 +47,58 @@ impl PathInfo {
     pub fn hop_count(&self) -> usize {
         self.links.len()
     }
+
+    /// A borrowed view of this path.
+    pub fn as_path_ref(&self) -> PathRef<'_> {
+        PathRef {
+            links: &self.links,
+            nodes: &self.nodes,
+            base_one_way_ms: self.base_one_way_ms,
+        }
+    }
 }
 
-/// Dijkstra router with a per-source cache.
-///
-/// The measurement campaign resolves the same probe→DC pairs for every
-/// round, so the cache turns routing into a one-time cost. The cache is
-/// invalidated by generation: callers that mutate the topology must
-/// create a new router (the borrow checker enforces this at compile time
-/// since the router borrows the topology).
-pub struct Router<'t> {
-    topo: &'t Topology,
-    cache: HashMap<(NodeId, NodeId), Option<PathInfo>>,
-    disabled: HashSet<LinkId>,
+/// A borrowed view of a resolved route — what the ping/TCP hot path
+/// consumes. Copying a `PathRef` copies two fat pointers and a float;
+/// the link/node sequences stay wherever they live (a [`PathInfo`] or
+/// the [`RouteTable`] arena).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathRef<'a> {
+    /// Links traversed, in order from source to destination.
+    pub links: &'a [LinkId],
+    /// Nodes visited, source first, destination last
+    /// (`links.len() + 1` entries).
+    pub nodes: &'a [NodeId],
+    /// One-way delay floor in ms (see [`PathInfo::base_one_way_ms`]).
+    pub base_one_way_ms: f64,
+}
+
+impl PathRef<'_> {
+    /// Number of hops (links) on the path.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node.
+    pub fn dest(&self) -> NodeId {
+        self.nodes[self.nodes.len() - 1]
+    }
+
+    /// An owned copy of the route (for storage and equivalence tests).
+    pub fn to_path_info(self) -> PathInfo {
+        PathInfo {
+            from: self.source(),
+            to: self.dest(),
+            links: self.links.to_vec(),
+            nodes: self.nodes.to_vec(),
+            base_one_way_ms: self.base_one_way_ms,
+        }
+    }
 }
 
 #[derive(PartialEq)]
@@ -71,6 +123,148 @@ impl Ord for QueueItem {
     }
 }
 
+/// The shared Dijkstra core: delay-shortest paths from `from` to every
+/// node in `targets`, in target order. Runs a single search that stops
+/// as soon as all targets are settled, then reconstructs each path from
+/// the predecessor chain.
+///
+/// Because a node's predecessor is frozen the moment it is settled (and
+/// the pop order up to any given settlement does not depend on the
+/// target set), the path this returns for each target is **bit-equal**
+/// to a dedicated single-target run — the property the `RouteTable`
+/// equivalence tests pin.
+fn shortest_paths(
+    topo: &Topology,
+    disabled: &HashSet<LinkId>,
+    from: NodeId,
+    targets: &[NodeId],
+) -> Vec<Option<PathInfo>> {
+    let n = topo.node_count();
+    if from.index() >= n {
+        return targets.iter().map(|_| None).collect();
+    }
+    // Pending targets that require the search; `from` itself and stale
+    // ids resolve during reconstruction.
+    let mut pending = vec![false; n];
+    let mut remaining = 0usize;
+    for &to in targets {
+        if to.index() < n && to != from && !pending[to.index()] {
+            pending[to.index()] = true;
+            remaining += 1;
+        }
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    if remaining > 0 {
+        let mut heap = BinaryHeap::new();
+        dist[from.index()] = 0.0;
+        heap.push(QueueItem {
+            dist: 0.0,
+            node: from,
+        });
+        while let Some(QueueItem { dist: d, node }) = heap.pop() {
+            if d > dist[node.index()] {
+                continue; // stale entry
+            }
+            if pending[node.index()] {
+                pending[node.index()] = false;
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            // Stub endpoints (probes, datacenters, edge sites) never
+            // forward third-party traffic: expanding them as transit
+            // would let a multi-homed datacenter act as a wormhole
+            // between its peering hubs.
+            if node != from && topo.node(node).kind.is_stub() {
+                continue;
+            }
+            // Processing cost applies when transiting a node, not at the
+            // source; folded into the outgoing edge relaxation.
+            let proc = if node == from {
+                0.0
+            } else {
+                topo.node(node).kind.processing_delay_ms()
+            };
+            for (next, link) in topo.neighbors(node) {
+                if disabled.contains(&link) {
+                    continue;
+                }
+                let nd = d + proc + topo.link(link).base_delay_ms;
+                if nd < dist[next.index()] {
+                    dist[next.index()] = nd;
+                    prev[next.index()] = Some((node, link));
+                    heap.push(QueueItem {
+                        dist: nd,
+                        node: next,
+                    });
+                }
+            }
+        }
+    }
+    targets
+        .iter()
+        .map(|&to| reconstruct(from, to, &dist, &prev))
+        .collect()
+}
+
+/// Rebuilds the path to `to` from the predecessor chain of a completed
+/// search rooted at `from`.
+fn reconstruct(
+    from: NodeId,
+    to: NodeId,
+    dist: &[f64],
+    prev: &[Option<(NodeId, LinkId)>],
+) -> Option<PathInfo> {
+    if to.index() >= dist.len() {
+        return None;
+    }
+    if to == from {
+        return Some(PathInfo {
+            from,
+            to,
+            links: Vec::new(),
+            nodes: vec![from],
+            base_one_way_ms: 0.0,
+        });
+    }
+    if dist[to.index()].is_infinite() {
+        return None;
+    }
+    let mut links = Vec::new();
+    let mut nodes = vec![to];
+    let mut cur = to;
+    while cur != from {
+        let (p, l) = prev[cur.index()].expect("prev chain intact");
+        links.push(l);
+        nodes.push(p);
+        cur = p;
+    }
+    links.reverse();
+    nodes.reverse();
+    Some(PathInfo {
+        from,
+        to,
+        links,
+        nodes,
+        base_one_way_ms: dist[to.index()],
+    })
+}
+
+/// Dijkstra router with a per-source cache.
+///
+/// The measurement campaign resolves the same probe→DC pairs for every
+/// round, so the cache turns routing into a one-time cost. The cache is
+/// invalidated by generation: callers that mutate the topology must
+/// create a new router (the borrow checker enforces this at compile time
+/// since the router borrows the topology).
+pub struct Router<'t> {
+    topo: &'t Topology,
+    cache: HashMap<(NodeId, NodeId), Option<PathInfo>>,
+    disabled: HashSet<LinkId>,
+}
+
 impl<'t> Router<'t> {
     /// Creates a router over the given (frozen) topology.
     pub fn new(topo: &'t Topology) -> Self {
@@ -93,102 +287,186 @@ impl<'t> Router<'t> {
     }
 
     /// Resolves the delay-shortest path from `from` to `to`, or `None`
-    /// if the nodes are disconnected. Results are cached.
+    /// if the nodes are disconnected. Results are cached; a hit is a
+    /// single hash lookup.
     pub fn path(&mut self, from: NodeId, to: NodeId) -> Option<&PathInfo> {
-        // Entry-or-insert keeps the borrow simple at the cost of a clone
-        // on first miss; paths are short (≤ ~12 hops) so this is cheap.
-        if !self.cache.contains_key(&(from, to)) {
-            let computed = self.dijkstra(from, to);
-            self.cache.insert((from, to), computed);
-        }
-        self.cache.get(&(from, to)).and_then(|p| p.as_ref())
+        let Self {
+            topo,
+            cache,
+            disabled,
+        } = self;
+        cache
+            .entry((from, to))
+            .or_insert_with(|| {
+                shortest_paths(topo, disabled, from, &[to])
+                    .pop()
+                    .expect("one target yields one result")
+            })
+            .as_ref()
     }
 
     /// Number of cached (source, target) entries.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
+}
 
-    fn dijkstra(&self, from: NodeId, to: NodeId) -> Option<PathInfo> {
-        let n = self.topo.node_count();
-        if from.index() >= n || to.index() >= n {
-            return None;
-        }
-        if from == to {
-            return Some(PathInfo {
-                from,
-                to,
-                links: Vec::new(),
-                nodes: vec![from],
-                base_one_way_ms: 0.0,
-            });
-        }
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-        let mut heap = BinaryHeap::new();
-        dist[from.index()] = 0.0;
-        heap.push(QueueItem {
-            dist: 0.0,
-            node: from,
-        });
-        while let Some(QueueItem { dist: d, node }) = heap.pop() {
-            if d > dist[node.index()] {
-                continue; // stale entry
+/// A frozen table of precomputed routes, shareable read-only across
+/// threads.
+///
+/// [`RouteTable::build`] resolves all requested source→target routes up
+/// front — one shortest-path-tree Dijkstra per source instead of one
+/// search per pair — optionally fanning the sources out over worker
+/// threads. The result is assembled in request order, so the table's
+/// contents (and memory layout) are invariant to the build thread count.
+///
+/// Storage is a flat CSR-style arena: one concatenated `Vec<NodeId>`,
+/// one concatenated `Vec<LinkId>` and an offset table, instead of
+/// per-path heap `Vec`s. [`RouteTable::path`] hands out [`PathRef`]
+/// slices borrowed straight from the arena — the probing hot path never
+/// clones a route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteTable {
+    /// Concatenated node sequences of all routes.
+    nodes: Vec<NodeId>,
+    /// Concatenated link sequences of all routes.
+    links: Vec<LinkId>,
+    /// Per-route one-way delay floors, ms.
+    base: Vec<f64>,
+    /// Link offsets: route `r` owns `links[offsets[r]..offsets[r + 1]]`
+    /// and (since every route has one more node than links)
+    /// `nodes[offsets[r] + r..offsets[r + 1] + r + 1]`.
+    offsets: Vec<u32>,
+    /// (source, target) → route index, connected pairs only.
+    index: HashMap<(NodeId, NodeId), u32>,
+}
+
+impl RouteTable {
+    /// Resolves every `(source, targets)` request and freezes the
+    /// results. `threads` ≥ 2 shards the *sources* over that many worker
+    /// threads (the per-source searches are independent); the assembled
+    /// table is identical for every thread count. Disconnected pairs are
+    /// simply absent from the table.
+    pub fn build(topo: &Topology, wants: &[(NodeId, Vec<NodeId>)], threads: usize) -> Self {
+        let no_disabled = HashSet::new();
+        let threads = threads.clamp(1, wants.len().max(1));
+        let resolved: Vec<Vec<Option<PathInfo>>> = if threads <= 1 {
+            wants
+                .iter()
+                .map(|(src, targets)| shortest_paths(topo, &no_disabled, *src, targets))
+                .collect()
+        } else {
+            let chunk = wants.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let no_disabled = &no_disabled;
+                let handles: Vec<_> = wants
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|(src, targets)| {
+                                    shortest_paths(topo, no_disabled, *src, targets)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("route table build worker panicked"))
+                    .collect()
+            })
+        };
+        // Deterministic assembly: arena layout follows request order, so
+        // the table is bit-identical regardless of build parallelism.
+        let total_links: usize = resolved
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.links.len())
+            .sum();
+        let route_upper: usize = wants.iter().map(|(_, t)| t.len()).sum();
+        let mut table = Self {
+            nodes: Vec::with_capacity(total_links + route_upper),
+            links: Vec::with_capacity(total_links),
+            base: Vec::with_capacity(route_upper),
+            offsets: Vec::with_capacity(route_upper + 1),
+            index: HashMap::with_capacity(route_upper),
+        };
+        table.offsets.push(0);
+        for ((source, targets), paths) in wants.iter().zip(resolved) {
+            for (target, path) in targets.iter().zip(paths) {
+                let Some(p) = path else { continue };
+                use std::collections::hash_map::Entry;
+                let Entry::Vacant(slot) = table.index.entry((*source, *target)) else {
+                    continue; // duplicate request: first resolution wins
+                };
+                let route = u32::try_from(table.base.len()).expect("route table route limit");
+                slot.insert(route);
+                table.nodes.extend_from_slice(&p.nodes);
+                table.links.extend_from_slice(&p.links);
+                table.base.push(p.base_one_way_ms);
+                let end = u32::try_from(table.links.len()).expect("route table arena limit");
+                table.offsets.push(end);
             }
-            if node == to {
-                break;
-            }
-            // Stub endpoints (probes, datacenters, edge sites) never
-            // forward third-party traffic: expanding them as transit
-            // would let a multi-homed datacenter act as a wormhole
-            // between its peering hubs.
-            if node != from && self.topo.node(node).kind.is_stub() {
-                continue;
-            }
-            // Processing cost applies when transiting a node, not at the
-            // source; folded into the outgoing edge relaxation.
-            let proc = if node == from {
-                0.0
-            } else {
-                self.topo.node(node).kind.processing_delay_ms()
-            };
-            for (next, link) in self.topo.neighbors(node) {
-                if self.disabled.contains(&link) {
-                    continue;
-                }
-                let nd = d + proc + self.topo.link(link).base_delay_ms;
-                if nd < dist[next.index()] {
-                    dist[next.index()] = nd;
-                    prev[next.index()] = Some((node, link));
-                    heap.push(QueueItem {
-                        dist: nd,
-                        node: next,
-                    });
-                }
-            }
         }
-        if dist[to.index()].is_infinite() {
-            return None;
-        }
-        // Reconstruct.
-        let mut links = Vec::new();
-        let mut nodes = vec![to];
-        let mut cur = to;
-        while cur != from {
-            let (p, l) = prev[cur.index()].expect("prev chain intact");
-            links.push(l);
-            nodes.push(p);
-            cur = p;
-        }
-        links.reverse();
-        nodes.reverse();
-        Some(PathInfo {
-            from,
-            to,
-            links,
-            nodes,
-            base_one_way_ms: dist[to.index()],
+        table
+    }
+
+    /// The precomputed route from `from` to `to`, or `None` if the pair
+    /// was not requested at build time or is disconnected. A lookup is
+    /// one hash probe; the returned [`PathRef`] borrows the arena.
+    pub fn path(&self, from: NodeId, to: NodeId) -> Option<PathRef<'_>> {
+        let route = *self.index.get(&(from, to))? as usize;
+        let l0 = self.offsets[route] as usize;
+        let l1 = self.offsets[route + 1] as usize;
+        Some(PathRef {
+            links: &self.links[l0..l1],
+            nodes: &self.nodes[l0 + route..l1 + route + 1],
+            base_one_way_ms: self.base[route],
         })
+    }
+
+    /// Whether the table holds a route for the pair.
+    pub fn contains(&self, from: NodeId, to: NodeId) -> bool {
+        self.index.contains_key(&(from, to))
+    }
+
+    /// Number of stored routes.
+    pub fn route_count(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Total number of link entries in the arena (a size diagnostic for
+    /// benches and capacity planning).
+    pub fn arena_link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Where a prober gets its routes: a private incremental [`Router`]
+/// (dynamic topologies, failure injection) or a shared read-only
+/// [`RouteTable`] (frozen campaign hot path).
+pub enum RouteSource<'t> {
+    /// Per-prober cached Dijkstra; supports disabled links.
+    Dynamic(Router<'t>),
+    /// Borrowed precomputed table; zero per-lookup allocation.
+    Shared(&'t RouteTable),
+}
+
+impl RouteSource<'_> {
+    /// Resolves a route, if one exists (and, for the shared table, was
+    /// requested at build time).
+    pub fn path(&mut self, from: NodeId, to: NodeId) -> Option<PathRef<'_>> {
+        match self {
+            RouteSource::Dynamic(router) => router.path(from, to).map(PathInfo::as_path_ref),
+            RouteSource::Shared(table) => table.path(from, to),
+        }
     }
 }
 
@@ -310,5 +588,102 @@ mod tests {
         let fwd = r.path(ids[0], ids[3]).unwrap().base_one_way_ms;
         let rev = r.path(ids[3], ids[0]).unwrap().base_one_way_ms;
         assert!((fwd - rev).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_matches_router_bit_for_bit() {
+        let (t, ids) = line();
+        // All-pairs table from both line ends plus the self pair.
+        let wants = vec![
+            (ids[0], vec![ids[1], ids[2], ids[3], ids[0]]),
+            (ids[3], vec![ids[0], ids[2]]),
+        ];
+        let table = RouteTable::build(&t, &wants, 1);
+        let mut router = Router::new(&t);
+        for (src, targets) in &wants {
+            for &to in targets {
+                let via_table = table.path(*src, to).expect("pair resolved").to_path_info();
+                let via_router = router.path(*src, to).expect("connected").clone();
+                assert_eq!(via_table, via_router, "{src:?} -> {to:?}");
+            }
+        }
+        assert_eq!(table.route_count(), 6);
+        assert!(!table.is_empty());
+        assert!(table.arena_link_count() >= 6);
+    }
+
+    #[test]
+    fn table_build_is_thread_invariant() {
+        let (t, ids) = line();
+        let wants: Vec<(NodeId, Vec<NodeId>)> = ids
+            .iter()
+            .map(|&s| (s, ids.iter().copied().filter(|&x| x != s).collect()))
+            .collect();
+        let reference = RouteTable::build(&t, &wants, 1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(RouteTable::build(&t, &wants, threads), reference);
+        }
+    }
+
+    #[test]
+    fn table_self_route_is_empty_path() {
+        let (t, ids) = line();
+        let table = RouteTable::build(&t, &[(ids[2], vec![ids[2]])], 1);
+        let p = table.path(ids[2], ids[2]).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.nodes, &[ids[2]]);
+        assert_eq!(p.base_one_way_ms, 0.0);
+        assert_eq!(p.source(), ids[2]);
+        assert_eq!(p.dest(), ids[2]);
+    }
+
+    #[test]
+    fn table_omits_disconnected_and_unrequested_pairs() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 0.0), "XX");
+        let b = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 1.0), "XX");
+        let c = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 2.0), "XX");
+        t.connect(a, b, LinkClass::TerrestrialBackbone, 1.0);
+        // c is isolated; (b, a) is never requested.
+        let table = RouteTable::build(&t, &[(a, vec![b, c])], 2);
+        assert!(table.contains(a, b));
+        assert!(table.path(a, c).is_none(), "disconnected pair");
+        assert!(table.path(b, a).is_none(), "unrequested pair");
+        assert_eq!(table.route_count(), 1);
+    }
+
+    #[test]
+    fn multi_target_tree_matches_per_pair_runs() {
+        // A diamond with a tie: two equal-cost two-hop routes a→d force
+        // the node-id tie-break; the tree and per-pair searches must
+        // agree on which one wins.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 0.0), "XX");
+        let up = t.add_node(NodeKind::BackbonePop, GeoPoint::new(1.0, 1.0), "XX");
+        let down = t.add_node(NodeKind::BackbonePop, GeoPoint::new(-1.0, 1.0), "XX");
+        let d = t.add_node(NodeKind::MetroPop, GeoPoint::new(0.0, 2.0), "XX");
+        t.connect(a, up, LinkClass::TerrestrialBackbone, 1.0);
+        t.connect(a, down, LinkClass::TerrestrialBackbone, 1.0);
+        t.connect(up, d, LinkClass::TerrestrialBackbone, 1.0);
+        t.connect(down, d, LinkClass::TerrestrialBackbone, 1.0);
+        let table = RouteTable::build(&t, &[(a, vec![up, down, d])], 1);
+        let mut router = Router::new(&t);
+        for to in [up, down, d] {
+            assert_eq!(
+                table.path(a, to).unwrap().to_path_info(),
+                router.path(a, to).unwrap().clone(),
+            );
+        }
+    }
+
+    #[test]
+    fn route_source_dynamic_and_shared_agree() {
+        let (t, ids) = line();
+        let table = RouteTable::build(&t, &[(ids[0], vec![ids[3]])], 1);
+        let mut dynamic = RouteSource::Dynamic(Router::new(&t));
+        let mut shared = RouteSource::Shared(&table);
+        let a = dynamic.path(ids[0], ids[3]).unwrap().to_path_info();
+        let b = shared.path(ids[0], ids[3]).unwrap().to_path_info();
+        assert_eq!(a, b);
     }
 }

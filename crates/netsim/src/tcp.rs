@@ -11,7 +11,7 @@
 use crate::access::AccessLink;
 use crate::ping::PathSampler;
 use crate::queue::DiurnalLoad;
-use crate::routing::Router;
+use crate::routing::{RouteSource, RouteTable, Router};
 use crate::stochastic::SimRng;
 use crate::time::SimTime;
 use crate::topology::Topology;
@@ -53,22 +53,38 @@ impl TcpOutcome {
 }
 
 /// TCP connect-time prober.
+///
+/// Routes come from either a private cached [`Router`]
+/// ([`TcpProber::new`]) or a shared precomputed [`RouteTable`]
+/// ([`TcpProber::with_table`]); handshake sampling is bit-identical
+/// between the two, and the table-backed path never clones a route.
 pub struct TcpProber<'t> {
     topo: &'t Topology,
-    router: Router<'t>,
+    routes: RouteSource<'t>,
 }
 
 impl<'t> TcpProber<'t> {
-    /// Creates a prober over a frozen topology.
+    /// Creates a prober over a frozen topology with its own incremental
+    /// route cache.
     pub fn new(topo: &'t Topology) -> Self {
         Self {
             topo,
-            router: Router::new(topo),
+            routes: RouteSource::Dynamic(Router::new(topo)),
+        }
+    }
+
+    /// Creates a prober that reads routes from a shared precomputed
+    /// table (the campaign fast path).
+    pub fn with_table(topo: &'t Topology, table: &'t RouteTable) -> Self {
+        Self {
+            topo,
+            routes: RouteSource::Shared(table),
         }
     }
 
     /// Attempts a TCP handshake from `from` to `to` starting at `t`.
-    /// Returns `None` if the nodes are disconnected.
+    /// Returns `None` if the nodes are disconnected (or, for a
+    /// table-backed prober, the pair was not resolved at build time).
     #[allow(clippy::too_many_arguments)]
     pub fn connect(
         &mut self,
@@ -80,8 +96,9 @@ impl<'t> TcpProber<'t> {
         cfg: &TcpConfig,
         rng: &mut SimRng,
     ) -> Option<TcpOutcome> {
-        let path = self.router.path(from, to)?.clone();
-        let sampler = PathSampler::new(&path, self.topo, access, load);
+        let topo = self.topo;
+        let path = self.routes.path(from, to)?;
+        let sampler = PathSampler::from_ref(path, topo, access, load);
         let mut elapsed = 0.0_f64;
         let mut rto = cfg.initial_rto_ms;
         for attempt in 1..=cfg.max_syn_attempts {
@@ -203,6 +220,31 @@ mod tests {
                 &mut rng
             )
             .is_none());
+    }
+
+    #[test]
+    fn table_backed_connect_matches_dynamic() {
+        let (t, probe, dc) = net();
+        let table = RouteTable::build(&t, &[(probe, vec![dc])], 1);
+        for seed in [2u64, 13, 77] {
+            let run = |prober: &mut TcpProber| {
+                let mut rng = SimRng::new(seed);
+                prober
+                    .connect(
+                        probe,
+                        dc,
+                        Some(AccessLink::new(AccessTechnology::Dsl, 1.0)),
+                        DiurnalLoad::residential(),
+                        SimTime::from_hours(19),
+                        &TcpConfig::default(),
+                        &mut rng,
+                    )
+                    .unwrap()
+            };
+            let dynamic = run(&mut TcpProber::new(&t));
+            let shared = run(&mut TcpProber::with_table(&t, &table));
+            assert_eq!(dynamic, shared, "seed {seed}");
+        }
     }
 
     #[test]

@@ -12,11 +12,16 @@
 //! The analysis side uses the hop records for delay *attribution*:
 //! "Where is the Delay?" (§4.3) decomposed into access, metro,
 //! national backbone, inter-hub and datacenter segments.
+//!
+//! Per-TTL sub-paths are prefixes of the full shortest path (the
+//! predecessor chain of a shortest-path tree is prefix-closed), so the
+//! walk slices the one resolved route instead of re-running Dijkstra
+//! per hop — no per-hop route lookups or clones.
 
 use crate::access::AccessLink;
 use crate::ping::PathSampler;
 use crate::queue::DiurnalLoad;
-use crate::routing::Router;
+use crate::routing::{PathRef, RouteSource, RouteTable, Router};
 use crate::stochastic::SimRng;
 use crate::time::SimTime;
 use crate::topology::{NodeId, NodeKind, Topology};
@@ -84,15 +89,25 @@ fn icmp_silence_probability(kind: NodeKind) -> f64 {
 /// Traceroute driver over the shared [`PathSampler`] delay engine.
 pub struct TracerouteProber<'t> {
     topo: &'t Topology,
-    router: Router<'t>,
+    routes: RouteSource<'t>,
 }
 
 impl<'t> TracerouteProber<'t> {
-    /// Creates a prober over a frozen topology.
+    /// Creates a prober over a frozen topology with its own incremental
+    /// route cache.
     pub fn new(topo: &'t Topology) -> Self {
         Self {
             topo,
-            router: Router::new(topo),
+            routes: RouteSource::Dynamic(Router::new(topo)),
+        }
+    }
+
+    /// Creates a prober that reads routes from a shared precomputed
+    /// table.
+    pub fn with_table(topo: &'t Topology, table: &'t RouteTable) -> Self {
+        Self {
+            topo,
+            routes: RouteSource::Shared(table),
         }
     }
 
@@ -107,21 +122,35 @@ impl<'t> TracerouteProber<'t> {
         t: SimTime,
         rng: &mut SimRng,
     ) -> Option<TracerouteOutcome> {
-        let full_path = self.router.path(from, to)?.clone();
-        let mut hops = Vec::with_capacity(full_path.nodes.len());
+        let topo = self.topo;
+        let full = self.routes.path(from, to)?;
+        let mut hops = Vec::with_capacity(full.nodes.len());
         let mut reached = false;
+        // Running one-way floor of the prefix ending at the current hop.
+        // Two separate additions per hop replay the Dijkstra relaxation
+        // `(d + proc) + link` exactly, keeping the prefix floors
+        // bit-equal to a dedicated per-hop route resolution.
+        let mut prefix_base = 0.0_f64;
         // One probe per TTL, like `traceroute -q 1`.
-        for (ttl, &hop_node) in full_path.nodes.iter().enumerate().skip(1) {
-            let kind = self.topo.node(hop_node).kind;
+        for (ttl, &hop_node) in full.nodes.iter().enumerate().skip(1) {
+            if ttl >= 2 {
+                prefix_base += topo.node(full.nodes[ttl - 1]).kind.processing_delay_ms();
+            }
+            prefix_base += topo.link(full.links[ttl - 1]).base_delay_ms;
+            let kind = topo.node(hop_node).kind;
             let is_destination = hop_node == to;
             let silent = !is_destination && rng.chance(icmp_silence_probability(kind));
             let rtt_ms = if silent {
                 None
             } else {
-                // RTT to this hop: the truncated path there and back,
+                // RTT to this hop: the path prefix there and back,
                 // sampled at the instant this TTL's probe departs.
-                let sub = self.router.path(from, hop_node)?.clone();
-                let sampler = PathSampler::new(&sub, self.topo, access, load);
+                let sub = PathRef {
+                    links: &full.links[..ttl],
+                    nodes: &full.nodes[..=ttl],
+                    base_one_way_ms: prefix_base,
+                };
+                let sampler = PathSampler::from_ref(sub, topo, access, load);
                 let at = t + SimTime::from_millis(ttl as u64 * 50);
                 sampler.sample_rtt_ms(at, rng).map(|rtt| {
                     // ICMP error generation happens on the slow path of
@@ -282,5 +311,50 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn table_backed_trace_matches_dynamic() {
+        let (t, probe, dc) = net();
+        let table = RouteTable::build(&t, &[(probe, vec![dc])], 1);
+        for seed in [4u64, 19, 61] {
+            let run = |prober: &mut TracerouteProber| {
+                let mut rng = SimRng::new(seed);
+                prober
+                    .trace(
+                        probe,
+                        dc,
+                        Some(access()),
+                        DiurnalLoad::residential(),
+                        SimTime::from_hours(7),
+                        &mut rng,
+                    )
+                    .unwrap()
+            };
+            let dynamic = run(&mut TracerouteProber::new(&t));
+            let shared = run(&mut TracerouteProber::with_table(&t, &table));
+            assert_eq!(dynamic, shared, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn prefix_floor_matches_dedicated_route_resolution() {
+        // The prefix-slice optimisation must not drift from what a
+        // per-hop Dijkstra would report, down to the floor delay.
+        let (t, probe, dc) = net();
+        let mut router = Router::new(&t);
+        let full = router.path(probe, dc).unwrap().clone();
+        let mut again = Router::new(&t);
+        let mut prefix_base = 0.0_f64;
+        for ttl in 1..full.nodes.len() {
+            if ttl >= 2 {
+                prefix_base += t.node(full.nodes[ttl - 1]).kind.processing_delay_ms();
+            }
+            prefix_base += t.link(full.links[ttl - 1]).base_delay_ms;
+            let dedicated = again.path(probe, full.nodes[ttl]).unwrap();
+            assert_eq!(dedicated.base_one_way_ms.to_bits(), prefix_base.to_bits());
+            assert_eq!(dedicated.links, full.links[..ttl]);
+            assert_eq!(dedicated.nodes, full.nodes[..=ttl]);
+        }
     }
 }

@@ -92,7 +92,7 @@ fn main() {
         outcome.received,
         outcome.sent,
         outcome
-            .rtts_ms
+            .rtts_ms()
             .iter()
             .map(|r| format!("{r:.2} ms"))
             .collect::<Vec<_>>()

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Perf trajectory: run the campaign-path and analysis benches, then fold
+# the Criterion estimates into BENCH_campaign.json so successive PRs can
+# compare against this one's numbers.
+#
+# Usage: scripts/bench.sh [extra cargo-bench filter args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> criterion: routing / route_table / ping / campaign / analysis"
+cargo bench -p shears-bench --bench routing -- "$@"
+cargo bench -p shears-bench --bench route_table -- "$@"
+cargo bench -p shears-bench --bench ping_sampling -- "$@"
+cargo bench -p shears-bench --bench campaign_round -- "$@"
+cargo bench -p shears-bench --bench analysis_pipeline -- "$@"
+
+echo "==> summarising target/criterion -> BENCH_campaign.json"
+cargo run --release -p shears-bench --bin bench_summary -- \
+    target/criterion BENCH_campaign.json
+
+echo "bench: OK (see BENCH_campaign.json)"

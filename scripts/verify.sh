@@ -18,4 +18,7 @@ cargo test -q --workspace
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run (bench code must keep compiling)"
+cargo bench --no-run --workspace
+
 echo "verify: OK"

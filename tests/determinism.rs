@@ -269,6 +269,93 @@ fn campaign_dump_round_trips_lost_rounds_exactly() {
     }
 }
 
+/// The tentpole guarantee of the shared route table: for every
+/// probe→DC pair the campaign can measure, the precomputed path —
+/// links, nodes and one-way floor — is bit-identical to what the
+/// incremental Dijkstra router resolves for that pair.
+#[test]
+fn route_table_matches_router_for_every_probe_dc_pair() {
+    use latency_shears::netsim::Router;
+
+    let p = platform(9);
+    let (same_continent, adjacent) = (2, 1);
+    let table = p.route_table(same_continent, adjacent, 4);
+    let mut router = Router::new(p.topology());
+    let mut pairs = 0usize;
+    for probe in p.probes() {
+        let from = p.probe_node(probe.id);
+        for &target in &p.targets_for(probe, same_continent, adjacent) {
+            let to = p.dc_node(target as usize);
+            match router.path(from, to) {
+                Some(want) => {
+                    let got = table
+                        .path(from, to)
+                        .expect("routed pair present in table")
+                        .to_path_info();
+                    assert_eq!(got.links, want.links, "links {from:?}->{to:?}");
+                    assert_eq!(got.nodes, want.nodes, "nodes {from:?}->{to:?}");
+                    assert_eq!(
+                        got.base_one_way_ms.to_bits(),
+                        want.base_one_way_ms.to_bits(),
+                        "floor {from:?}->{to:?}"
+                    );
+                    pairs += 1;
+                }
+                None => assert!(table.path(from, to).is_none(), "{from:?}->{to:?}"),
+            }
+        }
+    }
+    assert!(pairs > p.probes().len(), "table covered {pairs} pairs");
+}
+
+#[test]
+fn route_table_build_is_thread_count_invariant() {
+    let p = platform(9);
+    let reference = p.route_table(2, 1, 1);
+    for threads in [2usize, 5, 8] {
+        assert_eq!(
+            p.route_table(2, 1, threads),
+            reference,
+            "{threads}-thread build diverged"
+        );
+    }
+}
+
+/// The golden acceptance grid: ping and TCP campaigns, with and without
+/// churn, sequential and at 1/2/8 worker threads, all produce the same
+/// multiset of samples through the shared route table.
+#[test]
+fn campaign_is_bit_identical_across_kinds_churn_and_threads() {
+    use latency_shears::atlas::MeasurementType;
+
+    let p = platform(9);
+    let sort_key = |s: &RttSample| (s.probe, s.region, s.at.as_nanos());
+    for kind in [MeasurementType::Ping, MeasurementType::TcpConnect] {
+        for churn in [false, true] {
+            let cfg = CampaignConfig {
+                rounds: 3,
+                targets_per_probe: 2,
+                adjacent_targets: 1,
+                kind,
+                churn,
+                ..CampaignConfig::quick()
+            };
+            let mut reference = Campaign::new(&p, cfg).run().unwrap().samples().to_vec();
+            reference.sort_by_key(sort_key);
+            assert!(!reference.is_empty(), "{kind:?} churn={churn}");
+            for threads in [1usize, 2, 8] {
+                let mut run = Campaign::new(&p, cfg)
+                    .run_parallel(threads)
+                    .unwrap()
+                    .samples()
+                    .to_vec();
+                run.sort_by_key(sort_key);
+                assert_eq!(run, reference, "{kind:?} churn={churn} threads={threads}");
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_execution_is_seed_stable_across_thread_counts() {
     let p = platform(9);
