@@ -239,6 +239,8 @@ mod tests {
                 rounds: 1,
                 probe_limit: 8,
                 country: None,
+                fault_profile: None,
+                retries: None,
             })
             .unwrap();
         assert!(m.results > 0);

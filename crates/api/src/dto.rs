@@ -83,6 +83,14 @@ pub struct CreateMeasurementDto {
     /// Restrict to probes in this country.
     #[serde(default)]
     pub country: Option<String>,
+    /// Fault-injection profile to run the measurement under
+    /// (`"lossy"`, `"blackout"`, `"chaos"`, …; default: no faults).
+    #[serde(default)]
+    pub fault_profile: Option<String>,
+    /// Retries per failed round (default 0, capped by the service).
+    /// Retried-and-still-failed rounds are refunded.
+    #[serde(default)]
+    pub retries: Option<u32>,
 }
 
 fn default_packets() -> u32 {
@@ -110,6 +118,10 @@ pub struct MeasurementDto {
     pub results: usize,
     /// Credits spent running it.
     pub credits_spent: u64,
+    /// Credits refunded for rounds that failed even after retries.
+    pub credits_refunded: u64,
+    /// Fault profile the measurement ran under, if any.
+    pub fault_profile: Option<String>,
 }
 
 /// Body of `POST /api/v2/traceroutes`.
@@ -178,6 +190,12 @@ pub struct MeasurementStatsDto {
     pub fastest_country: Option<String>,
     /// That country's minimum RTT (ms).
     pub fastest_country_min_ms: Option<f64>,
+    /// Fault profile the measurement ran under, if any.
+    pub fault_profile: Option<String>,
+    /// Probe-rounds that needed at least one retry.
+    pub retried_rounds: usize,
+    /// Credits refunded for rounds that failed even after retries.
+    pub credits_refunded: u64,
 }
 
 /// One result row of `GET /api/v2/measurements/{id}/results`.
@@ -249,5 +267,17 @@ mod tests {
         assert_eq!(dto.rounds, 1);
         assert_eq!(dto.probe_limit, 50);
         assert!(dto.country.is_none());
+        assert!(dto.fault_profile.is_none());
+        assert!(dto.retries.is_none());
+    }
+
+    #[test]
+    fn create_measurement_accepts_fault_fields() {
+        let dto: CreateMeasurementDto = serde_json::from_str(
+            r#"{"target_region": 5, "fault_profile": "chaos", "retries": 2}"#,
+        )
+        .unwrap();
+        assert_eq!(dto.fault_profile.as_deref(), Some("chaos"));
+        assert_eq!(dto.retries, Some(2));
     }
 }

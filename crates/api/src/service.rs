@@ -4,7 +4,8 @@ use std::collections::HashMap;
 
 use parking_lot::Mutex;
 use shears_analysis::CampaignFrame;
-use shears_atlas::{CreditLedger, Platform, ResultStore, RttSample};
+use shears_atlas::{CreditLedger, Platform, ResultStore, RetryPolicy, RttSample};
+use shears_netsim::fault::{FaultConfig, FaultPlan};
 use shears_netsim::ping::{PingConfig, PingProber};
 use shears_netsim::TracerouteProber;
 use shears_netsim::queue::DiurnalLoad;
@@ -21,6 +22,8 @@ use crate::http::{Method, Request, Response};
 /// must stay interactive; campaigns run offline).
 const MAX_ROUNDS: u32 = 20;
 const MAX_PROBES: usize = 200;
+/// Cap on per-round retries (each retry multiplies the upfront charge).
+const MAX_RETRIES: u32 = 5;
 /// Initial credit grant for API users.
 const INITIAL_CREDITS: u64 = 1_000_000;
 
@@ -28,6 +31,9 @@ struct StoredMeasurement {
     target_region: usize,
     probes: usize,
     credits_spent: u64,
+    credits_refunded: u64,
+    fault_profile: Option<String>,
+    retried_rounds: usize,
     samples: Vec<RttSample>,
 }
 
@@ -157,6 +163,22 @@ impl AtlasService {
         }
         let rounds = spec.rounds.clamp(1, MAX_ROUNDS);
         let probe_limit = spec.probe_limit.clamp(1, MAX_PROBES);
+        let faults = match spec.fault_profile.as_deref() {
+            None => FaultConfig::none(),
+            Some(name) => match FaultConfig::profile(name) {
+                Some(cfg) => cfg,
+                None => return Response::error(400, &format!("unknown fault profile '{name}'")),
+            },
+        };
+        let retries = spec.retries.unwrap_or(0).min(MAX_RETRIES);
+        let policy = if retries == 0 {
+            RetryPolicy::none()
+        } else {
+            RetryPolicy {
+                max_retries: retries,
+                ..RetryPolicy::atlas_default()
+            }
+        };
 
         // Probe selection: unprivileged, optional country filter.
         let probes: Vec<_> = self
@@ -169,9 +191,12 @@ impl AtlasService {
             return Response::error(400, "no matching probes");
         }
 
-        // Charge first, then measure.
-        let cost =
-            CreditLedger::ping_cost(spec.packets) * probes.len() as u64 * u64::from(rounds);
+        // Charge up front for the worst case (every attempt fired);
+        // rounds that fail after the last retry are refunded below.
+        let cost = CreditLedger::ping_cost(spec.packets)
+            * probes.len() as u64
+            * u64::from(rounds)
+            * u64::from(retries + 1);
         {
             let mut state = self.state.lock();
             if let Err(e) = state.ledger.debit(cost) {
@@ -179,26 +204,61 @@ impl AtlasService {
             }
         }
 
-        let mut prober = PingProber::new(self.platform.topology());
+        // The fault plan is regenerated from the service seed, so equal
+        // requests observe equal fault schedules.
+        let horizon = SimTime::from_hours(u64::from(rounds) + 1);
+        let plan = faults
+            .enabled
+            .then(|| FaultPlan::generate(self.platform.topology(), &faults, self.seed, horizon));
+        let mut prober = match &plan {
+            Some(plan) => PingProber::with_faults(self.platform.topology(), plan),
+            None => PingProber::new(self.platform.topology()),
+        };
         let master = SimRng::new(self.seed);
         let cfg = PingConfig {
             packets: spec.packets,
             ..PingConfig::default()
         };
+        let round_cost = CreditLedger::ping_cost(spec.packets);
         let mut samples = Vec::new();
+        let mut retried_rounds = 0usize;
+        let mut refund = 0u64;
         for round in 0..rounds {
             let at = SimTime::from_hours(u64::from(round));
             for probe in &probes {
                 let mut rng = master.fork_keyed(u64::from(probe.id.0), u64::from(round));
-                let Some(outcome) = prober.ping(
-                    self.platform.probe_node(probe.id),
-                    self.platform.dc_node(spec.target_region),
-                    Some(probe.access),
-                    DiurnalLoad::residential(),
-                    at,
-                    &cfg,
-                    &mut rng,
-                ) else {
+                let mut schedule = policy.schedule(at);
+                let mut attempts = 0u32;
+                let mut best = None;
+                let succeeded = loop {
+                    attempts += 1;
+                    let outcome = prober.ping(
+                        self.platform.probe_node(probe.id),
+                        self.platform.dc_node(spec.target_region),
+                        Some(probe.access),
+                        DiurnalLoad::residential(),
+                        schedule.attempt_at(),
+                        &cfg,
+                        &mut rng,
+                    );
+                    let ok = outcome.as_ref().is_some_and(|o| o.received > 0);
+                    if ok || best.is_none() {
+                        best = outcome;
+                    }
+                    if ok {
+                        break true;
+                    }
+                    if !schedule.next(&policy, &mut rng) {
+                        break false;
+                    }
+                };
+                if attempts > 1 {
+                    retried_rounds += 1;
+                }
+                if !succeeded && policy.refund_failures {
+                    refund += round_cost.saturating_mul(u64::from(attempts));
+                }
+                let Some(outcome) = best else {
                     continue;
                 };
                 samples.push(RttSample {
@@ -207,19 +267,23 @@ impl AtlasService {
                     at,
                     min_ms: outcome.min_ms().map_or(f32::INFINITY, |v| v as f32),
                     avg_ms: outcome.avg_ms().map_or(f32::INFINITY, |v| v as f32),
-                    sent: outcome.sent.min(255) as u8,
+                    sent: (outcome.sent.saturating_mul(attempts)).min(255) as u8,
                     received: outcome.received.min(255) as u8,
                 });
             }
         }
 
         let mut state = self.state.lock();
+        let refunded = state.ledger.refund(refund);
         let id = state.next_id;
         state.next_id += 1;
         let stored = StoredMeasurement {
             target_region: spec.target_region,
             probes: probes.len(),
             credits_spent: cost,
+            credits_refunded: refunded,
+            fault_profile: spec.fault_profile.clone(),
+            retried_rounds,
             samples,
         };
         let dto = self.measurement_dto(id, &stored);
@@ -284,6 +348,8 @@ impl AtlasService {
             probes: m.probes,
             results: m.samples.len(),
             credits_spent: m.credits_spent,
+            credits_refunded: m.credits_refunded,
+            fault_profile: m.fault_profile.clone(),
         }
     }
 
@@ -344,6 +410,9 @@ impl AtlasService {
             fastest_probe_min_ms: fastest_probe.map(|(_, v)| v),
             fastest_country: fastest_country.map(|(c, _)| c.to_string()),
             fastest_country_min_ms: fastest_country.map(|(_, v)| v),
+            fault_profile: m.fault_profile.clone(),
+            retried_rounds: m.retried_rounds,
+            credits_refunded: m.credits_refunded,
         })
     }
 
@@ -582,6 +651,81 @@ mod tests {
             404
         );
         assert_eq!(svc.handle(&del).status, 404);
+    }
+
+    #[test]
+    fn unknown_fault_profile_is_rejected() {
+        let svc = service();
+        let resp = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 9, "fault_profile": "meteor-strike"}"#,
+        ));
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("meteor-strike"));
+    }
+
+    #[test]
+    fn faulty_measurements_expose_degradation_stats() {
+        let svc = service();
+        let create = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 9, "rounds": 4, "probe_limit": 20,
+                "fault_profile": "chaos", "retries": 2}"#,
+        ));
+        assert_eq!(create.status, 201, "{}", String::from_utf8_lossy(&create.body));
+        let m: MeasurementDto = serde_json::from_slice(&create.body).unwrap();
+        assert_eq!(m.fault_profile.as_deref(), Some("chaos"));
+
+        let resp = svc.handle(&get(&format!("/api/v2/measurements/{}/stats", m.id), &[]));
+        assert_eq!(resp.status, 200);
+        let stats: MeasurementStatsDto = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(stats.fault_profile.as_deref(), Some("chaos"));
+        // A refund implies at least one round exhausted its retries.
+        if stats.credits_refunded > 0 {
+            assert!(stats.retried_rounds > 0);
+        }
+        // Refunds never exceed what the measurement was charged.
+        assert!(m.credits_refunded <= m.credits_spent);
+    }
+
+    #[test]
+    fn fault_free_requests_are_unchanged_by_the_fault_machinery() {
+        // The same request with and without the recovery/fault fields
+        // spelled out as their defaults returns identical samples.
+        let svc = service();
+        let a = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 9, "rounds": 2, "probe_limit": 10}"#,
+        ));
+        let b = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 9, "rounds": 2, "probe_limit": 10,
+                "fault_profile": null, "retries": 0}"#,
+        ));
+        let ma: MeasurementDto = serde_json::from_slice(&a.body).unwrap();
+        let mb: MeasurementDto = serde_json::from_slice(&b.body).unwrap();
+        assert_eq!(ma.results, mb.results);
+        assert_eq!(ma.credits_spent, mb.credits_spent);
+        assert_eq!(ma.credits_refunded, 0);
+        let ra = svc.handle(&get(&format!("/api/v2/measurements/{}/results", ma.id), &[]));
+        let rb = svc.handle(&get(&format!("/api/v2/measurements/{}/results", mb.id), &[]));
+        assert_eq!(ra.body, rb.body, "identical requests, identical rows");
+    }
+
+    #[test]
+    fn retries_multiply_the_upfront_charge_and_refund_failures() {
+        let svc = service();
+        let before = svc.credits();
+        let create = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 0, "probe_limit": 5, "retries": 1,
+                "fault_profile": "blackout"}"#,
+        ));
+        assert_eq!(create.status, 201);
+        let m: MeasurementDto = serde_json::from_slice(&create.body).unwrap();
+        // 5 probes × 1 round × (1+1 attempts) × 3 credits charged up front.
+        assert_eq!(m.credits_spent, 5 * 2 * 3);
+        assert_eq!(before - svc.credits(), m.credits_spent - m.credits_refunded);
     }
 
     #[test]

@@ -170,6 +170,71 @@ mod tests {
     }
 
     #[test]
+    fn zero_horizon_is_degenerate_but_sane() {
+        let mut rng = SimRng::new(3);
+        let s = OutageSchedule::generate(&mut rng, 0.5, SimTime::ZERO);
+        // No window, so nothing to be down in — and up_fraction must not
+        // divide by zero.
+        assert_eq!(s.up_fraction(SimTime::ZERO), 1.0);
+        assert_eq!(s.up_fraction(SimTime::from_hours(1)), 1.0);
+    }
+
+    #[test]
+    fn back_to_back_outages_keep_boundaries_half_open() {
+        // A schedule whose down intervals touch: [1h,2h) and [2h,3h).
+        // Construction draws an up episode between them, but the query
+        // logic itself must handle adjacency without gaps or overlap.
+        let s = OutageSchedule {
+            downtimes: vec![
+                (SimTime::from_hours(1), SimTime::from_hours(2)),
+                (SimTime::from_hours(2), SimTime::from_hours(3)),
+            ],
+        };
+        assert!(s.is_up(SimTime::ZERO));
+        assert!(!s.is_up(SimTime::from_hours(1)));
+        assert!(
+            !s.is_up(SimTime::from_hours(2)),
+            "the shared boundary belongs to the second outage"
+        );
+        assert!(!s.is_up(SimTime::from_hours(3) - SimTime::from_nanos(1)));
+        assert!(s.is_up(SimTime::from_hours(3)));
+        assert_eq!(s.outages(), 2);
+        // Two of four hours down.
+        let got = s.up_fraction(SimTime::from_hours(4));
+        assert!((got - 0.5).abs() < 1e-9, "up fraction {got}");
+    }
+
+    #[test]
+    fn up_fraction_clips_intervals_at_the_queried_horizon() {
+        // One outage [1h,3h); query at 2h: only 1 of 2 hours counts.
+        let s = OutageSchedule {
+            downtimes: vec![(SimTime::from_hours(1), SimTime::from_hours(3))],
+        };
+        let got = s.up_fraction(SimTime::from_hours(2));
+        assert!((got - 0.5).abs() < 1e-9, "up fraction {got}");
+        // Query exactly at the outage start: fully up before it.
+        assert_eq!(s.up_fraction(SimTime::from_hours(1)), 1.0);
+        // Query far past the horizon: 2 of 8 hours down.
+        let got = s.up_fraction(SimTime::from_hours(8));
+        assert!((got - 0.75).abs() < 1e-9, "up fraction {got}");
+    }
+
+    #[test]
+    fn stability_is_clamped_at_both_ends() {
+        let mut rng = SimRng::new(8);
+        // Above 1.0 behaves like 1.0: always up.
+        let s = OutageSchedule::generate(&mut rng, 7.5, horizon());
+        assert_eq!(s.outages(), 0);
+        // Far below the clamp floor behaves like 1%: mostly down, but
+        // the schedule is still finite and well-formed.
+        let s = OutageSchedule::generate(&mut rng, -3.0, horizon());
+        assert!(s.up_fraction(horizon()) < 0.3);
+        for w in s.downtimes.windows(2) {
+            assert!(w[0].1 <= w[1].0, "intervals sorted and disjoint");
+        }
+    }
+
+    #[test]
     fn low_stability_probes_are_mostly_down() {
         let mut rng = SimRng::new(99);
         let n = 100;

@@ -8,6 +8,7 @@
 
 use crossbeam::thread;
 use shears_netsim::access::AccessLink;
+use shears_netsim::fault::{FaultConfig, FaultPlan};
 use shears_netsim::ping::{PingConfig, PingProber};
 use shears_netsim::queue::DiurnalLoad;
 use shears_netsim::stochastic::SimRng;
@@ -19,6 +20,7 @@ use crate::credits::{CreditError, CreditLedger};
 use crate::measurement::MeasurementType;
 use crate::platform::Platform;
 use crate::probe::Probe;
+use crate::recovery::RetryPolicy;
 use crate::store::{ResultStore, RttSample};
 
 /// Campaign parameters.
@@ -49,6 +51,14 @@ pub struct CampaignConfig {
     /// probing (§5's planned extension). TCP rounds store the connect
     /// time as the sample's RTT with one "packet" per round.
     pub kind: MeasurementType,
+    /// Fault injection: link cuts, loss/latency bursts and DC blackouts
+    /// drawn from keyed streams off the campaign seed. The default
+    /// ([`FaultConfig::none`]) disables the machinery entirely.
+    pub faults: FaultConfig,
+    /// Recovery policy for failed measurements. The default
+    /// ([`RetryPolicy::none`]) performs no retries and no refunds and is
+    /// bit-identical to the pre-recovery campaign loop.
+    pub recovery: RetryPolicy,
 }
 
 impl CampaignConfig {
@@ -64,6 +74,8 @@ impl CampaignConfig {
             credits: u64::MAX,
             churn: false,
             kind: MeasurementType::Ping,
+            faults: FaultConfig::none(),
+            recovery: RetryPolicy::none(),
         }
     }
 
@@ -88,12 +100,14 @@ impl CampaignConfig {
         }
     }
 
-    /// Upper bound on the credits a full run can spend.
+    /// Upper bound on the credits a full run can spend (each retry is a
+    /// fresh debit, so the bound scales with the retry budget).
     pub fn credits_needed(&self, probes: usize, targets_per_probe_max: usize) -> u64 {
         self.rounds as u64
             * probes as u64
             * targets_per_probe_max as u64
             * CreditLedger::ping_cost(self.packets)
+            * u64::from(self.recovery.max_retries + 1)
     }
 }
 
@@ -117,13 +131,26 @@ enum RoundProber<'t> {
 }
 
 impl<'t> RoundProber<'t> {
-    fn new(platform: &'t Platform, kind: MeasurementType, table: &'t RouteTable) -> Self {
-        match kind {
-            MeasurementType::Ping => {
+    /// With a fault plan the prober routes through the plan's link-cut
+    /// epochs (the dynamic path); otherwise it reads the shared table.
+    fn new(
+        platform: &'t Platform,
+        kind: MeasurementType,
+        table: &'t RouteTable,
+        faults: Option<&'t FaultPlan>,
+    ) -> Self {
+        match (kind, faults) {
+            (MeasurementType::Ping, None) => {
                 RoundProber::Ping(PingProber::with_table(platform.topology(), table))
             }
-            MeasurementType::TcpConnect => {
+            (MeasurementType::Ping, Some(plan)) => {
+                RoundProber::Ping(PingProber::with_faults(platform.topology(), plan))
+            }
+            (MeasurementType::TcpConnect, None) => {
                 RoundProber::Tcp(TcpProber::with_table(platform.topology(), table))
+            }
+            (MeasurementType::TcpConnect, Some(plan)) => {
+                RoundProber::Tcp(TcpProber::with_faults(platform.topology(), plan))
             }
         }
     }
@@ -193,6 +220,26 @@ impl<'p> Campaign<'p> {
         SimTime::from_nanos(h % spread_ns)
     }
 
+    /// Materialises the fault schedule over the campaign window, or
+    /// `None` when fault injection is disabled. Deterministic in
+    /// `(topology, faults config, seed)` — `run` and `run_parallel`
+    /// build identical plans, and analysis code can call this after a
+    /// run to reconstruct exactly the plan the measurements saw.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if !self.cfg.faults.enabled {
+            return None;
+        }
+        let horizon = SimTime::from_nanos(
+            self.cfg.interval.as_nanos() * u64::from(self.cfg.rounds) + 1,
+        );
+        Some(FaultPlan::generate(
+            self.platform.topology(),
+            &self.cfg.faults,
+            self.cfg.seed,
+            horizon,
+        ))
+    }
+
     /// Precomputes the per-probe outage schedules when churn is on.
     fn outage_table(&self, master: &SimRng) -> Option<Vec<OutageSchedule>> {
         if !self.cfg.churn {
@@ -245,54 +292,101 @@ impl<'p> Campaign<'p> {
             packets: self.cfg.packets,
             ..PingConfig::default()
         };
+        let policy = &self.cfg.recovery;
+        let cost = CreditLedger::ping_cost(self.cfg.packets);
         for &region in targets {
-            ledger.debit(CreditLedger::ping_cost(self.cfg.packets))?;
             let from = self.platform.probe_node(probe.id);
             let to = self.platform.dc_node(region as usize);
-            let sample = match prober {
-                RoundProber::Ping(prober) => {
-                    let outcome = prober
-                        .ping(
+            // Bounded-retry measurement loop. Each attempt is debited like
+            // a fresh measurement; retries fire at backed-off instants but
+            // the recorded sample keeps the scheduled round time, and its
+            // `sent` field accumulates every attempt's packets so the
+            // retry count survives into the store. A disconnected pair
+            // (link cuts can sever it outright) degrades to a lost sample
+            // instead of aborting the round.
+            let mut schedule = policy.schedule(at);
+            let mut attempts = 0u32;
+            let mut ping_ok: Option<shears_netsim::ping::PingOutcome> = None;
+            let mut tcp_ok: Option<shears_netsim::tcp::TcpOutcome> = None;
+            loop {
+                ledger.debit(cost)?;
+                attempts += 1;
+                let when = schedule.attempt_at();
+                let succeeded = match prober {
+                    RoundProber::Ping(prober) => {
+                        let outcome = prober.ping(
                             from,
                             to,
                             Some(self.access_of(probe)),
                             DiurnalLoad::residential(),
-                            at,
+                            when,
                             &ping_cfg,
                             &mut rng,
-                        )
-                        .expect("platform graph is connected");
+                        );
+                        let ok = outcome.as_ref().is_some_and(|o| o.received > 0);
+                        if ok || ping_ok.is_none() {
+                            ping_ok = outcome;
+                        }
+                        ok
+                    }
+                    RoundProber::Tcp(prober) => {
+                        let outcome = prober.connect(
+                            from,
+                            to,
+                            Some(self.access_of(probe)),
+                            DiurnalLoad::residential(),
+                            when,
+                            &TcpConfig::default(),
+                            &mut rng,
+                        );
+                        let ok = outcome.as_ref().is_some_and(|o| o.established());
+                        if ok || tcp_ok.is_none() {
+                            tcp_ok = outcome;
+                        }
+                        ok
+                    }
+                };
+                if succeeded || !schedule.next(policy, &mut rng) {
+                    if !succeeded && policy.refund_failures {
+                        ledger.refund(cost.saturating_mul(u64::from(attempts)));
+                    }
+                    break;
+                }
+            }
+            let sample = match prober {
+                RoundProber::Ping(_) => {
+                    let (min_ms, avg_ms, received) = ping_ok.map_or(
+                        (f32::INFINITY, f32::INFINITY, 0u8),
+                        |o| {
+                            (
+                                o.min_ms().map_or(f32::INFINITY, |v| v as f32),
+                                o.avg_ms().map_or(f32::INFINITY, |v| v as f32),
+                                o.received.min(u32::from(u8::MAX)) as u8,
+                            )
+                        },
+                    );
                     RttSample {
                         probe: probe.id,
                         region,
                         at,
-                        min_ms: outcome.min_ms().map_or(f32::INFINITY, |v| v as f32),
-                        avg_ms: outcome.avg_ms().map_or(f32::INFINITY, |v| v as f32),
-                        sent: outcome.sent.min(u8::MAX as u32) as u8,
-                        received: outcome.received.min(u8::MAX as u32) as u8,
+                        min_ms,
+                        avg_ms,
+                        sent: (self.cfg.packets.saturating_mul(attempts))
+                            .min(u32::from(u8::MAX)) as u8,
+                        received,
                     }
                 }
-                RoundProber::Tcp(prober) => {
-                    let outcome = prober
-                        .connect(
-                            from,
-                            to,
-                            Some(self.access_of(probe)),
-                            DiurnalLoad::residential(),
-                            at,
-                            &TcpConfig::default(),
-                            &mut rng,
-                        )
-                        .expect("platform graph is connected");
-                    let ms = outcome.connect_ms.map_or(f32::INFINITY, |v| v as f32);
+                RoundProber::Tcp(_) => {
+                    let connect = tcp_ok.as_ref().and_then(|o| o.connect_ms);
+                    let ms = connect.map_or(f32::INFINITY, |v| v as f32);
                     RttSample {
                         probe: probe.id,
                         region,
                         at,
                         min_ms: ms,
                         avg_ms: ms,
-                        sent: 1,
-                        received: u8::from(outcome.established()),
+                        sent: attempts.min(u32::from(u8::MAX)) as u8,
+                        received: u8::from(connect.is_some()),
                     }
                 }
             };
@@ -313,12 +407,13 @@ impl<'p> Campaign<'p> {
         let targets = self.target_table();
         let build_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let table = self.route_table(&targets, build_threads);
+        let plan = self.fault_plan();
         let master = SimRng::new(self.cfg.seed);
         let outages = self.outage_table(&master);
         let mut ledger = CreditLedger::new(self.cfg.credits);
         let mut store =
             ResultStore::with_capacity(self.sample_bound(&targets, self.platform.probes()));
-        let mut prober = RoundProber::new(self.platform, self.cfg.kind, &table);
+        let mut prober = RoundProber::new(self.platform, self.cfg.kind, &table, plan.as_ref());
         let mut queue: EventQueue<RoundEvent> = EventQueue::new();
         for round in 0..self.cfg.rounds {
             queue.schedule(
@@ -367,6 +462,10 @@ impl<'p> Campaign<'p> {
         let targets = self.target_table();
         // One table for the whole run, shared read-only by every shard.
         let table = self.route_table(&targets, threads);
+        // One fault plan for the whole run: generation is a pure function
+        // of (topology, config, seed), so this is the same plan `run`
+        // builds — each shard consults it read-only.
+        let plan = self.fault_plan();
         let outage_master = SimRng::new(self.cfg.seed);
         let outages = self.outage_table(&outage_master);
         let probes = self.platform.probes();
@@ -377,12 +476,14 @@ impl<'p> Campaign<'p> {
                 let targets = &targets;
                 let outages = &outages;
                 let table = &table;
+                let plan = &plan;
                 handles.push(s.spawn(move |_| -> Result<ResultStore, CreditError> {
                     let master = SimRng::new(self.cfg.seed);
                     let mut ledger = CreditLedger::new(self.cfg.credits / threads as u64);
                     let mut store =
                         ResultStore::with_capacity(self.sample_bound(targets, shard));
-                    let mut prober = RoundProber::new(self.platform, self.cfg.kind, table);
+                    let mut prober =
+                        RoundProber::new(self.platform, self.cfg.kind, table, plan.as_ref());
                     for round in 0..self.cfg.rounds {
                         for probe in shard {
                             self.run_probe_round(
@@ -603,6 +704,85 @@ mod tests {
         let cfg = CampaignConfig {
             rounds: 6,
             churn: true,
+            ..tiny_cfg()
+        };
+        let seq = Campaign::new(&p, cfg).run().unwrap();
+        let par = Campaign::new(&p, cfg).run_parallel(3).unwrap();
+        let key = |s: &RttSample| (s.probe, s.region, s.at.as_nanos());
+        let mut a: Vec<_> = seq.samples().to_vec();
+        let mut b: Vec<_> = par.samples().to_vec();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn passthrough_fault_plan_reproduces_fault_free_samples_exactly() {
+        // The tentpole invariant: an enabled-but-empty fault plan routes
+        // through the dynamic fault path yet must not move a single draw.
+        let p = tiny_platform();
+        let clean = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        let cfg = CampaignConfig {
+            faults: FaultConfig::passthrough(),
+            ..tiny_cfg()
+        };
+        let faulty = Campaign::new(&p, cfg).run().unwrap();
+        assert_eq!(clean.samples(), faulty.samples());
+        // And the same through the parallel path.
+        let faulty_par = Campaign::new(&p, cfg).run_parallel(4).unwrap();
+        let key = |s: &RttSample| (s.probe, s.region, s.at.as_nanos());
+        let mut a: Vec<_> = clean.samples().to_vec();
+        let mut b: Vec<_> = faulty_par.samples().to_vec();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degraded_rounds_stay_well_formed_and_gappy() {
+        // Heavy loss + recovery: every scheduled measurement must still
+        // yield exactly one (possibly lost) sample, retries must show up
+        // in `sent`, and losses must leave gaps rather than aborting.
+        let p = tiny_platform();
+        let mut faults = FaultConfig::lossy();
+        faults.loss_bursts = 8;
+        faults.loss_burst_mean_hours = 10_000.0;
+        faults.loss_burst_extra = 0.9;
+        let cfg = CampaignConfig {
+            faults,
+            recovery: RetryPolicy::atlas_default(),
+            ..tiny_cfg()
+        };
+        let degraded = Campaign::new(&p, cfg).run().unwrap();
+        let clean = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        assert_eq!(
+            degraded.len(),
+            clean.len(),
+            "graceful degradation keeps one sample per scheduled measurement"
+        );
+        assert!(
+            degraded.response_rate() < clean.response_rate(),
+            "a 90% extra-loss burst must depress the response rate"
+        );
+        assert!(
+            degraded
+                .samples()
+                .iter()
+                .any(|s| u32::from(s.sent) > cfg.packets),
+            "some measurements must have retried"
+        );
+        for s in degraded.samples() {
+            assert_eq!(u32::from(s.sent) % cfg.packets, 0, "whole attempts only");
+            assert!(u32::from(s.sent) <= cfg.packets * (cfg.recovery.max_retries + 1));
+        }
+    }
+
+    #[test]
+    fn chaos_faults_are_deterministic_across_run_modes() {
+        let p = tiny_platform();
+        let cfg = CampaignConfig {
+            faults: FaultConfig::chaos(),
+            recovery: RetryPolicy::atlas_default(),
             ..tiny_cfg()
         };
         let seq = Campaign::new(&p, cfg).run().unwrap();

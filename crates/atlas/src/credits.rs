@@ -37,6 +37,10 @@ impl std::error::Error for CreditError {}
 pub struct CreditLedger {
     balance: u64,
     spent: u64,
+    /// Credits returned for failed measurements (Atlas refunds one-offs
+    /// that never respond). Absent in pre-recovery serialized ledgers.
+    #[serde(default)]
+    refunded: u64,
 }
 
 impl CreditLedger {
@@ -45,6 +49,7 @@ impl CreditLedger {
         Self {
             balance: initial,
             spent: 0,
+            refunded: 0,
         }
     }
 
@@ -81,6 +86,22 @@ impl CreditLedger {
         self.balance -= amount;
         self.spent += amount;
         Ok(())
+    }
+
+    /// Returns up to `amount` previously spent credits to the balance
+    /// (never more than the lifetime spend) and reports how much was
+    /// actually refunded. Conserves `balance + spent`.
+    pub fn refund(&mut self, amount: u64) -> u64 {
+        let refunded = amount.min(self.spent);
+        self.spent -= refunded;
+        self.balance = self.balance.saturating_add(refunded);
+        self.refunded = self.refunded.saturating_add(refunded);
+        refunded
+    }
+
+    /// Lifetime refunds for failed measurements.
+    pub fn refunded(&self) -> u64 {
+        self.refunded
     }
 }
 
@@ -124,6 +145,27 @@ mod tests {
     fn ping_cost_per_packet() {
         assert_eq!(CreditLedger::ping_cost(3), 3);
         assert_eq!(CreditLedger::ping_cost(0), 0);
+    }
+
+    #[test]
+    fn refund_restores_balance_and_conserves_totals() {
+        let mut l = CreditLedger::new(10);
+        l.debit(6).unwrap();
+        assert_eq!(l.refund(4), 4);
+        assert_eq!(l.balance(), 8);
+        assert_eq!(l.spent(), 2);
+        assert_eq!(l.refunded(), 4);
+        assert_eq!(l.balance() + l.spent(), 10);
+    }
+
+    #[test]
+    fn refund_is_capped_by_lifetime_spend() {
+        let mut l = CreditLedger::new(10);
+        l.debit(3).unwrap();
+        assert_eq!(l.refund(100), 3, "cannot refund more than was spent");
+        assert_eq!(l.balance(), 10);
+        assert_eq!(l.spent(), 0);
+        assert_eq!(l.refund(1), 0, "nothing left to refund");
     }
 
     #[test]

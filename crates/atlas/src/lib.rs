@@ -46,6 +46,7 @@ pub mod fleet;
 pub mod measurement;
 pub mod platform;
 pub mod probe;
+pub mod recovery;
 pub mod store;
 pub mod tags;
 
@@ -56,5 +57,6 @@ pub use fleet::{FleetBuilder, FleetConfig};
 pub use measurement::{MeasurementSpec, MeasurementType};
 pub use platform::{Platform, PlatformConfig};
 pub use probe::{Probe, ProbeId};
+pub use recovery::{RetryPolicy, RetrySchedule};
 pub use store::{ResultStore, RttSample};
 pub use tags::TagFilter;

@@ -1,0 +1,213 @@
+//! Measurement recovery policy: bounded retry with exponential backoff and
+//! jitter, a per-measurement timeout, and optional credit refunds.
+//!
+//! The paper's nine-month campaign survived constant probe churn and loss
+//! because Atlas retries failed measurements (and refunds the credits of
+//! the ones it gives up on). [`RetryPolicy`] reproduces that recovery loop
+//! deterministically: backoff jitter draws come from the campaign's
+//! per-`(probe, round)` [`SimRng`] stream, and [`RetryPolicy::none`] — the
+//! default — performs zero retries and zero extra RNG draws, so fault-free
+//! campaigns stay bit-identical with PR 2.
+
+use shears_netsim::stochastic::SimRng;
+use shears_netsim::SimTime;
+
+/// Bounded-retry policy for one measurement slot.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: SimTime,
+    /// Cap on a single backoff interval (before jitter).
+    pub max_backoff: SimTime,
+    /// Jitter factor: each backoff is scaled by `1 + jitter * U[0,1)`.
+    /// Zero disables the jitter draw entirely.
+    pub jitter: f64,
+    /// A retry is abandoned when it would start later than this after the
+    /// originally scheduled attempt.
+    pub measurement_timeout: SimTime,
+    /// Refund the credits of measurements that still fail after the last
+    /// retry (Atlas refunds failed one-offs).
+    pub refund_failures: bool,
+}
+
+impl RetryPolicy {
+    /// No retries, no refunds, no extra RNG draws — the default policy,
+    /// bit-identical to a campaign without recovery machinery.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: SimTime::ZERO,
+            max_backoff: SimTime::ZERO,
+            jitter: 0.0,
+            measurement_timeout: SimTime::ZERO,
+            refund_failures: false,
+        }
+    }
+
+    /// The recovery loop used for degraded campaigns: two retries at
+    /// 30 s / 60 s (+ up to 50% jitter), a 15-minute per-measurement
+    /// budget, and refunds for measurements that never respond.
+    pub const fn atlas_default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: SimTime::from_secs(30),
+            max_backoff: SimTime::from_secs(240),
+            jitter: 0.5,
+            measurement_timeout: SimTime::from_secs(900),
+            refund_failures: true,
+        }
+    }
+
+    /// True for the do-nothing policy.
+    pub fn is_none(&self) -> bool {
+        self.max_retries == 0 && !self.refund_failures
+    }
+
+    /// Starts the retry schedule for a measurement scheduled at `at`.
+    pub fn schedule(&self, at: SimTime) -> RetrySchedule {
+        RetrySchedule {
+            scheduled: at,
+            at,
+            retries: 0,
+        }
+    }
+
+    /// Upper bound on the delay the schedule can accumulate past the
+    /// scheduled instant: `max_retries` backoffs, each capped at
+    /// `max_backoff * (1 + jitter)`, further clipped by the timeout.
+    pub fn max_total_delay(&self) -> SimTime {
+        if self.max_retries == 0 {
+            return SimTime::ZERO;
+        }
+        let per_retry = self.max_backoff.as_millis_f64() * (1.0 + self.jitter.max(0.0));
+        let unclipped = per_retry * f64::from(self.max_retries);
+        let clipped = unclipped.min(self.measurement_timeout.as_millis_f64());
+        SimTime::from_millis_f64(clipped)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Iterator-like state for one measurement's attempts under a
+/// [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrySchedule {
+    scheduled: SimTime,
+    at: SimTime,
+    retries: u32,
+}
+
+impl RetrySchedule {
+    /// Instant of the current attempt.
+    pub fn attempt_at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Number of retries performed so far (0 during the first attempt).
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Advances to the next retry. Returns `false` (without drawing any
+    /// jitter) when the retry budget is exhausted, and `false` when the
+    /// backed-off attempt would start past the measurement timeout.
+    pub fn next(&mut self, policy: &RetryPolicy, rng: &mut SimRng) -> bool {
+        if self.retries >= policy.max_retries {
+            return false;
+        }
+        let exp = policy.base_backoff.as_millis_f64() * 2.0_f64.powi(self.retries as i32);
+        let capped = exp.min(policy.max_backoff.as_millis_f64());
+        let jittered = if policy.jitter > 0.0 {
+            capped * (1.0 + policy.jitter * rng.uniform())
+        } else {
+            capped
+        };
+        let next_at = self.at + SimTime::from_millis_f64(jittered);
+        if next_at.saturating_since(self.scheduled) > policy.measurement_timeout {
+            return false;
+        }
+        self.retries += 1;
+        self.at = next_at;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_never_retries_and_never_draws() {
+        let policy = RetryPolicy::none();
+        let mut rng = SimRng::new(1);
+        let mut twin = SimRng::new(1);
+        let mut sched = policy.schedule(SimTime::from_hours(2));
+        assert!(!sched.next(&policy, &mut rng));
+        assert_eq!(sched.attempt_at(), SimTime::from_hours(2));
+        assert_eq!(sched.retries(), 0);
+        // The refusal consumed no RNG state.
+        assert_eq!(rng.next_u64(), twin.next_u64());
+        assert_eq!(policy.max_total_delay(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn retries_are_bounded_and_backoff_grows() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            refund_failures: false,
+            ..RetryPolicy::atlas_default()
+        };
+        let mut rng = SimRng::new(2);
+        let start = SimTime::from_hours(1);
+        let mut sched = policy.schedule(start);
+        assert!(sched.next(&policy, &mut rng));
+        assert_eq!(sched.attempt_at(), start + SimTime::from_secs(30));
+        assert!(sched.next(&policy, &mut rng));
+        assert_eq!(sched.attempt_at(), start + SimTime::from_secs(90));
+        assert!(!sched.next(&policy, &mut rng), "third retry exceeds budget");
+        assert_eq!(sched.retries(), 2);
+    }
+
+    #[test]
+    fn timeout_clips_the_schedule() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff: SimTime::from_secs(60),
+            max_backoff: SimTime::from_secs(60),
+            jitter: 0.0,
+            measurement_timeout: SimTime::from_secs(150),
+            refund_failures: false,
+        };
+        let mut rng = SimRng::new(3);
+        let mut sched = policy.schedule(SimTime::ZERO);
+        let mut granted = 0;
+        while sched.next(&policy, &mut rng) {
+            granted += 1;
+        }
+        // 60 s and 120 s fit inside 150 s; 180 s does not.
+        assert_eq!(granted, 2);
+        assert!(sched.attempt_at() <= policy.measurement_timeout);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_declared_bound() {
+        let policy = RetryPolicy::atlas_default();
+        for seed in 0..50u64 {
+            let mut rng = SimRng::new(seed);
+            let start = SimTime::from_hours(3);
+            let mut sched = policy.schedule(start);
+            while sched.next(&policy, &mut rng) {}
+            assert!(sched.retries() <= policy.max_retries);
+            assert!(
+                sched.attempt_at().saturating_since(start) <= policy.max_total_delay(),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -219,6 +219,47 @@ mod tests {
     }
 
     #[test]
+    fn all_lost_store_rate_is_zero_not_nan() {
+        // A fully gappy store (every round lost — e.g. a blackout
+        // campaign) is evidence of total failure, not absence of data.
+        let mut st = ResultStore::new();
+        for probe in 0..3 {
+            let mut lost = sample(probe, 0, 0, 0.0);
+            lost.received = 0;
+            lost.min_ms = f32::INFINITY;
+            lost.avg_ms = f32::INFINITY;
+            st.push(lost);
+        }
+        assert_eq!(st.response_rate(), 0.0);
+        assert_eq!(st.responded().count(), 0);
+    }
+
+    #[test]
+    fn partial_store_rate_counts_exact_fraction() {
+        // 3 of 8 rounds lost, including partial replies (received < sent
+        // but > 0 still counts as a response).
+        let mut st = ResultStore::new();
+        for i in 0..5u32 {
+            let mut s = sample(i, 0, 0, 10.0);
+            if i == 0 {
+                s.received = 1; // partial reply is still a reply
+            }
+            st.push(s);
+        }
+        for i in 5..8u32 {
+            let mut lost = sample(i, 0, 0, 0.0);
+            lost.received = 0;
+            lost.min_ms = f32::INFINITY;
+            lost.avg_ms = f32::INFINITY;
+            st.push(lost);
+        }
+        assert_eq!(st.response_rate(), 5.0 / 8.0);
+        // Merging an empty store does not disturb the rate.
+        st.merge(ResultStore::new());
+        assert_eq!(st.response_rate(), 5.0 / 8.0);
+    }
+
+    #[test]
     fn jsonl_round_trip() {
         let mut st = ResultStore::new();
         st.push(sample(1, 10, 0, 12.5));

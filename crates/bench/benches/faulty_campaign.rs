@@ -1,0 +1,63 @@
+//! Cost of the fault-injection and recovery machinery: a fault-free
+//! round against the same round under a 5 %-loss burst profile with the
+//! default retry policy, plus the passthrough case (fault machinery
+//! active, zero events) whose cost must track fault-free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shears_atlas::recovery::RetryPolicy;
+use shears_atlas::{Campaign, CampaignConfig, Platform};
+use shears_bench::{build_platform, Scale};
+use shears_netsim::fault::FaultConfig;
+
+fn bench_faulty_campaign(c: &mut Criterion) {
+    let platform: Platform = build_platform(Scale {
+        probes: 300,
+        rounds: 1,
+    });
+    let clean = CampaignConfig {
+        rounds: 2,
+        targets_per_probe: 3,
+        adjacent_targets: 2,
+        ..CampaignConfig::paper_scale()
+    };
+    // Campaign-wide ~5% extra loss: one long burst covering the window.
+    let lossy = CampaignConfig {
+        faults: FaultConfig {
+            enabled: true,
+            loss_bursts: 4,
+            loss_burst_mean_hours: 10_000.0,
+            loss_burst_extra: 0.05,
+            ..FaultConfig::none()
+        },
+        recovery: RetryPolicy::atlas_default(),
+        ..clean
+    };
+    let passthrough = CampaignConfig {
+        faults: FaultConfig::passthrough(),
+        ..clean
+    };
+
+    let mut group = c.benchmark_group("faulty_campaign");
+    group.sample_size(10);
+    group.bench_function("fault_free_300probes_2rounds", |b| {
+        b.iter(|| Campaign::new(&platform, clean).run().unwrap().len())
+    });
+    group.bench_function("passthrough_300probes_2rounds", |b| {
+        b.iter(|| Campaign::new(&platform, passthrough).run().unwrap().len())
+    });
+    group.bench_function("lossy5pct_retry_300probes_2rounds", |b| {
+        b.iter(|| Campaign::new(&platform, lossy).run().unwrap().len())
+    });
+    group.bench_function("lossy5pct_retry_parallel4", |b| {
+        b.iter(|| {
+            Campaign::new(&platform, lossy)
+                .run_parallel(4)
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faulty_campaign);
+criterion_main!(benches);

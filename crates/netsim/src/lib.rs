@@ -42,6 +42,7 @@
 
 pub mod access;
 pub mod event;
+pub mod fault;
 pub mod packetsim;
 pub mod ping;
 pub mod queue;
@@ -55,6 +56,7 @@ pub mod wire;
 pub mod worldnet;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{FaultClass, FaultConfig, FaultPlan, FaultRouter};
 pub use ping::{PingConfig, PingOutcome, PingProber, RttBuf};
 pub use routing::{PathInfo, PathRef, RouteSource, RouteTable, Router};
 pub use tcp::{TcpConfig, TcpOutcome, TcpProber};

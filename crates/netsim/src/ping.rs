@@ -18,6 +18,7 @@
 //! campaigns actually run).
 
 use crate::access::AccessLink;
+use crate::fault::{FaultPlan, FaultRouter};
 use crate::queue::{DiurnalLoad, Mm1Queue};
 use crate::routing::{PathInfo, PathRef, RouteSource, RouteTable, Router};
 use crate::stochastic::SimRng;
@@ -264,6 +265,7 @@ pub struct PathSampler<'p, 't> {
     topo: &'t Topology,
     access: Option<AccessLink>,
     load: DiurnalLoad,
+    faults: Option<&'t FaultPlan>,
 }
 
 impl<'p, 't> PathSampler<'p, 't> {
@@ -292,7 +294,18 @@ impl<'p, 't> PathSampler<'p, 't> {
             topo,
             access,
             load,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault plan: loss bursts add to per-hop loss probability
+    /// and latency bursts add deterministic one-way delay, both keyed by
+    /// link class and the sample instant. An empty plan changes neither
+    /// the RNG draw sequence nor any delay, so fault-free sampling stays
+    /// bit-identical with or without a plan attached.
+    pub fn with_fault_plan(mut self, faults: Option<&'t FaultPlan>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Samples a single one-way traversal delay at instant `t`, or
@@ -303,13 +316,18 @@ impl<'p, 't> PathSampler<'p, 't> {
     pub fn sample_one_way_ms(&self, t: SimTime, rng: &mut SimRng) -> Option<f64> {
         let mut total = 0.0;
         for i in 0..self.path.links.len() {
-            if rng.chance(hop_loss_probability(
-                self.topo,
-                self.path.links,
-                i,
-                self.access,
-                i == 0,
-            )) {
+            let mut loss_p =
+                hop_loss_probability(self.topo, self.path.links, i, self.access, i == 0);
+            let mut burst_ms = 0.0;
+            if let Some(plan) = self.faults {
+                // Fault modifiers fold into the existing loss draw and add
+                // deterministic delay — zero extra RNG draws, so an empty
+                // plan leaves the stream untouched.
+                let class = self.topo.link(self.path.links[i]).class;
+                loss_p += plan.extra_loss(class, t);
+                burst_ms = plan.extra_latency_ms(class, t);
+            }
+            if rng.chance(loss_p) {
                 return None;
             }
             total += hop_delay_ms(
@@ -321,7 +339,7 @@ impl<'p, 't> PathSampler<'p, 't> {
                 self.load,
                 t,
                 rng,
-            );
+            ) + burst_ms;
         }
         // Processing at intermediate nodes (endpoints excluded).
         for &node in &self.path.nodes[1..self.path.nodes.len().saturating_sub(1)] {
@@ -360,6 +378,7 @@ impl<'p, 't> PathSampler<'p, 't> {
 pub struct PingProber<'t> {
     topo: &'t Topology,
     routes: RouteSource<'t>,
+    faults: Option<&'t FaultPlan>,
 }
 
 impl<'t> PingProber<'t> {
@@ -369,6 +388,7 @@ impl<'t> PingProber<'t> {
         Self {
             topo,
             routes: RouteSource::Dynamic(Router::new(topo)),
+            faults: None,
         }
     }
 
@@ -379,6 +399,19 @@ impl<'t> PingProber<'t> {
         Self {
             topo,
             routes: RouteSource::Shared(table),
+            faults: None,
+        }
+    }
+
+    /// Creates a fault-aware prober: routes follow `plan`'s link-cut
+    /// epochs, packets traverse its loss/latency bursts, and blacked-out
+    /// endpoints answer nothing. With an empty plan the prober is
+    /// bit-identical to [`PingProber::new`].
+    pub fn with_faults(topo: &'t Topology, plan: &'t FaultPlan) -> Self {
+        Self {
+            topo,
+            routes: RouteSource::Faulty(FaultRouter::new(topo, plan)),
+            faults: Some(plan),
         }
     }
 
@@ -397,12 +430,19 @@ impl<'t> PingProber<'t> {
         rng: &mut SimRng,
     ) -> Option<PingOutcome> {
         let topo = self.topo;
-        let path = self.routes.path(from, to)?;
-        let sampler = PathSampler::from_ref(path, topo, access, load);
+        let faults = self.faults;
+        let path = self.routes.path_at(from, to, t)?;
+        let sampler = PathSampler::from_ref(path, topo, access, load).with_fault_plan(faults);
         let mut outcome = PingOutcome::new(cfg.packets);
         for i in 0..cfg.packets {
             // Packets are paced 1 s apart like the Atlas ping default.
             let at = t + SimTime::from_secs(u64::from(i));
+            // A blacked-out endpoint answers nothing; the packet dies
+            // without consuming any sampling draws (only reachable when
+            // faults are scheduled, so the fault-free stream is intact).
+            if faults.is_some_and(|p| p.node_down(to, at) || p.node_down(from, at)) {
+                continue;
+            }
             match sampler.sample_rtt_ms(at, rng) {
                 Some(rtt) if rtt <= cfg.timeout_ms => outcome.record(rtt),
                 _ => {}
@@ -541,6 +581,104 @@ mod tests {
             let shared = run(&mut PingProber::with_table(&t, &table));
             assert_eq!(dynamic, shared, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_prober_matches_dynamic_prober() {
+        // The chaos machinery's bit-identity pin: attaching an empty
+        // fault plan must not move a single RNG draw or delay.
+        let (t, probe, dc) = simple_net();
+        let plan = crate::fault::FaultPlan::empty("noop");
+        for seed in [1u64, 7, 42, 99] {
+            let run = |prober: &mut PingProber| {
+                let mut rng = SimRng::new(seed);
+                prober
+                    .ping(
+                        probe,
+                        dc,
+                        Some(dsl()),
+                        DiurnalLoad::residential(),
+                        SimTime::from_hours(5),
+                        &PingConfig::default(),
+                        &mut rng,
+                    )
+                    .unwrap()
+            };
+            let dynamic = run(&mut PingProber::new(&t));
+            let faulty = run(&mut PingProber::with_faults(&t, &plan));
+            assert_eq!(dynamic, faulty, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn blackout_window_silences_the_target() {
+        let (t, probe, dc) = simple_net();
+        let horizon = SimTime::from_days(30);
+        let mut cfg = crate::fault::FaultConfig::blackout();
+        cfg.dc_blackouts = 64;
+        cfg.blackout_mean_hours = 1_000.0;
+        let plan = crate::fault::FaultPlan::generate(&t, &cfg, 3, horizon);
+        // Find an instant inside a blackout window (with margin for the
+        // three 1s-paced packets).
+        let down_at = (0..720)
+            .map(SimTime::from_hours)
+            .find(|&at| plan.node_down(dc, at) && plan.node_down(dc, at + SimTime::from_secs(3)))
+            .expect("64 long blackouts must cover some probed instant");
+        let mut prober = PingProber::with_faults(&t, &plan);
+        let mut rng = SimRng::new(5);
+        let out = prober
+            .ping(
+                probe,
+                dc,
+                Some(dsl()),
+                DiurnalLoad::residential(),
+                down_at,
+                &PingConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.sent, 3);
+        assert_eq!(out.received, 0, "a blacked-out DC answers nothing");
+    }
+
+    #[test]
+    fn loss_burst_raises_observed_loss() {
+        let (t, probe, dc) = simple_net();
+        let mut plan_cfg = crate::fault::FaultConfig::lossy();
+        plan_cfg.loss_burst_extra = 0.5;
+        plan_cfg.loss_bursts = 16;
+        plan_cfg.loss_burst_mean_hours = 10_000.0;
+        let horizon = SimTime::from_days(30);
+        let plan = crate::fault::FaultPlan::generate(&t, &plan_cfg, 8, horizon);
+        let burst_at = (0..720)
+            .map(SimTime::from_hours)
+            .find(|&at| plan.extra_loss(LinkClass::Access, at) >= 0.5)
+            .expect("16 ten-thousand-hour bursts must cover some hour");
+        let count_losses = |prober: &mut PingProber| {
+            let mut rng = SimRng::new(17);
+            let mut lost = 0u32;
+            for _ in 0..100 {
+                let out = prober
+                    .ping(
+                        probe,
+                        dc,
+                        Some(dsl()),
+                        DiurnalLoad::residential(),
+                        burst_at,
+                        &PingConfig::default(),
+                        &mut rng,
+                    )
+                    .unwrap();
+                lost += u32::from(out.sent - out.received);
+            }
+            lost
+        };
+        let clean = count_losses(&mut PingProber::new(&t));
+        let bursty = count_losses(&mut PingProber::with_faults(&t, &plan));
+        assert!(
+            bursty > clean + 50,
+            "a 50%-extra loss burst must show up: clean {clean}, bursty {bursty}"
+        );
     }
 
     #[test]

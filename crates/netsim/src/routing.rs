@@ -24,6 +24,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use crate::time::SimTime;
 use crate::topology::{LinkId, NodeId, Topology};
 
 /// A resolved route between two nodes (owned form).
@@ -457,15 +458,29 @@ pub enum RouteSource<'t> {
     Dynamic(Router<'t>),
     /// Borrowed precomputed table; zero per-lookup allocation.
     Shared(&'t RouteTable),
+    /// Time-aware routing over a fault plan: one cached router per
+    /// link-cut epoch (see [`crate::fault::FaultRouter`]).
+    Faulty(crate::fault::FaultRouter<'t>),
 }
 
 impl RouteSource<'_> {
     /// Resolves a route, if one exists (and, for the shared table, was
-    /// requested at build time).
+    /// requested at build time). Fault-aware sources resolve at the start
+    /// of time; use [`RouteSource::path_at`] for scheduled measurements.
     pub fn path(&mut self, from: NodeId, to: NodeId) -> Option<PathRef<'_>> {
+        self.path_at(from, to, SimTime::ZERO)
+    }
+
+    /// Resolves the route in effect at simulation time `t`. The time only
+    /// matters for the `Faulty` source, whose link-cut schedule swaps the
+    /// topology between epochs; `Dynamic` and `Shared` routes are static.
+    pub fn path_at(&mut self, from: NodeId, to: NodeId, t: SimTime) -> Option<PathRef<'_>> {
         match self {
             RouteSource::Dynamic(router) => router.path(from, to).map(PathInfo::as_path_ref),
             RouteSource::Shared(table) => table.path(from, to),
+            RouteSource::Faulty(faulty) => {
+                faulty.path_at(from, to, t).map(PathInfo::as_path_ref)
+            }
         }
     }
 }

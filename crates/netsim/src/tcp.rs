@@ -9,6 +9,7 @@
 //! TCP connect times have a lossy tail that ICMP minima hide.
 
 use crate::access::AccessLink;
+use crate::fault::{FaultPlan, FaultRouter};
 use crate::ping::PathSampler;
 use crate::queue::DiurnalLoad;
 use crate::routing::{RouteSource, RouteTable, Router};
@@ -61,6 +62,7 @@ impl TcpOutcome {
 pub struct TcpProber<'t> {
     topo: &'t Topology,
     routes: RouteSource<'t>,
+    faults: Option<&'t FaultPlan>,
 }
 
 impl<'t> TcpProber<'t> {
@@ -70,6 +72,7 @@ impl<'t> TcpProber<'t> {
         Self {
             topo,
             routes: RouteSource::Dynamic(Router::new(topo)),
+            faults: None,
         }
     }
 
@@ -79,6 +82,19 @@ impl<'t> TcpProber<'t> {
         Self {
             topo,
             routes: RouteSource::Shared(table),
+            faults: None,
+        }
+    }
+
+    /// Creates a fault-aware prober: handshakes follow `plan`'s link-cut
+    /// epochs and bursts, and SYNs to a blacked-out endpoint are dropped.
+    /// With an empty plan the prober is bit-identical to
+    /// [`TcpProber::new`].
+    pub fn with_faults(topo: &'t Topology, plan: &'t FaultPlan) -> Self {
+        Self {
+            topo,
+            routes: RouteSource::Faulty(FaultRouter::new(topo, plan)),
+            faults: Some(plan),
         }
     }
 
@@ -97,12 +113,21 @@ impl<'t> TcpProber<'t> {
         rng: &mut SimRng,
     ) -> Option<TcpOutcome> {
         let topo = self.topo;
-        let path = self.routes.path(from, to)?;
-        let sampler = PathSampler::from_ref(path, topo, access, load);
+        let faults = self.faults;
+        let path = self.routes.path_at(from, to, t)?;
+        let sampler = PathSampler::from_ref(path, topo, access, load).with_fault_plan(faults);
         let mut elapsed = 0.0_f64;
         let mut rto = cfg.initial_rto_ms;
         for attempt in 1..=cfg.max_syn_attempts {
             let now = t + SimTime::from_millis_f64(elapsed);
+            // A blacked-out endpoint answers no SYN; the attempt fails
+            // without consuming sampling draws (only reachable when
+            // faults are scheduled, so the fault-free stream is intact).
+            if faults.is_some_and(|p| p.node_down(to, now) || p.node_down(from, now)) {
+                elapsed += rto;
+                rto *= 2.0;
+                continue;
+            }
             // SYN out, SYN-ACK back: either leg may drop the packet.
             let syn = sampler.sample_one_way_ms(now, rng);
             let synack = match syn {
@@ -245,6 +270,60 @@ mod tests {
             let shared = run(&mut TcpProber::with_table(&t, &table));
             assert_eq!(dynamic, shared, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_connect_matches_dynamic() {
+        let (t, probe, dc) = net();
+        let plan = crate::fault::FaultPlan::empty("noop");
+        for seed in [2u64, 13, 77] {
+            let run = |prober: &mut TcpProber| {
+                let mut rng = SimRng::new(seed);
+                prober
+                    .connect(
+                        probe,
+                        dc,
+                        Some(AccessLink::new(AccessTechnology::Dsl, 1.0)),
+                        DiurnalLoad::residential(),
+                        SimTime::from_hours(19),
+                        &TcpConfig::default(),
+                        &mut rng,
+                    )
+                    .unwrap()
+            };
+            let dynamic = run(&mut TcpProber::new(&t));
+            let faulty = run(&mut TcpProber::with_faults(&t, &plan));
+            assert_eq!(dynamic, faulty, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn blacked_out_endpoint_never_establishes() {
+        let (t, probe, dc) = net();
+        let horizon = SimTime::from_days(30);
+        let mut cfg = crate::fault::FaultConfig::blackout();
+        cfg.dc_blackouts = 64;
+        cfg.blackout_mean_hours = 1_000.0;
+        let plan = crate::fault::FaultPlan::generate(&t, &cfg, 3, horizon);
+        let down_at = (0..720)
+            .map(SimTime::from_hours)
+            .find(|&at| plan.node_down(dc, at) && plan.node_down(dc, at + SimTime::from_secs(60)))
+            .expect("64 long blackouts must cover some probed instant");
+        let mut prober = TcpProber::with_faults(&t, &plan);
+        let mut rng = SimRng::new(9);
+        let out = prober
+            .connect(
+                probe,
+                dc,
+                Some(AccessLink::new(AccessTechnology::Ftth, 1.0)),
+                DiurnalLoad::residential(),
+                down_at,
+                &TcpConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(!out.established());
+        assert_eq!(out.syn_attempts, TcpConfig::default().max_syn_attempts);
     }
 
     #[test]

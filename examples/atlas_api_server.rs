@@ -53,6 +53,8 @@ fn main() {
             rounds: 4,
             probe_limit: 40,
             country: Some("DE".into()),
+            fault_profile: None,
+            retries: None,
         })
         .expect("create measurement");
     println!(

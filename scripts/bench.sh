@@ -12,6 +12,7 @@ cargo bench -p shears-bench --bench routing -- "$@"
 cargo bench -p shears-bench --bench route_table -- "$@"
 cargo bench -p shears-bench --bench ping_sampling -- "$@"
 cargo bench -p shears-bench --bench campaign_round -- "$@"
+cargo bench -p shears-bench --bench faulty_campaign -- "$@"
 cargo bench -p shears-bench --bench analysis_pipeline -- "$@"
 
 echo "==> summarising target/criterion -> BENCH_campaign.json"

@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
 # Repo verification: build, tier-1 tests, and lint-as-error.
 #
+# Usage: scripts/verify.sh [profile]
+#   (default) — full build + tests + clippy + bench compile check
+#   chaos     — only the fault-injection determinism suite: the
+#               seed-matrix chaos grid plus the passthrough-equivalence
+#               pin (fast enough to run on every fault-model change)
+#
 # Requires a working cargo registry (the workspace has path-only internal
 # deps but external ones — serde, crossbeam, … — must be resolvable).
 # In an offline container without a pre-populated registry cache, cargo
@@ -8,6 +14,17 @@
 # mirror) is reachable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+profile="${1:-full}"
+
+if [ "$profile" = "chaos" ]; then
+    echo "==> chaos profile: seed-matrix fault determinism"
+    cargo test --release --test determinism chaos
+    cargo test --release --test determinism passthrough
+    cargo test --release -p shears-atlas campaign::tests::chaos
+    echo "verify (chaos): OK"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release --workspace

@@ -59,9 +59,9 @@ pub mod prelude {
     pub use shears_apps::{FeasibilityZone, Quadrant};
     pub use shears_atlas::{
         Campaign, CampaignConfig, FleetBuilder, FleetConfig, Platform, PlatformConfig, Probe,
-        ProbeId, ResultStore, RttSample, TagFilter,
+        ProbeId, ResultStore, RetryPolicy, RttSample, TagFilter,
     };
     pub use shears_cloud::{Catalog, Provider, Region};
     pub use shears_geo::{Continent, Country, CountryAtlas, GeoPoint};
-    pub use shears_netsim::{SimTime, Topology};
+    pub use shears_netsim::{FaultConfig, FaultPlan, SimTime, Topology};
 }

@@ -69,6 +69,8 @@ fn measurement_results_reflect_geography() {
                 rounds: 2,
                 probe_limit: 30,
                 country: Some("DE".into()),
+                fault_profile: None,
+                retries: None,
             })
             .unwrap();
         let mut rtts: Vec<f64> = client
@@ -107,6 +109,8 @@ fn concurrent_measurements_keep_credit_accounting_consistent() {
                         rounds: 1,
                         probe_limit: 10,
                         country: None,
+                        fault_profile: None,
+                        retries: None,
                     })
                     .unwrap()
                     .credits_spent

@@ -356,6 +356,79 @@ fn campaign_is_bit_identical_across_kinds_churn_and_threads() {
     }
 }
 
+/// Chaos acceptance grid: under every fault profile, a campaign is a
+/// pure function of its seed — run and run_parallel at 1/2/8 threads
+/// produce the same multiset of samples, across a matrix of seeds wide
+/// enough to hit cuts, bursts and blackouts in many phases.
+#[test]
+fn chaos_campaigns_are_bit_identical_across_seeds_profiles_and_threads() {
+    let p = Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: 40,
+            seed: 17,
+        },
+        ..PlatformConfig::default()
+    });
+    let sort_key = |s: &RttSample| (s.probe, s.region, s.at.as_nanos());
+    let mut faulty_profiles = 0usize;
+    for profile in ["lossy", "blackout", "chaos"] {
+        let faults = FaultConfig::profile(profile).expect("known profile");
+        for seed in 1..=20u64 {
+            let cfg = CampaignConfig {
+                rounds: 2,
+                targets_per_probe: 1,
+                adjacent_targets: 1,
+                seed,
+                faults,
+                recovery: RetryPolicy::atlas_default(),
+                ..CampaignConfig::quick()
+            };
+            let campaign = Campaign::new(&p, cfg);
+            let plan = campaign.fault_plan().expect("profiles enable faults");
+            faulty_profiles += usize::from(!plan.is_empty());
+            let mut reference = campaign.run().unwrap().samples().to_vec();
+            reference.sort_by_key(sort_key);
+            assert!(!reference.is_empty(), "{profile} seed {seed}");
+            for threads in [1usize, 2, 8] {
+                let mut run = Campaign::new(&p, cfg)
+                    .run_parallel(threads)
+                    .unwrap()
+                    .samples()
+                    .to_vec();
+                run.sort_by_key(sort_key);
+                assert_eq!(run, reference, "{profile} seed {seed} threads {threads}");
+            }
+        }
+    }
+    // The matrix must actually exercise faults, not 60 empty plans.
+    assert!(faulty_profiles > 40, "{faulty_profiles} non-empty plans");
+}
+
+/// The no-fault equivalence pin: a passthrough plan (fault machinery
+/// active, zero scheduled events) reproduces the default fault-free
+/// campaign bit for bit — the guarantee that lets every pre-existing
+/// golden test keep its expected values.
+#[test]
+fn passthrough_faults_reproduce_the_fault_free_campaign() {
+    let p = platform(9);
+    let base = CampaignConfig {
+        rounds: 3,
+        targets_per_probe: 2,
+        adjacent_targets: 1,
+        ..CampaignConfig::quick()
+    };
+    let clean = Campaign::new(&p, base).run().unwrap();
+    let cfg = CampaignConfig {
+        faults: FaultConfig::passthrough(),
+        ..base
+    };
+    let campaign = Campaign::new(&p, cfg);
+    let plan = campaign.fault_plan().expect("passthrough is enabled");
+    assert!(plan.is_empty(), "passthrough schedules no events");
+    let faulty = campaign.run().unwrap();
+    assert_eq!(clean.samples(), faulty.samples());
+}
+
 #[test]
 fn parallel_execution_is_seed_stable_across_thread_counts() {
     let p = platform(9);

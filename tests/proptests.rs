@@ -134,4 +134,120 @@ proptest! {
         let t = SimTime::from_millis_f64(ms);
         prop_assert!((t.as_millis_f64() - ms).abs() < 1e-3);
     }
+
+    #[test]
+    fn retry_schedule_respects_its_bounds(
+        max_retries in 0u32..8,
+        base_s in 1u64..120,
+        cap_s in 1u64..600,
+        jitter in 0.0f64..1.0,
+        timeout_s in 1u64..3600,
+        seed in any::<u64>(),
+    ) {
+        use latency_shears::netsim::stochastic::SimRng;
+
+        let policy = RetryPolicy {
+            max_retries,
+            base_backoff: SimTime::from_secs(base_s),
+            max_backoff: SimTime::from_secs(cap_s),
+            jitter,
+            measurement_timeout: SimTime::from_secs(timeout_s),
+            refund_failures: true,
+        };
+        let mut rng = SimRng::new(seed);
+        let scheduled = SimTime::from_hours(3);
+        let mut schedule = policy.schedule(scheduled);
+        prop_assert_eq!(schedule.attempt_at(), scheduled);
+        let mut taken = 0u32;
+        let mut prev = scheduled;
+        while schedule.next(&policy, &mut rng) {
+            taken += 1;
+            // Attempts move strictly forward and never leave the
+            // policy's delay envelope.
+            prop_assert!(schedule.attempt_at() > prev);
+            prev = schedule.attempt_at();
+            let delay = schedule.attempt_at().saturating_since(scheduled);
+            prop_assert!(delay <= policy.max_total_delay());
+            prop_assert!(delay <= policy.measurement_timeout);
+            prop_assert!(taken <= max_retries, "retry budget exceeded");
+        }
+        prop_assert!(taken <= max_retries);
+        // Once exhausted, the schedule stays exhausted.
+        prop_assert!(!schedule.next(&policy, &mut rng));
+    }
+
+    #[test]
+    fn credit_ledger_conserves_under_debit_refund_boost(
+        initial in 0u64..1_000_000,
+        ops in proptest::collection::vec((0u8..3, 1u64..10_000), 0..40),
+    ) {
+        use latency_shears::atlas::CreditLedger;
+
+        let mut ledger = CreditLedger::new(initial);
+        let mut boosted = 0u64;
+        let mut debited = 0u64;
+        for (op, amount) in ops {
+            match op {
+                0 => {
+                    if ledger.debit(amount).is_ok() {
+                        debited += amount;
+                    }
+                }
+                1 => {
+                    let refunded = ledger.refund(amount);
+                    prop_assert!(refunded <= amount);
+                }
+                _ => {
+                    ledger.boost(amount);
+                    boosted += amount;
+                }
+            }
+            // Credits are conserved: refunds move spent back to
+            // balance, never mint. (No saturation at these magnitudes.)
+            prop_assert_eq!(ledger.balance() + ledger.spent(), initial + boosted);
+        }
+        // Lifetime refunds never exceed what ever left the balance.
+        prop_assert!(ledger.refunded() <= debited);
+    }
+}
+
+proptest! {
+    // Whole-platform route comparisons are expensive; a handful of
+    // random worlds is plenty to catch a divergence.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn routers_and_tables_agree_when_the_fault_plan_is_empty(
+        seed in 0u64..1_000,
+        probes in 25usize..45,
+    ) {
+        use latency_shears::netsim::fault::FaultRouter;
+        use latency_shears::netsim::Router;
+
+        let p = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: probes,
+                seed,
+            },
+            ..PlatformConfig::default()
+        });
+        let plan = FaultPlan::empty("noop");
+        let table = p.route_table(1, 1, 2);
+        let mut router = Router::new(p.topology());
+        let mut faulty = FaultRouter::new(p.topology(), &plan);
+        let t = SimTime::from_hours(seed % 48);
+        for probe in p.probes() {
+            let from = p.probe_node(probe.id);
+            for &target in &p.targets_for(probe, 1, 1) {
+                let to = p.dc_node(target as usize);
+                let want = router.path(from, to).map(|i| (i.links.clone(), i.base_one_way_ms));
+                let via_table = table.path(from, to)
+                    .map(|r| { let i = r.to_path_info(); (i.links, i.base_one_way_ms) });
+                let via_fault = faulty.path_at(from, to, t)
+                    .map(|i| (i.links.clone(), i.base_one_way_ms));
+                prop_assert_eq!(&want, &via_table, "table diverged {:?}->{:?}", from, to);
+                prop_assert_eq!(&want, &via_fault, "fault router diverged {:?}->{:?}", from, to);
+            }
+        }
+    }
 }
