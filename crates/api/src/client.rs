@@ -241,6 +241,7 @@ mod tests {
                 country: None,
                 fault_profile: None,
                 retries: None,
+                durability: true,
             })
             .unwrap();
         assert!(m.results > 0);
@@ -250,7 +251,7 @@ mod tests {
         let results = client.results(m.id).unwrap();
         assert_eq!(results.len(), m.results);
         assert!(results.iter().any(|r| r.min_ms.unwrap_or(f64::NAN) > 0.0));
-        server.shutdown();
+        server.shutdown().unwrap();
     }
 
     #[test]
@@ -265,7 +266,7 @@ mod tests {
             Err(ClientError::Status(404, _)) => {}
             other => panic!("expected 404, got {other:?}"),
         }
-        server.shutdown();
+        server.shutdown().unwrap();
     }
 
     #[test]
@@ -283,6 +284,6 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap() > 0);
         }
-        server.shutdown();
+        server.shutdown().unwrap();
     }
 }

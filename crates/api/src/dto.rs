@@ -91,6 +91,12 @@ pub struct CreateMeasurementDto {
     /// Retried-and-still-failed rounds are refunded.
     #[serde(default)]
     pub retries: Option<u32>,
+    /// Whether to persist this measurement to the service's durability
+    /// directory (default `true`; a no-op when the service runs without
+    /// one). Persisted measurements survive restarts via
+    /// `POST /api/v2/measurements/resume`.
+    #[serde(default = "default_durability")]
+    pub durability: bool,
 }
 
 fn default_packets() -> u32 {
@@ -101,6 +107,23 @@ fn default_rounds() -> u32 {
 }
 fn default_probe_limit() -> usize {
     50
+}
+fn default_durability() -> bool {
+    true
+}
+
+/// Response of `POST /api/v2/measurements/resume`: what was recovered
+/// from the durability directory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResumeReportDto {
+    /// Measurements loaded from disk that were not already in memory.
+    pub recovered: usize,
+    /// Files that failed their checksum or decode and were skipped.
+    pub skipped: usize,
+    /// Measurements now resident (recovered + already live).
+    pub total: usize,
+    /// Credit balance after restoring the persisted ledger.
+    pub credits_balance: u64,
 }
 
 /// A measurement as served by `GET /api/v2/measurements/{id}`.
@@ -269,6 +292,14 @@ mod tests {
         assert!(dto.country.is_none());
         assert!(dto.fault_profile.is_none());
         assert!(dto.retries.is_none());
+        assert!(dto.durability, "measurements are durable by default");
+    }
+
+    #[test]
+    fn create_measurement_durability_can_be_opted_out() {
+        let dto: CreateMeasurementDto =
+            serde_json::from_str(r#"{"target_region": 5, "durability": false}"#).unwrap();
+        assert!(!dto.durability);
     }
 
     #[test]

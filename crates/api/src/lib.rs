@@ -11,6 +11,7 @@
 //! | `GET /api/v2/probes/{id}` | one probe |
 //! | `GET /api/v2/regions` | the cloud catalogue |
 //! | `POST /api/v2/measurements` | create + run a ping measurement |
+//! | `POST /api/v2/measurements/resume` | reload persisted measurements after a restart |
 //! | `GET /api/v2/measurements/{id}` | measurement status |
 //! | `GET /api/v2/measurements/{id}/results` | its RTT samples |
 //! | `DELETE /api/v2/measurements/{id}` | forget a measurement |
@@ -34,8 +35,14 @@
 //! let client = ApiClient::new(server.local_addr());
 //! let probes = client.list_probes(Some("DE"), None, 10).unwrap();
 //! println!("{} German probes", probes.len());
-//! server.shutdown();
+//! server.shutdown().unwrap();
 //! ```
+//!
+//! Spawning the service via [`AtlasService::with_durability`] persists
+//! measurements and the credit ledger to a directory (binary, CRC'd —
+//! the campaign journal's wire format), `POST
+//! /api/v2/measurements/resume` reloads them after a restart, and
+//! [`server::ApiServer::shutdown`] flushes everything on the way out.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -34,6 +34,7 @@ pub struct ApiServer {
     local_addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    service: Arc<AtlasService>,
 }
 
 impl ApiServer {
@@ -48,16 +49,25 @@ impl ApiServer {
         let live = Arc::new(AtomicUsize::new(0));
 
         let stop2 = Arc::clone(&stop);
+        let service2 = Arc::clone(&service);
         let accept_thread = std::thread::Builder::new()
             .name("shears-api-accept".into())
             .spawn(move || {
-                accept_loop(listener, service, live, stop2);
+                accept_loop(listener, service2, live, stop2);
             })?;
         Ok(ApiServer {
             local_addr,
             stop,
             accept_thread: Some(accept_thread),
+            service,
         })
+    }
+
+    /// The served service (e.g. to call
+    /// [`AtlasService::resume_from_disk`] after spawning over a
+    /// durability directory).
+    pub fn service(&self) -> &AtlasService {
+        &self.service
     }
 
     /// The bound address (resolve the real port after binding `:0`).
@@ -65,13 +75,16 @@ impl ApiServer {
         self.local_addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// Stops accepting connections, joins the accept thread, and
+    /// flushes the service's durable state (measurement journal files +
+    /// ledger) so a graceful shutdown never loses finished work.
     /// In-flight connections finish their current request.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(mut self) -> std::io::Result<()> {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.service.flush()
     }
 }
 
@@ -81,6 +94,8 @@ impl Drop for ApiServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Best-effort flush on implicit drops; `shutdown` reports errors.
+        let _ = self.service.flush();
     }
 }
 
@@ -188,7 +203,7 @@ mod tests {
         );
         assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
         assert!(resp.contains("country_code"));
-        server.shutdown();
+        server.shutdown().unwrap();
     }
 
     #[test]
@@ -221,7 +236,7 @@ mod tests {
             // Hand the (now drained) stream back for the next iteration.
             s = reader.into_inner();
         }
-        server.shutdown();
+        server.shutdown().unwrap();
     }
 
     #[test]
@@ -229,14 +244,14 @@ mod tests {
         let server = spawn_server();
         let resp = raw_request(server.local_addr(), "NOTHTTP\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
-        server.shutdown();
+        server.shutdown().unwrap();
     }
 
     #[test]
     fn shutdown_stops_accepting() {
         let server = spawn_server();
         let addr = server.local_addr();
-        server.shutdown();
+        server.shutdown().unwrap();
         // Either refused outright, or accepted by the OS backlog and
         // never served — both manifest as an error or empty read.
         if let Ok(mut s) = TcpStream::connect(addr) {

@@ -1,9 +1,11 @@
 //! The API's application logic: routing plus measurement execution.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 use shears_analysis::CampaignFrame;
+use shears_atlas::journal::{frame, get_samples_wire, put_samples_wire, put_string, ByteReader, read_frame};
 use shears_atlas::{CreditLedger, Platform, ResultStore, RetryPolicy, RttSample};
 use shears_netsim::fault::{FaultConfig, FaultPlan};
 use shears_netsim::ping::{PingConfig, PingProber};
@@ -14,7 +16,7 @@ use shears_netsim::SimTime;
 
 use crate::dto::{
     CreateMeasurementDto, CreateTracerouteDto, HopDto, MeasurementDto, MeasurementStatsDto,
-    ProbeDto, RegionDto, ResultDto, TracerouteDto,
+    ProbeDto, RegionDto, ResultDto, ResumeReportDto, TracerouteDto,
 };
 use crate::http::{Method, Request, Response};
 
@@ -26,6 +28,12 @@ const MAX_PROBES: usize = 200;
 const MAX_RETRIES: u32 = 5;
 /// Initial credit grant for API users.
 const INITIAL_CREDITS: u64 = 1_000_000;
+
+/// File magics for the durability directory: persisted measurements and
+/// the service ledger/id state. Both reuse the campaign journal's
+/// framed + CRC'd binary wire format — no JSON on the recovery path.
+const MEASUREMENT_MAGIC: &[u8; 8] = b"SHRSMEA1";
+const STATE_MAGIC: &[u8; 8] = b"SHRSSVC1";
 
 struct StoredMeasurement {
     target_region: usize,
@@ -48,6 +56,7 @@ pub struct AtlasService {
     platform: Platform,
     state: Mutex<ServiceState>,
     seed: u64,
+    durability: Option<PathBuf>,
 }
 
 impl AtlasService {
@@ -61,7 +70,20 @@ impl AtlasService {
                 ledger: CreditLedger::new(INITIAL_CREDITS),
             }),
             seed: 0xA71_A50A1,
+            durability: None,
         }
+    }
+
+    /// Wraps a platform with persistent measurement state: measurements
+    /// and the credit ledger are written to `dir` as they are created,
+    /// and `POST /api/v2/measurements/resume` (or
+    /// [`AtlasService::resume_from_disk`]) reloads them after a restart.
+    pub fn with_durability(platform: Platform, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut svc = Self::new(platform);
+        svc.durability = Some(dir);
+        Ok(svc)
     }
 
     /// The wrapped platform (read-only).
@@ -83,6 +105,7 @@ impl AtlasService {
             (Method::Get, ["api", "v2", "probes", id]) => self.get_probe(id),
             (Method::Get, ["api", "v2", "regions"]) => self.list_regions(),
             (Method::Post, ["api", "v2", "measurements"]) => self.create_measurement(req),
+            (Method::Post, ["api", "v2", "measurements", "resume"]) => self.resume_measurements(),
             (Method::Post, ["api", "v2", "traceroutes"]) => self.run_traceroutes(req),
             (Method::Get, ["api", "v2", "measurements", id]) => self.get_measurement(id),
             (Method::Get, ["api", "v2", "measurements", id, "results"]) => {
@@ -287,8 +310,198 @@ impl AtlasService {
             samples,
         };
         let dto = self.measurement_dto(id, &stored);
+        if spec.durability {
+            if let Err(e) = self.persist_measurement(id, &stored) {
+                return Response::error(500, &format!("measurement not persisted: {e}"));
+            }
+        }
         state.measurements.insert(id, stored);
+        if let Err(e) = self.persist_state(&state) {
+            return Response::error(500, &format!("service state not persisted: {e}"));
+        }
         Response::json_with_status(201, &dto)
+    }
+
+    // --- Durability: persistent measurement state -----------------------
+
+    fn measurement_path(dir: &Path, id: u64) -> PathBuf {
+        dir.join(format!("measurement-{id:08}.wal"))
+    }
+
+    /// Writes one measurement to the durability directory (no-op
+    /// without one). Temp-file + rename, so a crash mid-write can never
+    /// leave a half measurement behind.
+    fn persist_measurement(&self, id: u64, m: &StoredMeasurement) -> std::io::Result<()> {
+        let Some(dir) = &self.durability else {
+            return Ok(());
+        };
+        let mut payload = Vec::with_capacity(64 + m.samples.len() * 24);
+        payload.push(1u8); // schema version
+        payload.extend_from_slice(&id.to_le_bytes());
+        payload.extend_from_slice(&(m.target_region as u64).to_le_bytes());
+        payload.extend_from_slice(&(m.probes as u64).to_le_bytes());
+        payload.extend_from_slice(&m.credits_spent.to_le_bytes());
+        payload.extend_from_slice(&m.credits_refunded.to_le_bytes());
+        payload.extend_from_slice(&(m.retried_rounds as u64).to_le_bytes());
+        match &m.fault_profile {
+            Some(name) => {
+                payload.push(1);
+                put_string(&mut payload, name);
+            }
+            None => payload.push(0),
+        }
+        put_samples_wire(&mut payload, &m.samples);
+        let mut bytes = MEASUREMENT_MAGIC.to_vec();
+        bytes.extend_from_slice(&frame(&payload));
+        let path = Self::measurement_path(dir, id);
+        let tmp = path.with_extension("wal.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    fn load_measurement(bytes: &[u8]) -> Option<(u64, StoredMeasurement)> {
+        let body = bytes.strip_prefix(MEASUREMENT_MAGIC.as_slice())?;
+        let (payload, _) = read_frame(body, 0).ok()??;
+        let mut r = ByteReader::new(payload);
+        if r.u8().ok()? != 1 {
+            return None;
+        }
+        let id = r.u64().ok()?;
+        let target_region = r.u64().ok()? as usize;
+        let probes = r.u64().ok()? as usize;
+        let credits_spent = r.u64().ok()?;
+        let credits_refunded = r.u64().ok()?;
+        let retried_rounds = r.u64().ok()? as usize;
+        let fault_profile = if r.u8().ok()? != 0 {
+            Some(r.string().ok()?)
+        } else {
+            None
+        };
+        let samples = get_samples_wire(&mut r).ok()?;
+        Some((
+            id,
+            StoredMeasurement {
+                target_region,
+                probes,
+                credits_spent,
+                credits_refunded,
+                fault_profile,
+                retried_rounds,
+                samples,
+            },
+        ))
+    }
+
+    /// Writes the ledger + id-counter snapshot (no-op without a
+    /// durability directory).
+    fn persist_state(&self, state: &ServiceState) -> std::io::Result<()> {
+        let Some(dir) = &self.durability else {
+            return Ok(());
+        };
+        let mut payload = Vec::with_capacity(40);
+        payload.push(1u8);
+        payload.extend_from_slice(&state.next_id.to_le_bytes());
+        payload.extend_from_slice(&state.ledger.balance().to_le_bytes());
+        payload.extend_from_slice(&state.ledger.spent().to_le_bytes());
+        payload.extend_from_slice(&state.ledger.refunded().to_le_bytes());
+        let mut bytes = STATE_MAGIC.to_vec();
+        bytes.extend_from_slice(&frame(&payload));
+        let path = dir.join("service.state");
+        let tmp = path.with_extension("state.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    fn load_state(bytes: &[u8]) -> Option<(u64, CreditLedger)> {
+        let body = bytes.strip_prefix(STATE_MAGIC.as_slice())?;
+        let (payload, _) = read_frame(body, 0).ok()??;
+        let mut r = ByteReader::new(payload);
+        if r.u8().ok()? != 1 {
+            return None;
+        }
+        let next_id = r.u64().ok()?;
+        let ledger = CreditLedger::restore(r.u64().ok()?, r.u64().ok()?, r.u64().ok()?);
+        Some((next_id, ledger))
+    }
+
+    /// Reloads persisted measurements and ledger state from the
+    /// durability directory. Measurements already in memory are kept
+    /// as-is; files that fail their checksum or decode are skipped, not
+    /// fatal. Returns `(recovered, skipped)`.
+    pub fn resume_from_disk(&self) -> std::io::Result<(usize, usize)> {
+        let Some(dir) = self.durability.clone() else {
+            return Ok((0, 0));
+        };
+        let mut recovered = 0usize;
+        let mut skipped = 0usize;
+        let mut state = self.state.lock();
+        let state_path = dir.join("service.state");
+        if state_path.exists() {
+            match Self::load_state(&std::fs::read(&state_path)?) {
+                Some((next_id, ledger)) => {
+                    state.next_id = state.next_id.max(next_id);
+                    state.ledger = ledger;
+                }
+                None => skipped += 1,
+            }
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("measurement-") && n.ends_with(".wal"))
+            })
+            .collect();
+        entries.sort();
+        for path in entries {
+            match Self::load_measurement(&std::fs::read(&path)?) {
+                Some((id, m)) => {
+                    state.next_id = state.next_id.max(id + 1);
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        state.measurements.entry(id)
+                    {
+                        slot.insert(m);
+                        recovered += 1;
+                    }
+                }
+                None => skipped += 1,
+            }
+        }
+        Ok((recovered, skipped))
+    }
+
+    fn resume_measurements(&self) -> Response {
+        if self.durability.is_none() {
+            return Response::error(400, "service has no durability directory");
+        }
+        match self.resume_from_disk() {
+            Ok((recovered, skipped)) => {
+                let state = self.state.lock();
+                Response::json(&ResumeReportDto {
+                    recovered,
+                    skipped,
+                    total: state.measurements.len(),
+                    credits_balance: state.ledger.balance(),
+                })
+            }
+            Err(e) => Response::error(500, &format!("resume failed: {e}")),
+        }
+    }
+
+    /// Flushes all in-memory state to the durability directory (no-op
+    /// without one). Called by the server's graceful shutdown; also
+    /// safe to call at any time.
+    pub fn flush(&self) -> std::io::Result<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        let state = self.state.lock();
+        for (&id, m) in &state.measurements {
+            self.persist_measurement(id, m)?;
+        }
+        self.persist_state(&state)
     }
 
     fn run_traceroutes(&self, req: &Request) -> Response {
@@ -726,6 +939,199 @@ mod tests {
         // 5 probes × 1 round × (1+1 attempts) × 3 credits charged up front.
         assert_eq!(m.credits_spent, 5 * 2 * 3);
         assert_eq!(before - svc.credits(), m.credits_spent - m.credits_refunded);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "shears-api-durability-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn durable_measurements_survive_a_service_restart() {
+        let dir = temp_dir("restart");
+        let svc =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        let create = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 9, "rounds": 2, "probe_limit": 10}"#,
+        ));
+        assert_eq!(create.status, 201, "{}", String::from_utf8_lossy(&create.body));
+        let m: MeasurementDto = serde_json::from_slice(&create.body).unwrap();
+        let results_before = svc
+            .handle(&get(&format!("/api/v2/measurements/{}/results", m.id), &[]))
+            .body;
+        let balance_before = svc.credits();
+        drop(svc); // "crash"
+
+        // A fresh service over the same directory knows nothing…
+        let svc2 =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        assert_eq!(
+            svc2.handle(&get(&format!("/api/v2/measurements/{}", m.id), &[]))
+                .status,
+            404
+        );
+        // …until it resumes from disk.
+        let resume = svc2.handle(&post("/api/v2/measurements/resume", ""));
+        assert_eq!(resume.status, 200, "{}", String::from_utf8_lossy(&resume.body));
+        let report: ResumeReportDto = serde_json::from_slice(&resume.body).unwrap();
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.total, 1);
+        assert_eq!(report.credits_balance, balance_before);
+        // Recovered rows are byte-identical, stats still compute, and
+        // new measurements do not collide with recovered ids.
+        let results_after = svc2
+            .handle(&get(&format!("/api/v2/measurements/{}/results", m.id), &[]))
+            .body;
+        assert_eq!(results_before, results_after);
+        assert_eq!(
+            svc2.handle(&get(&format!("/api/v2/measurements/{}/stats", m.id), &[]))
+                .status,
+            200
+        );
+        let again = svc2.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 3, "probe_limit": 4}"#,
+        ));
+        let m2: MeasurementDto = serde_json::from_slice(&again.body).unwrap();
+        assert!(m2.id > m.id, "recovered id counter must not reissue {}", m.id);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_corrupt_files_and_respects_opt_out() {
+        let dir = temp_dir("corrupt");
+        let svc =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        // Opted-out measurements leave no file behind.
+        let create = svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 9, "probe_limit": 5, "durability": false}"#,
+        ));
+        assert_eq!(create.status, 201);
+        let files = |dir: &std::path::Path| {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    e.file_name()
+                        .to_str()
+                        .is_some_and(|n| n.starts_with("measurement-"))
+                })
+                .count()
+        };
+        assert_eq!(files(&dir), 0, "durability:false must not persist");
+        // A corrupt measurement file is skipped, never fatal or panicky.
+        std::fs::write(dir.join("measurement-00000099.wal"), b"SHRSMEA1garbage").unwrap();
+        let resume = svc.handle(&post("/api/v2/measurements/resume", ""));
+        assert_eq!(resume.status, 200);
+        let report: ResumeReportDto = serde_json::from_slice(&resume.body).unwrap();
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_durability_is_a_client_error() {
+        let svc = service();
+        let resp = svc.handle(&post("/api/v2/measurements/resume", ""));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn flush_writes_every_measurement() {
+        let dir = temp_dir("flush");
+        let svc =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        // Create one non-durable measurement, then flush: the graceful
+        // shutdown path persists even opted-out state.
+        svc.handle(&post(
+            "/api/v2/measurements",
+            r#"{"target_region": 1, "probe_limit": 3, "durability": false}"#,
+        ));
+        svc.flush().unwrap();
+        let svc2 =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        let (recovered, skipped) = svc2.resume_from_disk().unwrap();
+        assert_eq!((recovered, skipped), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistence_codec_round_trips_without_json() {
+        // The durability path is binary end to end; this pins the codec
+        // itself (including INFINITY loss markers) independently of the
+        // HTTP/JSON surface.
+        let dir = temp_dir("codec");
+        let svc =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        let lost = RttSample {
+            probe: shears_atlas::ProbeId(3),
+            region: 9,
+            at: shears_netsim::SimTime::from_hours(6),
+            min_ms: f32::INFINITY,
+            avg_ms: f32::INFINITY,
+            sent: 3,
+            received: 0,
+        };
+        let fine = RttSample {
+            probe: shears_atlas::ProbeId(4),
+            region: 9,
+            at: shears_netsim::SimTime::from_hours(9),
+            min_ms: 12.25,
+            avg_ms: 14.5,
+            sent: 3,
+            received: 3,
+        };
+        let m = StoredMeasurement {
+            target_region: 9,
+            probes: 2,
+            credits_spent: 42,
+            credits_refunded: 6,
+            fault_profile: Some("chaos".to_string()),
+            retried_rounds: 1,
+            samples: vec![lost, fine],
+        };
+        svc.persist_measurement(77, &m).unwrap();
+        {
+            let mut state = svc.state.lock();
+            state.next_id = 78;
+            state.ledger.debit(42).unwrap();
+            svc.persist_state(&state).unwrap();
+        }
+        drop(svc);
+
+        let svc2 =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        let (recovered, skipped) = svc2.resume_from_disk().unwrap();
+        assert_eq!((recovered, skipped), (1, 0));
+        let state = svc2.state.lock();
+        assert_eq!(state.next_id, 78);
+        assert_eq!(state.ledger.spent(), 42);
+        let got = &state.measurements[&77];
+        assert_eq!(got.target_region, 9);
+        assert_eq!(got.probes, 2);
+        assert_eq!(got.credits_spent, 42);
+        assert_eq!(got.credits_refunded, 6);
+        assert_eq!(got.fault_profile.as_deref(), Some("chaos"));
+        assert_eq!(got.retried_rounds, 1);
+        assert_eq!(got.samples, m.samples);
+        assert!(got.samples[0].min_ms.is_infinite(), "loss marker survives");
+        drop(state);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! which is what makes [`Campaign::run_parallel`] bit-identical to the
 //! sequential run.
 
+use std::path::PathBuf;
+
 use crossbeam::thread;
 use shears_netsim::access::AccessLink;
 use shears_netsim::fault::{FaultConfig, FaultPlan};
@@ -17,6 +19,7 @@ use shears_netsim::{EventQueue, RouteTable, SimTime};
 
 use crate::availability::OutageSchedule;
 use crate::credits::{CreditError, CreditLedger};
+use crate::journal::{self, JournalError, JournalHeader, JournalWriter};
 use crate::measurement::MeasurementType;
 use crate::platform::Platform;
 use crate::probe::Probe;
@@ -24,7 +27,7 @@ use crate::recovery::RetryPolicy;
 use crate::store::{ResultStore, RttSample};
 
 /// Campaign parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignConfig {
     /// Number of measurement rounds (the paper: 9 months × 8/day ≈ 2160;
     /// its public dataset holds 3.2 M samples ≈ 200 full-fleet rounds).
@@ -348,7 +351,15 @@ impl<'p> Campaign<'p> {
                 };
                 if succeeded || !schedule.next(policy, &mut rng) {
                     if !succeeded && policy.refund_failures {
-                        ledger.refund(cost.saturating_mul(u64::from(attempts)));
+                        // Keyed by (probe, target, round) so a resumed
+                        // campaign can never refund the same failed
+                        // measurement twice.
+                        let key = (u64::from(probe.id.0) << 16) | u64::from(region);
+                        ledger.refund_once(
+                            key,
+                            round,
+                            cost.saturating_mul(u64::from(attempts)),
+                        );
                     }
                     break;
                 }
@@ -512,6 +523,305 @@ impl<'p> Campaign<'p> {
             merged.merge(r?);
         }
         Ok(merged)
+    }
+
+    /// The journal header this campaign would write: the full config
+    /// plus the fleet/target and fault-plan digests a resume validates
+    /// against.
+    pub fn journal_header(&self) -> JournalHeader {
+        let targets = self.target_table();
+        JournalHeader {
+            config: self.cfg,
+            fleet_digest: journal::fleet_digest(self.platform.probes(), &targets),
+            plan_digest: self.fault_plan().map_or(0, |p| p.digest()),
+        }
+    }
+
+    /// Runs the campaign with crash-safe durability: every completed
+    /// round is appended to the write-ahead journal at `durability.path`
+    /// before the next round starts, with periodic compacted
+    /// checkpoints. If the process dies at any point,
+    /// [`Campaign::resume`] picks up from the last durable round and the
+    /// final results are bit-identical to an uninterrupted run.
+    ///
+    /// Durable rounds are executed behind a round barrier: probes are
+    /// sharded over `threads` workers and each round's shard outputs are
+    /// merged in shard order, so the store is round-major in probe order
+    /// — byte-identical for every thread count (and to `threads == 1`).
+    /// Credit enforcement happens at round granularity (the whole
+    /// round's gross spend is debited at the barrier), unlike the
+    /// per-attempt debits of [`Campaign::run`].
+    pub fn run_durable(
+        &self,
+        threads: usize,
+        durability: &DurabilityConfig,
+    ) -> Result<DurableOutcome, CampaignError> {
+        let mut journal =
+            JournalWriter::create(&durability.path, &self.journal_header(), durability.fsync)?;
+        let targets = self.target_table();
+        let mut store =
+            ResultStore::with_capacity(self.sample_bound(&targets, self.platform.probes()));
+        let mut ledger = CreditLedger::new(self.cfg.credits);
+        self.run_rounds_durable(
+            0,
+            threads,
+            &targets,
+            &mut store,
+            &mut ledger,
+            &mut journal,
+            durability,
+        )?;
+        Ok(DurableOutcome { store, ledger })
+    }
+
+    /// Resumes a crashed (or cleanly stopped) durable campaign from its
+    /// journal: replays the durable rounds, validates that `platform`
+    /// still digests to the fleet/targets and fault plan the journal was
+    /// written against, truncates any torn tail frame, and re-runs the
+    /// remaining rounds. The per-`(probe, round)` keyed RNG streams make
+    /// the continuation independent of where the crash fell: the result
+    /// is bit-identical to a run that never crashed.
+    pub fn resume(
+        platform: &'p Platform,
+        durability: &DurabilityConfig,
+        threads: usize,
+    ) -> Result<DurableOutcome, CampaignError> {
+        let replay = journal::replay(&durability.path)?;
+        let campaign = Campaign::new(platform, replay.header.config);
+        let expected = campaign.journal_header();
+        if expected.fleet_digest != replay.header.fleet_digest {
+            return Err(JournalError::ConfigMismatch {
+                what: "fleet/target digest",
+            }
+            .into());
+        }
+        if expected.plan_digest != replay.header.plan_digest {
+            return Err(JournalError::ConfigMismatch {
+                what: "fault-plan digest",
+            }
+            .into());
+        }
+        let mut journal = JournalWriter::open_append(&durability.path, &replay, durability.fsync)?;
+        let targets = campaign.target_table();
+        let mut store = replay.store;
+        let mut ledger = replay.ledger;
+        campaign.run_rounds_durable(
+            replay.next_round,
+            threads,
+            &targets,
+            &mut store,
+            &mut ledger,
+            &mut journal,
+            durability,
+        )?;
+        Ok(DurableOutcome { store, ledger })
+    }
+
+    /// One shard's slice of one round, measured against a scratch ledger
+    /// (campaign credits are settled by the caller at the round
+    /// barrier). Returns the shard's samples plus its gross spend and
+    /// refund for the round.
+    fn run_shard_round(
+        &self,
+        prober: &mut RoundProber<'_>,
+        shard: &[Probe],
+        targets: &[Vec<u16>],
+        outages: Option<&[OutageSchedule]>,
+        round: u32,
+    ) -> (ResultStore, u64, u64) {
+        let master = SimRng::new(self.cfg.seed);
+        let mut scratch = CreditLedger::new(u64::MAX);
+        let mut store = ResultStore::new();
+        for probe in shard {
+            self.run_probe_round(
+                prober,
+                &master,
+                &targets[probe.id.index()],
+                outages,
+                probe,
+                round,
+                &mut store,
+                &mut scratch,
+            )
+            .expect("scratch ledger cannot run dry");
+        }
+        // `spent()` is net of refunds; reconstruct the gross figure so
+        // the caller can mirror the sequential debit-then-refund order.
+        (
+            store,
+            scratch.spent() + scratch.refunded(),
+            scratch.refunded(),
+        )
+    }
+
+    /// The durable round loop shared by `run_durable` and `resume`:
+    /// barriered rounds, shard-order merge, journal append after every
+    /// round, periodic checkpoint compaction.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rounds_durable(
+        &self,
+        start: u32,
+        threads: usize,
+        targets: &[Vec<u16>],
+        store: &mut ResultStore,
+        ledger: &mut CreditLedger,
+        journal: &mut JournalWriter,
+        durability: &DurabilityConfig,
+    ) -> Result<(), CampaignError> {
+        let threads = threads.max(1);
+        let table = self.route_table(targets, threads);
+        let plan = self.fault_plan();
+        let master = SimRng::new(self.cfg.seed);
+        let outages = self.outage_table(&master);
+        let probes = self.platform.probes();
+        let chunk = probes.len().div_ceil(threads).max(1);
+        let shards: Vec<&[Probe]> = probes.chunks(chunk).collect();
+        // Probers persist across rounds so fault-epoch routers stay warm
+        // instead of re-running Dijkstra every round.
+        let mut probers: Vec<RoundProber<'_>> = shards
+            .iter()
+            .map(|_| RoundProber::new(self.platform, self.cfg.kind, &table, plan.as_ref()))
+            .collect();
+        for round in start..self.cfg.rounds {
+            let round_start = store.len();
+            let shard_results: Vec<(ResultStore, u64, u64)> = if shards.len() == 1 {
+                vec![self.run_shard_round(
+                    &mut probers[0],
+                    shards[0],
+                    targets,
+                    outages.as_deref(),
+                    round,
+                )]
+            } else {
+                thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for (shard, prober) in shards.iter().zip(probers.iter_mut()) {
+                        let outages = &outages;
+                        handles.push(s.spawn(move |_| {
+                            self.run_shard_round(prober, shard, targets, outages.as_deref(), round)
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("durable campaign shard panicked"))
+                        .collect()
+                })
+                .expect("campaign scope")
+            };
+            // Settle credits at the barrier, mirroring the sequential
+            // debit-then-refund order so the counters match `run`'s.
+            let gross: u64 = shard_results.iter().map(|(_, s, _)| s).sum();
+            let refunds: u64 = shard_results.iter().map(|(_, _, r)| r).sum();
+            ledger.debit(gross).map_err(CampaignError::Credits)?;
+            ledger.refund(refunds);
+            for (shard_store, _, _) in shard_results {
+                store.merge(shard_store);
+            }
+            // The round becomes durable here: one framed append, then
+            // (optionally) a compacting checkpoint.
+            journal.append_round(round, &store.samples()[round_start..], ledger)?;
+            let done = round + 1;
+            if durability.checkpoint_every != 0
+                && done % durability.checkpoint_every == 0
+                && done < self.cfg.rounds
+            {
+                journal.checkpoint(done, store, ledger)?;
+            }
+            if durability.crash_after_round == Some(round) {
+                return Err(CampaignError::SimulatedCrash { round });
+            }
+        }
+        journal.sync()?;
+        Ok(())
+    }
+}
+
+/// Durability knobs for [`Campaign::run_durable`] / [`Campaign::resume`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Journal file path.
+    pub path: PathBuf,
+    /// Compact the journal (full-store checkpoint + truncation) every
+    /// this many rounds; `0` disables checkpoints.
+    pub checkpoint_every: u32,
+    /// `fdatasync` after every append (durable against power loss, not
+    /// just process crashes). Off by default: simulation workloads care
+    /// about process faults.
+    pub fsync: bool,
+    /// Test hook: report a simulated crash *after* the given round has
+    /// been journaled, leaving the file exactly as a real mid-campaign
+    /// kill would.
+    pub crash_after_round: Option<u32>,
+}
+
+impl DurabilityConfig {
+    /// Journal at `path` with the default checkpoint cadence (64
+    /// rounds), no per-append fsync, no simulated crash.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            checkpoint_every: 64,
+            fsync: false,
+            crash_after_round: None,
+        }
+    }
+}
+
+/// What a durable run hands back: the samples plus the settled ledger
+/// (needed by resume-aware callers like the API service).
+#[derive(Debug)]
+pub struct DurableOutcome {
+    /// Every sample of every round, round-major in probe order.
+    pub store: ResultStore,
+    /// The campaign ledger as of the last completed round.
+    pub ledger: CreditLedger,
+}
+
+/// Why a durable campaign stopped.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The credit grant ran out (round-granular in durable mode).
+    Credits(CreditError),
+    /// The journal could not be written, read, or trusted.
+    Journal(JournalError),
+    /// The [`DurabilityConfig::crash_after_round`] test hook fired.
+    SimulatedCrash {
+        /// The last round that was journaled before the simulated kill.
+        round: u32,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Credits(e) => write!(f, "campaign stopped: {e}"),
+            CampaignError::Journal(e) => write!(f, "campaign journal failed: {e}"),
+            CampaignError::SimulatedCrash { round } => {
+                write!(f, "simulated crash after round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Credits(e) => Some(e),
+            CampaignError::Journal(e) => Some(e),
+            CampaignError::SimulatedCrash { .. } => None,
+        }
+    }
+}
+
+impl From<CreditError> for CampaignError {
+    fn from(e: CreditError) -> Self {
+        CampaignError::Credits(e)
+    }
+}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
     }
 }
 
@@ -793,6 +1103,107 @@ mod tests {
         a.sort_by_key(key);
         b.sort_by_key(key);
         assert_eq!(a, b);
+    }
+
+    fn tmp_journal(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "shears-campaign-{}-{tag}-{n}.journal",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn durable_run_matches_plain_run_bit_for_bit() {
+        let p = tiny_platform();
+        let seq = Campaign::new(&p, tiny_cfg()).run().unwrap();
+        for threads in [1usize, 3] {
+            let path = tmp_journal("match");
+            let d = DurabilityConfig::new(&path);
+            let out = Campaign::new(&p, tiny_cfg()).run_durable(threads, &d).unwrap();
+            assert_eq!(
+                out.store.samples(),
+                seq.samples(),
+                "durable({threads} threads) must be byte-identical to run()"
+            );
+            // And the journal replays to the same store.
+            let replayed = crate::journal::replay(&path).unwrap();
+            assert_eq!(replayed.store.samples(), seq.samples());
+            assert!(replayed.complete());
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn crash_and_resume_is_bit_identical_to_uninterrupted() {
+        let p = tiny_platform();
+        let clean_path = tmp_journal("clean");
+        let clean = Campaign::new(&p, tiny_cfg())
+            .run_durable(2, &DurabilityConfig::new(&clean_path))
+            .unwrap();
+        let path = tmp_journal("crash");
+        let mut d = DurabilityConfig::new(&path);
+        d.crash_after_round = Some(1);
+        let err = Campaign::new(&p, tiny_cfg()).run_durable(2, &d).unwrap_err();
+        assert!(matches!(err, CampaignError::SimulatedCrash { round: 1 }));
+        d.crash_after_round = None;
+        let resumed = Campaign::resume(&p, &d, 2).unwrap();
+        assert_eq!(resumed.store.samples(), clean.store.samples());
+        assert_eq!(resumed.ledger.balance(), clean.ledger.balance());
+        assert_eq!(resumed.ledger.spent(), clean.ledger.spent());
+        assert_eq!(resumed.ledger.refunded(), clean.ledger.refunded());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&clean_path);
+    }
+
+    #[test]
+    fn resume_rejects_a_drifted_platform() {
+        let p = tiny_platform();
+        let path = tmp_journal("drift");
+        let mut d = DurabilityConfig::new(&path);
+        d.crash_after_round = Some(0);
+        let _ = Campaign::new(&p, tiny_cfg()).run_durable(1, &d).unwrap_err();
+        d.crash_after_round = None;
+        // A different fleet digests differently: resume must refuse.
+        let other = Platform::build(&PlatformConfig {
+            fleet: crate::fleet::FleetConfig {
+                target_size: 80,
+                seed: 6,
+            },
+            ..PlatformConfig::default()
+        });
+        match Campaign::resume(&other, &d, 1) {
+            Err(CampaignError::Journal(JournalError::ConfigMismatch { .. })) => {}
+            other => panic!("want ConfigMismatch, got {other:?}"),
+        }
+        // The original platform still resumes fine.
+        assert!(Campaign::resume(&p, &d, 1).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_cadence_preserves_bit_identical_resume() {
+        let p = tiny_platform();
+        let cfg = CampaignConfig {
+            rounds: 8,
+            ..tiny_cfg()
+        };
+        let clean_path = tmp_journal("ckpt-clean");
+        let clean = Campaign::new(&p, cfg)
+            .run_durable(1, &DurabilityConfig::new(&clean_path))
+            .unwrap();
+        let path = tmp_journal("ckpt");
+        let mut d = DurabilityConfig::new(&path);
+        d.checkpoint_every = 2;
+        d.crash_after_round = Some(5);
+        let _ = Campaign::new(&p, cfg).run_durable(1, &d).unwrap_err();
+        d.crash_after_round = None;
+        let resumed = Campaign::resume(&p, &d, 1).unwrap();
+        assert_eq!(resumed.store.samples(), clean.store.samples());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&clean_path);
     }
 
     #[test]

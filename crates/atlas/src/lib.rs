@@ -43,6 +43,7 @@ pub mod availability;
 pub mod campaign;
 pub mod credits;
 pub mod fleet;
+pub mod journal;
 pub mod measurement;
 pub mod platform;
 pub mod probe;
@@ -51,12 +52,13 @@ pub mod store;
 pub mod tags;
 
 pub use availability::OutageSchedule;
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{Campaign, CampaignConfig, CampaignError, DurabilityConfig, DurableOutcome};
 pub use credits::{CreditError, CreditLedger};
 pub use fleet::{FleetBuilder, FleetConfig};
+pub use journal::{JournalError, JournalHeader, JournalWriter, Replay};
 pub use measurement::{MeasurementSpec, MeasurementType};
 pub use platform::{Platform, PlatformConfig};
 pub use probe::{Probe, ProbeId};
 pub use recovery::{RetryPolicy, RetrySchedule};
-pub use store::{ResultStore, RttSample};
+pub use store::{JsonlError, ResultStore, RttSample};
 pub use tags::TagFilter;

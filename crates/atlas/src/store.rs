@@ -156,12 +156,76 @@ impl ResultStore {
     }
 
     /// Parses a JSON Lines dump produced by [`ResultStore::to_jsonl`].
-    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+    ///
+    /// Errors carry the 1-based line number of the offending record.
+    pub fn from_jsonl(text: &str) -> Result<Self, JsonlError> {
         let mut store = ResultStore::new();
-        for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            store.push(serde_json::from_str(line)?);
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str(line) {
+                Ok(sample) => store.push(sample),
+                Err(source) => {
+                    return Err(JsonlError {
+                        line: idx + 1,
+                        source,
+                    })
+                }
+            }
         }
         Ok(store)
+    }
+
+    /// Like [`ResultStore::from_jsonl`] but tolerates a *trailing*
+    /// partial line — the signature of a dump truncated mid-write (a
+    /// crashed exporter, a cut-short download). The torn record is
+    /// dropped; the returned flag reports whether one was. Garbage
+    /// anywhere before the final line is still an error: only a torn
+    /// tail is forgivable, silent mid-file corruption is not.
+    pub fn from_jsonl_lossy(text: &str) -> Result<(Self, bool), JsonlError> {
+        let mut store = ResultStore::new();
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        for (pos, &(idx, line)) in lines.iter().enumerate() {
+            match serde_json::from_str(line) {
+                Ok(sample) => store.push(sample),
+                Err(source) => {
+                    if pos + 1 == lines.len() {
+                        return Ok((store, true));
+                    }
+                    return Err(JsonlError {
+                        line: idx + 1,
+                        source,
+                    });
+                }
+            }
+        }
+        Ok((store, false))
+    }
+}
+
+/// A JSON Lines record failed to parse.
+#[derive(Debug)]
+pub struct JsonlError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// The underlying JSON parse error.
+    pub source: serde_json::Error,
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.source)
+    }
+}
+
+impl std::error::Error for JsonlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -290,6 +354,44 @@ mod tests {
     #[test]
     fn jsonl_rejects_garbage() {
         assert!(ResultStore::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn jsonl_error_reports_the_offending_line() {
+        let mut st = ResultStore::new();
+        st.push(sample(1, 10, 0, 12.5));
+        st.push(sample(2, 11, 3, 99.0));
+        let mut text = st.to_jsonl();
+        text.push_str("\n{ definitely broken\n"); // blank line, then junk
+        let err = ResultStore::from_jsonl(&text).unwrap_err();
+        assert_eq!(err.line, 4, "blank lines still count towards numbering");
+        assert!(err.to_string().starts_with("line 4:"), "{err}");
+        // Mid-file garbage points at its own line, not the end.
+        let err = ResultStore::from_jsonl("junk\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn jsonl_lossy_tolerates_only_a_torn_tail() {
+        let mut st = ResultStore::new();
+        st.push(sample(1, 10, 0, 12.5));
+        st.push(sample(2, 11, 3, 99.0));
+        let text = st.to_jsonl();
+        // Cut the dump mid-record, as a crashed exporter would.
+        let cut = &text[..text.len() - 10];
+        assert!(ResultStore::from_jsonl(cut).is_err(), "strict parse rejects");
+        let (recovered, torn) = ResultStore::from_jsonl_lossy(cut).unwrap();
+        assert!(torn);
+        assert_eq!(recovered.samples(), &st.samples()[..1]);
+        // A pristine dump round-trips with no torn flag.
+        let (full, torn) = ResultStore::from_jsonl_lossy(&text).unwrap();
+        assert!(!torn);
+        assert_eq!(full.samples(), st.samples());
+        // Mid-file garbage is NOT forgiven by the lossy parser.
+        let mut poisoned = String::from("garbage\n");
+        poisoned.push_str(&text);
+        let err = ResultStore::from_jsonl_lossy(&poisoned).unwrap_err();
+        assert_eq!(err.line, 1);
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn bench_api(c: &mut Criterion) {
         b.iter(|| client.list_regions().expect("regions").len())
     });
     group.finish();
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 criterion_group!(benches, bench_api);

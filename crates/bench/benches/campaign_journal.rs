@@ -1,0 +1,106 @@
+//! Cost of campaign durability: the write-ahead journal's append path
+//! (what every durable round pays over a plain round), checkpoint
+//! compaction, and cold-start replay of a finished journal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shears_atlas::journal::{self, JournalWriter};
+use shears_atlas::{Campaign, CampaignConfig, CreditLedger, DurabilityConfig, Platform};
+use shears_bench::{build_platform, Scale};
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("shears-bench-journal-{}-{tag}.wal", std::process::id()))
+}
+
+fn bench_campaign_journal(c: &mut Criterion) {
+    let platform: Platform = build_platform(Scale {
+        probes: 300,
+        rounds: 1,
+    });
+    let cfg = CampaignConfig {
+        rounds: 2,
+        targets_per_probe: 3,
+        adjacent_targets: 2,
+        ..CampaignConfig::paper_scale()
+    };
+    let campaign = Campaign::new(&platform, cfg);
+
+    let mut group = c.benchmark_group("campaign_journal");
+    group.sample_size(10);
+
+    // The durability overhead head-to-head: plain vs journaled campaign
+    // (no fsync — the deployment default; the OS flushes asynchronously
+    // and the CRC/torn-tail machinery covers partial writes).
+    group.bench_function("plain_300probes_2rounds", |b| {
+        b.iter(|| Campaign::new(&platform, cfg).run().unwrap().len())
+    });
+    group.bench_function("durable_300probes_2rounds", |b| {
+        let path = tmp("durable");
+        b.iter(|| {
+            campaign
+                .run_durable(1, &DurabilityConfig::new(&path))
+                .unwrap()
+                .store
+                .len()
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+    group.bench_function("durable_parallel4", |b| {
+        let path = tmp("durable4");
+        b.iter(|| {
+            campaign
+                .run_durable(4, &DurabilityConfig::new(&path))
+                .unwrap()
+                .store
+                .len()
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    // Raw journal primitives against a real run's samples.
+    let outcome = {
+        let path = tmp("seed");
+        let out = campaign
+            .run_durable(1, &DurabilityConfig::new(&path))
+            .unwrap();
+        let _ = std::fs::remove_file(&path);
+        out
+    };
+    let header = campaign.journal_header();
+    group.bench_function("append_round_frame", |b| {
+        let path = tmp("append");
+        b.iter(|| {
+            let mut w = JournalWriter::create(&path, &header, false).unwrap();
+            w.append_round(0, outcome.store.samples(), &outcome.ledger)
+                .unwrap();
+            w.sync().unwrap()
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+    group.bench_function("checkpoint_compaction", |b| {
+        let path = tmp("checkpoint");
+        b.iter(|| {
+            let mut w = JournalWriter::create(&path, &header, false).unwrap();
+            w.checkpoint(cfg.rounds, &outcome.store, &outcome.ledger)
+                .unwrap()
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    // Cold-start replay: what a resume pays before re-running rounds.
+    {
+        let path = tmp("replay");
+        let mut w = JournalWriter::create(&path, &header, false).unwrap();
+        let ledger = CreditLedger::new(cfg.credits);
+        w.append_round(0, outcome.store.samples(), &ledger).unwrap();
+        w.sync().unwrap();
+        group.bench_function("replay_full_journal", |b| {
+            b.iter(|| journal::replay(&path).unwrap().store.len())
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_journal);
+criterion_main!(benches);

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use shears_atlas::{Platform, Probe, ProbeId, ResultStore, RttSample};
+use shears_atlas::{DurableOutcome, Platform, Probe, ProbeId, Replay, ResultStore, RttSample};
 
 use crate::frame::CampaignFrame;
 
@@ -37,6 +37,21 @@ impl<'a> CampaignData<'a> {
             store,
             frame: OnceLock::new(),
         }
+    }
+
+    /// Views a crash-recovered campaign: the outcome handed back by
+    /// `Campaign::resume` (or a completed `run_durable`). Recovered
+    /// stores are bit-identical to uninterrupted ones, so every
+    /// downstream figure is too.
+    pub fn from_recovered(platform: &'a Platform, outcome: &'a DurableOutcome) -> Self {
+        Self::new(platform, &outcome.store)
+    }
+
+    /// Views the samples replayed straight out of a journal, *without*
+    /// re-running the remaining rounds — for reporting on a partially
+    /// complete (crashed or still-running) campaign as-is.
+    pub fn from_replay(platform: &'a Platform, replay: &'a Replay) -> Self {
+        Self::new(platform, &replay.store)
     }
 
     /// The platform.
@@ -192,6 +207,36 @@ mod tests {
         for (_, c) in counts {
             assert!(c <= 4, "more than one region per probe leaked in: {c}");
         }
+    }
+
+    #[test]
+    fn recovered_campaigns_report_identically() {
+        use shears_atlas::{Campaign, DurabilityConfig};
+        let (platform, store) = data();
+        let cfg = CampaignConfig {
+            rounds: 4,
+            targets_per_probe: 2,
+            adjacent_targets: 1,
+            ..CampaignConfig::quick()
+        };
+        let path = std::env::temp_dir().join(format!(
+            "shears-core-recovered-{}.journal",
+            std::process::id()
+        ));
+        let mut d = DurabilityConfig::new(&path);
+        d.crash_after_round = Some(1);
+        assert!(Campaign::new(&platform, cfg).run_durable(2, &d).is_err());
+        d.crash_after_round = None;
+        let outcome = Campaign::resume(&platform, &d, 2).unwrap();
+        let plain = CampaignData::new(&platform, &store);
+        let recovered = CampaignData::from_recovered(&platform, &outcome);
+        assert_eq!(plain.per_probe_min(), recovered.per_probe_min());
+        assert_eq!(plain.per_country_min(), recovered.per_country_min());
+        // Replay-only views see exactly the journaled prefix.
+        let replay = shears_atlas::journal::replay(&path).unwrap();
+        let partial = CampaignData::from_replay(&platform, &replay);
+        assert_eq!(partial.store().samples(), outcome.store.samples());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

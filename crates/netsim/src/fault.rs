@@ -191,6 +191,81 @@ impl FaultConfig {
             _ => None,
         }
     }
+
+    /// On-disk size of [`FaultConfig::encode`]'s output, in bytes.
+    pub const ENCODED_LEN: usize = 67;
+
+    /// Appends the fixed-width little-endian wire form of this config
+    /// (exactly [`FaultConfig::ENCODED_LEN`] bytes) to `out`. Used by
+    /// the campaign journal's header so a resumed run regenerates the
+    /// exact fault plan the crashed run was measuring under.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.enabled));
+        out.extend_from_slice(&self.link_cuts.to_le_bytes());
+        out.extend_from_slice(&self.cut_mean_hours.to_le_bytes());
+        out.extend_from_slice(&self.loss_bursts.to_le_bytes());
+        out.extend_from_slice(&self.loss_burst_mean_hours.to_le_bytes());
+        out.extend_from_slice(&self.loss_burst_extra.to_le_bytes());
+        out.push(self.loss_burst_class.code());
+        out.extend_from_slice(&self.latency_bursts.to_le_bytes());
+        out.extend_from_slice(&self.latency_burst_mean_hours.to_le_bytes());
+        out.extend_from_slice(&self.latency_burst_extra_ms.to_le_bytes());
+        out.push(self.latency_burst_class.code());
+        out.extend_from_slice(&self.dc_blackouts.to_le_bytes());
+        out.extend_from_slice(&self.blackout_mean_hours.to_le_bytes());
+    }
+
+    /// Decodes [`FaultConfig::encode`]'s output. `None` when the slice
+    /// is short or carries an unknown link-class code.
+    pub fn decode(bytes: &[u8]) -> Option<FaultConfig> {
+        if bytes.len() < Self::ENCODED_LEN {
+            return None;
+        }
+        let mut at = 0usize;
+        let u8_at = |at: &mut usize| {
+            let v = bytes[*at];
+            *at += 1;
+            v
+        };
+        fn u32_at(bytes: &[u8], at: &mut usize) -> u32 {
+            let v = u32::from_le_bytes(bytes[*at..*at + 4].try_into().unwrap());
+            *at += 4;
+            v
+        }
+        fn f64_at(bytes: &[u8], at: &mut usize) -> f64 {
+            let v = f64::from_le_bytes(bytes[*at..*at + 8].try_into().unwrap());
+            *at += 8;
+            v
+        }
+        let enabled = u8_at(&mut at) != 0;
+        let link_cuts = u32_at(bytes, &mut at);
+        let cut_mean_hours = f64_at(bytes, &mut at);
+        let loss_bursts = u32_at(bytes, &mut at);
+        let loss_burst_mean_hours = f64_at(bytes, &mut at);
+        let loss_burst_extra = f64_at(bytes, &mut at);
+        let loss_burst_class = LinkClass::from_code(u8_at(&mut at))?;
+        let latency_bursts = u32_at(bytes, &mut at);
+        let latency_burst_mean_hours = f64_at(bytes, &mut at);
+        let latency_burst_extra_ms = f64_at(bytes, &mut at);
+        let latency_burst_class = LinkClass::from_code(u8_at(&mut at))?;
+        let dc_blackouts = u32_at(bytes, &mut at);
+        let blackout_mean_hours = f64_at(bytes, &mut at);
+        Some(FaultConfig {
+            enabled,
+            link_cuts,
+            cut_mean_hours,
+            loss_bursts,
+            loss_burst_mean_hours,
+            loss_burst_extra,
+            loss_burst_class,
+            latency_bursts,
+            latency_burst_mean_hours,
+            latency_burst_extra_ms,
+            latency_burst_class,
+            dc_blackouts,
+            blackout_mean_hours,
+        })
+    }
 }
 
 impl Default for FaultConfig {
@@ -487,6 +562,90 @@ impl FaultPlan {
     pub fn any_active_at(&self, t: SimTime) -> bool {
         FaultClass::ALL.iter().any(|&c| self.class_active_at(c, t))
     }
+
+    /// Order-stable FNV-1a digest of the materialised schedule: every
+    /// cut episode, routing epoch (start + sorted disabled-link set),
+    /// burst and blackout window. Two plans digest equal iff they
+    /// schedule the same faults, so a resumed campaign can prove the
+    /// plan it regenerated from `(config, seed)` is byte-for-byte the
+    /// plan the crashed run measured under — catching topology drift
+    /// that the config alone cannot.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.cuts.len() as u64);
+        for cut in &self.cuts {
+            h.write_u64(cut.links.len() as u64);
+            for link in &cut.links {
+                h.write_u64(link.index() as u64);
+            }
+            h.write_u64(cut.window.start.as_nanos());
+            h.write_u64(cut.window.end.as_nanos());
+        }
+        h.write_u64(self.epochs.len() as u64);
+        for epoch in &self.epochs {
+            h.write_u64(epoch.start.as_nanos());
+            let mut disabled: Vec<usize> =
+                epoch.disabled.iter().map(|l| l.index()).collect();
+            disabled.sort_unstable();
+            h.write_u64(disabled.len() as u64);
+            for link in disabled {
+                h.write_u64(link as u64);
+            }
+        }
+        for bursts in [&self.loss_bursts, &self.latency_bursts] {
+            h.write_u64(bursts.len() as u64);
+            for b in bursts.iter() {
+                h.write_u64(u64::from(b.class.code()));
+                h.write_u64(b.window.start.as_nanos());
+                h.write_u64(b.window.end.as_nanos());
+                h.write_u64(b.magnitude.to_bits());
+            }
+        }
+        h.write_u64(self.blackouts.len() as u64);
+        for b in &self.blackouts {
+            h.write_u64(b.node.index() as u64);
+            h.write_u64(b.window.start.as_nanos());
+            h.write_u64(b.window.end.as_nanos());
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a 64 accumulator (the journal's digest primitive; a
+/// cryptographic hash would be overkill for corruption/drift detection
+/// and would drag in a dependency).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a digest at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds a little-endian `u64` into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The accumulated digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
 }
 
 /// Draw one episode window: start uniform in the horizon, length exponential
@@ -761,6 +920,41 @@ mod tests {
         assert!(!plan.node_down(dc, h(6)), "windows are half-open");
         assert!(plan.any_active_at(h(5)));
         assert!(!plan.any_active_at(h(7)));
+    }
+
+    #[test]
+    fn fault_config_encode_round_trips_every_profile() {
+        for name in ["none", "passthrough", "lossy", "blackout", "chaos"] {
+            let cfg = FaultConfig::profile(name).unwrap();
+            let mut bytes = Vec::new();
+            cfg.encode(&mut bytes);
+            assert_eq!(bytes.len(), FaultConfig::ENCODED_LEN, "{name}");
+            assert_eq!(FaultConfig::decode(&bytes), Some(cfg), "{name}");
+        }
+        // Short input and unknown class codes are rejected, not panics.
+        assert_eq!(FaultConfig::decode(&[0u8; 10]), None);
+        let mut bytes = Vec::new();
+        FaultConfig::chaos().encode(&mut bytes);
+        bytes[33] = 0xFF; // loss_burst_class code
+        assert_eq!(FaultConfig::decode(&bytes), None);
+    }
+
+    #[test]
+    fn plan_digest_tracks_schedule_identity() {
+        let topo = grid_topology();
+        let horizon = SimTime::from_days(30);
+        let a = FaultPlan::generate(&topo, &FaultConfig::chaos(), 42, horizon);
+        let b = FaultPlan::generate(&topo, &FaultConfig::chaos(), 42, horizon);
+        let c = FaultPlan::generate(&topo, &FaultConfig::chaos(), 43, horizon);
+        assert_eq!(a.digest(), b.digest(), "same schedule, same digest");
+        assert_ne!(a.digest(), c.digest(), "different schedule, different digest");
+        assert_ne!(
+            FaultPlan::empty("x").digest(),
+            a.digest(),
+            "empty plan digests differently from a populated one"
+        );
+        // The empty digest is still stable across constructions.
+        assert_eq!(FaultPlan::empty("x").digest(), FaultPlan::empty("y").digest());
     }
 
     #[test]

@@ -146,6 +146,35 @@ impl LinkClass {
             LinkClass::DatacenterFabric => 0.05,
         }
     }
+
+    /// Stable on-disk code for this class. Part of the campaign journal
+    /// format: codes are append-only (new classes take fresh numbers,
+    /// existing numbers are never reassigned) so old journals keep
+    /// decoding.
+    pub fn code(self) -> u8 {
+        match self {
+            LinkClass::Access => 0,
+            LinkClass::MetroAggregation => 1,
+            LinkClass::TerrestrialBackbone => 2,
+            LinkClass::SubmarineCable => 3,
+            LinkClass::PrivateBackbone => 4,
+            LinkClass::DatacenterFabric => 5,
+        }
+    }
+
+    /// Inverse of [`LinkClass::code`]; `None` for codes written by a
+    /// newer format revision.
+    pub fn from_code(code: u8) -> Option<LinkClass> {
+        Some(match code {
+            0 => LinkClass::Access,
+            1 => LinkClass::MetroAggregation,
+            2 => LinkClass::TerrestrialBackbone,
+            3 => LinkClass::SubmarineCable,
+            4 => LinkClass::PrivateBackbone,
+            5 => LinkClass::DatacenterFabric,
+            _ => return None,
+        })
+    }
 }
 
 /// A node in the topology.

@@ -55,6 +55,7 @@ fn main() {
             country: Some("DE".into()),
             fault_profile: None,
             retries: None,
+            durability: true,
         })
         .expect("create measurement");
     println!(
@@ -78,6 +79,6 @@ fn main() {
         );
     }
 
-    server.shutdown();
+    server.shutdown().unwrap();
     println!("server stopped.");
 }

@@ -7,12 +7,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> criterion: routing / route_table / ping / campaign / analysis"
+echo "==> criterion: routing / route_table / ping / campaign / journal / analysis"
 cargo bench -p shears-bench --bench routing -- "$@"
 cargo bench -p shears-bench --bench route_table -- "$@"
 cargo bench -p shears-bench --bench ping_sampling -- "$@"
 cargo bench -p shears-bench --bench campaign_round -- "$@"
 cargo bench -p shears-bench --bench faulty_campaign -- "$@"
+cargo bench -p shears-bench --bench campaign_journal -- "$@"
 cargo bench -p shears-bench --bench analysis_pipeline -- "$@"
 
 echo "==> summarising target/criterion -> BENCH_campaign.json"

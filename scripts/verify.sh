@@ -6,6 +6,10 @@
 #   chaos     — only the fault-injection determinism suite: the
 #               seed-matrix chaos grid plus the passthrough-equivalence
 #               pin (fast enough to run on every fault-model change)
+#   crash     — only the durability suite: the kill-at-any-round
+#               recovery sweeps (10 seeds × 3 kill rounds × 3 thread
+#               counts × 2 fault profiles), byte-level damage rejection,
+#               and the journal/campaign durability unit tests
 #
 # Requires a working cargo registry (the workspace has path-only internal
 # deps but external ones — serde, crossbeam, … — must be resolvable).
@@ -23,6 +27,18 @@ if [ "$profile" = "chaos" ]; then
     cargo test --release --test determinism passthrough
     cargo test --release -p shears-atlas campaign::tests::chaos
     echo "verify (chaos): OK"
+    exit 0
+fi
+
+if [ "$profile" = "crash" ]; then
+    echo "==> crash profile: kill-at-any-round durability sweep"
+    cargo test --release --test crash_recovery
+    cargo test --release -p shears-atlas journal::
+    cargo test --release -p shears-atlas campaign::tests::durable
+    cargo test --release -p shears-atlas campaign::tests::crash
+    cargo test --release -p shears-atlas campaign::tests::resume
+    cargo test --release -p shears-atlas campaign::tests::checkpoint
+    echo "verify (crash): OK"
     exit 0
 fi
 

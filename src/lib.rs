@@ -58,8 +58,9 @@ pub mod prelude {
     pub use shears_analysis::stats::{Ecdf, Summary};
     pub use shears_apps::{FeasibilityZone, Quadrant};
     pub use shears_atlas::{
-        Campaign, CampaignConfig, FleetBuilder, FleetConfig, Platform, PlatformConfig, Probe,
-        ProbeId, ResultStore, RetryPolicy, RttSample, TagFilter,
+        Campaign, CampaignConfig, CampaignError, DurabilityConfig, DurableOutcome, FleetBuilder,
+        FleetConfig, JournalError, Platform, PlatformConfig, Probe, ProbeId, ResultStore,
+        RetryPolicy, RttSample, TagFilter,
     };
     pub use shears_cloud::{Catalog, Provider, Region};
     pub use shears_geo::{Continent, Country, CountryAtlas, GeoPoint};

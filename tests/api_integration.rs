@@ -44,7 +44,7 @@ fn api_inventory_matches_platform() {
         offset += 100;
     }
     assert_eq!(seen, probes);
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]
@@ -71,6 +71,7 @@ fn measurement_results_reflect_geography() {
                 country: Some("DE".into()),
                 fault_profile: None,
                 retries: None,
+                durability: true,
             })
             .unwrap();
         let mut rtts: Vec<f64> = client
@@ -90,7 +91,7 @@ fn measurement_results_reflect_geography() {
         to_sydney > 3.0 * to_frankfurt,
         "German probes: Sydney {to_sydney} ms should dwarf Frankfurt {to_frankfurt} ms"
     );
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]
@@ -111,6 +112,7 @@ fn concurrent_measurements_keep_credit_accounting_consistent() {
                         country: None,
                         fault_profile: None,
                         retries: None,
+                        durability: true,
                     })
                     .unwrap()
                     .credits_spent
@@ -120,7 +122,7 @@ fn concurrent_measurements_keep_credit_accounting_consistent() {
     let spent: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     let after = ApiClient::new(addr).credits().unwrap();
     assert_eq!(before - after, spent);
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]
@@ -133,5 +135,5 @@ fn api_rejects_garbage_without_dying() {
     assert_eq!(status, 400);
     // The server survives and keeps serving.
     assert_eq!(client.list_regions().unwrap().len(), 101);
-    server.shutdown();
+    server.shutdown().unwrap();
 }

@@ -209,6 +209,37 @@ proptest! {
         // Lifetime refunds never exceed what ever left the balance.
         prop_assert!(ledger.refunded() <= debited);
     }
+
+    #[test]
+    fn refund_once_is_idempotent_per_measurement_round(
+        initial in 100_000u64..1_000_000,
+        ops in proptest::collection::vec((0u64..8, 0u32..4, 1u64..500), 1..60),
+    ) {
+        use latency_shears::atlas::CreditLedger;
+        use std::collections::HashSet;
+
+        // The resume path replays refunds for rounds the journal already
+        // settled; a replayed (measurement, round) key must never mint.
+        let mut ledger = CreditLedger::new(initial);
+        let mut seen: HashSet<(u64, u32)> = HashSet::new();
+        let mut expected_refunded = 0u64;
+        for &(measurement, round, amount) in &ops {
+            if ledger.debit(amount).is_err() {
+                continue;
+            }
+            let got = ledger.refund_once(measurement, round, amount);
+            if seen.insert((measurement, round)) {
+                prop_assert_eq!(got, amount, "first refund pays in full");
+                expected_refunded += amount;
+            } else {
+                prop_assert_eq!(got, 0, "replayed refund minted credits");
+            }
+            // Conserved at every step: refunds move spent back to
+            // balance, duplicates leave the debit in place.
+            prop_assert_eq!(ledger.balance() + ledger.spent(), initial);
+        }
+        prop_assert_eq!(ledger.refunded(), expected_refunded);
+    }
 }
 
 proptest! {
@@ -249,5 +280,67 @@ proptest! {
                 prop_assert_eq!(&want, &via_fault, "fault router diverged {:?}->{:?}", from, to);
             }
         }
+    }
+
+    #[test]
+    fn durable_crash_resume_conserves_ledger_and_samples(
+        seed in 0u64..500,
+        crash_after in 0u32..3,
+        threads in 1usize..5,
+        chaos in any::<bool>(),
+    ) {
+        use latency_shears::atlas::{Campaign, CampaignError, DurabilityConfig};
+
+        let p = Platform::build(&PlatformConfig {
+            fleet: FleetConfig {
+                target_size: 30,
+                seed,
+            },
+            ..PlatformConfig::default()
+        });
+        let cfg = CampaignConfig {
+            rounds: 4,
+            targets_per_probe: 1,
+            adjacent_targets: 1,
+            credits: 10_000_000,
+            faults: if chaos { FaultConfig::chaos() } else { FaultConfig::none() },
+            ..CampaignConfig::quick()
+        };
+
+        let base = std::env::temp_dir().join(format!(
+            "shears-prop-journal-{}-{}-{}-{}-{}",
+            std::process::id(), seed, crash_after, threads, chaos,
+        ));
+        let clean_path = base.with_extension("clean.wal");
+        let crash_path = base.with_extension("crash.wal");
+        let _ = std::fs::remove_file(&clean_path);
+        let _ = std::fs::remove_file(&crash_path);
+
+        // The uninterrupted reference run.
+        let clean = Campaign::new(&p, cfg)
+            .run_durable(threads, &DurabilityConfig::new(&clean_path))
+            .unwrap();
+
+        // Crash after round `crash_after`, then resume to completion.
+        let crashing = DurabilityConfig {
+            crash_after_round: Some(crash_after),
+            ..DurabilityConfig::new(&crash_path)
+        };
+        let err = Campaign::new(&p, cfg).run_durable(threads, &crashing).unwrap_err();
+        prop_assert!(matches!(err, CampaignError::SimulatedCrash { .. }));
+        let resumed =
+            Campaign::resume(&p, &DurabilityConfig::new(&crash_path), threads).unwrap();
+
+        prop_assert_eq!(clean.store.samples(), resumed.store.samples());
+        prop_assert_eq!(clean.ledger.balance(), resumed.ledger.balance());
+        prop_assert_eq!(clean.ledger.spent(), resumed.ledger.spent());
+        prop_assert_eq!(clean.ledger.refunded(), resumed.ledger.refunded());
+        // Conservation across the crash: nothing minted, nothing lost.
+        prop_assert_eq!(
+            resumed.ledger.balance() + resumed.ledger.spent(),
+            cfg.credits
+        );
+        let _ = std::fs::remove_file(&clean_path);
+        let _ = std::fs::remove_file(&crash_path);
     }
 }
