@@ -10,6 +10,7 @@
 //! | `GET /api/v2/probes?country=DE&tag=wired&limit=50` | probe inventory |
 //! | `GET /api/v2/probes/{id}` | one probe |
 //! | `GET /api/v2/regions` | the cloud catalogue |
+//! | `GET /api/v2/measurements` | all measurements, id-ascending |
 //! | `POST /api/v2/measurements` | create + run a ping measurement |
 //! | `POST /api/v2/measurements/resume` | reload persisted measurements after a restart |
 //! | `GET /api/v2/measurements/{id}` | measurement status |
@@ -20,10 +21,18 @@
 //!
 //! The stack is deliberately std-only: a blocking HTTP/1.1 server
 //! ([`server`]) with content-length framing and keep-alive on
-//! `std::net::TcpListener`, thread-per-connection with a connection
-//! cap, plus a matching blocking client ([`client`]). No async runtime
-//! — the API serves a handful of concurrent clients, which is exactly
-//! the regime where the Tokio guide itself recommends blocking I/O.
+//! `std::net::TcpListener` — a blocking accept loop feeding a bounded
+//! worker pool, 503 under overload — plus a matching blocking client
+//! ([`client`], with a keep-alive [`client::ApiSession`] for
+//! high-throughput use). No async runtime — the API serves tens of
+//! concurrent clients, which is exactly the regime where the Tokio
+//! guide itself recommends blocking I/O.
+//!
+//! The read path is built to scale with cores: service state is
+//! sharded per measurement (no global lock on any GET) and stats
+//! responses are cached per measurement, keyed by a results epoch —
+//! see [`service::AtlasService`] and `DESIGN.md` §"API serving data
+//! path".
 //!
 //! ```no_run
 //! use shears_api::{server::ApiServer, client::ApiClient, service::AtlasService};

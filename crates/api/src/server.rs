@@ -1,64 +1,113 @@
 //! The blocking HTTP server.
 //!
-//! Thread-per-connection over `std::net::TcpListener` with:
+//! A blocking accept loop feeds accepted connections into a bounded
+//! queue drained by a fixed worker pool:
 //!
 //! * keep-alive (multiple requests per connection),
-//! * a concurrent-connection cap (excess connections get 503),
-//! * per-connection read timeouts so dead peers release their thread,
-//! * cooperative shutdown: the accept loop polls a flag between
-//!   (non-blocking) accepts, and [`ApiServer::shutdown`] joins it.
+//! * backpressure: when the queue is full the acceptor answers 503
+//!   immediately instead of piling up threads,
+//! * per-connection read timeouts so dead peers release their worker,
+//! * reused per-connection read/write buffers (one header-line scratch
+//!   `String` and one response `BytesMut` per connection lifetime),
+//! * clean shutdown: a self-connect wakes the blocking accept call —
+//!   no sleep-polling anywhere — and dropping the queue sender drains
+//!   the workers.
 
 use std::io::BufReader;
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::http::{read_request, HttpError, Response};
+use bytes::BytesMut;
+
+use crate::http::{read_request_buffered, HttpError, Response};
 use crate::service::AtlasService;
 
-/// Maximum concurrently served connections.
-const MAX_CONNECTIONS: usize = 64;
 /// Socket read timeout: a keep-alive connection idle this long is
 /// closed.
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
-/// Accept-loop poll interval while idle. This bounds the latency a new
-/// connection pays before being accepted (the Criterion API benches
-/// measure it directly), so it is kept tight; the idle cost is ~1000
-/// empty accept() calls per second, which is negligible.
-const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Worker-pool sizing.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections. Each worker owns one
+    /// connection at a time (requests on a connection are sequential
+    /// anyway), so this is also the concurrent-connection limit.
+    pub workers: usize,
+    /// Accepted connections that may queue for a free worker before the
+    /// acceptor starts refusing with 503.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        // Handlers are short and CPU-bound (the campaign itself runs
+        // lock-free), but a worker can sit in a keep-alive read for up
+        // to READ_TIMEOUT — so oversubscribe cores, within reason.
+        let cores = std::thread::available_parallelism().map_or(8, |n| n.get());
+        Self {
+            workers: (cores * 2).clamp(4, 64),
+            queue_depth: 64,
+        }
+    }
+}
 
 /// A running API server.
 pub struct ApiServer {
-    local_addr: std::net::SocketAddr,
+    local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Clone of the bound listener, kept to flip it non-blocking at
+    /// shutdown so the accept loop cannot re-block after the wake.
+    wake_listener: TcpListener,
     service: Arc<AtlasService>,
 }
 
 impl ApiServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `service` in background threads.
+    /// serving `service` with default pool sizing.
     pub fn spawn<A: ToSocketAddrs>(addr: A, service: AtlasService) -> std::io::Result<ApiServer> {
+        Self::spawn_with(addr, service, ServerConfig::default())
+    }
+
+    /// Binds `addr` and starts serving `service` with explicit pool
+    /// sizing.
+    pub fn spawn_with<A: ToSocketAddrs>(
+        addr: A,
+        service: AtlasService,
+        config: ServerConfig,
+    ) -> std::io::Result<ApiServer> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let wake_listener = listener.try_clone()?;
         let stop = Arc::new(AtomicBool::new(false));
         let service = Arc::new(service);
-        let live = Arc::new(AtomicUsize::new(0));
+
+        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("shears-api-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &service, &stop))?;
+        }
 
         let stop2 = Arc::clone(&stop);
-        let service2 = Arc::clone(&service);
         let accept_thread = std::thread::Builder::new()
             .name("shears-api-accept".into())
             .spawn(move || {
-                accept_loop(listener, service2, live, stop2);
+                accept_loop(&listener, &conn_tx, &stop2);
             })?;
         Ok(ApiServer {
             local_addr,
             stop,
             accept_thread: Some(accept_thread),
+            wake_listener,
             service,
         })
     }
@@ -71,7 +120,7 @@ impl ApiServer {
     }
 
     /// The bound address (resolve the real port after binding `:0`).
-    pub fn local_addr(&self) -> std::net::SocketAddr {
+    pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
@@ -80,58 +129,91 @@ impl ApiServer {
     /// ledger) so a graceful shutdown never loses finished work.
     /// In-flight connections finish their current request.
     pub fn shutdown(mut self) -> std::io::Result<()> {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.halt();
         self.service.flush()
     }
+
+    /// Wakes and joins the accept thread. Workers drain and exit once
+    /// the queue sender drops with it; they are not joined, because an
+    /// idle keep-alive peer would otherwise hold shutdown hostage for
+    /// up to `READ_TIMEOUT`.
+    fn halt(&mut self) {
+        let Some(t) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Even if the wake connect below cannot land, the next accept
+        // returns WouldBlock instead of blocking forever.
+        let _ = self.wake_listener.set_nonblocking(true);
+        // Kick the accept call that is already blocking.
+        let _ = TcpStream::connect_timeout(&wake_addr(self.local_addr), Duration::from_millis(250));
+        let _ = t.join();
+    }
+}
+
+/// Where to self-connect to wake the acceptor: the bound address,
+/// with unspecified addresses (0.0.0.0 / ::) mapped to loopback.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let ip = match bound.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, bound.port())
 }
 
 impl Drop for ApiServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.halt();
         // Best-effort flush on implicit drops; `shutdown` reports errors.
         let _ = self.service.flush();
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    service: Arc<AtlasService>,
-    live: Arc<AtomicUsize>,
-    stop: Arc<AtomicBool>,
-) {
-    while !stop.load(Ordering::SeqCst) {
+fn accept_loop(listener: &TcpListener, conns: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if live.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
-                    // Overloaded: refuse politely and move on.
-                    let mut s = stream;
-                    let _ = Response::error(503, "server overloaded").send(&mut s, false);
-                    continue;
+                if stop.load(Ordering::SeqCst) {
+                    // The shutdown wake (or a late client): drop it.
+                    return;
                 }
-                live.fetch_add(1, Ordering::SeqCst);
-                let service = Arc::clone(&service);
-                let live = Arc::clone(&live);
-                let stop = Arc::clone(&stop);
-                let _ = std::thread::Builder::new()
-                    .name("shears-api-conn".into())
-                    .spawn(move || {
-                        let _ = serve_connection(stream, &service, &stop);
-                        live.fetch_sub(1, Ordering::SeqCst);
-                    });
+                match conns.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Overloaded: refuse politely and move on.
+                        let mut s = stream;
+                        let _ = Response::error(503, "server overloaded").send(&mut s, false);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
+            // Transient failure (peer reset mid-handshake, fd pressure)
+            // or the listener was flipped non-blocking for shutdown.
             Err(_) => {
-                // Transient accept error; brief backoff.
-                std::thread::sleep(ACCEPT_POLL);
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::yield_now();
             }
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &AtlasService, stop: &AtomicBool) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not while
+        // serving: idle workers queue on the lock, busy ones don't.
+        let next = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match next {
+            Ok(stream) => {
+                let _ = serve_connection(stream, service, stop);
+            }
+            // All senders gone: the server shut down.
+            Err(_) => return,
         }
     }
 }
@@ -145,22 +227,25 @@ fn serve_connection(
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Per-connection scratch, reused across keep-alive requests.
+    let mut line = String::with_capacity(128);
+    let mut out = BytesMut::with_capacity(1024);
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
-        match read_request(&mut reader) {
+        match read_request_buffered(&mut reader, &mut line) {
             Ok(req) => {
                 let keep_alive = req.keep_alive();
                 let resp = service.handle(&req);
-                resp.send(&mut writer, keep_alive)?;
+                resp.send_buffered(&mut writer, &mut out, keep_alive)?;
                 if !keep_alive {
                     return Ok(());
                 }
             }
             Err(HttpError::ConnectionClosed) => return Ok(()),
             Err(HttpError::BadRequest(why)) => {
-                let _ = Response::error(400, &why).send(&mut writer, false);
+                let _ = Response::error(400, &why).send_buffered(&mut writer, &mut out, false);
                 return Ok(());
             }
             Err(HttpError::Io(e))
@@ -261,5 +346,66 @@ mod tests {
             let got = s.read(&mut buf);
             assert!(matches!(got, Ok(0) | Err(_)), "server still serving: {got:?}");
         }
+    }
+
+    #[test]
+    fn overflow_connections_get_503_not_a_hang() {
+        // One worker, one queue slot: the worker parks in a keep-alive
+        // read on the first connection, a second waits in the queue, so
+        // a third must be refused fast.
+        let platform = Platform::build(&PlatformConfig::quick(4));
+        let server = ApiServer::spawn_with(
+            "127.0.0.1:0",
+            AtlasService::new(platform),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // Occupy the worker with a keep-alive connection; completing a
+        // round-trip proves the worker (not the queue) owns it, so no
+        // sleep can race the dequeue.
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.write_all(b"GET /api/v2/credits HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut first = [0u8; 12];
+        busy.read_exact(&mut first).unwrap();
+        assert_eq!(&first, b"HTTP/1.1 200");
+        // Fill the single queue slot, give the acceptor a beat to
+        // enqueue it, and the next connection must be refused. The
+        // refusal is written on accept, before any request: read
+        // without writing, so the acceptor closing the stream cannot
+        // reset request bytes still in flight from the client.
+        let _queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        let mut refused = TcpStream::connect(addr).unwrap();
+        let mut resp = String::new();
+        refused.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        drop(busy);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn parallel_requests_spread_across_workers() {
+        let server = spawn_server();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    raw_request(
+                        addr,
+                        "GET /api/v2/credits HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        }
+        server.shutdown().unwrap();
     }
 }

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::io::BufReader;
 
 use proptest::prelude::*;
-use shears_api::http::{percent_decode, read_request, HttpError, Method, Request, Response};
+use shears_api::http::{percent_decode, read_request, Headers, HttpError, Method, Request, Response};
 
 proptest! {
     #[test]
@@ -110,7 +110,7 @@ fn keep_alive_defaults_follow_http11() {
         method: Method::Get,
         path: "/".into(),
         query: BTreeMap::new(),
-        headers: BTreeMap::new(),
+        headers: Headers::default(),
         body: Vec::new(),
     };
     assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");

@@ -1,0 +1,110 @@
+//! Load generation for the API read path: N client threads issue a
+//! mixed GET workload (stats, measurement fetch, listing, credits) over
+//! real keep-alive TCP connections against a pre-populated service.
+//!
+//! `mixed_read/{1,2,4,8}` reports time per request at each client
+//! count; with the sharded service state and the epoch-keyed stats
+//! cache, per-request time should hold roughly flat as clients are
+//! added (aggregate throughput scaling with cores) instead of
+//! serialising behind a global service lock. `scripts/bench.sh` emits
+//! these estimates as `BENCH_api.json`.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shears_api::client::ApiSession;
+use shears_api::dto::CreateMeasurementDto;
+use shears_api::server::ServerConfig;
+use shears_api::{ApiClient, ApiServer, AtlasService};
+use shears_atlas::{Platform, PlatformConfig};
+
+/// The measurements the read workload targets.
+const MEASUREMENTS: usize = 4;
+
+fn mixed_path(ids: &[u64], i: u64) -> String {
+    let id = ids[(i as usize / 4) % ids.len()];
+    match i % 4 {
+        0 => format!("/api/v2/measurements/{id}/stats"),
+        1 => format!("/api/v2/measurements/{id}"),
+        2 => "/api/v2/measurements".to_string(),
+        _ => "/api/v2/credits".to_string(),
+    }
+}
+
+fn bench_api_load(c: &mut Criterion) {
+    let platform = Platform::build(&PlatformConfig::quick(5));
+    // Workers hold keep-alive connections for their lifetime, so the
+    // pool must outsize the widest client count (8) even on small-core
+    // machines where the default would be 4.
+    let config = ServerConfig {
+        workers: 16,
+        queue_depth: 64,
+    };
+    let server = ApiServer::spawn_with("127.0.0.1:0", AtlasService::new(platform), config)
+        .expect("bind server");
+    let addr = server.local_addr();
+    let client = ApiClient::new(addr);
+    let ids: Vec<u64> = (0..MEASUREMENTS)
+        .map(|region| {
+            client
+                .create_measurement(&CreateMeasurementDto {
+                    target_region: region,
+                    packets: 3,
+                    rounds: 2,
+                    probe_limit: 20,
+                    country: None,
+                    fault_profile: None,
+                    retries: None,
+                    durability: true,
+                })
+                .expect("seed measurement")
+                .id
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("api_load");
+    group.measurement_time(Duration::from_secs(8));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("mixed_read", threads), |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let ids = &ids;
+                        // Split iters across clients; remainder to the
+                        // first ones so the total is exact.
+                        let n = iters / threads as u64
+                            + u64::from((t as u64) < iters % threads as u64);
+                        s.spawn(move || {
+                            let mut session =
+                                ApiSession::connect(addr).expect("connect session");
+                            for i in 0..n {
+                                let path = mixed_path(ids, i.wrapping_add(t as u64));
+                                let (status, _body) = session
+                                    .request("GET", &path, None)
+                                    .expect("request on keep-alive session");
+                                assert_eq!(status, 200, "{path}");
+                            }
+                        });
+                    }
+                });
+                start.elapsed()
+            })
+        });
+    }
+    // The cache-hot stats path alone, single client: an upper bound on
+    // per-request cost when the frame never rebuilds.
+    group.bench_function("stats_cached_single", |b| {
+        let mut session = ApiSession::connect(addr).expect("connect session");
+        let path = format!("/api/v2/measurements/{}/stats", ids[0]);
+        b.iter(|| {
+            let (status, _body) = session.request("GET", &path, None).expect("stats");
+            status
+        })
+    });
+    group.finish();
+    server.shutdown().unwrap();
+}
+
+criterion_group!(benches, bench_api_load);
+criterion_main!(benches);

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Perf trajectory: run the campaign-path and analysis benches, then fold
 # the Criterion estimates into BENCH_campaign.json so successive PRs can
-# compare against this one's numbers.
+# compare against this one's numbers. The API serving-path benches
+# (round-trip latency + the mixed-read load generator at 1/2/4/8 client
+# threads) are folded separately into BENCH_api.json.
 #
 # Usage: scripts/bench.sh [extra cargo-bench filter args...]
 set -euo pipefail
@@ -20,4 +22,12 @@ echo "==> summarising target/criterion -> BENCH_campaign.json"
 cargo run --release -p shears-bench --bin bench_summary -- \
     target/criterion BENCH_campaign.json
 
-echo "bench: OK (see BENCH_campaign.json)"
+echo "==> criterion: api round-trip + load generation"
+cargo bench -p shears-bench --bench api_roundtrip -- "$@"
+cargo bench -p shears-bench --bench api_load -- "$@"
+
+echo "==> summarising api groups -> BENCH_api.json"
+cargo run --release -p shears-bench --bin bench_summary -- \
+    target/criterion/api_load BENCH_api.json
+
+echo "bench: OK (see BENCH_campaign.json, BENCH_api.json)"

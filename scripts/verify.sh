@@ -10,6 +10,10 @@
 #               recovery sweeps (10 seeds × 3 kill rounds × 3 thread
 #               counts × 2 fault profiles), byte-level damage rejection,
 #               and the journal/campaign durability unit tests
+#   api       — only the API serving path: the concurrent reader/writer
+#               stress test over real TCP, the api crate's unit tests
+#               (sharded state, stats-cache epochs, worker pool), and
+#               the HTTP integration suite
 #
 # Requires a working cargo registry (the workspace has path-only internal
 # deps but external ones — serde, crossbeam, … — must be resolvable).
@@ -39,6 +43,15 @@ if [ "$profile" = "crash" ]; then
     cargo test --release -p shears-atlas campaign::tests::resume
     cargo test --release -p shears-atlas campaign::tests::checkpoint
     echo "verify (crash): OK"
+    exit 0
+fi
+
+if [ "$profile" = "api" ]; then
+    echo "==> api profile: concurrent serving-path consistency"
+    cargo test --release --test api_concurrency
+    cargo test --release -p shears-api
+    cargo test --release --test api_integration
+    echo "verify (api): OK"
     exit 0
 fi
 
