@@ -120,15 +120,26 @@ impl Request {
 
 /// Percent-decodes a URL component; invalid escapes pass through
 /// verbatim (lenient, like most servers).
+///
+/// Operates on bytes throughout: a hostile escape like `%` followed by
+/// a multi-byte character must pass through, never slice a `str` at a
+/// non-boundary and panic.
 pub fn percent_decode(s: &str) -> String {
+    fn hex_val(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
-        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() {
-            let hex = &s[i + 1..i + 3];
-            if let Ok(v) = u8::from_str_radix(hex, 16) {
-                out.push(v);
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                out.push(hi << 4 | lo);
                 i += 3;
                 continue;
             }
@@ -226,7 +237,12 @@ pub fn read_request_buffered<R: BufRead>(
                 .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?;
             headers.content_length = Some(len);
         } else if k.eq_ignore_ascii_case("connection") {
-            headers.connection_close = v.eq_ignore_ascii_case("close");
+            // `Connection` is a comma-separated token list, and a close
+            // request is sticky: a later `keep-alive` (or a repeated
+            // header) must not resurrect the connection.
+            headers.connection_close |= v
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case("close"));
         }
     }
 
@@ -466,6 +482,18 @@ mod tests {
     }
 
     #[test]
+    fn percent_decoding_survives_multibyte_after_the_escape() {
+        // '%' directly followed by a multi-byte char used to slice the
+        // str at a non-char-boundary and panic — a remotely reachable
+        // crash. Hostile escapes now pass through verbatim.
+        assert_eq!(percent_decode("%中"), "%中");
+        assert_eq!(percent_decode("%2中"), "%2中");
+        assert_eq!(percent_decode("a%é%41"), "a%éA");
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%4"), "%4");
+    }
+
+    #[test]
     fn response_round_trips_through_writer() {
         let resp = Response::json(&serde_json::json!({"ok": true}));
         let mut buf = BytesMut::new();
@@ -573,6 +601,24 @@ mod tests {
         assert!(!req.keep_alive());
         // A Connection value other than close keeps the default.
         let req = parse("GET / HTTP/1.1\r\nconnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_matches_tokens_and_is_sticky() {
+        // `close` inside a comma-separated token list counts.
+        let req = parse("GET / HTTP/1.1\r\nConnection: close, te\r\n\r\n").unwrap();
+        assert!(!req.keep_alive());
+        let req = parse("GET / HTTP/1.1\r\nConnection: te , Close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive());
+        // A later keep-alive must not override an earlier close.
+        let req = parse(
+            "GET / HTTP/1.1\r\nConnection: close\r\nConnection: keep-alive\r\n\r\n",
+        )
+        .unwrap();
+        assert!(!req.keep_alive());
+        // Substrings of close are not close.
+        let req = parse("GET / HTTP/1.1\r\nConnection: closed\r\n\r\n").unwrap();
         assert!(req.keep_alive());
     }
 

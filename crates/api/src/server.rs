@@ -11,7 +11,10 @@
 //!   `String` and one response `BytesMut` per connection lifetime),
 //! * clean shutdown: a self-connect wakes the blocking accept call —
 //!   no sleep-polling anywhere — and dropping the queue sender drains
-//!   the workers.
+//!   the workers,
+//! * resilience: handler panics are caught per connection (the pool
+//!   never shrinks) and persistent accept errors (fd exhaustion) back
+//!   off briefly instead of busy-spinning the acceptor.
 
 use std::io::BufReader;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -190,11 +193,16 @@ fn accept_loop(listener: &TcpListener, conns: &SyncSender<TcpStream>, stop: &Ato
             }
             // Transient failure (peer reset mid-handshake, fd pressure)
             // or the listener was flipped non-blocking for shutdown.
-            Err(_) => {
+            Err(e) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
-                std::thread::yield_now();
+                // A persistent error (e.g. EMFILE fd exhaustion) makes
+                // accept() return immediately; back off briefly so the
+                // acceptor cannot busy-spin a core while starved.
+                if e.kind() != std::io::ErrorKind::WouldBlock {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
             }
         }
     }
@@ -210,7 +218,20 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &AtlasService, stop: &A
         };
         match next {
             Ok(stream) => {
-                let _ = serve_connection(stream, service, stop);
+                // Isolate the worker from handler panics: a panic while
+                // serving must cost only that connection, never shrink
+                // the pool (the service's parking_lot locks release on
+                // unwind, so no state is poisoned). Best effort, tell
+                // the client before dropping the connection.
+                let panic_writer = stream.try_clone().ok();
+                let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = serve_connection(stream, service, stop);
+                }));
+                if served.is_err() {
+                    if let Some(mut w) = panic_writer {
+                        let _ = Response::error(500, "internal server error").send(&mut w, false);
+                    }
+                }
             }
             // All senders gone: the server shut down.
             Err(_) => return,
@@ -385,6 +406,64 @@ mod tests {
         refused.read_to_string(&mut resp).unwrap();
         assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
         drop(busy);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn handler_panic_does_not_shrink_the_worker_pool() {
+        // One worker: if a panic killed it, the server would stop
+        // serving after the first hostile request.
+        let platform = Platform::build(&PlatformConfig::quick(4));
+        let server = ApiServer::spawn_with(
+            "127.0.0.1:0",
+            AtlasService::new(platform),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 4,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        for _ in 0..2 {
+            let resp = raw_request(
+                addr,
+                "GET /api/v2/__panic HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            );
+            assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
+        }
+        let resp = raw_request(
+            addr,
+            "GET /api/v2/credits HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "worker died: {resp}");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn hostile_percent_escape_cannot_kill_the_server() {
+        // `GET /%中` used to panic percent_decode (str slice at a
+        // non-char-boundary); with one worker that was a full outage.
+        let platform = Platform::build(&PlatformConfig::quick(4));
+        let server = ApiServer::spawn_with(
+            "127.0.0.1:0",
+            AtlasService::new(platform),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 4,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let resp = raw_request(
+            addr,
+            "GET /%中 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        let resp = raw_request(
+            addr,
+            "GET /api/v2/credits HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "worker died: {resp}");
         server.shutdown().unwrap();
     }
 
