@@ -13,6 +13,15 @@
 //! `GET /stats` for an unchanged measurement is an O(1) lookup and
 //! never rebuilds the analysis frame ([`AtlasService::frame_builds`]
 //! counts rebuilds, pinning that in tests).
+//!
+//! Since the columnar refactor each entry also retains its analysis
+//! frame. Samples live in a columnar [`ResultStore`], and a durable
+//! resume that *strictly extends* them (the recovered copy starts with
+//! the rows already in memory) feeds [`CampaignFrame::append`] — O(new
+//! samples) — instead of a cold full rebuild. Only a replace or shrink
+//! bumps the *generation* that invalidates the retained frame; the
+//! extend ⇒ append, replace ⇒ rebuild split is pinned by the
+//! [`AtlasService::frame_appends`] counter.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -58,10 +67,22 @@ struct StoredMeasurement {
     credits_refunded: u64,
     fault_profile: Option<String>,
     retried_rounds: usize,
-    samples: Vec<RttSample>,
-    /// Bumps whenever `samples` changes (in-memory only, never
+    store: ResultStore,
+    /// Bumps whenever the samples change at all (in-memory only, never
     /// persisted): the stats-cache key.
     epoch: u64,
+    /// Bumps only when the samples change in a way that is *not* a
+    /// strict extension (replace / shrink): the retained-frame key. An
+    /// extension keeps the generation, so the stats path appends to the
+    /// retained frame instead of rebuilding it.
+    generation: u64,
+}
+
+/// The analysis frame an entry retains across stats computations,
+/// tagged with the sample generation it indexes.
+struct FrameCache {
+    generation: u64,
+    frame: CampaignFrame,
 }
 
 /// One measurement behind its own lock. Readers of different
@@ -69,9 +90,14 @@ struct StoredMeasurement {
 struct MeasurementEntry {
     data: RwLock<StoredMeasurement>,
     /// `(epoch, stats)` for the most recent computation; serves
-    /// repeated stats GETs without rebuilding the analysis frame until
-    /// the measurement changes. Lock order: `data` before the cache.
+    /// repeated stats GETs without touching the analysis frame until
+    /// the measurement changes. Lock order: `data` before the caches,
+    /// `stats_cache` before `frame_cache`.
     stats_cache: Mutex<Option<(u64, MeasurementStatsDto)>>,
+    /// The retained frame. Same-generation stores only ever gain rows,
+    /// so a stale frame here is caught up with `append`; a generation
+    /// mismatch forces a rebuild.
+    frame_cache: Mutex<Option<FrameCache>>,
 }
 
 impl MeasurementEntry {
@@ -79,6 +105,7 @@ impl MeasurementEntry {
         Arc::new(Self {
             data: RwLock::new(m),
             stats_cache: Mutex::new(None),
+            frame_cache: Mutex::new(None),
         })
     }
 }
@@ -95,6 +122,9 @@ pub struct AtlasService {
     /// `CampaignFrame::build` calls made by the stats path; see
     /// [`AtlasService::frame_builds`].
     frame_builds: AtomicU64,
+    /// `CampaignFrame::append` calls made by the stats path; see
+    /// [`AtlasService::frame_appends`].
+    frame_appends: AtomicU64,
     seed: u64,
     durability: Option<PathBuf>,
 }
@@ -108,6 +138,7 @@ impl AtlasService {
             ledger: Mutex::new(CreditLedger::new(INITIAL_CREDITS)),
             next_id: AtomicU64::new(1),
             frame_builds: AtomicU64::new(0),
+            frame_appends: AtomicU64::new(0),
             seed: 0xA71_A50A1,
             durability: None,
         }
@@ -141,6 +172,15 @@ impl AtlasService {
     /// moves when a measurement is first summarised or gains samples.
     pub fn frame_builds(&self) -> u64 {
         self.frame_builds.load(Ordering::Relaxed)
+    }
+
+    /// How many times the stats path has *appended* to a retained frame
+    /// instead of rebuilding it. A durable resume that strictly extends
+    /// a measurement's samples must move this counter, not
+    /// [`AtlasService::frame_builds`] — N appended rounds cost one
+    /// build plus N appends, never a rebuild.
+    pub fn frame_appends(&self) -> u64 {
+        self.frame_appends.load(Ordering::Relaxed)
     }
 
     /// The entry for `id`, if any. The registry lock is released before
@@ -323,7 +363,7 @@ impl AtlasService {
             ..PingConfig::default()
         };
         let round_cost = CreditLedger::ping_cost(spec.packets);
-        let mut samples = Vec::new();
+        let mut store = ResultStore::with_capacity(probes.len() * rounds as usize);
         let mut retried_rounds = 0usize;
         let mut refund = 0u64;
         for round in 0..rounds {
@@ -364,7 +404,7 @@ impl AtlasService {
                 let Some(outcome) = best else {
                     continue;
                 };
-                samples.push(RttSample {
+                store.push(RttSample {
                     probe: probe.id,
                     region: spec.target_region as u16,
                     at,
@@ -385,8 +425,9 @@ impl AtlasService {
             credits_refunded: refunded,
             fault_profile: spec.fault_profile.clone(),
             retried_rounds,
-            samples,
+            store,
             epoch: 0,
+            generation: 0,
         };
         let dto = self.measurement_dto(id, &stored);
         if spec.durability {
@@ -424,7 +465,7 @@ impl AtlasService {
         let Some(dir) = &self.durability else {
             return Ok(());
         };
-        let mut payload = Vec::with_capacity(64 + m.samples.len() * 24);
+        let mut payload = Vec::with_capacity(64 + m.store.len() * 24);
         payload.push(1u8); // schema version
         payload.extend_from_slice(&id.to_le_bytes());
         payload.extend_from_slice(&(m.target_region as u64).to_le_bytes());
@@ -439,7 +480,7 @@ impl AtlasService {
             }
             None => payload.push(0),
         }
-        put_samples_wire(&mut payload, &m.samples);
+        put_samples_wire(&mut payload, &m.store);
         let mut bytes = MEASUREMENT_MAGIC.to_vec();
         bytes.extend_from_slice(&frame(&payload));
         let path = Self::measurement_path(dir, id);
@@ -466,7 +507,7 @@ impl AtlasService {
         } else {
             None
         };
-        let samples = get_samples_wire(&mut r).ok()?;
+        let store = get_samples_wire(&mut r).ok()?;
         Some((
             id,
             StoredMeasurement {
@@ -476,8 +517,9 @@ impl AtlasService {
                 credits_refunded,
                 fault_profile,
                 retried_rounds,
-                samples,
+                store,
                 epoch: 0,
+                generation: 0,
             },
         ))
     }
@@ -522,7 +564,10 @@ impl AtlasService {
     /// durability directory. A measurement already in memory is kept
     /// as-is unless the durable copy has strictly more samples (it
     /// gained rounds elsewhere) — then the samples are replaced and the
-    /// stats epoch bumps, so cached stats can never go stale. Files
+    /// stats epoch bumps, so cached stats can never go stale. A durable
+    /// copy that *strictly extends* the in-memory rows keeps the frame
+    /// generation, so the next stats computation appends to the
+    /// retained frame; a divergent copy bumps it into a rebuild. Files
     /// that fail their checksum or decode are skipped, not fatal.
     /// Returns `(recovered, skipped)`.
     pub fn resume_from_disk(&self) -> std::io::Result<(usize, usize)> {
@@ -562,10 +607,14 @@ impl AtlasService {
                         }
                         std::collections::hash_map::Entry::Occupied(slot) => {
                             let mut data = slot.get().data.write();
-                            if m.samples.len() > data.samples.len() {
+                            if m.store.len() > data.store.len() {
+                                let extends = data.store.is_prefix_of(&m.store);
                                 let epoch = data.epoch + 1;
+                                let generation =
+                                    data.generation + u64::from(!extends);
                                 *data = m;
                                 data.epoch = epoch;
+                                data.generation = generation;
                                 recovered += 1;
                             }
                         }
@@ -666,7 +715,7 @@ impl AtlasService {
             target_region: m.target_region,
             target_label: self.platform.region(m.target_region).label(),
             probes: m.probes,
-            results: m.samples.len(),
+            results: m.store.len(),
             credits_spent: m.credits_spent,
             credits_refunded: m.credits_refunded,
             fault_profile: m.fault_profile.clone(),
@@ -697,7 +746,9 @@ impl AtlasService {
     /// through the analysis frame (privileged-probe mask, per-probe and
     /// per-country minima) instead of ad-hoc loops — the same indexed
     /// path the figure pipeline uses. Cached per entry and keyed by the
-    /// results epoch: an unchanged measurement never rebuilds the frame.
+    /// results epoch; on a miss the entry's retained frame is appended
+    /// to (same generation) or rebuilt (new generation), never rebuilt
+    /// for a mere extension.
     fn get_stats(&self, id: &str) -> Response {
         let Ok(id) = id.parse::<u64>() else {
             return Response::error(400, "measurement id must be an integer");
@@ -712,20 +763,40 @@ impl AtlasService {
                 return Response::json(dto);
             }
         }
-        let dto = self.compute_stats(id, &data);
+        let dto = self.compute_stats(id, &entry, &data);
         let resp = Response::json(&dto);
         *cache = Some((data.epoch, dto));
         resp
     }
 
-    fn compute_stats(&self, id: u64, m: &StoredMeasurement) -> MeasurementStatsDto {
-        self.frame_builds.fetch_add(1, Ordering::Relaxed);
-        let mut store = ResultStore::with_capacity(m.samples.len());
-        for s in &m.samples {
-            store.push(*s);
+    /// Computes stats through the entry's retained frame, syncing it to
+    /// the current samples first: same generation ⇒ the store only
+    /// gained rows since the frame indexed it, so `append` catches up
+    /// in O(new samples); generation mismatch (replace/shrink) or no
+    /// frame yet ⇒ full build.
+    fn compute_stats(
+        &self,
+        id: u64,
+        entry: &MeasurementEntry,
+        m: &StoredMeasurement,
+    ) -> MeasurementStatsDto {
+        let mut slot = entry.frame_cache.lock();
+        let reusable = matches!(&*slot, Some(fc) if fc.generation == m.generation);
+        if reusable {
+            let fc = slot.as_mut().expect("checked above");
+            if fc.frame.rows_indexed() < m.store.len() {
+                self.frame_appends.fetch_add(1, Ordering::Relaxed);
+                fc.frame.append(&m.store);
+            }
+        } else {
+            self.frame_builds.fetch_add(1, Ordering::Relaxed);
+            *slot = Some(FrameCache {
+                generation: m.generation,
+                frame: CampaignFrame::build(&self.platform, &m.store),
+            });
         }
-        let frame = CampaignFrame::build(&self.platform, &store);
-        let rate = store.response_rate();
+        let frame = &slot.as_ref().expect("synced above").frame;
+        let rate = m.store.response_rate();
         let fastest_probe = frame
             .probe_minima()
             .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -734,8 +805,8 @@ impl AtlasService {
             .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)));
         MeasurementStatsDto {
             id,
-            samples: store.len(),
-            responded: store.responded().count(),
+            samples: m.store.len(),
+            responded: m.store.responded_len(),
             response_rate: rate.is_finite().then_some(rate),
             probes_with_data: frame.probe_minima().count(),
             countries_measured: frame.countries_measured(),
@@ -756,7 +827,8 @@ impl AtlasService {
         match self.entry(id) {
             Some(e) => {
                 let data = e.data.read();
-                let dtos: Vec<ResultDto> = data.samples.iter().map(ResultDto::from).collect();
+                let dtos: Vec<ResultDto> =
+                    data.store.iter().map(|s| ResultDto::from(&s)).collect();
                 Response::json(&dtos)
             }
             None => Response::error(404, "no such measurement"),
@@ -1184,10 +1256,38 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Clones an entry's measurement with its store extended by
+    /// `extra_rounds` copies of the first sample at fresh hours —
+    /// "another process appended rounds and flushed".
+    fn extended_copy(svc: &AtlasService, id: u64, extra_rounds: u64) -> StoredMeasurement {
+        let data = svc.entry(id).unwrap();
+        let data = data.data.read();
+        let mut store = data.store.clone();
+        let base_hour = 99 + extra_rounds * 10;
+        for k in 0..extra_rounds {
+            let mut extra = store.get(0);
+            extra.at = shears_netsim::SimTime::from_hours(base_hour + k);
+            store.push(extra);
+        }
+        StoredMeasurement {
+            target_region: data.target_region,
+            probes: data.probes,
+            credits_spent: data.credits_spent,
+            credits_refunded: data.credits_refunded,
+            fault_profile: data.fault_profile.clone(),
+            retried_rounds: data.retried_rounds,
+            store,
+            epoch: 0,
+            generation: 0,
+        }
+    }
+
     #[test]
     fn stats_cache_invalidates_when_resume_brings_more_samples() {
         // A measurement whose durable copy gained rounds (the PR-4
-        // recovery path) must never serve stale cached counts.
+        // recovery path) must never serve stale cached counts — and
+        // since the copy strictly extends the in-memory rows, the stats
+        // path appends to the retained frame instead of rebuilding.
         let dir = temp_dir("stale");
         let svc =
             AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
@@ -1198,42 +1298,31 @@ mod tests {
         assert_eq!(svc.handle(&get("/api/v2/measurements/1/stats", &[])).status, 200);
         assert_eq!(svc.handle(&get("/api/v2/measurements/1/stats", &[])).status, 200);
         assert_eq!(svc.frame_builds(), 1);
-        let samples_before = svc.entry(1).unwrap().data.read().samples.len();
+        let samples_before = svc.entry(1).unwrap().data.read().store.len();
         assert!(samples_before > 0);
 
         // Simulate another process appending a round and flushing: the
         // durable copy of measurement 1 now has one extra sample.
-        let extended = {
-            let data = svc.entry(1).unwrap();
-            let data = data.data.read();
-            let mut samples = data.samples.clone();
-            let mut extra = samples[0];
-            extra.at = shears_netsim::SimTime::from_hours(99);
-            samples.push(extra);
-            StoredMeasurement {
-                target_region: data.target_region,
-                probes: data.probes,
-                credits_spent: data.credits_spent,
-                credits_refunded: data.credits_refunded,
-                fault_profile: data.fault_profile.clone(),
-                retried_rounds: data.retried_rounds,
-                samples,
-                epoch: 0,
-            }
-        };
-        svc.persist_measurement(1, &extended).unwrap();
+        svc.persist_measurement(1, &extended_copy(&svc, 1, 1)).unwrap();
 
         let (recovered, skipped) = svc.resume_from_disk().unwrap();
         assert_eq!((recovered, skipped), (1, 0), "longer durable copy wins");
         let entry = svc.entry(1).unwrap();
-        assert_eq!(entry.data.read().samples.len(), samples_before + 1);
+        assert_eq!(entry.data.read().store.len(), samples_before + 1);
         assert_eq!(entry.data.read().epoch, 1, "epoch bumps on sample change");
+        assert_eq!(
+            entry.data.read().generation,
+            0,
+            "a strict extension keeps the frame generation"
+        );
 
-        // The next stats GET recomputes; the one after hits the new key.
+        // The next stats GET recomputes via append; the one after hits
+        // the new cache key.
         assert_eq!(svc.handle(&get("/api/v2/measurements/1/stats", &[])).status, 200);
-        assert_eq!(svc.frame_builds(), 2, "stale cache entry must be rebuilt");
+        assert_eq!(svc.frame_builds(), 1, "extension must not rebuild the frame");
+        assert_eq!(svc.frame_appends(), 1, "extension feeds CampaignFrame::append");
         assert_eq!(svc.handle(&get("/api/v2/measurements/1/stats", &[])).status, 200);
-        assert_eq!(svc.frame_builds(), 2);
+        assert_eq!((svc.frame_builds(), svc.frame_appends()), (1, 1));
         // Where a real serde_json is linked, the served counts match
         // the recovered store, not the cached pre-resume ones.
         let body = svc.handle(&get("/api/v2/measurements/1/stats", &[])).body;
@@ -1241,11 +1330,83 @@ mod tests {
             assert_eq!(stats.samples, samples_before + 1);
         }
 
-        // Re-resume with identical disk state: idempotent, no rebuild.
+        // Re-resume with identical disk state: idempotent, no resync.
         let (recovered, _) = svc.resume_from_disk().unwrap();
         assert_eq!(recovered, 0, "equal-length durable copy is a no-op");
         assert_eq!(svc.handle(&get("/api/v2/measurements/1/stats", &[])).status, 200);
-        assert_eq!(svc.frame_builds(), 2);
+        assert_eq!((svc.frame_builds(), svc.frame_appends()), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn n_appended_rounds_cost_one_build_and_n_appends() {
+        // The acceptance pin for the incremental stats path: a live
+        // measurement gaining N rounds one resume at a time costs
+        // exactly 1 frame build + N appends — zero full rebuilds.
+        let dir = temp_dir("n-appends");
+        let svc =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        seed(&svc, 9, 2, 10);
+        assert_eq!(svc.handle(&get("/api/v2/measurements/1/stats", &[])).status, 200);
+        assert_eq!((svc.frame_builds(), svc.frame_appends()), (1, 0));
+
+        const N: u64 = 4;
+        for n in 1..=N {
+            svc.persist_measurement(1, &extended_copy(&svc, 1, n)).unwrap();
+            let (recovered, _) = svc.resume_from_disk().unwrap();
+            assert_eq!(recovered, 1, "round {n} recovered");
+            assert_eq!(
+                svc.handle(&get("/api/v2/measurements/1/stats", &[])).status,
+                200
+            );
+            assert_eq!(
+                (svc.frame_builds(), svc.frame_appends()),
+                (1, n),
+                "after {n} appended rounds"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn divergent_durable_copy_rebuilds_the_frame() {
+        // A durable copy that is longer but does NOT extend the
+        // in-memory rows (a replaced history) must invalidate the
+        // retained frame: generation bumps, the stats path rebuilds.
+        let dir = temp_dir("divergent");
+        let svc =
+            AtlasService::with_durability(Platform::build(&PlatformConfig::quick(2)), &dir)
+                .unwrap();
+        seed(&svc, 9, 2, 10);
+        assert_eq!(svc.handle(&get("/api/v2/measurements/1/stats", &[])).status, 200);
+        assert_eq!((svc.frame_builds(), svc.frame_appends()), (1, 0));
+
+        let mut divergent = extended_copy(&svc, 1, 1);
+        // Rewrite the first row so the copy is no longer a prefix
+        // extension of what is in memory.
+        let mut rewritten = ResultStore::with_capacity(divergent.store.len());
+        for (i, s) in divergent.store.iter().enumerate() {
+            let mut s = s;
+            if i == 0 {
+                s.at = shears_netsim::SimTime::from_hours(77);
+            }
+            rewritten.push(s);
+        }
+        divergent.store = rewritten;
+        svc.persist_measurement(1, &divergent).unwrap();
+
+        let (recovered, _) = svc.resume_from_disk().unwrap();
+        assert_eq!(recovered, 1, "longer divergent copy still wins");
+        let entry = svc.entry(1).unwrap();
+        assert_eq!(entry.data.read().generation, 1, "replace bumps the generation");
+
+        assert_eq!(svc.handle(&get("/api/v2/measurements/1/stats", &[])).status, 200);
+        assert_eq!(
+            (svc.frame_builds(), svc.frame_appends()),
+            (2, 0),
+            "replace ⇒ rebuild, never append"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1367,6 +1528,9 @@ mod tests {
             sent: 3,
             received: 3,
         };
+        let mut store = ResultStore::with_capacity(2);
+        store.push(lost);
+        store.push(fine);
         let m = StoredMeasurement {
             target_region: 9,
             probes: 2,
@@ -1374,8 +1538,9 @@ mod tests {
             credits_refunded: 6,
             fault_profile: Some("chaos".to_string()),
             retried_rounds: 1,
-            samples: vec![lost, fine],
+            store,
             epoch: 0,
+            generation: 0,
         };
         svc.persist_measurement(77, &m).unwrap();
         svc.next_id.store(78, Ordering::SeqCst);
@@ -1398,8 +1563,8 @@ mod tests {
         assert_eq!(got.credits_refunded, 6);
         assert_eq!(got.fault_profile.as_deref(), Some("chaos"));
         assert_eq!(got.retried_rounds, 1);
-        assert_eq!(got.samples, m.samples);
-        assert!(got.samples[0].min_ms.is_infinite(), "loss marker survives");
+        assert_eq!(got.store, m.store);
+        assert!(got.store.get(0).min_ms.is_infinite(), "loss marker survives");
         drop(got);
         let _ = std::fs::remove_dir_all(&dir);
     }

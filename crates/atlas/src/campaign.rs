@@ -719,7 +719,7 @@ impl<'p> Campaign<'p> {
             }
             // The round becomes durable here: one framed append, then
             // (optionally) a compacting checkpoint.
-            journal.append_round(round, &store.samples()[round_start..], ledger)?;
+            journal.append_round(round, store, round_start, ledger)?;
             let done = round + 1;
             if durability.checkpoint_every != 0
                 && done % durability.checkpoint_every == 0

@@ -40,12 +40,19 @@ use crate::credits::CreditLedger;
 use crate::measurement::MeasurementType;
 use crate::probe::ProbeId;
 use crate::recovery::RetryPolicy;
-use crate::store::{ResultStore, RttSample};
+use crate::store::ResultStore;
 
 /// File prologue: magic bytes identifying a shears campaign journal.
 pub const MAGIC: [u8; 8] = *b"SHRSJNL\n";
 /// Current journal format version (follows the magic in the prologue).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 promoted the sample block from row-major 24-byte records
+/// to a **columnar block**: a `u64` count followed by one contiguous
+/// array per field (probe, region, at, min bits, avg bits, sent,
+/// received). Same bytes per sample, but replay decodes each array
+/// straight into the matching [`ResultStore`] column — no per-sample
+/// `RttSample` materialisation on the recovery path.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Frame type tags (first payload byte of every frame).
 const FRAME_HEADER: u8 = 1;
@@ -398,51 +405,79 @@ impl JournalHeader {
 
 const SAMPLE_WIRE_LEN: usize = 24;
 
-fn put_samples(out: &mut Vec<u8>, samples: &[RttSample]) {
-    out.extend_from_slice(&(samples.len() as u64).to_le_bytes());
-    out.reserve(samples.len() * SAMPLE_WIRE_LEN);
-    for s in samples {
-        out.extend_from_slice(&s.probe.0.to_le_bytes());
-        out.extend_from_slice(&s.region.to_le_bytes());
-        out.extend_from_slice(&s.at.as_nanos().to_le_bytes());
-        out.extend_from_slice(&s.min_ms.to_bits().to_le_bytes());
-        out.extend_from_slice(&s.avg_ms.to_bits().to_le_bytes());
-        out.push(s.sent);
-        out.push(s.received);
+/// Encodes rows `[from, store.len())` as one columnar block: a `u64`
+/// count, then one contiguous little-endian array per field. 24 bytes
+/// per sample plus the count, exactly like the old row-major layout —
+/// only the byte order within the block changed, so both sides stream
+/// dense columns instead of striding records.
+fn put_samples(out: &mut Vec<u8>, store: &ResultStore, from: usize) {
+    let n = store.len() - from;
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.reserve(n * SAMPLE_WIRE_LEN);
+    for p in &store.probes()[from..] {
+        out.extend_from_slice(&p.0.to_le_bytes());
     }
+    for region in &store.regions()[from..] {
+        out.extend_from_slice(&region.to_le_bytes());
+    }
+    for at in &store.ats()[from..] {
+        out.extend_from_slice(&at.as_nanos().to_le_bytes());
+    }
+    for v in &store.min_ms()[from..] {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for v in &store.avg_ms()[from..] {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&store.sent()[from..]);
+    out.extend_from_slice(&store.received()[from..]);
 }
 
+/// Decodes a columnar sample block, appending each array directly onto
+/// the matching store column — no per-sample `RttSample` detour.
 fn get_samples(r: &mut ByteReader<'_>, into: &mut ResultStore) -> Result<(), &'static str> {
     let n = r.u64()? as usize;
     if r.remaining() < n.saturating_mul(SAMPLE_WIRE_LEN) {
         return Err("sample block shorter than its declared count");
     }
+    let (probe, region, at, min_ms, avg_ms, sent, received) = into.columns_mut();
+    probe.reserve(n);
     for _ in 0..n {
-        into.push(RttSample {
-            probe: ProbeId(r.u32()?),
-            region: r.u16()?,
-            at: SimTime::from_nanos(r.u64()?),
-            min_ms: r.f32_bits()?,
-            avg_ms: r.f32_bits()?,
-            sent: r.u8()?,
-            received: r.u8()?,
-        });
+        probe.push(ProbeId(r.u32()?));
     }
+    region.reserve(n);
+    for _ in 0..n {
+        region.push(r.u16()?);
+    }
+    at.reserve(n);
+    for _ in 0..n {
+        at.push(SimTime::from_nanos(r.u64()?));
+    }
+    min_ms.reserve(n);
+    for _ in 0..n {
+        min_ms.push(r.f32_bits()?);
+    }
+    avg_ms.reserve(n);
+    for _ in 0..n {
+        avg_ms.push(r.f32_bits()?);
+    }
+    sent.extend_from_slice(r.take(n)?);
+    received.extend_from_slice(r.take(n)?);
     Ok(())
 }
 
-/// Encodes samples in the journal's fixed 24-byte wire layout — shared
-/// with the API's persistent measurement state, so that layer needs no
-/// JSON (and no second codec) to survive restarts.
-pub fn put_samples_wire(out: &mut Vec<u8>, samples: &[RttSample]) {
-    put_samples(out, samples);
+/// Encodes a whole store in the journal's columnar block layout —
+/// shared with the API's persistent measurement state, so that layer
+/// needs no JSON (and no second codec) to survive restarts.
+pub fn put_samples_wire(out: &mut Vec<u8>, store: &ResultStore) {
+    put_samples(out, store, 0);
 }
 
-/// Decodes a [`put_samples_wire`] block.
-pub fn get_samples_wire(r: &mut ByteReader<'_>) -> Result<Vec<RttSample>, &'static str> {
+/// Decodes a [`put_samples_wire`] block straight into a columnar store.
+pub fn get_samples_wire(r: &mut ByteReader<'_>) -> Result<ResultStore, &'static str> {
     let mut store = ResultStore::new();
     get_samples(r, &mut store)?;
-    Ok(store.samples().to_vec())
+    Ok(store)
 }
 
 fn put_ledger(out: &mut Vec<u8>, ledger: &CreditLedger) {
@@ -523,19 +558,23 @@ impl JournalWriter {
         &self.path
     }
 
-    /// Appends one completed round: its samples and the post-round
-    /// ledger counters.
+    /// Appends one completed round — the store rows from `from` to the
+    /// end (the round's freshly merged samples) and the post-round
+    /// ledger counters. Encoding reads the store columns in place; no
+    /// row slice is materialised.
     pub fn append_round(
         &mut self,
         round: u32,
-        samples: &[RttSample],
+        store: &ResultStore,
+        from: usize,
         ledger: &CreditLedger,
     ) -> Result<(), JournalError> {
-        let mut payload = Vec::with_capacity(1 + 4 + 24 + 8 + samples.len() * SAMPLE_WIRE_LEN);
+        let n = store.len() - from;
+        let mut payload = Vec::with_capacity(1 + 4 + 24 + 8 + n * SAMPLE_WIRE_LEN);
         payload.push(FRAME_ROUND);
         payload.extend_from_slice(&round.to_le_bytes());
         put_ledger(&mut payload, ledger);
-        put_samples(&mut payload, samples);
+        put_samples(&mut payload, store, from);
         self.file.write_all(&frame(&payload))?;
         self.maybe_sync()
     }
@@ -559,7 +598,7 @@ impl JournalWriter {
         payload.push(FRAME_CHECKPOINT);
         payload.extend_from_slice(&next_round.to_le_bytes());
         put_ledger(&mut payload, ledger);
-        put_samples(&mut payload, store.samples());
+        put_samples(&mut payload, store, 0);
         let framed = frame(&payload);
         // 1. Make the checkpoint durable in the live journal.
         self.file.write_all(&framed)?;
@@ -754,6 +793,7 @@ pub fn fleet_digest(probes: &[crate::probe::Probe], targets: &[Vec<u16>]) -> u64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::RttSample;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmp_path(tag: &str) -> PathBuf {
@@ -775,6 +815,16 @@ mod tests {
             sent: 3,
             received: 3,
         }
+    }
+
+    /// A store holding exactly these rows (append_round and
+    /// put_samples now encode straight from store columns).
+    fn store_of(samples: &[RttSample]) -> ResultStore {
+        let mut store = ResultStore::with_capacity(samples.len());
+        for &s in samples {
+            store.push(s);
+        }
+        store
     }
 
     fn header() -> JournalHeader {
@@ -815,13 +865,13 @@ mod tests {
         let mut w = JournalWriter::create(&path, &header(), false).unwrap();
         let mut ledger = CreditLedger::new(100);
         ledger.debit(9).unwrap();
-        w.append_round(0, &[sample(1, 10, 0, 12.5)], &ledger).unwrap();
+        w.append_round(0, &store_of(&[sample(1, 10, 0, 12.5)]), 0, &ledger).unwrap();
         ledger.debit(9).unwrap();
         let mut lost = sample(2, 11, 3, 0.0);
         lost.received = 0;
         lost.min_ms = f32::INFINITY;
         lost.avg_ms = f32::INFINITY;
-        w.append_round(1, &[sample(1, 10, 3, 11.0), lost], &ledger)
+        w.append_round(1, &store_of(&[sample(1, 10, 3, 11.0), lost]), 0, &ledger)
             .unwrap();
         drop(w);
 
@@ -888,7 +938,7 @@ mod tests {
         let path = tmp_path("torn");
         let mut w = JournalWriter::create(&path, &header(), false).unwrap();
         let ledger = CreditLedger::new(5);
-        w.append_round(0, &[sample(1, 10, 0, 12.5)], &ledger).unwrap();
+        w.append_round(0, &store_of(&[sample(1, 10, 0, 12.5)]), 0, &ledger).unwrap();
         drop(w);
         let full = std::fs::read(&path).unwrap();
 
@@ -899,7 +949,7 @@ mod tests {
             let mut payload = vec![FRAME_ROUND];
             payload.extend_from_slice(&1u32.to_le_bytes());
             put_ledger(&mut payload, &ledger);
-            put_samples(&mut payload, &[sample(2, 4, 3, 9.0)]);
+            put_samples(&mut payload, &store_of(&[sample(2, 4, 3, 9.0)]), 0);
             extra = frame(&payload);
         }
         for cut in 1..extra.len() {
@@ -922,7 +972,7 @@ mod tests {
         let path = tmp_path("flip");
         let mut w = JournalWriter::create(&path, &header(), false).unwrap();
         let ledger = CreditLedger::new(5);
-        w.append_round(0, &[sample(1, 10, 0, 12.5)], &ledger).unwrap();
+        w.append_round(0, &store_of(&[sample(1, 10, 0, 12.5)]), 0, &ledger).unwrap();
         drop(w);
         let pristine = std::fs::read(&path).unwrap();
         // Flip one bit in every payload byte position of the round frame
@@ -961,7 +1011,7 @@ mod tests {
         let path = tmp_path("order");
         let mut w = JournalWriter::create(&path, &header(), false).unwrap();
         let ledger = CreditLedger::new(5);
-        w.append_round(1, &[sample(1, 10, 0, 12.5)], &ledger).unwrap();
+        w.append_round(1, &store_of(&[sample(1, 10, 0, 12.5)]), 0, &ledger).unwrap();
         drop(w);
         assert!(matches!(
             replay(&path),
@@ -983,7 +1033,7 @@ mod tests {
             ledger.debit(3).unwrap();
             let s = sample(round, 1, u64::from(round) * 3, 10.0 + round as f32);
             store.push(s);
-            w.append_round(round, &[s], &ledger).unwrap();
+            w.append_round(round, &store_of(&[s]), 0, &ledger).unwrap();
         }
         let before = replay(&path).unwrap();
         let uncompacted_len = std::fs::metadata(&path).unwrap().len();
@@ -1015,14 +1065,14 @@ mod tests {
             ledger.debit(3).unwrap();
             let s = sample(round, 1, u64::from(round) * 3, 10.0);
             store.push(s);
-            w.append_round(round, &[s], &ledger).unwrap();
+            w.append_round(round, &store_of(&[s]), 0, &ledger).unwrap();
         }
         drop(w);
         let mut bytes = std::fs::read(&path).unwrap();
         let mut payload = vec![FRAME_CHECKPOINT];
         payload.extend_from_slice(&4u32.to_le_bytes());
         put_ledger(&mut payload, &ledger);
-        put_samples(&mut payload, store.samples());
+        put_samples(&mut payload, &store, 0);
         bytes.extend_from_slice(&frame(&payload));
         std::fs::write(&path, &bytes).unwrap();
 
@@ -1036,7 +1086,7 @@ mod tests {
         let mut payload = vec![FRAME_ROUND];
         payload.extend_from_slice(&4u32.to_le_bytes());
         put_ledger(&mut payload, &ledger);
-        put_samples(&mut payload, &[sample(9, 9, 12, 5.0)]);
+        put_samples(&mut payload, &store_of(&[sample(9, 9, 12, 5.0)]), 0);
         bytes.extend_from_slice(&frame(&payload));
         std::fs::write(&path, &bytes).unwrap();
         let replayed = replay(&path).unwrap();
@@ -1050,7 +1100,7 @@ mod tests {
         let path = tmp_path("truncate");
         let mut w = JournalWriter::create(&path, &header(), false).unwrap();
         let ledger = CreditLedger::new(5);
-        w.append_round(0, &[sample(1, 10, 0, 12.5)], &ledger).unwrap();
+        w.append_round(0, &store_of(&[sample(1, 10, 0, 12.5)]), 0, &ledger).unwrap();
         drop(w);
         let valid = std::fs::metadata(&path).unwrap().len();
         // Torn garbage at the tail…
@@ -1062,7 +1112,7 @@ mod tests {
         // …is cut off on reopen, and appends continue cleanly.
         let mut w = JournalWriter::open_append(&path, &replayed, false).unwrap();
         assert_eq!(std::fs::metadata(&path).unwrap().len(), valid);
-        w.append_round(1, &[sample(2, 4, 3, 8.0)], &ledger).unwrap();
+        w.append_round(1, &store_of(&[sample(2, 4, 3, 8.0)]), 0, &ledger).unwrap();
         w.sync().unwrap();
         drop(w);
         let replayed = replay(&path).unwrap();

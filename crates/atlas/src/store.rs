@@ -1,9 +1,18 @@
 //! Result storage.
 //!
 //! The campaign produces millions of samples (the paper's dataset holds
-//! 3.2 M datapoints), so the store is a flat, append-only column of
-//! compact records rather than anything fancier. Analysis passes stream
-//! over it; filtered views are iterators, not copies.
+//! 3.2 M datapoints; the production north-star is 30–100× that), so the
+//! store is columnar: one dense vector per field (struct-of-arrays)
+//! rather than a flat `Vec<RttSample>`. Analysis kernels that only need
+//! one or two fields — per-probe minima, percentile scans, windowed
+//! queries — iterate dense `f32`/`u64` columns instead of striding
+//! 24-byte records, and the journal's columnar block format decodes
+//! straight into these vectors with no per-sample materialisation.
+//!
+//! Row-oriented callers are still served: [`ResultStore::get`] and
+//! [`ResultStore::iter`] materialise [`RttSample`] values on the fly
+//! (cheap — seven column reads), and [`ResultStore::samples`] collects
+//! them into a `Vec` for code that wants the historical flat view.
 
 use serde::{Deserialize, Serialize};
 use shears_netsim::SimTime;
@@ -13,7 +22,9 @@ use crate::probe::ProbeId;
 /// One ping (or TCP-connect) measurement result.
 ///
 /// 24 bytes packed: at 3.2 M samples the paper-scale store stays well
-/// under 100 MB.
+/// under 100 MB. Since the columnar refactor this is the *materialised
+/// row view* — the store keeps each field in its own column and builds
+/// `RttSample` values on demand.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RttSample {
     /// Originating probe.
@@ -63,10 +74,19 @@ impl RttSample {
     }
 }
 
-/// Append-only sample store with filtered iteration.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+/// Append-only columnar sample store with filtered iteration.
+///
+/// Every column has the same length; row `i` of the store is the
+/// `RttSample` assembled from slot `i` of each column.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ResultStore {
-    samples: Vec<RttSample>,
+    probe: Vec<ProbeId>,
+    region: Vec<u16>,
+    at: Vec<SimTime>,
+    min_ms: Vec<f32>,
+    avg_ms: Vec<f32>,
+    sent: Vec<u8>,
+    received: Vec<u8>,
 }
 
 impl ResultStore {
@@ -75,53 +95,165 @@ impl ResultStore {
         Self::default()
     }
 
-    /// Pre-allocates for an expected sample count.
+    /// Pre-allocates every column for an expected sample count.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            samples: Vec::with_capacity(n),
+            probe: Vec::with_capacity(n),
+            region: Vec::with_capacity(n),
+            at: Vec::with_capacity(n),
+            min_ms: Vec::with_capacity(n),
+            avg_ms: Vec::with_capacity(n),
+            sent: Vec::with_capacity(n),
+            received: Vec::with_capacity(n),
         }
     }
 
-    /// Appends a sample.
+    /// Appends a sample (one push per column).
     pub fn push(&mut self, sample: RttSample) {
-        self.samples.push(sample);
+        self.probe.push(sample.probe);
+        self.region.push(sample.region);
+        self.at.push(sample.at);
+        self.min_ms.push(sample.min_ms);
+        self.avg_ms.push(sample.avg_ms);
+        self.sent.push(sample.sent);
+        self.received.push(sample.received);
     }
 
-    /// All samples, in insertion (time-ish) order.
-    pub fn samples(&self) -> &[RttSample] {
-        &self.samples
+    /// Materialises row `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn get(&self, i: usize) -> RttSample {
+        RttSample {
+            probe: self.probe[i],
+            region: self.region[i],
+            at: self.at[i],
+            min_ms: self.min_ms[i],
+            avg_ms: self.avg_ms[i],
+            sent: self.sent[i],
+            received: self.received[i],
+        }
+    }
+
+    /// Materialising row iterator, in insertion (time-ish) order.
+    pub fn iter(&self) -> impl Iterator<Item = RttSample> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// All samples materialised into one `Vec` — the historical flat
+    /// view, kept for compatibility (tests, golden comparisons, small
+    /// exports). O(n) allocation: hot paths should use [`Self::iter`]
+    /// or the column accessors instead.
+    pub fn samples(&self) -> Vec<RttSample> {
+        self.iter().collect()
     }
 
     /// Number of stored samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.probe.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.probe.is_empty()
     }
 
+    // --- Dense column accessors (the analysis-kernel path) --------------
+
+    /// Originating probe per row.
+    pub fn probes(&self) -> &[ProbeId] {
+        &self.probe
+    }
+
+    /// Target region per row.
+    pub fn regions(&self) -> &[u16] {
+        &self.region
+    }
+
+    /// Round fire time per row.
+    pub fn ats(&self) -> &[SimTime] {
+        &self.at
+    }
+
+    /// Minimum RTT per row (ms, `INFINITY` = lost round).
+    pub fn min_ms(&self) -> &[f32] {
+        &self.min_ms
+    }
+
+    /// Mean RTT per row (ms, `INFINITY` = lost round).
+    pub fn avg_ms(&self) -> &[f32] {
+        &self.avg_ms
+    }
+
+    /// Packets sent per row.
+    pub fn sent(&self) -> &[u8] {
+        &self.sent
+    }
+
+    /// Replies received per row.
+    pub fn received(&self) -> &[u8] {
+        &self.received
+    }
+
+    /// Whether row `i` got at least one reply (no materialisation).
+    pub fn responded_at(&self, i: usize) -> bool {
+        self.received[i] > 0
+    }
+
+    /// Mutable access to every column at once, for bulk decoders (the
+    /// journal's columnar block reader) that extend the store without a
+    /// per-sample `RttSample` detour. Crate-internal: callers must keep
+    /// all columns the same length.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn columns_mut(
+        &mut self,
+    ) -> (
+        &mut Vec<ProbeId>,
+        &mut Vec<u16>,
+        &mut Vec<SimTime>,
+        &mut Vec<f32>,
+        &mut Vec<f32>,
+        &mut Vec<u8>,
+        &mut Vec<u8>,
+    ) {
+        (
+            &mut self.probe,
+            &mut self.region,
+            &mut self.at,
+            &mut self.min_ms,
+            &mut self.avg_ms,
+            &mut self.sent,
+            &mut self.received,
+        )
+    }
+
+    // --- Filtered views --------------------------------------------------
+
     /// Samples from one probe.
-    pub fn by_probe(&self, probe: ProbeId) -> impl Iterator<Item = &RttSample> {
-        self.samples.iter().filter(move |s| s.probe == probe)
+    pub fn by_probe(&self, probe: ProbeId) -> impl Iterator<Item = RttSample> + '_ {
+        (0..self.len()).filter_map(move |i| (self.probe[i] == probe).then(|| self.get(i)))
     }
 
     /// Samples towards one region.
-    pub fn by_region(&self, region: u16) -> impl Iterator<Item = &RttSample> {
-        self.samples.iter().filter(move |s| s.region == region)
+    pub fn by_region(&self, region: u16) -> impl Iterator<Item = RttSample> + '_ {
+        (0..self.len()).filter_map(move |i| (self.region[i] == region).then(|| self.get(i)))
     }
 
     /// Samples in the half-open interval `[from, to)`.
-    pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &RttSample> {
-        self.samples
-            .iter()
-            .filter(move |s| s.at >= from && s.at < to)
+    pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = RttSample> + '_ {
+        (0..self.len())
+            .filter_map(move |i| (self.at[i] >= from && self.at[i] < to).then(|| self.get(i)))
     }
 
     /// Only samples that got at least one reply.
-    pub fn responded(&self) -> impl Iterator<Item = &RttSample> {
-        self.samples.iter().filter(|s| s.responded())
+    pub fn responded(&self) -> impl Iterator<Item = RttSample> + '_ {
+        (0..self.len()).filter_map(move |i| (self.received[i] > 0).then(|| self.get(i)))
+    }
+
+    /// Number of samples that got at least one reply (one dense column
+    /// scan, no row materialisation).
+    pub fn responded_len(&self) -> usize {
+        self.received.iter().filter(|&&r| r > 0).count()
     }
 
     /// Overall reply rate (fraction of rounds with ≥1 reply).
@@ -131,28 +263,51 @@ impl ResultStore {
     /// read as a perfect reply rate. Callers reporting the rate should
     /// gate on [`ResultStore::is_empty`] (or `is_finite`) first.
     pub fn response_rate(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.is_empty() {
             return f64::NAN;
         }
-        self.samples.iter().filter(|s| s.responded()).count() as f64 / self.samples.len() as f64
+        self.responded_len() as f64 / self.len() as f64
     }
 
     /// Merges another store into this one (used when campaigns run
-    /// sharded across threads).
+    /// sharded across threads). Column-wise `extend` — no row
+    /// materialisation.
     pub fn merge(&mut self, other: ResultStore) {
-        self.samples.extend(other.samples);
+        self.probe.extend(other.probe);
+        self.region.extend(other.region);
+        self.at.extend(other.at);
+        self.min_ms.extend(other.min_ms);
+        self.avg_ms.extend(other.avg_ms);
+        self.sent.extend(other.sent);
+        self.received.extend(other.received);
+    }
+
+    /// Whether `self` is a strict row-for-row prefix of `other` (equal
+    /// length counts as a prefix too). Used by the API's durable-resume
+    /// path to decide append vs rebuild.
+    pub fn is_prefix_of(&self, other: &ResultStore) -> bool {
+        let n = self.len();
+        n <= other.len()
+            && self.probe == other.probe[..n]
+            && self.region == other.region[..n]
+            && self.at == other.at[..n]
+            && self.min_ms == other.min_ms[..n]
+            && self.avg_ms == other.avg_ms[..n]
+            && self.sent == other.sent[..n]
+            && self.received == other.received[..n]
     }
 
     /// Serialises to JSON Lines (one sample per line), the format the
-    /// public dataset download uses.
+    /// public dataset download uses. Every record is written directly
+    /// into one output buffer — no per-sample `String` allocation.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
-        for s in &self.samples {
+        let mut out: Vec<u8> = Vec::with_capacity(self.len() * 96);
+        for i in 0..self.len() {
             // Samples are plain records; serialisation cannot fail.
-            out.push_str(&serde_json::to_string(s).expect("sample serialises"));
-            out.push('\n');
+            serde_json::to_writer(&mut out, &self.get(i)).expect("sample serialises");
+            out.push(b'\n');
         }
-        out
+        String::from_utf8(out).expect("serde_json writes UTF-8")
     }
 
     /// Parses a JSON Lines dump produced by [`ResultStore::to_jsonl`].
@@ -183,18 +338,22 @@ impl ResultStore {
     /// dropped; the returned flag reports whether one was. Garbage
     /// anywhere before the final line is still an error: only a torn
     /// tail is forgivable, silent mid-file corruption is not.
+    ///
+    /// Single pass: a peekable line iterator decides "is this the last
+    /// non-empty line" at the failure point, instead of collecting
+    /// every line upfront.
     pub fn from_jsonl_lossy(text: &str) -> Result<(Self, bool), JsonlError> {
         let mut store = ResultStore::new();
-        let lines: Vec<(usize, &str)> = text
+        let mut lines = text
             .lines()
             .enumerate()
             .filter(|(_, l)| !l.trim().is_empty())
-            .collect();
-        for (pos, &(idx, line)) in lines.iter().enumerate() {
+            .peekable();
+        while let Some((idx, line)) = lines.next() {
             match serde_json::from_str(line) {
                 Ok(sample) => store.push(sample),
                 Err(source) => {
-                    if pos + 1 == lines.len() {
+                    if lines.peek().is_none() {
                         return Ok((store, true));
                     }
                     return Err(JsonlError {
@@ -262,6 +421,46 @@ mod tests {
     }
 
     #[test]
+    fn columns_and_rows_agree() {
+        let mut st = ResultStore::new();
+        st.push(sample(1, 10, 0, 12.0));
+        let mut lost = sample(2, 11, 3, 0.0);
+        lost.received = 0;
+        lost.min_ms = f32::INFINITY;
+        lost.avg_ms = f32::INFINITY;
+        st.push(lost);
+        for (i, s) in st.iter().enumerate() {
+            assert_eq!(s, st.get(i));
+            assert_eq!(s.probe, st.probes()[i]);
+            assert_eq!(s.region, st.regions()[i]);
+            assert_eq!(s.at, st.ats()[i]);
+            assert_eq!(s.min_ms.to_bits(), st.min_ms()[i].to_bits());
+            assert_eq!(s.avg_ms.to_bits(), st.avg_ms()[i].to_bits());
+            assert_eq!(s.sent, st.sent()[i]);
+            assert_eq!(s.received, st.received()[i]);
+            assert_eq!(s.responded(), st.responded_at(i));
+        }
+        assert_eq!(st.samples(), st.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefix_detection_is_row_exact() {
+        let mut a = ResultStore::new();
+        a.push(sample(1, 10, 0, 12.0));
+        a.push(sample(2, 11, 1, 15.0));
+        let mut b = a.clone();
+        b.push(sample(3, 12, 2, 20.0));
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a.clone()));
+        assert!(!b.is_prefix_of(&a), "longer store is not a prefix");
+        // A same-length store with one differing field is not a prefix.
+        let mut c = a.clone();
+        let (_, _, _, min_ms, ..) = c.columns_mut();
+        min_ms[1] = 99.0;
+        assert!(!c.is_prefix_of(&b));
+    }
+
+    #[test]
     fn response_rate_counts_losses() {
         let mut st = ResultStore::new();
         st.push(sample(1, 0, 0, 10.0));
@@ -273,6 +472,7 @@ mod tests {
         assert!(!st.samples()[1].responded());
         assert_eq!(st.response_rate(), 0.5);
         assert_eq!(st.responded().count(), 1);
+        assert_eq!(st.responded_len(), 1);
     }
 
     #[test]
@@ -332,6 +532,7 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         let back = ResultStore::from_jsonl(&text).unwrap();
         assert_eq!(back.samples(), st.samples());
+        assert_eq!(back, st, "column-level equality too");
     }
 
     #[test]

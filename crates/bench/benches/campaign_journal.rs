@@ -71,7 +71,7 @@ fn bench_campaign_journal(c: &mut Criterion) {
         let path = tmp("append");
         b.iter(|| {
             let mut w = JournalWriter::create(&path, &header, false).unwrap();
-            w.append_round(0, outcome.store.samples(), &outcome.ledger)
+            w.append_round(0, &outcome.store, 0, &outcome.ledger)
                 .unwrap();
             w.sync().unwrap()
         });
@@ -92,7 +92,7 @@ fn bench_campaign_journal(c: &mut Criterion) {
         let path = tmp("replay");
         let mut w = JournalWriter::create(&path, &header, false).unwrap();
         let ledger = CreditLedger::new(cfg.credits);
-        w.append_round(0, outcome.store.samples(), &ledger).unwrap();
+        w.append_round(0, &outcome.store, 0, &ledger).unwrap();
         w.sync().unwrap();
         group.bench_function("replay_full_journal", |b| {
             b.iter(|| journal::replay(&path).unwrap().store.len())

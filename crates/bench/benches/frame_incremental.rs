@@ -1,0 +1,119 @@
+//! Incremental-frame costs: what a streaming campaign pays to keep its
+//! stats hot. Three angles on the same store:
+//!
+//! * `append_throughput` — indexing one newly landed round with
+//!   `CampaignFrame::append` vs rebuilding the whole frame from
+//!   scratch at that size (the cost the columnar/append tentpole
+//!   removes from the per-round path).
+//! * `stats_while_appending` — a full round-by-round campaign drain:
+//!   per round, index the new samples and read the headline statistics
+//!   off the frame (the API's stats-GET-during-resume pattern), vs the
+//!   same drain rebuilding the frame each round.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use shears_analysis::frame::CampaignFrame;
+use shears_atlas::ResultStore;
+use shears_bench::{build_platform, run_campaign, Scale};
+
+/// Round boundaries (store index of each round's first row), derived
+/// from the time column: rows land round-by-round, so a timestamp
+/// change marks a new round.
+fn round_cuts(store: &ResultStore) -> Vec<usize> {
+    let ats = store.ats();
+    let mut cuts = vec![0];
+    for i in 1..store.len() {
+        if ats[i] != ats[i - 1] {
+            cuts.push(i);
+        }
+    }
+    cuts.push(store.len());
+    cuts
+}
+
+/// The prefix store holding the first `n` rows.
+fn prefix(store: &ResultStore, n: usize) -> ResultStore {
+    let mut p = ResultStore::with_capacity(n);
+    for i in 0..n {
+        p.push(store.get(i));
+    }
+    p
+}
+
+/// The per-GET statistics the API's stats endpoint reads off a frame.
+fn read_stats(frame: &CampaignFrame) -> usize {
+    let probes: usize = frame.probe_minima().count();
+    let countries = frame.countries_measured();
+    probes + countries + frame.responded_len()
+}
+
+fn bench_frame_incremental(c: &mut Criterion) {
+    let scale = Scale {
+        probes: 600,
+        rounds: 8,
+    };
+    let platform = build_platform(scale);
+    let store = run_campaign(&platform, scale);
+    let cuts = round_cuts(&store);
+    assert!(cuts.len() >= 3, "bench needs a multi-round campaign");
+
+    // One round appended onto an all-but-last-round frame.
+    let last_round = cuts[cuts.len() - 2];
+    let head = prefix(&store, last_round);
+    let warm = CampaignFrame::build(&platform, &head);
+    let round_rows = store.len() - last_round;
+
+    let mut group = c.benchmark_group("frame_incremental");
+    group.throughput(Throughput::Elements(round_rows as u64));
+    group.bench_function("append_one_round", |b| {
+        b.iter_batched(
+            || warm.clone(),
+            |mut frame| {
+                frame.append(&store);
+                frame.rows_indexed()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rebuild_at_full_size", |b| {
+        b.iter(|| CampaignFrame::build(&platform, &store).rows_indexed())
+    });
+
+    // Full drain: land every round, read stats after each.
+    group.throughput(Throughput::Elements(store.len() as u64));
+    group.bench_function("stats_while_appending", |b| {
+        b.iter(|| {
+            let mut growing = ResultStore::with_capacity(store.len());
+            for i in 0..cuts[1] {
+                growing.push(store.get(i));
+            }
+            let mut frame = CampaignFrame::build(&platform, &growing);
+            let mut acc = read_stats(&frame);
+            for pair in cuts.windows(2).skip(1) {
+                for i in pair[0]..pair[1] {
+                    growing.push(store.get(i));
+                }
+                frame.append(&growing);
+                acc += read_stats(&frame);
+            }
+            acc
+        })
+    });
+    group.bench_function("stats_while_rebuilding", |b| {
+        b.iter(|| {
+            let mut growing = ResultStore::with_capacity(store.len());
+            let mut acc = 0usize;
+            for pair in cuts.windows(2) {
+                for i in pair[0]..pair[1] {
+                    growing.push(store.get(i));
+                }
+                let frame = CampaignFrame::build(&platform, &growing);
+                acc += read_stats(&frame);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_incremental);
+criterion_main!(benches);

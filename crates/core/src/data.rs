@@ -26,7 +26,7 @@ use crate::frame::CampaignFrame;
 pub struct CampaignData<'a> {
     platform: &'a Platform,
     store: &'a ResultStore,
-    frame: OnceLock<CampaignFrame<'a>>,
+    frame: OnceLock<CampaignFrame>,
 }
 
 impl<'a> CampaignData<'a> {
@@ -65,8 +65,8 @@ impl<'a> CampaignData<'a> {
     }
 
     /// The indexed frame over this campaign, built (in one parallel
-    /// store scan) and memoized on first access.
-    pub fn frame(&self) -> &CampaignFrame<'a> {
+    /// columnar store scan) and memoized on first access.
+    pub fn frame(&self) -> &CampaignFrame {
         self.frame
             .get_or_init(|| CampaignFrame::build(self.platform, self.store))
     }
@@ -79,8 +79,9 @@ impl<'a> CampaignData<'a> {
     /// Samples surviving the privileged-probe filter, with their probe
     /// records, in store order. This is the streaming path; aggregate
     /// statistics come precomputed from [`CampaignData::frame`].
-    pub fn filtered(&self) -> impl Iterator<Item = (&'a Probe, &'a RttSample)> + '_ {
-        self.store.samples().iter().filter_map(move |s| {
+    /// Samples are materialised by value from the store's columns.
+    pub fn filtered(&self) -> impl Iterator<Item = (&'a Probe, RttSample)> + '_ {
+        self.store.iter().filter_map(move |s| {
             let p = self.probe(s.probe);
             if p.is_privileged() {
                 None
@@ -92,7 +93,7 @@ impl<'a> CampaignData<'a> {
 
     /// Like [`CampaignData::filtered`], keeping only samples that got a
     /// reply.
-    pub fn filtered_responded(&self) -> impl Iterator<Item = (&'a Probe, &'a RttSample)> + '_ {
+    pub fn filtered_responded(&self) -> impl Iterator<Item = (&'a Probe, RttSample)> + '_ {
         self.filtered().filter(|(_, s)| s.responded())
     }
 
@@ -107,7 +108,16 @@ impl<'a> CampaignData<'a> {
     /// Per-country minimum RTT (ms): the best probe of each country to
     /// any datacenter — Fig. 4's statistic.
     pub fn per_country_min(&self) -> HashMap<&'a str, f64> {
-        self.frame().country_minima().collect()
+        // The frame interns country codes with its own lifetime; re-key
+        // to the platform's strings so callers outlive this borrow.
+        let mut canon: HashMap<&str, &'a str> = HashMap::new();
+        for p in self.platform.probes() {
+            canon.entry(p.country.as_str()).or_insert(p.country.as_str());
+        }
+        self.frame()
+            .country_minima()
+            .map(|(c, v)| (canon[c], v))
+            .collect()
     }
 
     /// For each probe, the minimum RTT *to its closest datacenter* per
@@ -116,7 +126,9 @@ impl<'a> CampaignData<'a> {
     /// probe as the region with the lowest campaign-wide minimum.
     /// Served from the frame's cached resolution, in store order.
     pub fn samples_to_closest_dc(&self) -> Vec<(&'a Probe, f64)> {
-        self.frame().closest_dc().collect()
+        self.frame()
+            .closest_dc(self.platform, self.store)
+            .collect()
     }
 }
 

@@ -49,7 +49,7 @@ impl AllSamplesCdfs {
 /// and once in [`europe_tail_split`]).
 pub fn all_samples_cdfs(data: &CampaignData<'_>) -> AllSamplesCdfs {
     let mut per_continent: HashMap<Continent, Vec<f64>> = HashMap::new();
-    for (probe, rtt) in data.frame().closest_dc() {
+    for (probe, rtt) in data.frame().closest_dc(data.platform(), data.store()) {
         per_continent
             .entry(probe.continent)
             .or_default()
@@ -72,7 +72,7 @@ pub fn europe_tail_split(data: &CampaignData<'_>) -> Option<(f64, f64)> {
     let atlas = data.platform().countries();
     let mut advanced = Vec::new();
     let mut lower = Vec::new();
-    for (probe, rtt) in data.frame().closest_dc() {
+    for (probe, rtt) in data.frame().closest_dc(data.platform(), data.store()) {
         if probe.continent != Continent::Europe {
             continue;
         }

@@ -1,16 +1,17 @@
 //! The single-pass indexed view every analysis queries.
 //!
-//! [`CampaignFrame`] is built **once** per campaign from a platform and
-//! a result store, in one parallel scan (crossbeam scoped threads, the
-//! same shard-and-merge idiom as `Campaign::run_parallel`). It
-//! precomputes everything the figure modules used to re-derive with
-//! their own O(n) passes:
+//! [`CampaignFrame`] is built from a platform and a result store in one
+//! parallel columnar scan (crossbeam scoped threads, the same
+//! shard-and-merge idiom as `Campaign::run_parallel`), then kept
+//! current **incrementally**: [`CampaignFrame::append`] folds newly
+//! landed store rows into every index in O(new samples) instead of
+//! rescanning the campaign. It precomputes everything the figure
+//! modules used to re-derive with their own O(n) passes:
 //!
 //! * the §4.1 **privileged mask** (one `bool` per probe, so the filter
 //!   is an index instead of a per-sample tag scan);
-//! * a **per-probe partition** of sample indices (offset table over a
-//!   probe-major row index — the indexed replacement for
-//!   `ResultStore::by_probe`'s full-store filter);
+//! * a **per-probe partition** of sample indices (the indexed
+//!   replacement for `ResultStore::by_probe`'s full-store filter);
 //! * **per-probe / per-country / per-(probe, region) minima**, the
 //!   statistics behind Figs. 4 and 5;
 //! * the **closest-datacenter resolution** behind
@@ -19,14 +20,21 @@
 //! * a **time-sorted round index** for windowed queries (the indexed
 //!   replacement for `ResultStore::in_window`).
 //!
-//! The contract is build-once / query-many: construction costs one
-//! parallel scan plus index assembly, after which every query is a
-//! lookup (or an iteration over a precomputed slice). All results are
-//! bit-identical to the historical iterator path — minima are plain
-//! `f64` mins over the same sample sets, and the best-region tie-break
-//! reproduces the sequential first-sample-wins rule exactly by tracking
-//! `(value, first store index achieving it)` pairs and merging shards
-//! with the lexicographic minimum.
+//! Since the columnar refactor the frame *owns* its indexes (no
+//! borrows), so a long-lived service can hold a frame next to its
+//! growing store and feed it appends; queries that materialise sample
+//! data take the store (and platform, where probe records are joined)
+//! as arguments. The scan iterates the store's dense columns — probe,
+//! region, `min_ms`, received — instead of striding 24-byte records.
+//!
+//! The contract is build-once / append-many / query-many, and every
+//! state is bit-identical to a from-scratch rebuild of the same rows:
+//! minima are plain `f64` mins over the same sample sets, and the
+//! best-region tie-break reproduces the sequential first-sample-wins
+//! rule exactly by tracking `(value, first store index achieving it)`
+//! pairs — shard merges take the lexicographic minimum, and appended
+//! rows (which always carry larger indices) only ever win by a strict
+//! value improvement.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -41,6 +49,15 @@ const NO_REGION: u16 = u16::MAX;
 /// cheaper than spawning.
 const PARALLEL_THRESHOLD: usize = 8_192;
 
+/// One per-(probe, region) minimum, with the first store index that
+/// achieved it — the tie-break witness appends need to stay bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RegionMin {
+    region: u16,
+    min: f64,
+    first: u32,
+}
+
 /// Per-shard scan output, merged in the build's reduce step.
 struct ShardScan {
     /// Sample count per probe (all samples, matching `by_probe`).
@@ -54,30 +71,40 @@ struct ShardScan {
     responded: usize,
 }
 
-/// Scans one contiguous shard of the store. `base` is the store index
-/// of `shard[0]`, so recorded indices are global.
-fn scan_shard(shard: &[RttSample], base: usize, privileged: &[bool], n_probes: usize) -> ShardScan {
+/// Scans rows `[lo, hi)` of the store's columns. Recorded indices are
+/// global store indices.
+fn scan_shard(
+    store: &ResultStore,
+    lo: usize,
+    hi: usize,
+    privileged: &[bool],
+    n_probes: usize,
+) -> ShardScan {
     let mut out = ShardScan {
         counts: vec![0; n_probes],
         region_min: HashMap::new(),
         filtered: 0,
         responded: 0,
     };
-    for (i, s) in shard.iter().enumerate() {
-        let p = s.probe.index();
+    let probes = &store.probes()[lo..hi];
+    let regions = &store.regions()[lo..hi];
+    let min_ms = &store.min_ms()[lo..hi];
+    let received = &store.received()[lo..hi];
+    for i in 0..probes.len() {
+        let p = probes[i].index();
         out.counts[p] += 1;
         if privileged[p] {
             continue;
         }
         out.filtered += 1;
-        if !s.responded() {
+        if received[i] == 0 {
             continue;
         }
         out.responded += 1;
-        let v = f64::from(s.min_ms);
-        let idx = (base + i) as u32;
+        let v = f64::from(min_ms[i]);
+        let idx = (lo + i) as u32;
         out.region_min
-            .entry((s.probe.0, s.region))
+            .entry((probes[i].0, regions[i]))
             .and_modify(|e| {
                 // Strict `<` keeps the first index achieving the min,
                 // mirroring the sequential update rule.
@@ -91,25 +118,27 @@ fn scan_shard(shard: &[RttSample], base: usize, privileged: &[bool], n_probes: u
 }
 
 /// The indexed campaign view. See the module docs for the contract.
-pub struct CampaignFrame<'a> {
-    platform: &'a Platform,
-    store: &'a ResultStore,
+#[derive(Clone)]
+pub struct CampaignFrame {
     /// `privileged[p]` — the §4.1 mask, indexed by probe id.
     privileged: Vec<bool>,
-    /// Offsets into [`CampaignFrame::probe_rows`]; slot `p` owns
-    /// `probe_rows[probe_offsets[p]..probe_offsets[p + 1]]`.
-    probe_offsets: Vec<u32>,
-    /// Store indices grouped by probe, ascending within each probe.
-    probe_rows: Vec<u32>,
-    /// Campaign-wide min RTT per probe (`INFINITY` = no responding
-    /// sample or privileged).
-    probe_min: Vec<f64>,
-    /// Each probe's closest region ([`NO_REGION`] = none).
-    best_region: Vec<u16>,
-    /// Per-probe `(region, min RTT)` pairs, sorted by region index.
-    region_minima: Vec<Vec<(u16, f64)>>,
-    /// Country code → min RTT over the country's unprivileged probes.
-    country_min: BTreeMap<&'a str, f64>,
+    /// Probe id → slot in [`CampaignFrame::countries`].
+    probe_country: Vec<u32>,
+    /// Sorted unique country codes of the fleet.
+    countries: Vec<String>,
+    /// Store indices grouped by probe, ascending within each probe —
+    /// per-probe vectors so appends stay O(new samples).
+    partition: Vec<Vec<u32>>,
+    /// Per-probe `(min RTT, first store index achieving it, region)`;
+    /// `(INFINITY, u32::MAX, NO_REGION)` = no responding sample or
+    /// privileged.
+    best: Vec<(f64, u32, u16)>,
+    /// Per-probe per-region minima, sorted by region index.
+    region_minima: Vec<Vec<RegionMin>>,
+    /// Min RTT per country slot (`INFINITY` = no data yet).
+    country_min: Vec<f64>,
+    /// Countries whose slot in `country_min` is finite.
+    countries_with_data: usize,
     /// Store indices of Fig. 6's population (each probe's responded
     /// rounds towards its closest region), in store order.
     closest_rows: Vec<u32>,
@@ -118,43 +147,63 @@ pub struct CampaignFrame<'a> {
     time_order: Vec<u32>,
     filtered_len: usize,
     responded_len: usize,
+    /// Store rows folded into the indexes so far; `append` picks up
+    /// from here.
+    rows_indexed: usize,
+    /// How many `append` calls this frame has absorbed.
+    appends: u64,
 }
 
-impl<'a> CampaignFrame<'a> {
-    /// Builds the frame in one parallel scan over the store.
-    pub fn build(platform: &'a Platform, store: &'a ResultStore) -> Self {
+impl CampaignFrame {
+    /// Builds the frame in one parallel scan over the store's columns.
+    pub fn build(platform: &Platform, store: &ResultStore) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         Self::build_with_threads(platform, store, threads)
     }
 
     /// Builds with an explicit scan-thread count (testing and tuning;
     /// the result is identical for every count).
-    pub fn build_with_threads(
-        platform: &'a Platform,
-        store: &'a ResultStore,
-        threads: usize,
-    ) -> Self {
-        let samples = store.samples();
+    pub fn build_with_threads(platform: &Platform, store: &ResultStore, threads: usize) -> Self {
+        let n_rows = store.len();
         assert!(
-            samples.len() <= u32::MAX as usize,
+            n_rows <= u32::MAX as usize,
             "store exceeds the u32 row-index space"
         );
         let probes = platform.probes();
         let n_probes = probes.len();
         let privileged: Vec<bool> = probes.iter().map(Probe::is_privileged).collect();
 
-        // 1. The parallel scan: shard the store, scan each shard, merge.
-        let shards: Vec<ShardScan> = if threads <= 1 || samples.len() < PARALLEL_THRESHOLD {
-            vec![scan_shard(samples, 0, &privileged, n_probes)]
+        // Country interning: sorted unique codes, probe → slot.
+        let mut country_slots: BTreeMap<&str, u32> = BTreeMap::new();
+        for p in probes {
+            let next = country_slots.len() as u32;
+            country_slots.entry(p.country.as_str()).or_insert(next);
+        }
+        // BTreeMap insertion order is not slot order; re-number sorted.
+        let countries: Vec<String> = country_slots.keys().map(|c| c.to_string()).collect();
+        for (slot, (_, v)) in country_slots.iter_mut().enumerate() {
+            *v = slot as u32;
+        }
+        let probe_country: Vec<u32> = probes
+            .iter()
+            .map(|p| country_slots[p.country.as_str()])
+            .collect();
+
+        // 1. The parallel scan: shard the rows, scan each shard, merge.
+        let shards: Vec<ShardScan> = if threads <= 1 || n_rows < PARALLEL_THRESHOLD {
+            vec![scan_shard(store, 0, n_rows, &privileged, n_probes)]
         } else {
-            let chunk = samples.len().div_ceil(threads).max(1);
+            let chunk = n_rows.div_ceil(threads).max(1);
             thread::scope(|s| {
                 let privileged = &privileged;
                 let mut handles = Vec::new();
-                for (i, shard) in samples.chunks(chunk).enumerate() {
+                let mut lo = 0usize;
+                while lo < n_rows {
+                    let hi = (lo + chunk).min(n_rows);
                     handles.push(
-                        s.spawn(move |_| scan_shard(shard, i * chunk, privileged, n_probes)),
+                        s.spawn(move |_| scan_shard(store, lo, hi, privileged, n_probes)),
                     );
+                    lo = hi;
                 }
                 handles
                     .into_iter()
@@ -191,11 +240,15 @@ impl<'a> CampaignFrame<'a> {
         }
 
         // 2. Per-probe tables from the merged (probe, region) minima.
-        let mut region_minima: Vec<Vec<(u16, f64)>> = vec![Vec::new(); n_probes];
+        let mut region_minima: Vec<Vec<RegionMin>> = vec![Vec::new(); n_probes];
         let mut best: Vec<(f64, u32, u16)> = vec![(f64::INFINITY, u32::MAX, NO_REGION); n_probes];
         for (&(probe, region), &(v, idx)) in &region_min {
             let p = probe as usize;
-            region_minima[p].push((region, v));
+            region_minima[p].push(RegionMin {
+                region,
+                min: v,
+                first: idx,
+            });
             // Same rule as the shard merge: the winning region is the
             // one whose sample first reached the probe's overall min.
             if (v, idx) < (best[p].0, best[p].1) {
@@ -203,50 +256,46 @@ impl<'a> CampaignFrame<'a> {
             }
         }
         for rm in &mut region_minima {
-            rm.sort_unstable_by_key(|&(region, _)| region);
+            rm.sort_unstable_by_key(|e| e.region);
         }
-        let probe_min: Vec<f64> = best.iter().map(|&(v, _, _)| v).collect();
-        let best_region: Vec<u16> = best.iter().map(|&(_, _, r)| r).collect();
 
         // 3. Country minima over probe minima (min is associative, so
         //    this equals the historical per-sample accumulation).
-        let mut country_min: BTreeMap<&'a str, f64> = BTreeMap::new();
-        for (p, probe) in probes.iter().enumerate() {
-            let v = probe_min[p];
+        let mut country_min = vec![f64::INFINITY; countries.len()];
+        let mut countries_with_data = 0usize;
+        for (p, &(v, _, _)) in best.iter().enumerate() {
             if v.is_finite() {
-                country_min
-                    .entry(probe.country.as_str())
-                    .and_modify(|m| *m = m.min(v))
-                    .or_insert(v);
+                let c = probe_country[p] as usize;
+                if country_min[c].is_infinite() {
+                    countries_with_data += 1;
+                }
+                country_min[c] = country_min[c].min(v);
             }
         }
 
-        // 4. The per-probe partition: prefix-sum offsets, then one
+        // 4. The per-probe partition: reserve from the counts, then one
         //    placement pass (counting sort on probe id).
-        let mut probe_offsets = vec![0u32; n_probes + 1];
-        for (p, &c) in counts.iter().enumerate() {
-            probe_offsets[p + 1] = probe_offsets[p] + c;
-        }
-        let mut cursor: Vec<u32> = probe_offsets[..n_probes].to_vec();
-        let mut probe_rows = vec![0u32; samples.len()];
-        for (idx, s) in samples.iter().enumerate() {
-            let slot = &mut cursor[s.probe.index()];
-            probe_rows[*slot as usize] = idx as u32;
-            *slot += 1;
+        let mut partition: Vec<Vec<u32>> = counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c as usize))
+            .collect();
+        for (idx, p) in store.probes().iter().enumerate() {
+            partition[p.index()].push(idx as u32);
         }
 
         // 5. The closest-DC row cache, read off the partition and
         //    re-sorted into store order (what the two-pass iterator
         //    produced).
+        let regions = store.regions();
+        let received = store.received();
         let mut closest_rows = Vec::with_capacity(responded_len);
         for p in 0..n_probes {
-            if privileged[p] || best_region[p] == NO_REGION {
+            if privileged[p] || best[p].2 == NO_REGION {
                 continue;
             }
-            let rows = &probe_rows[probe_offsets[p] as usize..probe_offsets[p + 1] as usize];
-            for &idx in rows {
-                let s = &samples[idx as usize];
-                if s.region == best_region[p] && s.responded() {
+            for &idx in &partition[p] {
+                let i = idx as usize;
+                if regions[i] == best[p].2 && received[i] > 0 {
                     closest_rows.push(idx);
                 }
             }
@@ -254,39 +303,249 @@ impl<'a> CampaignFrame<'a> {
         closest_rows.sort_unstable();
 
         // 6. The time index (stable: equal timestamps keep store order).
-        let mut time_order: Vec<u32> = (0..samples.len() as u32).collect();
-        time_order.sort_by_key(|&idx| samples[idx as usize].at);
+        let ats = store.ats();
+        let mut time_order: Vec<u32> = (0..n_rows as u32).collect();
+        time_order.sort_by_key(|&idx| ats[idx as usize]);
 
         Self {
-            platform,
-            store,
             privileged,
-            probe_offsets,
-            probe_rows,
-            probe_min,
-            best_region,
+            probe_country,
+            countries,
+            partition,
+            best,
             region_minima,
             country_min,
+            countries_with_data,
             closest_rows,
             time_order,
             filtered_len,
             responded_len,
+            rows_indexed: n_rows,
+            appends: 0,
         }
     }
 
-    /// The platform the frame joins against.
-    pub fn platform(&self) -> &'a Platform {
-        self.platform
+    /// Folds the store rows that landed since the last
+    /// `build`/`append` — `[rows_indexed, store.len())` — into every
+    /// index, in O(new samples) (amortised; see below).
+    ///
+    /// The caller contract is that `store` is the same store the frame
+    /// was built from with rows appended at the tail (campaign rounds,
+    /// a durable resume that strictly extends the samples). The result
+    /// is bit-identical to `build(platform, store)`:
+    ///
+    /// * per-(probe, region) minima only improve by a **strict** `<`
+    ///   (new rows carry larger store indices, so a tie never steals a
+    ///   first-index witness);
+    /// * per-probe bests follow the same lexicographic
+    ///   `(value, first index)` rule as the build's shard merge;
+    /// * country minima are monotone mins over probe minima;
+    /// * the closest-rows cache is extended in store order when no
+    ///   probe's closest region moved, and re-merged from the partition
+    ///   for exactly the probes whose best region changed (the one
+    ///   amortised-not-worst-case step: a best flip costs O(that
+    ///   probe's rows + current cache));
+    /// * the time index appends in O(new log new) when the new rows'
+    ///   times start at or after the indexed maximum (every round-major
+    ///   producer in the tree), and falls back to a linear merge for
+    ///   interleaved times.
+    pub fn append(&mut self, store: &ResultStore) {
+        let from = self.rows_indexed;
+        let to = store.len();
+        assert!(
+            to >= from,
+            "append requires a store that only grew since the last index"
+        );
+        assert!(
+            to <= u32::MAX as usize,
+            "store exceeds the u32 row-index space"
+        );
+        self.appends += 1;
+        if to == from {
+            return;
+        }
+        let probes = &store.probes()[from..to];
+        let regions = &store.regions()[from..to];
+        let min_ms = &store.min_ms()[from..to];
+        let received = &store.received()[from..to];
+
+        // 1. Partition, counts, and every minimum, one pass over the
+        //    new rows.
+        let mut best_changed: Vec<usize> = Vec::new();
+        for i in 0..probes.len() {
+            let idx = (from + i) as u32;
+            let p = probes[i].index();
+            self.partition[p].push(idx);
+            if self.privileged[p] {
+                continue;
+            }
+            self.filtered_len += 1;
+            if received[i] == 0 {
+                continue;
+            }
+            self.responded_len += 1;
+            let v = f64::from(min_ms[i]);
+            let region = regions[i];
+            let rm = &mut self.region_minima[p];
+            match rm.binary_search_by_key(&region, |e| e.region) {
+                Ok(k) => {
+                    // Strict `<`: appended indices are larger, so the
+                    // first-index witness survives value ties.
+                    if v < rm[k].min {
+                        rm[k].min = v;
+                        rm[k].first = idx;
+                    }
+                }
+                Err(k) => rm.insert(
+                    k,
+                    RegionMin {
+                        region,
+                        min: v,
+                        first: idx,
+                    },
+                ),
+            }
+            let b = &mut self.best[p];
+            if (v, idx) < (b.0, b.1) {
+                // Lexicographic improvement with a larger index is
+                // always a strict value improvement.
+                let old_region = b.2;
+                *b = (v, idx, region);
+                if old_region != NO_REGION && old_region != region {
+                    if !best_changed.contains(&p) {
+                        best_changed.push(p);
+                    }
+                } else if old_region == region {
+                    // Same closest region, lower min: cache unaffected.
+                } else {
+                    // NO_REGION → region: the probe had no responding
+                    // rows before, so all matching rows are new ones —
+                    // the extend pass below covers them.
+                }
+                let c = self.probe_country[p] as usize;
+                if v < self.country_min[c] {
+                    if self.country_min[c].is_infinite() {
+                        self.countries_with_data += 1;
+                    }
+                    self.country_min[c] = v;
+                }
+            }
+        }
+
+        // 2. Closest-rows cache. Fast path: no probe's closest region
+        //    moved, so new matching rows (ascending indices) extend the
+        //    sorted cache in place.
+        if best_changed.is_empty() {
+            for i in 0..probes.len() {
+                let p = probes[i].index();
+                if self.privileged[p] || received[i] == 0 {
+                    continue;
+                }
+                if regions[i] == self.best[p].2 {
+                    self.closest_rows.push((from + i) as u32);
+                }
+            }
+        } else {
+            // A closest region moved: drop the affected probes' rows,
+            // re-derive them from the partition (which already holds
+            // the new rows), and merge the two sorted sets.
+            let mut changed = vec![false; self.privileged.len()];
+            for &p in &best_changed {
+                changed[p] = true;
+            }
+            let all_probes = store.probes();
+            let all_regions = store.regions();
+            let all_received = store.received();
+            let mut extra: Vec<u32> = Vec::new();
+            for &p in &best_changed {
+                let best_region = self.best[p].2;
+                for &idx in &self.partition[p] {
+                    let i = idx as usize;
+                    if all_received[i] > 0 && all_regions[i] == best_region {
+                        extra.push(idx);
+                    }
+                }
+            }
+            for i in 0..probes.len() {
+                let p = probes[i].index();
+                if changed[p] || self.privileged[p] || received[i] == 0 {
+                    continue;
+                }
+                if regions[i] == self.best[p].2 {
+                    extra.push((from + i) as u32);
+                }
+            }
+            extra.sort_unstable();
+            let kept = std::mem::take(&mut self.closest_rows);
+            self.closest_rows = Vec::with_capacity(kept.len() + extra.len());
+            let mut a = kept
+                .into_iter()
+                .filter(|&idx| !changed[all_probes[idx as usize].index()])
+                .peekable();
+            let mut b = extra.into_iter().peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(&x), Some(&y)) => {
+                        if x <= y {
+                            self.closest_rows.push(a.next().unwrap());
+                        } else {
+                            self.closest_rows.push(b.next().unwrap());
+                        }
+                    }
+                    (Some(_), None) => self.closest_rows.push(a.next().unwrap()),
+                    (None, Some(_)) => self.closest_rows.push(b.next().unwrap()),
+                    (None, None) => break,
+                }
+            }
+        }
+
+        // 3. The time index. Both runs are sorted by (at, index); the
+        //    old run's indices are all smaller, so a plain key merge
+        //    reproduces the stable full sort. Round-major producers
+        //    append monotonically, so the extend path is the norm.
+        let ats = store.ats();
+        let mut new_order: Vec<u32> = (from as u32..to as u32).collect();
+        new_order.sort_by_key(|&idx| ats[idx as usize]);
+        let monotone = match (self.time_order.last(), new_order.first()) {
+            (Some(&l), Some(&f)) => ats[l as usize] <= ats[f as usize],
+            _ => true,
+        };
+        if monotone {
+            self.time_order.extend(new_order);
+        } else {
+            let old = std::mem::take(&mut self.time_order);
+            self.time_order = Vec::with_capacity(old.len() + new_order.len());
+            let key = |idx: u32| (ats[idx as usize], idx);
+            let mut a = old.into_iter().peekable();
+            let mut b = new_order.into_iter().peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(&x), Some(&y)) => {
+                        if key(x) <= key(y) {
+                            self.time_order.push(a.next().unwrap());
+                        } else {
+                            self.time_order.push(b.next().unwrap());
+                        }
+                    }
+                    (Some(_), None) => self.time_order.push(a.next().unwrap()),
+                    (None, Some(_)) => self.time_order.push(b.next().unwrap()),
+                    (None, None) => break,
+                }
+            }
+        }
+
+        self.rows_indexed = to;
     }
 
-    /// The raw store (unfiltered).
-    pub fn store(&self) -> &'a ResultStore {
-        self.store
+    /// Store rows folded into the indexes so far.
+    pub fn rows_indexed(&self) -> usize {
+        self.rows_indexed
     }
 
-    /// The probe record behind a sample.
-    pub fn probe(&self, id: ProbeId) -> &'a Probe {
-        &self.platform.probes()[id.index()]
+    /// How many [`CampaignFrame::append`] calls this frame absorbed
+    /// since its build.
+    pub fn appends(&self) -> u64 {
+        self.appends
     }
 
     /// The §4.1 mask: whether a probe is excluded as privileged.
@@ -306,87 +565,104 @@ impl<'a> CampaignFrame<'a> {
 
     /// One probe's samples via the partition index — the O(k) indexed
     /// replacement for `ResultStore::by_probe`'s full-store filter.
-    /// Yields store order.
-    pub fn by_probe(&self, id: ProbeId) -> impl Iterator<Item = &'a RttSample> + '_ {
-        let samples = self.store.samples();
-        let lo = self.probe_offsets[id.index()] as usize;
-        let hi = self.probe_offsets[id.index() + 1] as usize;
-        self.probe_rows[lo..hi]
+    /// Yields store order, materialised from `store`'s columns.
+    pub fn by_probe<'s>(
+        &'s self,
+        store: &'s ResultStore,
+        id: ProbeId,
+    ) -> impl Iterator<Item = RttSample> + 's {
+        self.partition[id.index()]
             .iter()
-            .map(move |&idx| &samples[idx as usize])
+            .map(move |&idx| store.get(idx as usize))
     }
 
     /// A probe's campaign-wide minimum RTT (ms); `None` for privileged
     /// probes and probes whose every round was lost.
     pub fn probe_min(&self, id: ProbeId) -> Option<f64> {
-        let v = self.probe_min[id.index()];
+        let v = self.best[id.index()].0;
         v.is_finite().then_some(v)
     }
 
     /// All per-probe minima (Fig. 5's statistic), in probe-id order.
     pub fn probe_minima(&self) -> impl Iterator<Item = (ProbeId, f64)> + '_ {
-        self.probe_min
+        self.best
             .iter()
             .enumerate()
-            .filter(|(_, v)| v.is_finite())
-            .map(|(p, &v)| (ProbeId(p as u32), v))
+            .filter(|(_, b)| b.0.is_finite())
+            .map(|(p, &(v, _, _))| (ProbeId(p as u32), v))
     }
 
     /// The region a probe reaches fastest — its "closest datacenter".
     pub fn best_region(&self, id: ProbeId) -> Option<u16> {
-        let r = self.best_region[id.index()];
+        let r = self.best[id.index()].2;
         (r != NO_REGION).then_some(r)
     }
 
     /// A probe's per-region minima, sorted by region index.
-    pub fn region_minima(&self, id: ProbeId) -> &[(u16, f64)] {
-        &self.region_minima[id.index()]
+    pub fn region_minima(&self, id: ProbeId) -> impl Iterator<Item = (u16, f64)> + '_ {
+        self.region_minima[id.index()]
+            .iter()
+            .map(|e| (e.region, e.min))
     }
 
     /// Per-country minima (Fig. 4's statistic), in country-code order.
-    pub fn country_minima(&self) -> impl Iterator<Item = (&'a str, f64)> + '_ {
-        self.country_min.iter().map(|(&c, &v)| (c, v))
+    pub fn country_minima(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.countries
+            .iter()
+            .zip(&self.country_min)
+            .filter(|(_, v)| v.is_finite())
+            .map(|(c, &v)| (c.as_str(), v))
     }
 
     /// Number of countries with at least one responding probe.
     pub fn countries_measured(&self) -> usize {
-        self.country_min.len()
+        self.countries_with_data
     }
 
     /// Fig. 6's population: each probe's responded rounds towards its
     /// closest region, in store order — the cached resolution behind
     /// `CampaignData::samples_to_closest_dc`.
-    pub fn closest_dc(&self) -> impl Iterator<Item = (&'a Probe, f64)> + '_ {
-        let samples = self.store.samples();
-        let probes = self.platform.probes();
+    pub fn closest_dc<'s, 'p: 's>(
+        &'s self,
+        platform: &'p Platform,
+        store: &'s ResultStore,
+    ) -> impl Iterator<Item = (&'p Probe, f64)> + 's {
+        let probes = platform.probes();
+        let probe_col = store.probes();
+        let min_col = store.min_ms();
         self.closest_rows.iter().map(move |&idx| {
-            let s = &samples[idx as usize];
-            (&probes[s.probe.index()], f64::from(s.min_ms))
+            let i = idx as usize;
+            (&probes[probe_col[i].index()], f64::from(min_col[i]))
         })
     }
 
     /// Samples in `[from, to)` via the time index (binary search on the
     /// sorted round times) — the indexed replacement for
     /// `ResultStore::in_window`. Yields time order, ties in store order.
-    pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &'a RttSample> + '_ {
-        let samples = self.store.samples();
+    pub fn in_window<'s>(
+        &'s self,
+        store: &'s ResultStore,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = RttSample> + 's {
+        let ats = store.ats();
         let lo = self
             .time_order
-            .partition_point(|&idx| samples[idx as usize].at < from);
+            .partition_point(|&idx| ats[idx as usize] < from);
         let hi = self
             .time_order
-            .partition_point(|&idx| samples[idx as usize].at < to);
+            .partition_point(|&idx| ats[idx as usize] < to);
         self.time_order[lo..hi]
             .iter()
-            .map(move |&idx| &samples[idx as usize])
+            .map(move |&idx| store.get(idx as usize))
     }
 
     /// First and last round times in the store, `None` when empty.
-    pub fn time_span(&self) -> Option<(SimTime, SimTime)> {
-        let samples = self.store.samples();
+    pub fn time_span(&self, store: &ResultStore) -> Option<(SimTime, SimTime)> {
+        let ats = store.ats();
         let first = *self.time_order.first()?;
         let last = *self.time_order.last()?;
-        Some((samples[first as usize].at, samples[last as usize].at))
+        Some((ats[first as usize], ats[last as usize]))
     }
 }
 
@@ -424,7 +700,7 @@ mod tests {
 
         pub fn per_probe_min(platform: &Platform, store: &ResultStore) -> HashMap<ProbeId, f64> {
             let mut min: HashMap<ProbeId, f64> = HashMap::new();
-            for s in store.samples() {
+            for s in store.iter() {
                 let p = &platform.probes()[s.probe.index()];
                 if p.is_privileged() || !s.responded() {
                     continue;
@@ -440,7 +716,7 @@ mod tests {
             store: &ResultStore,
         ) -> HashMap<&'a str, f64> {
             let mut min: HashMap<&str, f64> = HashMap::new();
-            for s in store.samples() {
+            for s in store.iter() {
                 let p = &platform.probes()[s.probe.index()];
                 if p.is_privileged() || !s.responded() {
                     continue;
@@ -458,7 +734,7 @@ mod tests {
             store: &ResultStore,
         ) -> Vec<(&'a Probe, f64)> {
             let mut best_region: HashMap<ProbeId, (u16, f64)> = HashMap::new();
-            for s in store.samples() {
+            for s in store.iter() {
                 let p = &platform.probes()[s.probe.index()];
                 if p.is_privileged() || !s.responded() {
                     continue;
@@ -475,7 +751,6 @@ mod tests {
                     .or_insert((s.region, v));
             }
             store
-                .samples()
                 .iter()
                 .filter_map(|s| {
                     let p = &platform.probes()[s.probe.index()];
@@ -491,6 +766,25 @@ mod tests {
         }
     }
 
+    /// Field-by-field equality of two frames (the struct is not
+    /// `PartialEq` because it is not part of the public contract).
+    fn assert_frames_identical(a: &CampaignFrame, b: &CampaignFrame, what: &str) {
+        assert_eq!(a.privileged, b.privileged, "{what}: privileged");
+        assert_eq!(a.partition, b.partition, "{what}: partition");
+        assert_eq!(a.best, b.best, "{what}: best");
+        assert_eq!(a.region_minima, b.region_minima, "{what}: region_minima");
+        assert_eq!(a.country_min, b.country_min, "{what}: country_min");
+        assert_eq!(
+            a.countries_with_data, b.countries_with_data,
+            "{what}: countries_with_data"
+        );
+        assert_eq!(a.closest_rows, b.closest_rows, "{what}: closest_rows");
+        assert_eq!(a.time_order, b.time_order, "{what}: time_order");
+        assert_eq!(a.filtered_len, b.filtered_len, "{what}: filtered_len");
+        assert_eq!(a.responded_len, b.responded_len, "{what}: responded_len");
+        assert_eq!(a.rows_indexed, b.rows_indexed, "{what}: rows_indexed");
+    }
+
     #[test]
     fn minima_match_the_sequential_reference_bit_for_bit() {
         let (platform, store) = data();
@@ -499,7 +793,15 @@ mod tests {
         let got: HashMap<ProbeId, f64> = frame.probe_minima().collect();
         assert_eq!(got, probe_ref);
         let country_ref = reference::per_country_min(&platform, &store);
-        let got: HashMap<&str, f64> = frame.country_minima().collect();
+        let got: HashMap<&str, f64> = frame
+            .country_minima()
+            .map(|(c, v)| {
+                (
+                    *country_ref.keys().find(|k| **k == c).expect("known country"),
+                    v,
+                )
+            })
+            .collect();
         assert_eq!(got, country_ref);
         assert_eq!(frame.countries_measured(), country_ref.len());
     }
@@ -512,8 +814,10 @@ mod tests {
             .into_iter()
             .map(|(p, v)| (p.id, v))
             .collect();
-        let got: Vec<(ProbeId, f64)> =
-            frame.closest_dc().map(|(p, v)| (p.id, v)).collect();
+        let got: Vec<(ProbeId, f64)> = frame
+            .closest_dc(&platform, &store)
+            .map(|(p, v)| (p.id, v))
+            .collect();
         assert_eq!(got, reference, "rows must match in store order");
         assert!(!got.is_empty());
     }
@@ -524,14 +828,116 @@ mod tests {
         let one = CampaignFrame::build_with_threads(&platform, &store, 1);
         for threads in [2, 3, 8] {
             let many = CampaignFrame::build_with_threads(&platform, &store, threads);
-            assert_eq!(many.probe_min, one.probe_min, "{threads} threads");
-            assert_eq!(many.best_region, one.best_region, "{threads} threads");
-            assert_eq!(many.closest_rows, one.closest_rows, "{threads} threads");
-            assert_eq!(many.country_min, one.country_min, "{threads} threads");
-            assert_eq!(many.probe_rows, one.probe_rows, "{threads} threads");
-            assert_eq!(many.filtered_len, one.filtered_len);
-            assert_eq!(many.responded_len, one.responded_len);
+            assert_frames_identical(&many, &one, &format!("{threads} threads"));
         }
+    }
+
+    #[test]
+    fn append_rounds_equals_full_rebuild() {
+        let (platform, store) = data();
+        // Round boundaries: the sequential runner is round-major, so
+        // splitting on time changes gives whole rounds.
+        let ats = store.ats();
+        let mut cuts = vec![0usize];
+        for i in 1..store.len() {
+            if ats[i] != ats[i - 1] {
+                cuts.push(i);
+            }
+        }
+        cuts.push(store.len());
+        assert!(cuts.len() > 3, "campaign has multiple rounds");
+
+        // Build on the first chunk, then append one chunk at a time.
+        let mut growing = ResultStore::with_capacity(store.len());
+        for i in 0..cuts[1] {
+            growing.push(store.get(i));
+        }
+        let mut frame = CampaignFrame::build(&platform, &growing);
+        for w in cuts.windows(2).skip(1) {
+            for i in w[0]..w[1] {
+                growing.push(store.get(i));
+            }
+            frame.append(&growing);
+            let rebuilt = CampaignFrame::build(&platform, &growing);
+            assert_frames_identical(&frame, &rebuilt, &format!("after rows {}..{}", w[0], w[1]));
+        }
+        assert_eq!(frame.appends(), (cuts.len() - 2) as u64);
+        assert_eq!(frame.rows_indexed(), store.len());
+    }
+
+    #[test]
+    fn append_handles_a_moving_closest_region() {
+        let (platform, _) = data();
+        let probe = platform
+            .probes()
+            .iter()
+            .find(|p| !p.is_privileged())
+            .expect("an unprivileged probe");
+        let mk = |region: u16, at_h: u64, min: f32| RttSample {
+            probe: probe.id,
+            region,
+            at: SimTime::from_hours(at_h),
+            min_ms: min,
+            avg_ms: min + 1.0,
+            sent: 3,
+            received: 3,
+        };
+        let mut store = ResultStore::new();
+        store.push(mk(1, 0, 20.0));
+        store.push(mk(2, 0, 30.0));
+        let mut frame = CampaignFrame::build(&platform, &store);
+        assert_eq!(frame.best_region(probe.id), Some(1));
+        // A later round makes region 2 the closest: the cached rows
+        // must swap to region 2's, including the old region-2 row.
+        store.push(mk(2, 1, 10.0));
+        frame.append(&store);
+        assert_eq!(frame.best_region(probe.id), Some(2));
+        let rebuilt = CampaignFrame::build(&platform, &store);
+        assert_frames_identical(&frame, &rebuilt, "after best flip");
+        let rows: Vec<f64> = frame
+            .closest_dc(&platform, &store)
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(rows, vec![30.0, 10.0], "both region-2 rounds, store order");
+    }
+
+    #[test]
+    fn append_preserves_the_first_index_tie_break() {
+        let (platform, _) = data();
+        let probe = platform
+            .probes()
+            .iter()
+            .find(|p| !p.is_privileged())
+            .expect("an unprivileged probe");
+        let mk = |region: u16, at_h: u64, min: f32| RttSample {
+            probe: probe.id,
+            region,
+            at: SimTime::from_hours(at_h),
+            min_ms: min,
+            avg_ms: min + 1.0,
+            sent: 3,
+            received: 3,
+        };
+        let mut store = ResultStore::new();
+        store.push(mk(1, 0, 12.5));
+        let mut frame = CampaignFrame::build(&platform, &store);
+        // An equal minimum towards another region arrives later: the
+        // first-sample-wins rule keeps region 1 closest.
+        store.push(mk(2, 1, 12.5));
+        frame.append(&store);
+        assert_eq!(frame.best_region(probe.id), Some(1));
+        let rebuilt = CampaignFrame::build(&platform, &store);
+        assert_frames_identical(&frame, &rebuilt, "after equal-min append");
+    }
+
+    #[test]
+    fn empty_append_is_a_counted_no_op() {
+        let (platform, store) = data();
+        let mut frame = CampaignFrame::build(&platform, &store);
+        let rebuilt = CampaignFrame::build(&platform, &store);
+        frame.append(&store);
+        assert_eq!(frame.appends(), 1);
+        assert_frames_identical(&frame, &rebuilt, "empty append");
     }
 
     #[test]
@@ -539,8 +945,8 @@ mod tests {
         let (platform, store) = data();
         let frame = CampaignFrame::build(&platform, &store);
         for p in platform.probes() {
-            let indexed: Vec<&RttSample> = frame.by_probe(p.id).collect();
-            let filtered: Vec<&RttSample> = store.by_probe(p.id).collect();
+            let indexed: Vec<RttSample> = frame.by_probe(&store, p.id).collect();
+            let filtered: Vec<RttSample> = store.by_probe(p.id).collect();
             assert_eq!(indexed, filtered, "probe {:?}", p.id);
         }
     }
@@ -549,22 +955,21 @@ mod tests {
     fn time_index_agrees_with_store_in_window() {
         let (platform, store) = data();
         let frame = CampaignFrame::build(&platform, &store);
-        let (first, last) = frame.time_span().unwrap();
+        let (first, last) = frame.time_span(&store).unwrap();
         assert!(first <= last);
         let mid = SimTime::from_nanos((first.as_nanos() + last.as_nanos()) / 2);
         for (from, to) in [(first, mid), (mid, last), (first, last)] {
-            let mut indexed: Vec<RttSample> = frame.in_window(from, to).copied().collect();
-            let mut filtered: Vec<RttSample> = store.in_window(from, to).copied().collect();
+            let mut indexed: Vec<RttSample> = frame.in_window(&store, from, to).collect();
+            let mut filtered: Vec<RttSample> = store.in_window(from, to).collect();
             let key = |s: &RttSample| (s.at, s.probe, s.region);
             indexed.sort_by_key(key);
             filtered.sort_by_key(key);
             assert_eq!(indexed, filtered);
         }
         // The window iterator itself is time-ordered.
-        assert!(frame
-            .in_window(first, SimTime::from_nanos(last.as_nanos() + 1))
-            .zip(frame.in_window(first, SimTime::from_nanos(last.as_nanos() + 1)).skip(1))
-            .all(|(a, b)| a.at <= b.at));
+        let to = SimTime::from_nanos(last.as_nanos() + 1);
+        let order: Vec<SimTime> = frame.in_window(&store, first, to).map(|s| s.at).collect();
+        assert!(order.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
@@ -576,7 +981,7 @@ mod tests {
             if p.is_privileged() {
                 assert_eq!(frame.probe_min(p.id), None);
                 assert_eq!(frame.best_region(p.id), None);
-                assert!(frame.region_minima(p.id).is_empty());
+                assert_eq!(frame.region_minima(p.id).count(), 0);
             }
         }
         assert!(frame.filtered_len() <= store.len());
@@ -588,13 +993,10 @@ mod tests {
         let (platform, store) = data();
         let frame = CampaignFrame::build(&platform, &store);
         for p in platform.probes() {
-            let rm = frame.region_minima(p.id);
+            let rm: Vec<(u16, f64)> = frame.region_minima(p.id).collect();
             assert!(rm.windows(2).all(|w| w[0].0 < w[1].0), "sorted by region");
             if let Some(min) = frame.probe_min(p.id) {
-                let best = rm
-                    .iter()
-                    .map(|&(_, v)| v)
-                    .fold(f64::INFINITY, f64::min);
+                let best = rm.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
                 assert_eq!(min, best);
                 let best_region = frame.best_region(p.id).unwrap();
                 assert!(rm.iter().any(|&(r, v)| r == best_region && v == min));
@@ -617,8 +1019,8 @@ mod tests {
         assert_eq!(frame.responded_len(), 0);
         assert_eq!(frame.probe_minima().count(), 0);
         assert_eq!(frame.country_minima().count(), 0);
-        assert_eq!(frame.closest_dc().count(), 0);
-        assert!(frame.time_span().is_none());
-        assert_eq!(frame.by_probe(ProbeId(0)).count(), 0);
+        assert_eq!(frame.closest_dc(&platform, &store).count(), 0);
+        assert!(frame.time_span(&store).is_none());
+        assert_eq!(frame.by_probe(&store, ProbeId(0)).count(), 0);
     }
 }

@@ -101,7 +101,7 @@ pub fn probe_min_cdfs(data: &CampaignData<'_>) -> ProbeMinCdfs {
     let frame = data.frame();
     let mut per_continent: HashMap<Continent, Vec<f64>> = HashMap::new();
     for (id, v) in frame.probe_minima() {
-        let continent = frame.probe(id).continent;
+        let continent = data.probe(id).continent;
         per_continent.entry(continent).or_default().push(v);
     }
     ProbeMinCdfs {

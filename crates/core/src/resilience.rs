@@ -268,7 +268,7 @@ pub fn degradation_report(
     let mut overall = Bucket::default();
     let mut by_class: Vec<Bucket> = FaultClass::ALL.iter().map(|_| Bucket::default()).collect();
     let mut retried_samples = 0usize;
-    for s in data.store().samples() {
+    for s in data.store().iter() {
         if frame.is_privileged(s.probe) {
             continue;
         }

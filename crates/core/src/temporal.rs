@@ -119,13 +119,13 @@ pub fn stability_series(data: &CampaignData<'_>, window: SimTime) -> StabilitySe
     assert!(window.as_nanos() > 0, "window must be positive");
     let frame = data.frame();
     let mut points = Vec::new();
-    if let Some((first, last)) = frame.time_span() {
+    if let Some((first, last)) = frame.time_span(data.store()) {
         let w = window.as_nanos();
         for k in (first.as_nanos() / w)..=(last.as_nanos() / w) {
             let from = SimTime::from_nanos(k * w);
             let to = SimTime::from_nanos((k + 1) * w);
             let values: Vec<f64> = frame
-                .in_window(from, to)
+                .in_window(data.store(), from, to)
                 .filter(|s| !frame.is_privileged(s.probe) && s.responded())
                 .map(|s| f64::from(s.min_ms))
                 .collect();

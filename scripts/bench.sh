@@ -5,6 +5,10 @@
 # (round-trip latency + the mixed-read load generator at 1/2/4/8 client
 # threads) are folded separately into BENCH_api.json.
 #
+# The incremental-frame benches (append throughput + stats-latency
+# while a campaign is still landing, vs full rebuilds) are folded into
+# BENCH_frame.json.
+#
 # Usage: scripts/bench.sh [extra cargo-bench filter args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +26,13 @@ echo "==> summarising target/criterion -> BENCH_campaign.json"
 cargo run --release -p shears-bench --bin bench_summary -- \
     target/criterion BENCH_campaign.json
 
+echo "==> criterion: incremental frame (append vs rebuild)"
+cargo bench -p shears-bench --bench frame_incremental -- "$@"
+
+echo "==> summarising frame_incremental -> BENCH_frame.json"
+cargo run --release -p shears-bench --bin bench_summary -- \
+    target/criterion/frame_incremental BENCH_frame.json
+
 echo "==> criterion: api round-trip + load generation"
 cargo bench -p shears-bench --bench api_roundtrip -- "$@"
 cargo bench -p shears-bench --bench api_load -- "$@"
@@ -30,4 +41,4 @@ echo "==> summarising api groups -> BENCH_api.json"
 cargo run --release -p shears-bench --bin bench_summary -- \
     target/criterion/api_load BENCH_api.json
 
-echo "bench: OK (see BENCH_campaign.json, BENCH_api.json)"
+echo "bench: OK (see BENCH_campaign.json, BENCH_frame.json, BENCH_api.json)"

@@ -14,6 +14,11 @@
 #               stress test over real TCP, the api crate's unit tests
 #               (sharded state, stats-cache epochs, worker pool), and
 #               the HTTP integration suite
+#   frame     — only the columnar-store / incremental-frame suite: the
+#               store's row/column accessor equivalence, the frame's
+#               append-vs-rebuild bit-equality grid (1/2/8 threads,
+#               clean + chaos campaigns), the figure-pipeline golden
+#               equivalence, and the API's extend⇒append counter pins
 #
 # Requires a working cargo registry (the workspace has path-only internal
 # deps but external ones — serde, crossbeam, … — must be resolvable).
@@ -52,6 +57,20 @@ if [ "$profile" = "api" ]; then
     cargo test --release -p shears-api
     cargo test --release --test api_integration
     echo "verify (api): OK"
+    exit 0
+fi
+
+if [ "$profile" = "frame" ]; then
+    echo "==> frame profile: columnar store + incremental frame equivalence"
+    cargo test --release -p shears-atlas store::
+    cargo test --release -p shears-analysis frame::
+    cargo test --release --test determinism columnar_store_accessors
+    cargo test --release --test determinism incremental_frame_append
+    cargo test --release --test determinism frame_indexes_reproduce
+    cargo test --release -p shears-api service::tests::n_appended_rounds
+    cargo test --release -p shears-api service::tests::divergent_durable_copy
+    cargo test --release -p shears-api service::tests::stats_cache_invalidates
+    echo "verify (frame): OK"
     exit 0
 fi
 

@@ -429,6 +429,209 @@ fn passthrough_faults_reproduce_the_fault_free_campaign() {
     assert_eq!(clean.samples(), faulty.samples());
 }
 
+/// Columnar acceptance: every `ResultStore` accessor — row views,
+/// column slices, filters and aggregates — agrees with a plain
+/// row-by-row pass over `samples()`. This is the contract that let the
+/// store switch to struct-of-arrays without touching its callers.
+#[test]
+fn columnar_store_accessors_agree_with_the_row_view() {
+    let p = platform(9);
+    let mut store = campaign(&p, 1);
+    // Force at least one lost round so the responded paths branch.
+    store.push(RttSample {
+        probe: ProbeId(3),
+        region: 7,
+        at: SimTime::from_hours(999),
+        min_ms: f32::INFINITY,
+        avg_ms: f32::INFINITY,
+        sent: 3,
+        received: 0,
+    });
+    let rows = store.samples();
+    assert_eq!(rows.len(), store.len());
+
+    // Row materialisation: get / iter / samples are the same view.
+    for (i, s) in rows.iter().enumerate() {
+        assert_eq!(store.get(i), *s);
+        assert_eq!(store.responded_at(i), s.responded());
+    }
+    assert_eq!(store.iter().collect::<Vec<_>>(), rows);
+
+    // Column slices are the transposed rows, floats bit for bit.
+    for (i, s) in rows.iter().enumerate() {
+        assert_eq!(store.probes()[i], s.probe);
+        assert_eq!(store.regions()[i], s.region);
+        assert_eq!(store.ats()[i], s.at);
+        assert_eq!(store.min_ms()[i].to_bits(), s.min_ms.to_bits());
+        assert_eq!(store.avg_ms()[i].to_bits(), s.avg_ms.to_bits());
+        assert_eq!(store.sent()[i], s.sent);
+        assert_eq!(store.received()[i], s.received);
+    }
+
+    // Filtered views against the naive row filters.
+    let by_probe: Vec<RttSample> = store.by_probe(ProbeId(3)).collect();
+    let by_probe_ref: Vec<RttSample> = rows
+        .iter()
+        .filter(|s| s.probe == ProbeId(3))
+        .copied()
+        .collect();
+    assert_eq!(by_probe, by_probe_ref);
+    let region = rows[0].region;
+    let by_region: Vec<RttSample> = store.by_region(region).collect();
+    let by_region_ref: Vec<RttSample> =
+        rows.iter().filter(|s| s.region == region).copied().collect();
+    assert_eq!(by_region, by_region_ref);
+    let (from, to) = (SimTime::from_hours(1), SimTime::from_hours(10));
+    let windowed: Vec<RttSample> = store.in_window(from, to).collect();
+    let windowed_ref: Vec<RttSample> = rows
+        .iter()
+        .filter(|s| s.at >= from && s.at < to)
+        .copied()
+        .collect();
+    assert_eq!(windowed, windowed_ref);
+    let responded: Vec<RttSample> = store.responded().collect();
+    let responded_ref: Vec<RttSample> =
+        rows.iter().filter(|s| s.responded()).copied().collect();
+    assert_eq!(responded, responded_ref);
+
+    // Aggregates.
+    assert_eq!(store.responded_len(), responded_ref.len());
+    let rate_ref = responded_ref.len() as f64 / rows.len() as f64;
+    assert!((store.response_rate() - rate_ref).abs() < f64::EPSILON);
+
+    // Column-wise merge is row concatenation.
+    let cut = rows.len() / 2;
+    let mut left = ResultStore::with_capacity(cut);
+    let mut right = ResultStore::new();
+    for (i, s) in rows.iter().enumerate() {
+        if i < cut {
+            left.push(*s);
+        } else {
+            right.push(*s);
+        }
+    }
+    assert!(left.is_prefix_of(&store));
+    assert!(!store.is_prefix_of(&left));
+    left.merge(right);
+    assert_eq!(left.samples(), rows, "merge == concatenation");
+    assert!(left.is_prefix_of(&store) && store.is_prefix_of(&left));
+}
+
+/// Public-surface equality of two frames over the same store: every
+/// accessor the analysis layer consumes must agree, floats bit for bit.
+fn assert_frames_agree(p: &Platform, store: &ResultStore, a: &CampaignFrame, b: &CampaignFrame) {
+    assert_eq!(a.rows_indexed(), b.rows_indexed());
+    assert_eq!(a.filtered_len(), b.filtered_len());
+    assert_eq!(a.responded_len(), b.responded_len());
+    assert_eq!(a.countries_measured(), b.countries_measured());
+    for probe in p.probes() {
+        assert_eq!(a.is_privileged(probe.id), b.is_privileged(probe.id));
+        assert_eq!(
+            a.probe_min(probe.id).map(f64::to_bits),
+            b.probe_min(probe.id).map(f64::to_bits),
+            "probe {:?} min",
+            probe.id
+        );
+        assert_eq!(a.best_region(probe.id), b.best_region(probe.id));
+        let ra: Vec<(u16, u64)> = a
+            .region_minima(probe.id)
+            .map(|(r, v)| (r, v.to_bits()))
+            .collect();
+        let rb: Vec<(u16, u64)> = b
+            .region_minima(probe.id)
+            .map(|(r, v)| (r, v.to_bits()))
+            .collect();
+        assert_eq!(ra, rb, "probe {:?} region minima", probe.id);
+        let sa: Vec<RttSample> = a.by_probe(store, probe.id).collect();
+        let sb: Vec<RttSample> = b.by_probe(store, probe.id).collect();
+        assert_eq!(sa, sb, "probe {:?} partition", probe.id);
+    }
+    let ca: Vec<(&str, u64)> = a.country_minima().map(|(c, v)| (c, v.to_bits())).collect();
+    let cb: Vec<(&str, u64)> = b.country_minima().map(|(c, v)| (c, v.to_bits())).collect();
+    assert_eq!(ca, cb, "country minima");
+    let xa: Vec<(ProbeId, u64)> = a
+        .closest_dc(p, store)
+        .map(|(pr, v)| (pr.id, v.to_bits()))
+        .collect();
+    let xb: Vec<(ProbeId, u64)> = b
+        .closest_dc(p, store)
+        .map(|(pr, v)| (pr.id, v.to_bits()))
+        .collect();
+    assert_eq!(xa, xb, "closest-DC rows");
+    assert_eq!(a.time_span(store), b.time_span(store));
+    if let Some((lo, hi)) = a.time_span(store) {
+        let beyond = SimTime::from_hours(1_000_000);
+        let wa: Vec<RttSample> = a.in_window(store, lo, beyond).collect();
+        let wb: Vec<RttSample> = b.in_window(store, lo, beyond).collect();
+        assert_eq!(wa, wb, "full-window time index");
+        let ha: Vec<RttSample> = a.in_window(store, lo, hi).collect();
+        let hb: Vec<RttSample> = b.in_window(store, lo, hi).collect();
+        assert_eq!(ha, hb, "half-open window");
+    }
+}
+
+/// Incremental acceptance: a frame grown round by round with `append`
+/// is indistinguishable — on its whole public surface — from a frame
+/// rebuilt from scratch at every step, sequentially and at 1/2/8
+/// build threads, on clean and chaos-faulted campaigns alike.
+#[test]
+fn incremental_frame_append_matches_full_rebuild_across_threads_and_faults() {
+    let p = Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: 60,
+            seed: 17,
+        },
+        ..PlatformConfig::default()
+    });
+    for profile in [None, Some("chaos")] {
+        let mut cfg = CampaignConfig {
+            rounds: 4,
+            targets_per_probe: 2,
+            adjacent_targets: 1,
+            seed: 5,
+            ..CampaignConfig::quick()
+        };
+        if let Some(name) = profile {
+            cfg.faults = FaultConfig::profile(name).expect("known profile");
+            cfg.recovery = RetryPolicy::atlas_default();
+        }
+        let full = Campaign::new(&p, cfg).run().unwrap();
+        assert!(!full.is_empty(), "{profile:?}");
+
+        // Cut the store at round-time boundaries.
+        let ats = full.ats();
+        let mut cuts = vec![0usize];
+        for i in 1..full.len() {
+            if ats[i] != ats[i - 1] {
+                cuts.push(i);
+            }
+        }
+        cuts.push(full.len());
+        assert!(cuts.len() >= 3, "{profile:?}: needs multiple rounds");
+
+        let mut growing = ResultStore::with_capacity(full.len());
+        for i in 0..cuts[1] {
+            growing.push(full.get(i));
+        }
+        let mut incremental = CampaignFrame::build(&p, &growing);
+        assert_eq!(incremental.appends(), 0);
+        for (step, pair) in cuts.windows(2).skip(1).enumerate() {
+            for i in pair[0]..pair[1] {
+                growing.push(full.get(i));
+            }
+            incremental.append(&growing);
+            assert_eq!(incremental.appends(), step as u64 + 1);
+            assert_eq!(incremental.rows_indexed(), growing.len());
+            let rebuilt = CampaignFrame::build(&p, &growing);
+            assert_frames_agree(&p, &growing, &incremental, &rebuilt);
+            for threads in [2usize, 8] {
+                let threaded = CampaignFrame::build_with_threads(&p, &growing, threads);
+                assert_frames_agree(&p, &growing, &threaded, &rebuilt);
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_execution_is_seed_stable_across_thread_counts() {
     let p = platform(9);
