@@ -74,6 +74,53 @@ impl RttSample {
     }
 }
 
+/// Chunk width for the columnar count/sortedness sweeps below (one or
+/// two vector registers of bytes).
+const CHUNK: usize = 64;
+
+/// Count of non-zero bytes, in chunk-sized strides of independent
+/// compares so the loop autovectorises. This mirrors
+/// `shears_analysis::kernels::chunked::count_nonzero` — the analysis
+/// crate depends on this one, so the kernel cannot be imported here;
+/// the kernel tests pin the two implementations equal.
+fn count_nonzero_chunked(col: &[u8]) -> usize {
+    let mut total = 0usize;
+    let chunks = col.chunks_exact(CHUNK);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        let mut c = 0u32;
+        for &v in chunk {
+            c += u32::from(v != 0);
+        }
+        total += c as usize;
+    }
+    total + tail.iter().filter(|&&v| v != 0).count()
+}
+
+/// Non-decreasing check in chunk-sized strides (mirrors the sortedness
+/// sweep in `shears_analysis::kernels::chunked::range_partition`, with
+/// the same seam pass).
+fn is_sorted_chunked<T: Copy + Ord>(col: &[T]) -> bool {
+    for w in col.chunks(CHUNK) {
+        let mut bad = false;
+        for k in w.windows(2) {
+            bad |= k[0] > k[1];
+        }
+        if bad {
+            return false;
+        }
+    }
+    // windows(2) inside chunks misses the seams between them.
+    let mut i = CHUNK;
+    while i < col.len() {
+        if col[i - 1] > col[i] {
+            return false;
+        }
+        i += CHUNK;
+    }
+    true
+}
+
 /// Append-only columnar sample store with filtered iteration.
 ///
 /// Every column has the same length; row `i` of the store is the
@@ -239,10 +286,31 @@ impl ResultStore {
         (0..self.len()).filter_map(move |i| (self.region[i] == region).then(|| self.get(i)))
     }
 
-    /// Samples in the half-open interval `[from, to)`.
+    /// The row range holding the half-open window `[from, to)` when the
+    /// `at` column is non-decreasing (true for every round-major
+    /// producer in the tree, and checked here with one chunked sweep);
+    /// `None` when the column is interleaved and a per-row filter is
+    /// required.
+    pub fn window_bounds(&self, from: SimTime, to: SimTime) -> Option<(usize, usize)> {
+        is_sorted_chunked(&self.at).then(|| {
+            let lo = self.at.partition_point(|&t| t < from);
+            let hi = self.at.partition_point(|&t| t < to);
+            (lo, hi)
+        })
+    }
+
+    /// Samples in the half-open interval `[from, to)`. When the `at`
+    /// column is sorted this is a binary-searched slice scan instead of
+    /// a full-store filter; the yield order (store order) is identical
+    /// either way, since a sorted column's window rows are contiguous.
     pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = RttSample> + '_ {
-        (0..self.len())
-            .filter_map(move |i| (self.at[i] >= from && self.at[i] < to).then(|| self.get(i)))
+        let (lo, hi, need_filter) = match self.window_bounds(from, to) {
+            Some((lo, hi)) => (lo, hi, false),
+            None => (0, self.len(), true),
+        };
+        (lo..hi).filter_map(move |i| {
+            (!need_filter || (self.at[i] >= from && self.at[i] < to)).then(|| self.get(i))
+        })
     }
 
     /// Only samples that got at least one reply.
@@ -250,10 +318,11 @@ impl ResultStore {
         (0..self.len()).filter_map(move |i| (self.received[i] > 0).then(|| self.get(i)))
     }
 
-    /// Number of samples that got at least one reply (one dense column
-    /// scan, no row materialisation).
+    /// Number of samples that got at least one reply (one dense,
+    /// chunked column count — no row materialisation, no branches in
+    /// the loop body).
     pub fn responded_len(&self) -> usize {
-        self.received.iter().filter(|&&r| r > 0).count()
+        count_nonzero_chunked(&self.received)
     }
 
     /// Overall reply rate (fraction of rounds with ≥1 reply).
@@ -402,6 +471,51 @@ mod tests {
             sent: 3,
             received: 3,
         }
+    }
+
+    #[test]
+    fn window_bounds_slices_sorted_stores_and_demotes_unsorted_ones() {
+        let mut st = ResultStore::new();
+        for h in 0..200u64 {
+            st.push(sample(1, 10, h / 2, 12.0)); // non-decreasing, with ties
+        }
+        let (from, to) = (SimTime::from_hours(10), SimTime::from_hours(40));
+        let (lo, hi) = st.window_bounds(from, to).expect("sorted column");
+        let sliced: Vec<RttSample> = (lo..hi).map(|i| st.get(i)).collect();
+        let filtered: Vec<RttSample> = (0..st.len())
+            .filter(|&i| st.ats()[i] >= from && st.ats()[i] < to)
+            .map(|i| st.get(i))
+            .collect();
+        assert_eq!(sliced, filtered);
+        let via_iter: Vec<RttSample> = st.in_window(from, to).collect();
+        assert_eq!(via_iter, filtered, "iterator order unchanged");
+        // One out-of-order row — placed to land on a chunk seam —
+        // demotes to the filter path, which must yield the same rows.
+        st.push(sample(1, 10, 5, 9.0));
+        assert_eq!(st.window_bounds(from, to), None);
+        let filtered: Vec<RttSample> = (0..st.len())
+            .filter(|&i| st.ats()[i] >= from && st.ats()[i] < to)
+            .map(|i| st.get(i))
+            .collect();
+        let via_iter: Vec<RttSample> = st.in_window(from, to).collect();
+        assert_eq!(via_iter, filtered);
+    }
+
+    #[test]
+    fn responded_len_counts_across_chunk_boundaries() {
+        let mut st = ResultStore::new();
+        for i in 0..259u32 {
+            let mut s = sample(i % 7, 10, u64::from(i), 12.0);
+            if i % 3 == 0 {
+                s.received = 0;
+                s.min_ms = f32::INFINITY;
+                s.avg_ms = f32::INFINITY;
+            }
+            st.push(s);
+        }
+        let reference = st.iter().filter(RttSample::responded).count();
+        assert_eq!(st.responded_len(), reference);
+        assert_eq!(st.response_rate(), reference as f64 / 259.0);
     }
 
     #[test]

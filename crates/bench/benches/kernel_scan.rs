@@ -1,0 +1,176 @@
+//! Column-kernel costs: what one pass over the columnar store pays per
+//! element, scalar reference vs the chunked (autovectorised) fast path
+//! — and, when built with `--features simd`, the explicit `std::simd`
+//! variants. Three angles:
+//!
+//! * `min_argmin` / `sum` / `count_*` — the flat scans the frame,
+//!   response-rate and ECDF paths run on every round.
+//! * `percentile` — the bucketed selection kernel vs the
+//!   clone-then-full-sort baseline it replaced in `Summary::of`.
+//! * `region_min_scan` — the grouped minima scan behind
+//!   `CampaignFrame::build`/`append`, on realistically shaped columns.
+//!
+//! Sizes cover a round of a quick run (4 K), a default campaign round
+//! (64 K) and a paper-scale store segment (1 M).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shears_analysis::kernels::{self, ScanCols};
+use shears_atlas::ProbeId;
+
+const SIZES: [usize; 3] = [4 << 10, 64 << 10, 1 << 20];
+const N_PROBES: usize = 512;
+const N_REGIONS: u16 = 32;
+const LOSS_PERMILLE: u64 = 100;
+
+/// SplitMix64: deterministic column fill, no RNG dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Synthetic store columns shaped like a real campaign: RTTs in
+/// [5, 300) ms, ~10% lost rounds (`INFINITY` + `received == 0`).
+struct Columns {
+    probes: Vec<ProbeId>,
+    regions: Vec<u16>,
+    min_ms: Vec<f32>,
+    received: Vec<u8>,
+}
+
+impl Columns {
+    fn synth(n: usize, seed: u64) -> Columns {
+        let mut s = seed;
+        let mut probes = Vec::with_capacity(n);
+        let mut regions = Vec::with_capacity(n);
+        let mut min_ms = Vec::with_capacity(n);
+        let mut received = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = splitmix(&mut s);
+            probes.push(ProbeId((r % N_PROBES as u64) as u32));
+            regions.push(((r >> 32) % u64::from(N_REGIONS)) as u16);
+            let lost = r % 1000 < LOSS_PERMILLE;
+            if lost {
+                min_ms.push(f32::INFINITY);
+                received.push(0);
+            } else {
+                min_ms.push(5.0 + (r >> 16) as f32 % 295.0);
+                received.push(3);
+            }
+        }
+        Columns {
+            probes,
+            regions,
+            min_ms,
+            received,
+        }
+    }
+
+    fn scan(&self) -> ScanCols<'_> {
+        ScanCols {
+            probes: &self.probes,
+            regions: &self.regions,
+            min_ms: &self.min_ms,
+            received: &self.received,
+        }
+    }
+}
+
+/// Benches one flat f32 kernel across variants and sizes.
+macro_rules! flat_bench {
+    ($c:expr, $name:literal, $col:ident, |$v:ident| $call:expr) => {{
+        let mut group = $c.benchmark_group(concat!("kernel_scan/", $name));
+        for &n in &SIZES {
+            let cols = Columns::synth(n, 0xC0FFEE);
+            let $col = &cols;
+            group.throughput(Throughput::Elements(n as u64));
+            {
+                use kernels::scalar as $v;
+                group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| b.iter(|| $call));
+            }
+            {
+                use kernels::chunked as $v;
+                group.bench_with_input(BenchmarkId::new("chunked", n), &n, |b, _| b.iter(|| $call));
+            }
+            #[cfg(feature = "simd")]
+            {
+                use kernels::simd as $v;
+                group.bench_with_input(BenchmarkId::new("simd", n), &n, |b, _| b.iter(|| $call));
+            }
+        }
+        group.finish();
+    }};
+}
+
+fn bench_flat_scans(c: &mut Criterion) {
+    flat_bench!(c, "min_argmin", cols, |k| k::min_argmin(&cols.min_ms));
+    flat_bench!(c, "sum", cols, |k| k::sum(&cols.min_ms));
+    flat_bench!(c, "count_nonzero", cols, |k| k::count_nonzero(
+        &cols.received
+    ));
+    flat_bench!(c, "count_at_or_below", cols, |k| k::count_at_or_below(
+        &cols.min_ms,
+        150.0
+    ));
+}
+
+fn bench_percentile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_scan/percentile");
+    for &n in &SIZES {
+        let cols = Columns::synth(n, 0xC0FFEE);
+        let values: Vec<f64> = cols
+            .min_ms
+            .iter()
+            .filter(|v| v.is_finite())
+            .map(|&v| f64::from(v))
+            .collect();
+        group.throughput(Throughput::Elements(values.len() as u64));
+        group.bench_with_input(BenchmarkId::new("bucketed", n), &n, |b, _| {
+            b.iter(|| kernels::percentile(&values, 0.95))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_baseline", n), &n, |b, _| {
+            b.iter(|| {
+                // The pre-kernel path: clone, full sort, index.
+                let mut v = values.clone();
+                v.sort_unstable_by(f64::total_cmp);
+                let k = ((0.95 * v.len() as f64).ceil() as usize)
+                    .saturating_sub(1)
+                    .min(v.len() - 1);
+                v[k]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_region_min_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_scan/region_min_scan");
+    // Every 16th probe privileged, like the §4.1 mask.
+    let privileged: Vec<bool> = (0..N_PROBES).map(|p| p % 16 == 0).collect();
+    for &n in &SIZES {
+        let cols = Columns::synth(n, 0xC0FFEE);
+        let scan = cols.scan();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| kernels::scalar::region_min_scan(&scan, &privileged, 0, N_PROBES))
+        });
+        group.bench_with_input(BenchmarkId::new("chunked", n), &n, |b, _| {
+            b.iter(|| kernels::chunked::region_min_scan(&scan, &privileged, 0, N_PROBES))
+        });
+        #[cfg(feature = "simd")]
+        group.bench_with_input(BenchmarkId::new("simd", n), &n, |b, _| {
+            b.iter(|| kernels::simd::region_min_scan(&scan, &privileged, 0, N_PROBES))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flat_scans,
+    bench_percentile,
+    bench_region_min_scan
+);
+criterion_main!(benches);

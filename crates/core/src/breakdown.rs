@@ -23,7 +23,7 @@ use shears_netsim::stochastic::SimRng;
 use shears_netsim::topology::NodeKind;
 use shears_netsim::{SimTime, TracerouteProber};
 
-use crate::stats::Ecdf;
+use crate::kernels;
 
 /// The delay segments a hop can be attributed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -174,10 +174,10 @@ pub fn delay_breakdown(
         .filter_map(|&c| {
             let (rtts, segments) = acc.remove(&c)?;
             let probes = counted.get(&c).copied().unwrap_or(0);
-            let median_rtt_ms = Ecdf::new(rtts).median()?;
+            let median_rtt_ms = kernels::median(&rtts)?;
             let mut segment_ms = [0.0f64; 5];
             for (i, v) in segments.into_iter().enumerate() {
-                segment_ms[i] = Ecdf::new(v).median().unwrap_or(0.0);
+                segment_ms[i] = kernels::median(&v).unwrap_or(0.0);
             }
             Some(BreakdownRow {
                 continent: c,

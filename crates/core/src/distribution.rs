@@ -4,11 +4,10 @@
 //! round (to each probe's closest datacenter), so congestion, jitter
 //! and bufferbloat are all in the picture — "the reality of the cloud".
 
-use std::collections::HashMap;
-
 use shears_geo::Continent;
 
 use crate::data::CampaignData;
+use crate::kernels;
 use crate::stats::{Ecdf, Summary};
 
 /// Fig. 6: per-continent distributions of all rounds.
@@ -35,10 +34,11 @@ impl AllSamplesCdfs {
     }
 
     /// Distribution summary per continent (for the report tables).
+    /// Borrows each ECDF's already-sorted samples — no copy, no re-sort.
     pub fn summaries(&self) -> Vec<(Continent, Option<Summary>)> {
         self.by_continent
             .iter()
-            .map(|(c, e)| (*c, Summary::of(e.samples())))
+            .map(|(c, e)| (*c, Summary::of_ecdf(e)))
             .collect()
     }
 }
@@ -48,17 +48,16 @@ impl AllSamplesCdfs {
 /// full per-sample `Vec` on every call — twice per report, once here
 /// and once in [`europe_tail_split`]).
 pub fn all_samples_cdfs(data: &CampaignData<'_>) -> AllSamplesCdfs {
-    let mut per_continent: HashMap<Continent, Vec<f64>> = HashMap::new();
+    // Dense Continent::slot-indexed grouping: no per-sample hashing.
+    let mut per_continent: [Vec<f64>; 6] = Default::default();
     for (probe, rtt) in data.frame().closest_dc(data.platform(), data.store()) {
-        per_continent
-            .entry(probe.continent)
-            .or_default()
-            .push(rtt);
+        per_continent[probe.continent.slot()].push(rtt);
     }
     AllSamplesCdfs {
         by_continent: Continent::ALL
             .iter()
-            .map(|&c| (c, Ecdf::new(per_continent.remove(&c).unwrap_or_default())))
+            .zip(per_continent)
+            .map(|(&c, v)| (c, Ecdf::new(v)))
             .collect(),
     }
 }
@@ -86,8 +85,10 @@ pub fn europe_tail_split(data: &CampaignData<'_>) -> Option<(f64, f64)> {
             lower.push(rtt);
         }
     }
-    let a = Ecdf::new(advanced).quantile(0.95)?;
-    let l = Ecdf::new(lower).quantile(0.95)?;
+    // Selection kernel: the exact nearest-rank p95 without sorting
+    // either population (bit-identical to the former Ecdf path).
+    let a = kernels::percentile(&advanced, 0.95)?;
+    let l = kernels::percentile(&lower, 0.95)?;
     Some((a, l))
 }
 

@@ -22,7 +22,8 @@ use shears_netsim::NodeId;
 
 use shears_atlas::Platform;
 
-use crate::stats::{Ecdf, Summary};
+use crate::kernels;
+use crate::stats::Summary;
 
 /// Per-continent edge-gain numbers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -155,9 +156,9 @@ pub fn edge_gain_study(
             Some(EdgeGainRow {
                 continent: c,
                 probes: n,
-                cloud_median_ms: Ecdf::new(cloud).median()?,
-                edge_median_ms: Ecdf::new(edge).median()?,
-                median_gain_ms: Ecdf::new(gains).median()?,
+                cloud_median_ms: kernels::median(&cloud)?,
+                edge_median_ms: kernels::median(&edge)?,
+                median_gain_ms: kernels::median(&gains)?,
                 small_gain_fraction: small as f64 / n as f64,
             })
         })

@@ -42,6 +42,8 @@ use crossbeam::thread;
 use shears_atlas::{Platform, Probe, ProbeId, ResultStore, RttSample};
 use shears_netsim::SimTime;
 
+use crate::kernels::{self, GroupedMinima, ScanCols};
+
 /// Sentinel for "this probe has no responding region".
 const NO_REGION: u16 = u16::MAX;
 
@@ -58,63 +60,24 @@ struct RegionMin {
     first: u32,
 }
 
-/// Per-shard scan output, merged in the build's reduce step.
-struct ShardScan {
-    /// Sample count per probe (all samples, matching `by_probe`).
-    counts: Vec<u32>,
-    /// `(probe, region)` → `(min RTT, first store index achieving it)`
-    /// over unprivileged responded samples.
-    region_min: HashMap<(u32, u16), (f64, u32)>,
-    /// Unprivileged samples seen.
-    filtered: usize,
-    /// Unprivileged responded samples seen.
-    responded: usize,
-}
-
-/// Scans rows `[lo, hi)` of the store's columns. Recorded indices are
-/// global store indices.
+/// Scans rows `[lo, hi)` of the store's columns through the grouped-
+/// minima kernel ([`kernels::region_min_scan`], which carries the
+/// strict-`<` first-index-wins contract). Recorded indices are global
+/// store indices.
 fn scan_shard(
     store: &ResultStore,
     lo: usize,
     hi: usize,
     privileged: &[bool],
     n_probes: usize,
-) -> ShardScan {
-    let mut out = ShardScan {
-        counts: vec![0; n_probes],
-        region_min: HashMap::new(),
-        filtered: 0,
-        responded: 0,
+) -> GroupedMinima {
+    let cols = ScanCols {
+        probes: &store.probes()[lo..hi],
+        regions: &store.regions()[lo..hi],
+        min_ms: &store.min_ms()[lo..hi],
+        received: &store.received()[lo..hi],
     };
-    let probes = &store.probes()[lo..hi];
-    let regions = &store.regions()[lo..hi];
-    let min_ms = &store.min_ms()[lo..hi];
-    let received = &store.received()[lo..hi];
-    for i in 0..probes.len() {
-        let p = probes[i].index();
-        out.counts[p] += 1;
-        if privileged[p] {
-            continue;
-        }
-        out.filtered += 1;
-        if received[i] == 0 {
-            continue;
-        }
-        out.responded += 1;
-        let v = f64::from(min_ms[i]);
-        let idx = (lo + i) as u32;
-        out.region_min
-            .entry((probes[i].0, regions[i]))
-            .and_modify(|e| {
-                // Strict `<` keeps the first index achieving the min,
-                // mirroring the sequential update rule.
-                if v < e.0 {
-                    *e = (v, idx);
-                }
-            })
-            .or_insert((v, idx));
-    }
-    out
+    kernels::region_min_scan(&cols, privileged, lo as u32, n_probes)
 }
 
 /// The indexed campaign view. See the module docs for the contract.
@@ -190,7 +153,7 @@ impl CampaignFrame {
             .collect();
 
         // 1. The parallel scan: shard the rows, scan each shard, merge.
-        let shards: Vec<ShardScan> = if threads <= 1 || n_rows < PARALLEL_THRESHOLD {
+        let shards: Vec<GroupedMinima> = if threads <= 1 || n_rows < PARALLEL_THRESHOLD {
             vec![scan_shard(store, 0, n_rows, &privileged, n_probes)]
         } else {
             let chunk = n_rows.div_ceil(threads).max(1);
@@ -369,23 +332,29 @@ impl CampaignFrame {
         let min_ms = &store.min_ms()[from..to];
         let received = &store.received()[from..to];
 
-        // 1. Partition, counts, and every minimum, one pass over the
-        //    new rows.
+        // 1. Partition pushes, then the new rows' minima through the
+        //    same kernel the build's shards use. Applying each
+        //    (probe, region) group's `(min, first index)` entry once is
+        //    order-independent and equal to the historical row-by-row
+        //    updates: the group entry *is* the lexicographic
+        //    `(value, index)` minimum of its rows, and every final
+        //    index below is a min over such entries.
+        for (i, p) in probes.iter().enumerate() {
+            self.partition[p.index()].push((from + i) as u32);
+        }
+        let cols = ScanCols {
+            probes,
+            regions,
+            min_ms,
+            received,
+        };
+        let scan =
+            kernels::region_min_scan(&cols, &self.privileged, from as u32, self.privileged.len());
+        self.filtered_len += scan.filtered;
+        self.responded_len += scan.responded;
         let mut best_changed: Vec<usize> = Vec::new();
-        for i in 0..probes.len() {
-            let idx = (from + i) as u32;
-            let p = probes[i].index();
-            self.partition[p].push(idx);
-            if self.privileged[p] {
-                continue;
-            }
-            self.filtered_len += 1;
-            if received[i] == 0 {
-                continue;
-            }
-            self.responded_len += 1;
-            let v = f64::from(min_ms[i]);
-            let region = regions[i];
+        for (&(probe, region), &(v, idx)) in &scan.region_min {
+            let p = probe as usize;
             let rm = &mut self.region_minima[p];
             match rm.binary_search_by_key(&region, |e| e.region) {
                 Ok(k) => {
@@ -412,15 +381,15 @@ impl CampaignFrame {
                 let old_region = b.2;
                 *b = (v, idx, region);
                 if old_region != NO_REGION && old_region != region {
+                    // A flip away from an existing closest region:
+                    // this probe's cached closest rows re-derive below.
+                    // (NO_REGION → region needs none — every matching
+                    // row is new and the extend pass covers it. A flip
+                    // that settles back where it started is harmless:
+                    // re-derivation reproduces the same rows.)
                     if !best_changed.contains(&p) {
                         best_changed.push(p);
                     }
-                } else if old_region == region {
-                    // Same closest region, lower min: cache unaffected.
-                } else {
-                    // NO_REGION → region: the probe had no responding
-                    // rows before, so all matching rows are new ones —
-                    // the extend pass below covers them.
                 }
                 let c = self.probe_country[p] as usize;
                 if v < self.country_min[c] {

@@ -1,0 +1,1251 @@
+//! Vectorisation-friendly scan kernels over the columnar store.
+//!
+//! PR 6 turned `ResultStore` into seven bare parallel columns precisely
+//! so that hot scans could become data-parallel; this module is where
+//! those scans live. Every aggregation the figure pipeline is
+//! throughput-bound on — masked minima, order statistics, response
+//! counts, window partitions — is a kernel here, with three
+//! interchangeable implementations:
+//!
+//! * [`scalar`] — the reference: plain per-element loops, written to be
+//!   obviously correct. Every other variant is pinned against it bit
+//!   for bit.
+//! * [`chunked`] — the default fast path: `chunks_exact` loops over
+//!   lane-striped accumulator arrays, shaped so LLVM's autovectoriser
+//!   turns them into SIMD without any unstable features.
+//! * [`simd`] — explicit `std::simd` variants behind the `simd` cargo
+//!   feature (requires a nightly toolchain, or `RUSTC_BOOTSTRAP=1`).
+//!   Off by default; the scalar/chunked paths are always built.
+//!
+//! The public functions at the top of the module are the single
+//! dispatch point: they forward to [`chunked`] normally and to [`simd`]
+//! when the feature is enabled, so swapping the backend cannot change
+//! call sites — and tests can compare all variants on the same column.
+//!
+//! ## Masking convention
+//!
+//! Lost rounds are stored with `min_ms`/`avg_ms` = `f32::INFINITY`
+//! (never `NaN`); the kernels treat **every non-finite value as
+//! masked**. A masked element can never become a minimum, is not
+//! counted by [`count_at_or_below`], contributes `+0.0` to [`sum`], and
+//! is excluded from [`percentile`]'s population — exactly the filter
+//! `Ecdf::new` applies, so kernel order statistics are interchangeable
+//! with ECDF ones.
+//!
+//! ## Tie-break contract
+//!
+//! [`min_argmin`] and [`region_min_scan`] reproduce the sequential
+//! strict-`<` update rule: among all elements achieving the (numeric)
+//! minimum, the **lowest index wins**. Lane-striped accumulators keep a
+//! per-lane `(value, first index)` pair and the horizontal reduction
+//! takes the lexicographic minimum with numeric value comparison, which
+//! is exactly the first-index-wins answer (numeric comparison also
+//! groups `-0.0`/`+0.0`, matching the sequential rule's behaviour when
+//! both zeros appear). `CampaignFrame`'s append invariants are built on
+//! this contract — see DESIGN.md §7g.
+//!
+//! ## Bucketed percentiles
+//!
+//! [`percentile`] is selection by fixed-width histogram: one pass for
+//! the finite count and numeric min/max, one pass of bucket counts, and
+//! a gather of the single bucket containing the requested rank, then an
+//! exact `select_nth_unstable_by(total_cmp)` inside it. Because the
+//! bucket map is monotone (subtraction and division by a positive
+//! width are monotone under IEEE rounding) the k-th order statistic of
+//! the population is the k'-th order statistic of its bucket, so the
+//! result is the **exact** nearest-rank value — the error bound versus
+//! a full sort is 0, not "one bucket width". Degenerate ranges (all
+//! values equal, or a span too wide for a finite bucket width) fall
+//! back to selecting over the whole population, which is still O(n).
+
+use std::collections::HashMap;
+
+use shears_atlas::ProbeId;
+
+/// The columns [`region_min_scan`] reads, bundled so the scan has one
+/// argument instead of four parallel slices callers could mis-zip.
+/// All slices must be the same length (they are sub-slices of one
+/// store's columns).
+#[derive(Clone, Copy)]
+pub struct ScanCols<'a> {
+    /// Originating probe per row.
+    pub probes: &'a [ProbeId],
+    /// Target region per row.
+    pub regions: &'a [u16],
+    /// Minimum RTT per row (ms, `INFINITY` = lost round).
+    pub min_ms: &'a [f32],
+    /// Replies received per row (`0` = lost round).
+    pub received: &'a [u8],
+}
+
+impl ScanCols<'_> {
+    /// Number of rows in the (sub-)scan.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the scan covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+}
+
+/// Output of [`region_min_scan`]: the grouped minima and counters one
+/// shard of a `CampaignFrame` build (or one append slice) produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedMinima {
+    /// Sample count per probe (all samples, privileged included).
+    pub counts: Vec<u32>,
+    /// `(probe, region)` → `(min RTT, first store index achieving it)`
+    /// over unprivileged responded samples.
+    pub region_min: HashMap<(u32, u16), (f64, u32)>,
+    /// Unprivileged samples seen.
+    pub filtered: usize,
+    /// Unprivileged responded samples seen.
+    pub responded: usize,
+}
+
+impl GroupedMinima {
+    fn new(n_probes: usize) -> Self {
+        Self {
+            counts: vec![0; n_probes],
+            region_min: HashMap::new(),
+            filtered: 0,
+            responded: 0,
+        }
+    }
+}
+
+/// One row of the grouped scan — the sequential update rule every
+/// variant must reproduce exactly.
+#[inline(always)]
+fn scan_row(cols: &ScanCols<'_>, privileged: &[bool], base: u32, i: usize, out: &mut GroupedMinima) {
+    let p = cols.probes[i].index();
+    out.counts[p] += 1;
+    if privileged[p] {
+        return;
+    }
+    out.filtered += 1;
+    if cols.received[i] == 0 {
+        return;
+    }
+    out.responded += 1;
+    let v = f64::from(cols.min_ms[i]);
+    let idx = base + i as u32;
+    out.region_min
+        .entry((cols.probes[i].0, cols.regions[i]))
+        .and_modify(|e| {
+            // Strict `<` keeps the first index achieving the min.
+            if v < e.0 {
+                *e = (v, idx);
+            }
+        })
+        .or_insert((v, idx));
+}
+
+/// One bookkeeping-only row (chunks proven reply-free skip the rest).
+#[inline(always)]
+fn scan_row_lost(cols: &ScanCols<'_>, privileged: &[bool], i: usize, out: &mut GroupedMinima) {
+    let p = cols.probes[i].index();
+    out.counts[p] += 1;
+    if !privileged[p] {
+        out.filtered += 1;
+    }
+}
+
+/// Lexicographic "is `a` a better (min, first-index) witness than `b`"
+/// with numeric value comparison — the reduction rule shared by every
+/// argmin variant. Values are finite or the `INFINITY` init sentinel,
+/// never `NaN`, so the partial comparison is total here.
+#[inline(always)]
+fn better(a: (f32, u32), b: (f32, u32)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// Reduces lane accumulators plus a scalar tail into the final argmin.
+#[inline]
+fn reduce_argmin<const L: usize>(
+    vals: [f32; L],
+    idxs: [u32; L],
+    tail: &[f32],
+    tail_base: u32,
+) -> Option<(f32, u32)> {
+    let mut best = (f32::INFINITY, u32::MAX);
+    for l in 0..L {
+        if better((vals[l], idxs[l]), best) {
+            best = (vals[l], idxs[l]);
+        }
+    }
+    for (k, &v) in tail.iter().enumerate() {
+        if v.is_finite() && better((v, tail_base + k as u32), best) {
+            best = (v, tail_base + k as u32);
+        }
+    }
+    (best.1 != u32::MAX).then_some(best)
+}
+
+/// How a windowed query should run over an `at`-style column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeQuery {
+    /// The column is non-decreasing: rows `[lo, hi)` are exactly the
+    /// rows in the half-open window.
+    Slice(usize, usize),
+    /// The column is unordered; the caller must filter row by row.
+    Filter,
+}
+
+/// Number of histogram buckets for a population of `n` finite values.
+/// Any count gives the same (exact) answer; this just balances the
+/// counting pass against the candidate-bucket gather.
+fn bucket_count(n: usize) -> usize {
+    (n / 4).next_power_of_two().clamp(64, 4096)
+}
+
+/// Maps a value into its histogram bucket. Monotone in `v` (IEEE
+/// subtraction and division by a positive finite width are monotone),
+/// which is what makes bucketed selection exact.
+#[inline(always)]
+fn bucket_of(v: f64, min: f64, inv_width_b: f64, buckets: usize) -> usize {
+    (((v - min) * inv_width_b) as usize).min(buckets - 1)
+}
+
+/// Shared tail of the bucketed selection: gather the candidate bucket
+/// and select the exact rank inside it. `counts` is the bucket
+/// histogram, `k` the global rank among finite values.
+fn select_in_bucket(
+    values: &[f64],
+    counts: &[u32],
+    k: usize,
+    min: f64,
+    inv_width_b: f64,
+) -> f64 {
+    let buckets = counts.len();
+    let mut before = 0usize;
+    let mut target = buckets - 1;
+    for (b, &c) in counts.iter().enumerate() {
+        let c = c as usize;
+        if k < before + c {
+            target = b;
+            break;
+        }
+        before += c;
+    }
+    let mut candidates: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && bucket_of(*v, min, inv_width_b, buckets) == target)
+        .collect();
+    let k_in = k - before;
+    let (_, v, _) = candidates.select_nth_unstable_by(k_in, f64::total_cmp);
+    *v
+}
+
+/// Selection over the whole finite population — the degenerate-range
+/// fallback (all values equal, or `max - min` not finite).
+fn select_flat(values: &[f64], k: usize) -> f64 {
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (_, v, _) = finite.select_nth_unstable_by(k, f64::total_cmp);
+    *v
+}
+
+/// Nearest-rank index for quantile `q` over `n` samples — the exact
+/// formula `Ecdf::quantile` uses.
+#[inline]
+fn nearest_rank(q: f64, n: usize) -> usize {
+    let q = q.clamp(0.0, 1.0);
+    ((q * n as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(n - 1)
+}
+
+// ====================================================================
+// Scalar reference implementations
+// ====================================================================
+
+/// Plain per-element loops — the semantics every fast path must match
+/// bit for bit.
+pub mod scalar {
+    use super::*;
+
+    /// Masked min + argmin: least finite value, first index wins ties.
+    pub fn min_argmin(values: &[f32]) -> Option<(f32, u32)> {
+        let mut best = f32::INFINITY;
+        let mut at = u32::MAX;
+        for (i, &v) in values.iter().enumerate() {
+            if v.is_finite() && v < best {
+                best = v;
+                at = i as u32;
+            }
+        }
+        (at != u32::MAX).then_some((best, at))
+    }
+
+    /// Masked sum in lane-striped order: element `i` accumulates into
+    /// accumulator `i % 8` (masked elements contribute `+0.0`), and the
+    /// accumulators are combined left to right. The striping *is* the
+    /// kernel's definition — it is what makes the fast paths bit-equal.
+    pub fn sum(values: &[f32]) -> f64 {
+        let mut acc = [0.0f64; 8];
+        for (i, &v) in values.iter().enumerate() {
+            acc[i % 8] += if v.is_finite() { f64::from(v) } else { 0.0 };
+        }
+        acc.iter().fold(0.0, |a, &b| a + b)
+    }
+
+    /// Mean of the finite values (`None` if there are none).
+    pub fn mean(values: &[f32]) -> Option<f64> {
+        let n = values.iter().filter(|v| v.is_finite()).count();
+        (n > 0).then(|| sum(values) / n as f64)
+    }
+
+    /// Rows with at least one reply (`received != 0`).
+    pub fn count_nonzero(values: &[u8]) -> usize {
+        values.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Total packets across a `sent`/`received` column.
+    pub fn sum_u8(values: &[u8]) -> u64 {
+        values.iter().map(|&v| u64::from(v)).sum()
+    }
+
+    /// Finite values at or below `x` (the raw-column ECDF numerator).
+    pub fn count_at_or_below(values: &[f32], x: f64) -> usize {
+        values
+            .iter()
+            .filter(|v| v.is_finite() && f64::from(**v) <= x)
+            .count()
+    }
+
+    /// Classifies a `[from, to)` window over an `at`-style column.
+    pub fn range_partition<T: Copy + Ord>(col: &[T], from: T, to: T) -> RangeQuery {
+        if col.windows(2).any(|w| w[0] > w[1]) {
+            return RangeQuery::Filter;
+        }
+        let lo = col.partition_point(|&t| t < from);
+        let hi = col.partition_point(|&t| t < to);
+        RangeQuery::Slice(lo, hi)
+    }
+
+    /// Exact nearest-rank quantile over the finite values; `None` when
+    /// none are finite. Identical to `Ecdf::new(values).quantile(q)`.
+    pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+        let mut n = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                n += 1;
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let k = nearest_rank(q, n);
+        let width = (max - min) / bucket_count(n) as f64;
+        if !(width > 0.0) || !width.is_finite() {
+            return Some(select_flat(values, k));
+        }
+        let buckets = bucket_count(n);
+        let inv_width_b = 1.0 / width;
+        let mut counts = vec![0u32; buckets];
+        for &v in values {
+            if v.is_finite() {
+                counts[bucket_of(v, min, inv_width_b, buckets)] += 1;
+            }
+        }
+        Some(select_in_bucket(values, &counts, k, min, inv_width_b))
+    }
+
+    /// The grouped `(probe, region)` minima scan behind the frame.
+    pub fn region_min_scan(
+        cols: &ScanCols<'_>,
+        privileged: &[bool],
+        base: u32,
+        n_probes: usize,
+    ) -> GroupedMinima {
+        let mut out = GroupedMinima::new(n_probes);
+        for i in 0..cols.len() {
+            scan_row(cols, privileged, base, i, &mut out);
+        }
+        out
+    }
+}
+
+// ====================================================================
+// Chunked (autovectorisation-friendly) implementations
+// ====================================================================
+
+/// `chunks_exact` loops over lane-striped accumulators. No unstable
+/// features: the loops are shaped so LLVM vectorises them on its own.
+pub mod chunked {
+    use super::*;
+
+    /// Lane width for f32 striping (f32x8 = one AVX2 register).
+    const L: usize = 8;
+    /// Chunk width for u8 counting (one or two vector registers).
+    const BYTES: usize = 64;
+
+    /// See [`scalar::min_argmin`]; bit-identical.
+    pub fn min_argmin(values: &[f32]) -> Option<(f32, u32)> {
+        let mut vb = [f32::INFINITY; L];
+        let mut ib = [u32::MAX; L];
+        let mut base = 0u32;
+        let chunks = values.chunks_exact(L);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            for l in 0..L {
+                let v = chunk[l];
+                // Per-lane strict `<` keeps each lane's first witness;
+                // the reduction resolves cross-lane ties by index.
+                if v.is_finite() && v < vb[l] {
+                    vb[l] = v;
+                    ib[l] = base + l as u32;
+                }
+            }
+            base += L as u32;
+        }
+        reduce_argmin(vb, ib, tail, base)
+    }
+
+    /// See [`scalar::sum`]; the striping is the same, so the bits are.
+    pub fn sum(values: &[f32]) -> f64 {
+        let mut acc = [0.0f64; L];
+        let chunks = values.chunks_exact(L);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            for l in 0..L {
+                let v = chunk[l];
+                acc[l] += if v.is_finite() { f64::from(v) } else { 0.0 };
+            }
+        }
+        for (l, &v) in tail.iter().enumerate() {
+            acc[l] += if v.is_finite() { f64::from(v) } else { 0.0 };
+        }
+        acc.iter().fold(0.0, |a, &b| a + b)
+    }
+
+    /// See [`scalar::mean`].
+    pub fn mean(values: &[f32]) -> Option<f64> {
+        let mut n = 0u32;
+        let chunks = values.chunks_exact(L);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let mut c = 0u32;
+            for &v in chunk {
+                c += u32::from(v.is_finite());
+            }
+            n += c;
+        }
+        n += tail.iter().filter(|v| v.is_finite()).count() as u32;
+        (n > 0).then(|| sum(values) / f64::from(n))
+    }
+
+    /// See [`scalar::count_nonzero`].
+    pub fn count_nonzero(values: &[u8]) -> usize {
+        let mut total = 0usize;
+        let chunks = values.chunks_exact(BYTES);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let mut c = 0u32;
+            for &v in chunk {
+                c += u32::from(v != 0);
+            }
+            total += c as usize;
+        }
+        total + tail.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// See [`scalar::sum_u8`].
+    pub fn sum_u8(values: &[u8]) -> u64 {
+        let mut total = 0u64;
+        let chunks = values.chunks_exact(BYTES);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            // 64 × 255 < 2^24: a u32 per chunk cannot overflow.
+            let mut c = 0u32;
+            for &v in chunk {
+                c += u32::from(v);
+            }
+            total += u64::from(c);
+        }
+        total + tail.iter().map(|&v| u64::from(v)).sum::<u64>()
+    }
+
+    /// See [`scalar::count_at_or_below`].
+    pub fn count_at_or_below(values: &[f32], x: f64) -> usize {
+        let mut total = 0usize;
+        let chunks = values.chunks_exact(L * 2);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let mut c = 0u32;
+            for &v in chunk {
+                c += u32::from(v.is_finite() && f64::from(v) <= x);
+            }
+            total += c as usize;
+        }
+        total
+            + tail
+                .iter()
+                .filter(|v| v.is_finite() && f64::from(**v) <= x)
+                .count()
+    }
+
+    /// See [`scalar::range_partition`]. The sortedness sweep runs in
+    /// chunk-sized strides of independent comparisons.
+    pub fn range_partition<T: Copy + Ord>(col: &[T], from: T, to: T) -> RangeQuery {
+        let mut sorted = true;
+        for w in col.chunks(BYTES) {
+            let mut bad = false;
+            for k in w.windows(2) {
+                bad |= k[0] > k[1];
+            }
+            if bad {
+                sorted = false;
+                break;
+            }
+        }
+        // Chunk seams: windows(2) inside chunks misses the joints.
+        if sorted {
+            let mut i = BYTES;
+            while i < col.len() {
+                if col[i - 1] > col[i] {
+                    sorted = false;
+                    break;
+                }
+                i += BYTES;
+            }
+        }
+        if !sorted {
+            return RangeQuery::Filter;
+        }
+        let lo = col.partition_point(|&t| t < from);
+        let hi = col.partition_point(|&t| t < to);
+        RangeQuery::Slice(lo, hi)
+    }
+
+    /// See [`scalar::percentile`]; identical ranks, buckets and
+    /// selection — only the counting passes are restructured.
+    pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+        let mut n = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for chunk in values.chunks(BYTES) {
+            let mut c = 0u32;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in chunk {
+                let finite = v.is_finite();
+                c += u32::from(finite);
+                if finite && v < lo {
+                    lo = v;
+                }
+                if finite && v > hi {
+                    hi = v;
+                }
+            }
+            n += c as usize;
+            if lo < min {
+                min = lo;
+            }
+            if hi > max {
+                max = hi;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let k = nearest_rank(q, n);
+        let buckets = bucket_count(n);
+        let width = (max - min) / buckets as f64;
+        if !(width > 0.0) || !width.is_finite() {
+            return Some(select_flat(values, k));
+        }
+        let inv_width_b = 1.0 / width;
+        let mut counts = vec![0u32; buckets];
+        let mut idx_scratch = [0usize; BYTES];
+        for chunk in values.chunks(BYTES) {
+            // Bucket indices vectorise; the scatter below does not, but
+            // it touches a 4–32 KiB table that stays cache-hot.
+            for (s, &v) in idx_scratch.iter_mut().zip(chunk) {
+                *s = if v.is_finite() {
+                    bucket_of(v, min, inv_width_b, buckets)
+                } else {
+                    usize::MAX
+                };
+            }
+            for &b in &idx_scratch[..chunk.len()] {
+                if b != usize::MAX {
+                    counts[b] += 1;
+                }
+            }
+        }
+        Some(select_in_bucket(values, &counts, k, min, inv_width_b))
+    }
+
+    /// See [`scalar::region_min_scan`]. The fast path precomputes a
+    /// per-chunk responded count (one vectorisable compare-sum), so
+    /// chunks that are entirely lost rounds — blackout windows, chaos
+    /// campaigns — skip the hash/update machinery per row.
+    pub fn region_min_scan(
+        cols: &ScanCols<'_>,
+        privileged: &[bool],
+        base: u32,
+        n_probes: usize,
+    ) -> GroupedMinima {
+        let mut out = GroupedMinima::new(n_probes);
+        let n = cols.len();
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + BYTES).min(n);
+            let mut responded = 0u32;
+            for &r in &cols.received[lo..hi] {
+                responded += u32::from(r != 0);
+            }
+            if responded == 0 {
+                for i in lo..hi {
+                    scan_row_lost(cols, privileged, i, &mut out);
+                }
+            } else {
+                for i in lo..hi {
+                    scan_row(cols, privileged, base, i, &mut out);
+                }
+            }
+            lo = hi;
+        }
+        out
+    }
+}
+
+// ====================================================================
+// std::simd implementations (feature = "simd", nightly toolchains)
+// ====================================================================
+
+/// Explicit `std::simd` variants. Same lane striping as [`chunked`]
+/// (f32x8 / 64-byte blocks), so the results are bit-identical; the
+/// difference is that vectorisation is guaranteed rather than hoped
+/// for from the autovectoriser.
+#[cfg(feature = "simd")]
+pub mod simd {
+    use super::*;
+    use std::simd::prelude::*;
+    // `Mask::select` lives on this trait (not in the prelude on every
+    // nightly that ships portable_simd).
+    use std::simd::Select as _;
+
+    const L: usize = 8;
+    const BYTES: usize = 64;
+
+    /// See [`scalar::min_argmin`]; bit-identical.
+    pub fn min_argmin(values: &[f32]) -> Option<(f32, u32)> {
+        let mut vb = f32x8::splat(f32::INFINITY);
+        let mut ib = u32x8::splat(u32::MAX);
+        let mut idx = u32x8::from_array([0, 1, 2, 3, 4, 5, 6, 7]);
+        let chunks = values.chunks_exact(L);
+        let tail = chunks.remainder();
+        let mut base = 0u32;
+        for chunk in chunks {
+            let v = f32x8::from_slice(chunk);
+            let m = v.is_finite() & v.simd_lt(vb);
+            vb = m.select(v, vb);
+            ib = m.select(idx, ib);
+            idx += u32x8::splat(L as u32);
+            base += L as u32;
+        }
+        reduce_argmin(vb.to_array(), ib.to_array(), tail, base)
+    }
+
+    /// See [`scalar::sum`]; same striped accumulation order.
+    pub fn sum(values: &[f32]) -> f64 {
+        let mut acc = f64x8::splat(0.0);
+        let chunks = values.chunks_exact(L);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let v = f32x8::from_slice(chunk);
+            let masked = v.is_finite().select(v, f32x8::splat(0.0));
+            acc += masked.cast::<f64>();
+        }
+        let mut lanes = acc.to_array();
+        for (l, &v) in tail.iter().enumerate() {
+            lanes[l] += if v.is_finite() { f64::from(v) } else { 0.0 };
+        }
+        lanes.iter().fold(0.0, |a, &b| a + b)
+    }
+
+    /// See [`scalar::mean`].
+    pub fn mean(values: &[f32]) -> Option<f64> {
+        let mut n = 0u32;
+        let chunks = values.chunks_exact(L);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let v = f32x8::from_slice(chunk);
+            n += v.is_finite().to_bitmask().count_ones();
+        }
+        n += tail.iter().filter(|v| v.is_finite()).count() as u32;
+        (n > 0).then(|| sum(values) / f64::from(n))
+    }
+
+    /// See [`scalar::count_nonzero`].
+    pub fn count_nonzero(values: &[u8]) -> usize {
+        let mut total = 0usize;
+        let chunks = values.chunks_exact(BYTES);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let v = u8x64::from_slice(chunk);
+            total += v.simd_ne(u8x64::splat(0)).to_bitmask().count_ones() as usize;
+        }
+        total + tail.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// See [`scalar::sum_u8`].
+    pub fn sum_u8(values: &[u8]) -> u64 {
+        let mut total = 0u64;
+        let chunks = values.chunks_exact(BYTES);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let v = u8x64::from_slice(chunk);
+            total += u64::from(v.cast::<u16>().reduce_sum());
+        }
+        total + tail.iter().map(|&v| u64::from(v)).sum::<u64>()
+    }
+
+    /// See [`scalar::count_at_or_below`].
+    pub fn count_at_or_below(values: &[f32], x: f64) -> usize {
+        // The f64 threshold comparison is done in f64 per the scalar
+        // definition; widen each f32 block before comparing.
+        let mut total = 0usize;
+        let xs = f64x8::splat(x);
+        let chunks = values.chunks_exact(L);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let v = f32x8::from_slice(chunk);
+            let wide = v.cast::<f64>();
+            let m = v.is_finite().cast::<i64>() & wide.simd_le(xs);
+            total += m.to_bitmask().count_ones() as usize;
+        }
+        total
+            + tail
+                .iter()
+                .filter(|v| v.is_finite() && f64::from(**v) <= x)
+                .count()
+    }
+
+    /// See [`scalar::range_partition`]. Sortedness via shifted u64
+    /// lane compares when the element is `u64`-shaped is left to the
+    /// autovectoriser here: the generic bound keeps one implementation.
+    pub fn range_partition<T: Copy + Ord>(col: &[T], from: T, to: T) -> RangeQuery {
+        chunked::range_partition(col, from, to)
+    }
+
+    /// See [`scalar::percentile`]; min/max/count pass in f64x8 lanes.
+    pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+        let mut n = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let chunks = values.chunks_exact(L);
+        let tail = chunks.remainder();
+        let mut lo = f64x8::splat(f64::INFINITY);
+        let mut hi = f64x8::splat(f64::NEG_INFINITY);
+        for chunk in chunks {
+            let v = f64x8::from_slice(chunk);
+            let m = v.is_finite();
+            n += m.to_bitmask().count_ones() as usize;
+            lo = m.select(v.simd_min(lo), lo);
+            hi = m.select(v.simd_max(hi), hi);
+        }
+        for l in lo.to_array() {
+            if l < min {
+                min = l;
+            }
+        }
+        for h in hi.to_array() {
+            if h > max {
+                max = h;
+            }
+        }
+        for &v in tail {
+            if v.is_finite() {
+                n += 1;
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let k = nearest_rank(q, n);
+        let buckets = bucket_count(n);
+        let width = (max - min) / buckets as f64;
+        if !(width > 0.0) || !width.is_finite() {
+            return Some(select_flat(values, k));
+        }
+        let inv_width_b = 1.0 / width;
+        let mins = f64x8::splat(min);
+        let invs = f64x8::splat(inv_width_b);
+        let mut counts = vec![0u32; buckets];
+        for chunk in values.chunks_exact(L) {
+            let v = f64x8::from_slice(chunk);
+            let idx = ((v - mins) * invs).cast::<u64>();
+            let finite = v.is_finite().to_bitmask();
+            let lanes = idx.to_array();
+            for (l, &b) in lanes.iter().enumerate() {
+                if finite & (1 << l) != 0 {
+                    counts[(b as usize).min(buckets - 1)] += 1;
+                }
+            }
+        }
+        for &v in values.chunks_exact(L).remainder() {
+            if v.is_finite() {
+                counts[bucket_of(v, min, inv_width_b, buckets)] += 1;
+            }
+        }
+        Some(select_in_bucket(values, &counts, k, min, inv_width_b))
+    }
+
+    /// See [`scalar::region_min_scan`]; the per-chunk responded mask
+    /// is one `u8x64` compare.
+    pub fn region_min_scan(
+        cols: &ScanCols<'_>,
+        privileged: &[bool],
+        base: u32,
+        n_probes: usize,
+    ) -> GroupedMinima {
+        let mut out = GroupedMinima::new(n_probes);
+        let n = cols.len();
+        let mut lo = 0usize;
+        while lo + BYTES <= n {
+            let hi = lo + BYTES;
+            let v = u8x64::from_slice(&cols.received[lo..hi]);
+            if v.simd_ne(u8x64::splat(0)).to_bitmask() == 0 {
+                for i in lo..hi {
+                    scan_row_lost(cols, privileged, i, &mut out);
+                }
+            } else {
+                for i in lo..hi {
+                    scan_row(cols, privileged, base, i, &mut out);
+                }
+            }
+            lo = hi;
+        }
+        for i in lo..n {
+            scan_row(cols, privileged, base, i, &mut out);
+        }
+        out
+    }
+}
+
+// ====================================================================
+// The dispatch point
+// ====================================================================
+
+#[cfg(feature = "simd")]
+use simd as active;
+
+#[cfg(not(feature = "simd"))]
+use chunked as active;
+
+/// Masked min + argmin over an RTT column: the least finite value and
+/// the first store index achieving it (`INFINITY` loss markers and any
+/// `NaN` can never win). `None` when no value is finite.
+pub fn min_argmin(values: &[f32]) -> Option<(f32, u32)> {
+    active::min_argmin(values)
+}
+
+/// Masked sum of the finite values, in the kernel's fixed lane-striped
+/// accumulation order (see [`scalar::sum`] for the definition).
+pub fn sum(values: &[f32]) -> f64 {
+    active::sum(values)
+}
+
+/// Mean of the finite values; `None` when none are finite.
+pub fn mean(values: &[f32]) -> Option<f64> {
+    active::mean(values)
+}
+
+/// Number of non-zero bytes — rounds with ≥1 reply when applied to the
+/// store's `received` column.
+pub fn count_nonzero(values: &[u8]) -> usize {
+    active::count_nonzero(values)
+}
+
+/// Total of a `u8` column — packets sent/received across a campaign.
+pub fn sum_u8(values: &[u8]) -> u64 {
+    active::sum_u8(values)
+}
+
+/// Finite values at or below `x` — the numerator of an ECDF evaluated
+/// directly on an unsorted column.
+pub fn count_at_or_below(values: &[f32], x: f64) -> usize {
+    active::count_at_or_below(values, x)
+}
+
+/// Classifies a half-open `[from, to)` window over an `at`-style
+/// column: a binary-searched slice when the column is non-decreasing
+/// (every round-major producer in the tree), a row filter otherwise.
+pub fn range_partition<T: Copy + Ord>(col: &[T], from: T, to: T) -> RangeQuery {
+    active::range_partition(col, from, to)
+}
+
+/// Exact nearest-rank quantile of the finite values by bucketed
+/// selection — bit-identical to `Ecdf::new(values.to_vec()).quantile(q)`
+/// without the copy or the full sort. `None` when no value is finite.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    active::percentile(values, q)
+}
+
+/// Exact median by selection (see [`percentile`]).
+pub fn median(values: &[f64]) -> Option<f64> {
+    active::percentile(values, 0.5)
+}
+
+/// The grouped `(probe, region)` minima scan `CampaignFrame` builds
+/// and appends run: per-probe sample counts, privileged filtering,
+/// and first-index-wins minima over responded rows.
+pub fn region_min_scan(
+    cols: &ScanCols<'_>,
+    privileged: &[bool],
+    base: u32,
+    n_probes: usize,
+) -> GroupedMinima {
+    active::region_min_scan(cols, privileged, base, n_probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Ecdf;
+
+    /// SplitMix64 — self-contained generator for adversarial columns.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// RTT-ish column with loss markers, NaN, ties and both zeros.
+    fn adversarial_f32(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| match splitmix(&mut s) % 16 {
+                0 => f32::INFINITY,
+                1 => f32::NAN,
+                2 => 42.5, // frequent exact tie
+                3 => 0.0,
+                4 => -0.0,
+                r => (r as f32) * 7.25 + ((splitmix(&mut s) % 1000) as f32) / 64.0,
+            })
+            .collect()
+    }
+
+    fn adversarial_f64(len: usize, seed: u64) -> Vec<f64> {
+        adversarial_f32(len, seed).iter().map(|&v| f64::from(v)).collect()
+    }
+
+    /// Lengths around every chunk/lane boundary, plus empty.
+    const LENGTHS: [usize; 12] = [0, 1, 2, 7, 8, 9, 31, 63, 64, 65, 200, 1023];
+
+    #[test]
+    fn min_argmin_variants_agree_on_adversarial_columns() {
+        for len in LENGTHS {
+            for seed in 0..8u64 {
+                let col = adversarial_f32(len, seed);
+                let want = scalar::min_argmin(&col);
+                assert_eq!(chunked::min_argmin(&col), want, "len {len} seed {seed}");
+                #[cfg(feature = "simd")]
+                assert_eq!(simd::min_argmin(&col), want, "len {len} seed {seed}");
+                assert_eq!(min_argmin(&col), want);
+                // Pin the semantics against a from-first-principles
+                // reference: least finite value, first index.
+                let reference = col
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_finite())
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+                    .map(|(i, &v)| (v, i as u32));
+                if let (Some((rv, ri)), Some((gv, gi))) = (reference, want) {
+                    assert_eq!(ri, gi, "len {len} seed {seed}");
+                    assert_eq!(rv.to_bits(), gv.to_bits());
+                } else {
+                    assert_eq!(reference.is_none(), want.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_argmin_first_index_wins_exact_ties() {
+        let col = [f32::INFINITY, 5.0, 3.25, f32::NAN, 3.25, 9.0, 3.25];
+        assert_eq!(min_argmin(&col), Some((3.25, 2)));
+        // A tie that lands in a different lane must still lose.
+        let mut long = vec![f32::INFINITY; 40];
+        long[9] = 1.5;
+        long[24] = 1.5;
+        assert_eq!(scalar::min_argmin(&long), Some((1.5, 9)));
+        assert_eq!(chunked::min_argmin(&long), Some((1.5, 9)));
+        #[cfg(feature = "simd")]
+        assert_eq!(simd::min_argmin(&long), Some((1.5, 9)));
+    }
+
+    #[test]
+    fn min_argmin_masks_all_loss_columns() {
+        assert_eq!(min_argmin(&[]), None);
+        assert_eq!(min_argmin(&[f32::INFINITY; 100]), None);
+        assert_eq!(min_argmin(&[f32::NAN, f32::INFINITY]), None);
+    }
+
+    #[test]
+    fn sum_and_mean_variants_are_bit_identical() {
+        for len in LENGTHS {
+            for seed in 0..4u64 {
+                let col = adversarial_f32(len, seed);
+                let want = scalar::sum(&col);
+                assert_eq!(chunked::sum(&col).to_bits(), want.to_bits());
+                #[cfg(feature = "simd")]
+                assert_eq!(simd::sum(&col).to_bits(), want.to_bits());
+                let want_mean = scalar::mean(&col);
+                let got = mean(&col);
+                assert_eq!(
+                    got.map(f64::to_bits),
+                    want_mean.map(f64::to_bits),
+                    "len {len} seed {seed}"
+                );
+            }
+        }
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[f32::INFINITY]), None);
+    }
+
+    #[test]
+    fn byte_counts_agree_across_variants() {
+        for len in LENGTHS {
+            let mut s = len as u64 + 7;
+            let col: Vec<u8> = (0..len).map(|_| (splitmix(&mut s) % 4) as u8).collect();
+            let want = scalar::count_nonzero(&col);
+            assert_eq!(chunked::count_nonzero(&col), want, "len {len}");
+            #[cfg(feature = "simd")]
+            assert_eq!(simd::count_nonzero(&col), want, "len {len}");
+            let want_sum = scalar::sum_u8(&col);
+            assert_eq!(chunked::sum_u8(&col), want_sum);
+            #[cfg(feature = "simd")]
+            assert_eq!(simd::sum_u8(&col), want_sum);
+        }
+        // Saturation: a chunk of 255s must not overflow intermediates.
+        let maxed = vec![255u8; 130];
+        assert_eq!(sum_u8(&maxed), 255 * 130);
+        assert_eq!(count_nonzero(&maxed), 130);
+    }
+
+    #[test]
+    fn count_at_or_below_matches_the_ecdf_numerator() {
+        for len in LENGTHS {
+            for seed in 3..6u64 {
+                let col = adversarial_f32(len, seed);
+                for x in [-1.0, 0.0, 7.25, 42.5, 1e9] {
+                    let want = scalar::count_at_or_below(&col, x);
+                    assert_eq!(chunked::count_at_or_below(&col, x), want);
+                    #[cfg(feature = "simd")]
+                    assert_eq!(simd::count_at_or_below(&col, x), want);
+                    // ECDF equivalence: same population, same count —
+                    // compared as count/len fractions (bitwise: both
+                    // sides are the same integer division), because
+                    // frac * len round-trips with rounding error.
+                    let e = Ecdf::new(col.iter().map(|&v| f64::from(v)).collect());
+                    if !e.is_empty() {
+                        let frac = e.fraction_at_or_below(x);
+                        assert_eq!(
+                            frac.to_bits(),
+                            (want as f64 / e.len() as f64).to_bits(),
+                            "len {len} seed {seed} x {x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_partition_classifies_sorted_and_unsorted() {
+        for len in LENGTHS {
+            let sorted: Vec<u64> = (0..len as u64).map(|i| i * 3).collect();
+            let q = scalar::range_partition(&sorted, 5, 20);
+            assert_eq!(chunked::range_partition(&sorted, 5, 20), q);
+            if let RangeQuery::Slice(lo, hi) = q {
+                let expect: Vec<u64> = sorted
+                    .iter()
+                    .copied()
+                    .filter(|&t| (5..20).contains(&t))
+                    .collect();
+                assert_eq!(&sorted[lo..hi], &expect[..], "len {len}");
+            } else {
+                panic!("sorted column must slice");
+            }
+        }
+        // One inversion anywhere — including across a chunk seam —
+        // must demote to Filter.
+        for flip in [1usize, 63, 64, 65, 127, 128] {
+            let mut col: Vec<u64> = (0..200u64).collect();
+            col.swap(flip, flip - 1);
+            assert_eq!(scalar::range_partition(&col, 0, 10), RangeQuery::Filter);
+            assert_eq!(chunked::range_partition(&col, 0, 10), RangeQuery::Filter);
+        }
+        // Ties are fine: non-decreasing is sorted enough.
+        let ties = vec![4u64; 100];
+        assert!(matches!(
+            range_partition(&ties, 4, 5),
+            RangeQuery::Slice(0, 100)
+        ));
+    }
+
+    #[test]
+    fn percentile_is_bit_identical_to_the_ecdf_path() {
+        for len in LENGTHS {
+            for seed in 0..6u64 {
+                let col = adversarial_f64(len, seed);
+                let e = Ecdf::new(col.clone());
+                for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0, 2.0] {
+                    let want = e.quantile(q);
+                    for (name, got) in [
+                        ("scalar", scalar::percentile(&col, q)),
+                        ("chunked", chunked::percentile(&col, q)),
+                        #[cfg(feature = "simd")]
+                        ("simd", simd::percentile(&col, q)),
+                    ] {
+                        assert_eq!(
+                            got.map(f64::to_bits),
+                            want.map(f64::to_bits),
+                            "{name} len {len} seed {seed} q {q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_handles_degenerate_populations() {
+        // All equal: width 0 falls back to flat selection.
+        let flat = vec![13.5f64; 100];
+        assert_eq!(percentile(&flat, 0.5), Some(13.5));
+        // Mixed zeros: total_cmp ordering must hold at the boundary.
+        let zeros: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 0.0 } else { -0.0 }).collect();
+        let e = Ecdf::new(zeros.clone());
+        for q in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                percentile(&zeros, q).map(f64::to_bits),
+                e.quantile(q).map(f64::to_bits)
+            );
+        }
+        // A span too wide for a finite bucket width.
+        let wide = vec![f64::MIN / 2.0, 0.0, f64::MAX / 2.0, f64::MAX];
+        let e = Ecdf::new(wide.clone());
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(percentile(&wide, q), e.quantile(q));
+        }
+        // Nothing finite.
+        assert_eq!(percentile(&[f64::NAN, f64::INFINITY], 0.5), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn median_shortcut_matches_percentile() {
+        let col = adversarial_f64(333, 9);
+        assert_eq!(
+            median(&col).map(f64::to_bits),
+            percentile(&col, 0.5).map(f64::to_bits)
+        );
+    }
+
+    fn adversarial_scan(len: usize, n_probes: usize, seed: u64) -> (Vec<ProbeId>, Vec<u16>, Vec<f32>, Vec<u8>, Vec<bool>) {
+        let mut s = seed;
+        let probes: Vec<ProbeId> = (0..len)
+            .map(|_| ProbeId((splitmix(&mut s) % n_probes as u64) as u32))
+            .collect();
+        let regions: Vec<u16> = (0..len).map(|_| (splitmix(&mut s) % 5) as u16).collect();
+        let received: Vec<u8> = (0..len).map(|_| (splitmix(&mut s) % 3 != 0) as u8 * 3).collect();
+        let min_ms: Vec<f32> = received
+            .iter()
+            .map(|&r| {
+                if r == 0 {
+                    f32::INFINITY
+                } else {
+                    // Coarse quantisation forces plenty of exact ties.
+                    ((splitmix(&mut s) % 8) as f32) * 10.0
+                }
+            })
+            .collect();
+        let privileged: Vec<bool> = (0..n_probes).map(|p| p % 7 == 0).collect();
+        (probes, regions, min_ms, received, privileged)
+    }
+
+    #[test]
+    fn region_min_scan_variants_agree_with_the_scalar_reference() {
+        for len in [0usize, 1, 63, 64, 65, 200, 777] {
+            for seed in 0..4u64 {
+                let (probes, regions, min_ms, received, privileged) =
+                    adversarial_scan(len, 11, seed);
+                let cols = ScanCols {
+                    probes: &probes,
+                    regions: &regions,
+                    min_ms: &min_ms,
+                    received: &received,
+                };
+                let want = scalar::region_min_scan(&cols, &privileged, 1000, 11);
+                assert_eq!(
+                    chunked::region_min_scan(&cols, &privileged, 1000, 11),
+                    want,
+                    "len {len} seed {seed}"
+                );
+                #[cfg(feature = "simd")]
+                assert_eq!(simd::region_min_scan(&cols, &privileged, 1000, 11), want);
+                // Invariants the frame depends on.
+                assert_eq!(want.counts.iter().map(|&c| c as usize).sum::<usize>(), len);
+                assert!(want.responded <= want.filtered && want.filtered <= len);
+                for (&(p, _), &(v, idx)) in &want.region_min {
+                    assert!(!privileged[p as usize]);
+                    assert!(v.is_finite());
+                    assert!(idx >= 1000 && idx < 1000 + len as u32, "global index");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_min_scan_skips_all_lost_chunks_without_losing_bookkeeping() {
+        // 3 chunks of entirely lost rounds: counts and filtered still
+        // accumulate, no minima appear.
+        let n = 192;
+        let probes: Vec<ProbeId> = (0..n).map(|i| ProbeId(i as u32 % 4)).collect();
+        let regions = vec![0u16; n];
+        let min_ms = vec![f32::INFINITY; n];
+        let received = vec![0u8; n];
+        let privileged = vec![false, true, false, false];
+        let cols = ScanCols {
+            probes: &probes,
+            regions: &regions,
+            min_ms: &min_ms,
+            received: &received,
+        };
+        for scan in [
+            scalar::region_min_scan(&cols, &privileged, 0, 4),
+            chunked::region_min_scan(&cols, &privileged, 0, 4),
+            #[cfg(feature = "simd")]
+            simd::region_min_scan(&cols, &privileged, 0, 4),
+        ] {
+            assert_eq!(scan.counts, vec![48; 4]);
+            assert_eq!(scan.filtered, 144, "privileged probe 1 excluded");
+            assert_eq!(scan.responded, 0);
+            assert!(scan.region_min.is_empty());
+        }
+    }
+}

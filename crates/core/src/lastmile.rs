@@ -13,7 +13,7 @@ use shears_atlas::ProbeId;
 use shears_netsim::SimTime;
 
 use crate::data::CampaignData;
-use crate::stats::Ecdf;
+use crate::kernels;
 
 /// Multiple of the country-median baseline beyond which a probe is
 /// considered out of line and excluded (the paper's "verify that their
@@ -96,7 +96,7 @@ pub fn last_mile_report(data: &CampaignData<'_>, bin_width: SimTime) -> Option<L
     }
     let country_median: HashMap<&str, f64> = wired_baselines_by_country
         .into_iter()
-        .filter_map(|(c, v)| Ecdf::new(v).median().map(|m| (c, m)))
+        .filter_map(|(c, v)| kernels::median(&v).map(|m| (c, m)))
         .collect();
     let in_line = |id: ProbeId, country: &str| -> bool {
         match (frame.probe_min(id), country_median.get(country)) {
@@ -146,14 +146,15 @@ pub fn last_mile_report(data: &CampaignData<'_>, bin_width: SimTime) -> Option<L
         .into_iter()
         .map(|(bin, (wired, wireless))| LastMileBin {
             at: SimTime::from_nanos(bin * bin_width.as_nanos()),
-            wired_ms: Ecdf::new(wired).median(),
-            wireless_ms: Ecdf::new(wireless).median(),
+            // Selection-kernel medians: exact nearest-rank, no sort.
+            wired_ms: kernels::median(&wired),
+            wireless_ms: kernels::median(&wireless),
         })
         .collect();
     bins.sort_by_key(|b| b.at);
 
-    let wired_median_ms = Ecdf::new(wired_all).median()?;
-    let wireless_median_ms = Ecdf::new(wireless_all).median()?;
+    let wired_median_ms = kernels::median(&wired_all)?;
+    let wireless_median_ms = kernels::median(&wireless_all)?;
     Some(LastMileReport {
         bins,
         wired_median_ms,

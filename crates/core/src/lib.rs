@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod bandwidth;
 pub mod breakdown;
@@ -46,6 +47,7 @@ pub mod edgegain;
 pub mod expansion;
 pub mod frame;
 pub mod headline;
+pub mod kernels;
 pub mod lastmile;
 pub mod providers;
 pub mod proximity;

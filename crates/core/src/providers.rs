@@ -18,6 +18,8 @@ use shears_netsim::ping::PathSampler;
 use shears_netsim::queue::DiurnalLoad;
 use shears_netsim::routing::Router;
 
+use crate::kernels;
+#[cfg(test)]
 use crate::stats::Ecdf;
 
 /// Per-provider, per-continent medians.
@@ -66,7 +68,7 @@ impl ProviderReport {
                 .filter(|r| r.provider.has_private_backbone() == private)
                 .filter_map(|r| r.global_median_ms)
                 .collect();
-            Ecdf::new(v).median()
+            kernels::median(&v)
         };
         (collect(true), collect(false))
     }
@@ -118,7 +120,7 @@ pub fn controlled_city_comparison(
                 );
             }
         }
-        if let Some(median) = Ecdf::new(floors).median() {
+        if let Some(median) = kernels::median(&floors) {
             out.push((provider, median));
         }
     }
@@ -177,13 +179,13 @@ pub fn provider_comparison(platform: &Platform, max_probes: usize) -> ProviderRe
                 .map(|&c| {
                     let v = by_continent.get(&c).cloned().unwrap_or_default();
                     all.extend_from_slice(&v);
-                    (c, Ecdf::new(v).median())
+                    (c, kernels::median(&v))
                 })
                 .collect();
             ProviderRow {
                 provider,
                 median_ms,
-                global_median_ms: Ecdf::new(all).median(),
+                global_median_ms: kernels::median(&all),
             }
         })
         .collect();

@@ -96,18 +96,20 @@ impl ProbeMinCdfs {
     }
 }
 
-/// Computes the Fig. 5 CDFs from the frame's per-probe minima.
+/// Computes the Fig. 5 CDFs from the frame's per-probe minima. The
+/// grouping pass uses a dense [`Continent::slot`]-indexed table (six
+/// vectors) instead of hashing each sample's continent.
 pub fn probe_min_cdfs(data: &CampaignData<'_>) -> ProbeMinCdfs {
     let frame = data.frame();
-    let mut per_continent: HashMap<Continent, Vec<f64>> = HashMap::new();
+    let mut per_continent: [Vec<f64>; 6] = Default::default();
     for (id, v) in frame.probe_minima() {
-        let continent = data.probe(id).continent;
-        per_continent.entry(continent).or_default().push(v);
+        per_continent[data.probe(id).continent.slot()].push(v);
     }
     ProbeMinCdfs {
         by_continent: Continent::ALL
             .iter()
-            .map(|&c| (c, Ecdf::new(per_continent.remove(&c).unwrap_or_default())))
+            .zip(per_continent)
+            .map(|(&c, v)| (c, Ecdf::new(v)))
             .collect(),
     }
 }

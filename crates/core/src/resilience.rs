@@ -25,7 +25,7 @@ use shears_netsim::topology::LinkClass;
 use shears_netsim::SimTime;
 
 use crate::data::CampaignData;
-use crate::stats::Ecdf;
+use crate::kernels;
 
 /// Builds the plan that permanently fails every inter-continental link
 /// whose endpoints lie on the two given continents — a whole-corridor
@@ -161,12 +161,12 @@ pub fn failure_study(
         if probes == 0 {
             continue;
         }
-        let failed_median = Ecdf::new(failed_ms).median()
-            .filter(|_| disconnected * 2 <= probes);
+        let failed_median =
+            kernels::median(&failed_ms).filter(|_| disconnected * 2 <= probes);
         rows.push(ResilienceRow {
             continent,
             probes,
-            healthy_median_ms: Ecdf::new(healthy_ms).median().unwrap_or(f64::NAN),
+            healthy_median_ms: kernels::median(&healthy_ms).unwrap_or(f64::NAN),
             failed_median_ms: failed_median,
             degraded_fraction: degraded as f64 / probes as f64,
             disconnected_fraction: disconnected as f64 / probes as f64,
@@ -246,7 +246,7 @@ impl Bucket {
     }
 
     fn median(self) -> Option<f64> {
-        Ecdf::new(self.rtts).median()
+        kernels::median(&self.rtts)
     }
 }
 

@@ -16,10 +16,13 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF, dropping non-finite samples.
+    /// Builds an ECDF, dropping non-finite samples. Takes ownership of
+    /// the buffer: retain + sort happen in place, and the unstable sort
+    /// allocates no scratch (under `total_cmp`, equal means bit-equal,
+    /// so stability cannot change the sorted sequence).
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|v| v.is_finite());
-        samples.sort_by(f64::total_cmp);
+        samples.sort_unstable_by(f64::total_cmp);
         Self { sorted: samples }
     }
 
@@ -107,22 +110,45 @@ pub struct Summary {
 
 impl Summary {
     /// Summarises samples (non-finite values dropped); `None` if none
-    /// remain.
+    /// remain. One buffer copy, sorted in place — callers that already
+    /// hold an [`Ecdf`] should use [`Summary::of_ecdf`], which copies
+    /// nothing.
     pub fn of(samples: &[f64]) -> Option<Summary> {
-        let ecdf = Ecdf::new(samples.to_vec());
-        if ecdf.is_empty() {
+        let mut owned = samples.to_vec();
+        owned.retain(|v| v.is_finite());
+        owned.sort_unstable_by(f64::total_cmp);
+        Self::of_sorted(&owned)
+    }
+
+    /// Summarises an already-built ECDF without copying its samples.
+    pub fn of_ecdf(ecdf: &Ecdf) -> Option<Summary> {
+        Self::of_sorted(ecdf.samples())
+    }
+
+    /// Core: all eight statistics off one ascending `total_cmp`-sorted
+    /// slice. The mean is a sequential left-to-right sum over that
+    /// order — the accumulation order is part of the bit contract.
+    fn of_sorted(sorted: &[f64]) -> Option<Summary> {
+        if sorted.is_empty() {
             return None;
         }
-        let mean = ecdf.samples().iter().sum::<f64>() / ecdf.len() as f64;
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        // Nearest rank, exactly `Ecdf::quantile`'s formula.
+        let q = |q: f64| {
+            sorted[((q * n as f64).ceil() as usize)
+                .saturating_sub(1)
+                .min(n - 1)]
+        };
         Some(Summary {
-            n: ecdf.len(),
-            min: ecdf.min()?,
-            p25: ecdf.quantile(0.25)?,
-            median: ecdf.median()?,
+            n,
+            min: sorted[0],
+            p25: q(0.25),
+            median: q(0.5),
             mean,
-            p75: ecdf.quantile(0.75)?,
-            p95: ecdf.quantile(0.95)?,
-            max: ecdf.max()?,
+            p75: q(0.75),
+            p95: q(0.95),
+            max: sorted[n - 1],
         })
     }
 }
@@ -168,15 +194,23 @@ pub fn bootstrap_median_ci(
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
     };
+    // The base is already sorted, and index → data[index] is monotone
+    // under `total_cmp`, so the resample's median is the value at the
+    // (n/2)-th smallest *index*: selection over integers, no per-
+    // resample sort, no per-resample allocation. The generator is
+    // drawn exactly as before (n draws per resample, in order), so
+    // seeded results are bit-identical to the sort-based path.
+    let mut idxs = vec![0usize; n];
     let mut medians: Vec<f64> = (0..resamples.max(1))
         .map(|_| {
-            let mut resample: Vec<f64> =
-                (0..n).map(|_| data[(next() % n as u64) as usize]).collect();
-            resample.sort_by(f64::total_cmp);
-            resample[n / 2]
+            for slot in idxs.iter_mut() {
+                *slot = (next() % n as u64) as usize;
+            }
+            let (_, mid, _) = idxs.select_nth_unstable(n / 2);
+            data[*mid]
         })
         .collect();
-    medians.sort_by(f64::total_cmp);
+    medians.sort_unstable_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let idx = |q: f64| {
         ((q * medians.len() as f64).floor() as usize).min(medians.len() - 1)
@@ -192,10 +226,38 @@ pub fn bootstrap_median_ci(
 /// Kolmogorov–Smirnov distance between two ECDFs: the maximum vertical
 /// gap. Used by tests to compare distributions and by the expansion
 /// study to quantify how much the 2010→2020 build-out moved latency.
+///
+/// A single two-pointer merge over the two sorted sample arrays —
+/// O(n + m) instead of a binary search per sample. The gap only changes
+/// at sample values, and advancing each pointer past every sample
+/// `<= x` computes exactly `fraction_at_or_below(x)`'s numerator, so
+/// the result matches the per-sample evaluation bit for bit.
 pub fn ks_distance(a: &Ecdf, b: &Ecdf) -> f64 {
+    let (xs, ys) = (a.samples(), b.samples());
+    match (xs.is_empty(), ys.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let (na, nb) = (xs.len() as f64, ys.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
-    for &x in a.samples().iter().chain(b.samples()) {
-        d = d.max((a.fraction_at_or_below(x) - b.fraction_at_or_below(x)).abs());
+    while i < xs.len() || j < ys.len() {
+        let x = match (xs.get(i), ys.get(j)) {
+            (Some(&u), Some(&v)) => u.min(v),
+            (Some(&u), None) => u,
+            (None, Some(&v)) => v,
+            (None, None) => unreachable!(),
+        };
+        // Numeric `<=`, the same predicate `fraction_at_or_below`
+        // binary-searches (it also merges -0.0 with +0.0).
+        while i < xs.len() && xs[i] <= x {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
     }
     d
 }
@@ -296,6 +358,110 @@ mod tests {
         assert!(bootstrap_median_ci(&[f64::NAN], 100, 0.95, 1).is_none());
         let one = bootstrap_median_ci(&[5.0], 100, 0.95, 1).unwrap();
         assert_eq!((one.lo, one.median, one.hi), (5.0, 5.0, 5.0));
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_samples(len: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| match splitmix(&mut s) % 8 {
+                0 => 25.0, // duplicates across both sides
+                1 => 0.0,
+                2 => -0.0,
+                _ => (splitmix(&mut s) % 2000) as f64 / 16.0,
+            })
+            .collect()
+    }
+
+    /// The pre-merge implementation: one binary search per sample.
+    fn ks_distance_reference(a: &Ecdf, b: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in a.samples().iter().chain(b.samples()) {
+            d = d.max((a.fraction_at_or_below(x) - b.fraction_at_or_below(x)).abs());
+        }
+        d
+    }
+
+    #[test]
+    fn ks_two_pointer_matches_the_per_sample_reference() {
+        for (la, lb) in [(0, 5), (5, 0), (1, 1), (7, 31), (64, 64), (100, 3), (257, 199)] {
+            for seed in 0..10u64 {
+                let a = Ecdf::new(random_samples(la, seed));
+                let b = Ecdf::new(random_samples(lb, seed.wrapping_mul(31) + 5));
+                let want = ks_distance_reference(&a, &b);
+                let got = ks_distance(&a, &b);
+                assert_eq!(got.to_bits(), want.to_bits(), "{la}x{lb} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_of_ecdf_matches_of_without_copying() {
+        for seed in 0..6u64 {
+            let mut samples = random_samples(153, seed);
+            samples.push(f64::NAN);
+            samples.push(f64::INFINITY);
+            let via_slice = Summary::of(&samples);
+            let via_ecdf = Summary::of_ecdf(&Ecdf::new(samples.clone()));
+            assert_eq!(via_slice, via_ecdf, "seed {seed}");
+        }
+        assert_eq!(Summary::of_ecdf(&Ecdf::new(vec![])), None);
+    }
+
+    /// The pre-selection bootstrap: full sort per resample. The new
+    /// path must reproduce it bit for bit on every seed.
+    fn bootstrap_reference(samples: &[f64], resamples: u32, level: f64, seed: u64) -> Option<MedianCi> {
+        let base = Ecdf::new(samples.to_vec());
+        if base.is_empty() {
+            return None;
+        }
+        let level = level.clamp(0.5, 0.999);
+        let data = base.samples();
+        let n = data.len();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut medians: Vec<f64> = (0..resamples.max(1))
+            .map(|_| {
+                let mut resample: Vec<f64> =
+                    (0..n).map(|_| data[(next() % n as u64) as usize]).collect();
+                resample.sort_by(f64::total_cmp);
+                resample[n / 2]
+            })
+            .collect();
+        medians.sort_by(f64::total_cmp);
+        let alpha = (1.0 - level) / 2.0;
+        let idx = |q: f64| ((q * medians.len() as f64).floor() as usize).min(medians.len() - 1);
+        Some(MedianCi {
+            median: base.median()?,
+            lo: medians[idx(alpha)],
+            hi: medians[idx(1.0 - alpha)],
+            level,
+        })
+    }
+
+    #[test]
+    fn bootstrap_selection_path_is_bit_identical_to_the_sorting_path() {
+        for seed in [0u64, 1, 7, 42, 1234567] {
+            for len in [1usize, 2, 9, 100] {
+                let samples = random_samples(len, seed + 99);
+                let want = bootstrap_reference(&samples, 200, 0.95, seed);
+                let got = bootstrap_median_ci(&samples, 200, 0.95, seed);
+                assert_eq!(got, want, "len {len} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use shears_netsim::SimTime;
 
 use crate::data::CampaignData;
-use crate::stats::Ecdf;
+use crate::kernels;
 
 /// Median RTT per local hour-of-day bucket.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -79,9 +79,11 @@ pub fn diurnal_profile(data: &CampaignData<'_>) -> DiurnalProfile {
         }
     }
     DiurnalProfile {
+        // Selection-kernel medians: exact nearest-rank per bucket with
+        // no per-bucket sort.
         buckets: per_hour
             .into_iter()
-            .map(|v| Ecdf::new(v).median())
+            .map(|v| kernels::median(&v))
             .collect(),
         samples,
     }
@@ -104,7 +106,7 @@ impl StabilitySeries {
             return None;
         }
         let values: Vec<f64> = self.points.iter().map(|(_, v)| *v).collect();
-        let overall = Ecdf::new(values.clone()).median()?;
+        let overall = kernels::median(&values)?;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Some((max - min) / overall)
@@ -129,7 +131,7 @@ pub fn stability_series(data: &CampaignData<'_>, window: SimTime) -> StabilitySe
                 .filter(|s| !frame.is_privileged(s.probe) && s.responded())
                 .map(|s| f64::from(s.min_ms))
                 .collect();
-            if let Some(m) = Ecdf::new(values).median() {
+            if let Some(m) = kernels::median(&values) {
                 points.push((from, m));
             }
         }

@@ -44,6 +44,20 @@ impl Continent {
         Continent::Africa,
     ];
 
+    /// Position of this continent in [`Continent::ALL`] — a dense
+    /// array index for per-continent accumulators, so grouping passes
+    /// can use a fixed-size table instead of a hash map.
+    pub fn slot(self) -> usize {
+        match self {
+            Continent::NorthAmerica => 0,
+            Continent::Europe => 1,
+            Continent::Oceania => 2,
+            Continent::Asia => 3,
+            Continent::LatinAmerica => 4,
+            Continent::Africa => 5,
+        }
+    }
+
     /// Short label as used in the figures ("NA", "EU", ...).
     pub fn short(self) -> &'static str {
         match self {

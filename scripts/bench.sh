@@ -7,7 +7,9 @@
 #
 # The incremental-frame benches (append throughput + stats-latency
 # while a campaign is still landing, vs full rebuilds) are folded into
-# BENCH_frame.json.
+# BENCH_frame.json, and the column-kernel benches (scalar vs chunked
+# vs simd scans, bucketed percentile vs full sort, grouped minima)
+# into BENCH_kernels.json.
 #
 # Usage: scripts/bench.sh [extra cargo-bench filter args...]
 set -euo pipefail
@@ -32,6 +34,13 @@ cargo bench -p shears-bench --bench frame_incremental -- "$@"
 echo "==> summarising frame_incremental -> BENCH_frame.json"
 cargo run --release -p shears-bench --bin bench_summary -- \
     target/criterion/frame_incremental BENCH_frame.json
+
+echo "==> criterion: column kernels (scalar vs chunked scans)"
+cargo bench -p shears-bench --bench kernel_scan -- "$@"
+
+echo "==> summarising kernel groups -> BENCH_kernels.json"
+cargo run --release -p shears-bench --bin bench_summary -- \
+    target/criterion/kernel_scan BENCH_kernels.json
 
 echo "==> criterion: api round-trip + load generation"
 cargo bench -p shears-bench --bench api_roundtrip -- "$@"

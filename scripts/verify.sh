@@ -19,6 +19,13 @@
 #               append-vs-rebuild bit-equality grid (1/2/8 threads,
 #               clean + chaos campaigns), the figure-pipeline golden
 #               equivalence, and the API's extend⇒append counter pins
+#   kernels   — only the column-kernel suite: the scalar/chunked/simd
+#               bit-equality property tests, the stats pins (two-pointer
+#               KS, selection bootstrap, Summary-over-Ecdf), and the
+#               20-seed chaos-campaign kernel grid. Runs once without
+#               features and — when the toolchain admits `std::simd`
+#               (nightly, or RUSTC_BOOTSTRAP=1) — again with
+#               `--features simd` so both dispatch arms are proven.
 #
 # Requires a working cargo registry (the workspace has path-only internal
 # deps but external ones — serde, crossbeam, … — must be resolvable).
@@ -71,6 +78,28 @@ if [ "$profile" = "frame" ]; then
     cargo test --release -p shears-api service::tests::divergent_durable_copy
     cargo test --release -p shears-api service::tests::stats_cache_invalidates
     echo "verify (frame): OK"
+    exit 0
+fi
+
+if [ "$profile" = "kernels" ]; then
+    run_kernel_suite() {
+        cargo test --release "$@" -p shears-analysis kernels::
+        cargo test --release "$@" -p shears-analysis stats::
+        cargo test --release "$@" -p shears-atlas store::
+        cargo test --release "$@" --test determinism kernel_variants
+    }
+    echo "==> kernels profile: scan-variant bit-equality (default dispatch)"
+    run_kernel_suite
+    # The simd leg needs the portable_simd feature gate; run it when the
+    # compiler will accept it (nightly, or stable with RUSTC_BOOTSTRAP).
+    if [ -n "${RUSTC_BOOTSTRAP:-}" ] || rustc --version | grep -q nightly; then
+        echo "==> kernels profile: simd feature leg"
+        run_kernel_suite --features simd
+    else
+        echo "==> kernels profile: skipping simd leg (stable toolchain;"
+        echo "    set RUSTC_BOOTSTRAP=1 or use nightly to run it)"
+    fi
+    echo "verify (kernels): OK"
     exit 0
 fi
 

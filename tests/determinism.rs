@@ -1,6 +1,7 @@
 //! Determinism guarantees: the whole reproduction is a pure function of
 //! its seeds — the property that makes EXPERIMENTS.md reproducible.
 
+use latency_shears::analysis::kernels::{self, RangeQuery, ScanCols};
 use latency_shears::prelude::*;
 
 fn platform(seed: u64) -> Platform {
@@ -628,6 +629,171 @@ fn incremental_frame_append_matches_full_rebuild_across_threads_and_faults() {
                 let threaded = CampaignFrame::build_with_threads(&p, &growing, threads);
                 assert_frames_agree(&p, &growing, &threaded, &rebuilt);
             }
+        }
+    }
+}
+
+/// Asserts every column kernel agrees across its scalar, chunked and
+/// (when the `simd` feature is on) vectorised variants — bit for bit —
+/// on one store's real columns, and that the dispatched wrapper matches.
+fn assert_kernel_variants_agree(p: &Platform, store: &ResultStore, what: &str) {
+    let min_ms = store.min_ms();
+    let received = store.received();
+    let sent = store.sent();
+
+    // A macro so every kernel is checked against the scalar reference
+    // the same way; with `simd` off that arm compiles to nothing. The
+    // `|k| expr` argument is evaluated once per variant with `k` bound
+    // to that variant's module.
+    macro_rules! pin {
+        ($label:expr, $norm:expr, |$k:ident| $call:expr) => {{
+            let norm = $norm;
+            let reference = {
+                use latency_shears::analysis::kernels::scalar as $k;
+                norm($call)
+            };
+            {
+                use latency_shears::analysis::kernels::chunked as $k;
+                assert_eq!(norm($call), reference, "{what}: {} chunked", $label);
+            }
+            #[cfg(feature = "simd")]
+            {
+                use latency_shears::analysis::kernels::simd as $k;
+                assert_eq!(norm($call), reference, "{what}: {} simd", $label);
+            }
+            {
+                use latency_shears::analysis::kernels as $k;
+                assert_eq!(norm($call), reference, "{what}: {} dispatch", $label);
+            }
+        }};
+    }
+
+    pin!(
+        "min_argmin",
+        |r: Option<(f32, u32)>| r.map(|(v, i)| (v.to_bits(), i)),
+        |k| k::min_argmin(min_ms)
+    );
+    pin!("sum", f64::to_bits, |k| k::sum(min_ms));
+    pin!("mean", |r: Option<f64>| r.map(f64::to_bits), |k| k::mean(min_ms));
+    pin!("count_nonzero", |c: usize| c, |k| k::count_nonzero(received));
+    pin!("sum_u8", |s: u64| s, |k| k::sum_u8(sent));
+    let finite: Vec<f64> = min_ms
+        .iter()
+        .filter(|v| v.is_finite())
+        .map(|&v| f64::from(v))
+        .collect();
+    let mid = kernels::median(&finite).unwrap_or(0.0);
+    for threshold in [0.0, mid, mid * 2.0, f64::INFINITY] {
+        pin!(format!("count_at_or_below({threshold})"), |c: usize| c, |k| {
+            k::count_at_or_below(min_ms, threshold)
+        });
+    }
+    for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+        pin!(
+            format!("percentile({q})"),
+            |r: Option<f64>| r.map(f64::to_bits),
+            |k| k::percentile(&finite, q)
+        );
+    }
+
+    // The grouped scan that frame build/append runs, under the real
+    // privileged mask.
+    let privileged: Vec<bool> = p.probes().iter().map(|pr| pr.is_privileged()).collect();
+    let cols = ScanCols {
+        probes: store.probes(),
+        regions: store.regions(),
+        min_ms,
+        received,
+    };
+    pin!(
+        "region_min_scan",
+        |g: kernels::GroupedMinima| g,
+        |k| k::region_min_scan(&cols, &privileged, 0, privileged.len())
+    );
+
+    // Windowed range queries over the (sorted, this store came straight
+    // from a campaign) `at` column, pinned against the row filter.
+    let ats = store.ats();
+    if let Some((&lo, &hi)) = ats.first().zip(ats.last()) {
+        let beyond = SimTime::from_nanos(hi.as_nanos() + 1);
+        for (from, to) in [(lo, hi), (lo, lo), (hi, hi), (lo, beyond)] {
+            pin!("range_partition", |r: RangeQuery| r, |k| {
+                k::range_partition(ats, from, to)
+            });
+            if let RangeQuery::Slice(a, b) = kernels::range_partition(ats, from, to) {
+                let expect: Vec<usize> = (0..ats.len())
+                    .filter(|&i| ats[i] >= from && ats[i] < to)
+                    .collect();
+                assert_eq!((a..b).collect::<Vec<_>>(), expect, "{what}: slice [{a},{b})");
+            }
+        }
+    }
+
+    // Store-level consumers of the kernels stay consistent with the
+    // naive row pass.
+    let responded_ref = (0..store.len()).filter(|&i| received[i] != 0).count();
+    assert_eq!(store.responded_len(), responded_ref, "{what}: responded_len");
+    assert_eq!(
+        kernels::count_nonzero(received),
+        responded_ref,
+        "{what}: count_nonzero vs rows"
+    );
+    if !finite.is_empty() {
+        let e = Ecdf::new(finite.clone());
+        for q in [0.1, 0.5, 0.75, 0.95] {
+            assert_eq!(
+                kernels::percentile(&finite, q).map(f64::to_bits),
+                e.quantile(q).map(f64::to_bits),
+                "{what}: percentile({q}) vs Ecdf"
+            );
+        }
+    }
+}
+
+/// Kernel acceptance grid: over the same 20-seed × 3-profile chaos
+/// campaigns the bit-identity grid runs, every scan variant produces
+/// identical bits on the real columns — the contract that makes the
+/// `simd` feature flag an observable no-op.
+#[test]
+fn kernel_variants_are_bit_identical_on_chaos_campaign_columns() {
+    let p = Platform::build(&PlatformConfig {
+        fleet: FleetConfig {
+            target_size: 40,
+            seed: 17,
+        },
+        ..PlatformConfig::default()
+    });
+    for profile in ["lossy", "blackout", "chaos"] {
+        let faults = FaultConfig::profile(profile).expect("known profile");
+        for seed in 1..=20u64 {
+            let cfg = CampaignConfig {
+                rounds: 2,
+                targets_per_probe: 1,
+                adjacent_targets: 1,
+                seed,
+                faults,
+                recovery: RetryPolicy::atlas_default(),
+                ..CampaignConfig::quick()
+            };
+            let mut store = Campaign::new(&p, cfg).run().unwrap();
+            assert!(!store.is_empty(), "{profile} seed {seed}");
+            assert_kernel_variants_agree(&p, &store, &format!("{profile} seed {seed}"));
+            // Append an adversarial coda — lost rounds, duplicate minima
+            // and an out-of-order timestamp — so the masked paths and the
+            // Filter fallback run on campaign-derived data too.
+            let first = store.get(0);
+            store.push(RttSample {
+                min_ms: f32::INFINITY,
+                avg_ms: f32::INFINITY,
+                received: 0,
+                ..first
+            });
+            store.push(first);
+            store.push(RttSample {
+                at: SimTime::ZERO,
+                ..first
+            });
+            assert_kernel_variants_agree(&p, &store, &format!("{profile} seed {seed} +coda"));
         }
     }
 }
