@@ -201,8 +201,12 @@ fn read_response_head<R: BufRead>(reader: &mut R) -> Result<(u16, Option<usize>)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
     let mut content_length: Option<usize> = None;
+    // One header-line scratch reused across the loop (and, for session
+    // readers, across requests via the BufReader) — header counts per
+    // response are small but load generators read millions of them.
+    let mut line = String::with_capacity(64);
     loop {
-        let mut line = String::new();
+        line.clear();
         let n = reader.read_line(&mut line)?;
         if n == 0 {
             return Err(ClientError::Protocol("truncated header section".into()));
@@ -235,9 +239,16 @@ pub struct ApiSession {
 impl ApiSession {
     /// Connects a session to the server.
     pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects a session with an explicit connect + read/write
+    /// timeout — load harnesses opening thousands of sessions cannot
+    /// afford the OS-default connect timeout when a server stalls.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {

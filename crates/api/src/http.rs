@@ -14,6 +14,15 @@
 //! per-header `String`s. Responses serialise into a reusable
 //! [`BytesMut`] ([`Response::send_buffered`]) so keep-alive connections
 //! recycle one write buffer for their whole lifetime.
+//!
+//! Two parsing front ends share one grammar: the blocking
+//! [`read_request_buffered`] (worker-pool path) and the incremental
+//! [`RequestParser`] (reactor path), which accepts bytes in arbitrary
+//! chunks — a request split at any byte boundary, down to one byte at
+//! a time, reaches the same accept/reject verdict as a whole-buffer
+//! parse. Both call the same request-line and header-line helpers, so
+//! they cannot drift. [`ResponseParser`] is the client-side mirror the
+//! open-loop load generator multiplexes over nonblocking sockets.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -164,25 +173,18 @@ fn parse_query(raw: &str) -> BTreeMap<String, String> {
         .collect()
 }
 
-/// Reads one request from a buffered stream.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
-    read_request_buffered(reader, &mut String::new())
+/// The parsed request line: everything before the header section.
+#[derive(Debug, Clone)]
+struct RequestLine {
+    method: Method,
+    path: String,
+    query: BTreeMap<String, String>,
 }
 
-/// Reads one request, reusing `line` as the head-line scratch buffer —
-/// a keep-alive connection passes the same buffer for every request and
-/// allocates no per-line `String`s after the first.
-pub fn read_request_buffered<R: BufRead>(
-    reader: &mut R,
-    line: &mut String,
-) -> Result<Request, HttpError> {
-    // Request line.
-    line.clear();
-    let n = reader.read_line(line)?;
-    if n == 0 {
-        return Err(HttpError::ConnectionClosed);
-    }
-    let request_line = line.trim_end();
+/// Parses a (already line-terminator-trimmed) request line. Shared by
+/// the blocking and incremental front ends so their verdicts cannot
+/// drift.
+fn parse_request_line(request_line: &str) -> Result<RequestLine, HttpError> {
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -207,6 +209,70 @@ pub fn read_request_buffered<R: BufRead>(
         .collect::<Vec<_>>()
         .join("/");
     let query = parse_query(query_raw);
+    Ok(RequestLine {
+        method,
+        path,
+        query,
+    })
+}
+
+/// Parses one (trimmed, non-empty) header line into `headers`. Shared
+/// by the blocking and incremental front ends.
+fn parse_header_line(hl: &str, headers: &mut Headers) -> Result<(), HttpError> {
+    let (k, v) = hl
+        .split_once(':')
+        .ok_or_else(|| HttpError::BadRequest(format!("malformed header {hl:?}")))?;
+    let (k, v) = (k.trim(), v.trim());
+    if k.eq_ignore_ascii_case("content-length") {
+        let len = v
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?;
+        headers.content_length = Some(len);
+    } else if k.eq_ignore_ascii_case("connection") {
+        // `Connection` is a comma-separated token list, and a close
+        // request is sticky: a later `keep-alive` (or a repeated
+        // header) must not resurrect the connection.
+        headers.connection_close |= v
+            .split(',')
+            .any(|t| t.trim().eq_ignore_ascii_case("close"));
+    }
+    Ok(())
+}
+
+/// Validates the declared body length against the limit.
+fn check_body_length(headers: &Headers) -> Result<usize, HttpError> {
+    let len = headers.content_length.unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::BadRequest(format!("body of {len} bytes too large")));
+    }
+    Ok(len as usize)
+}
+
+/// Reads one request from a buffered stream.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    read_request_buffered(reader, &mut String::new())
+}
+
+/// Reads one request, reusing `line` as the head-line scratch buffer —
+/// a keep-alive connection passes the same buffer for every request and
+/// allocates no per-line `String`s after the first.
+pub fn read_request_buffered<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+) -> Result<Request, HttpError> {
+    // Request line.
+    line.clear();
+    let n = reader.read_line(line)?;
+    if n == 0 {
+        return Err(HttpError::ConnectionClosed);
+    }
+    if line.len() > MAX_HEAD_BYTES {
+        // A request line alone can't exceed the head budget (it used to
+        // be counted only once a header line followed, letting a
+        // never-ending first line buffer without bound).
+        return Err(HttpError::BadRequest("header section too large".into()));
+    }
+    let rl = parse_request_line(line.trim_end())?;
 
     // Headers: grammar-checked line by line, known names matched in
     // place. The request line's borrows are materialised above, so the
@@ -227,41 +293,352 @@ pub fn read_request_buffered<R: BufRead>(
         if hl.is_empty() {
             break;
         }
-        let (k, v) = hl
-            .split_once(':')
-            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {hl:?}")))?;
-        let (k, v) = (k.trim(), v.trim());
-        if k.eq_ignore_ascii_case("content-length") {
-            let len = v
-                .parse()
-                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?;
-            headers.content_length = Some(len);
-        } else if k.eq_ignore_ascii_case("connection") {
-            // `Connection` is a comma-separated token list, and a close
-            // request is sticky: a later `keep-alive` (or a repeated
-            // header) must not resurrect the connection.
-            headers.connection_close |= v
-                .split(',')
-                .any(|t| t.trim().eq_ignore_ascii_case("close"));
-        }
+        parse_header_line(hl, &mut headers)?;
     }
 
     // Body.
-    let len = headers.content_length.unwrap_or(0);
-    if len > MAX_BODY_BYTES {
-        return Err(HttpError::BadRequest(format!("body of {len} bytes too large")));
-    }
-    let mut body = vec![0u8; len as usize];
+    let len = check_body_length(&headers)?;
+    let mut body = vec![0u8; len];
     if !body.is_empty() {
         std::io::Read::read_exact(reader, &mut body)?;
     }
     Ok(Request {
-        method,
-        path,
-        query,
+        method: rl.method,
+        path: rl.path,
+        query: rl.query,
         headers,
         body,
     })
+}
+
+/// Incremental request parser for the reactor's nonblocking read path.
+///
+/// Bytes arrive in arbitrary chunks via [`RequestParser::feed`];
+/// [`RequestParser::poll`] makes as much progress as the buffered bytes
+/// allow and returns a complete [`Request`] once one is available.
+/// Verdicts (accept, reject class, parsed fields) are identical to the
+/// blocking [`read_request`] path for any byte-chunk partition of the
+/// same input — pinned by unit tests here and property tests in
+/// `tests/proptests.rs`.
+///
+/// Pipelined requests are supported: bytes past the first complete
+/// request stay buffered for the next `poll` cycle.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    /// Unconsumed bytes. Consumed prefixes are drained whenever a
+    /// request completes, so pipelined successors shift to the front.
+    buf: Vec<u8>,
+    /// Parse cursor into `buf` (bytes before it belong to the request
+    /// currently being assembled).
+    pos: usize,
+    state: ParseState,
+}
+
+#[derive(Debug, Default)]
+enum ParseState {
+    /// Waiting for the request line.
+    #[default]
+    RequestLine,
+    /// Request line parsed; reading header lines.
+    Headers {
+        rl: Box<RequestLine>,
+        headers: Headers,
+        head_bytes: usize,
+    },
+    /// Head complete; waiting for `need` body bytes.
+    Body {
+        rl: Box<RequestLine>,
+        headers: Headers,
+        need: usize,
+    },
+}
+
+/// One `read_line`-equivalent step over a byte buffer: a line is
+/// everything up to and including the next `\n`, or (only at EOF) the
+/// whole remainder. Returns the line's byte range, or `None` when more
+/// bytes are needed.
+fn take_line(buf: &[u8], pos: usize, eof: bool) -> Option<std::ops::Range<usize>> {
+    match buf[pos..].iter().position(|&b| b == b'\n') {
+        Some(i) => Some(pos..pos + i + 1),
+        None if eof && pos < buf.len() => Some(pos..buf.len()),
+        None => None,
+    }
+}
+
+impl RequestParser {
+    /// A fresh parser with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly read bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the parser holds no partial request at all — the
+    /// connection is *idle*, not mid-request (the reactor's idle
+    /// timeout applies to this state; a mid-request stall is a slow
+    /// client, judged by the same clock but reported differently).
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty() && matches!(self.state, ParseState::RequestLine)
+    }
+
+    /// Decodes a line range as UTF-8, mirroring `read_line`'s
+    /// `InvalidData` error on non-UTF-8 bytes.
+    fn line_str<'a>(buf: &'a [u8], range: std::ops::Range<usize>) -> Result<&'a str, HttpError> {
+        std::str::from_utf8(&buf[range]).map_err(|_| {
+            HttpError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stream did not contain valid UTF-8",
+            ))
+        })
+    }
+
+    /// Drives the parse as far as the buffered bytes allow.
+    ///
+    /// * `Ok(Some(request))` — a complete request; trailing (pipelined)
+    ///   bytes stay buffered.
+    /// * `Ok(None)` — need more bytes (or, at `eof` with an empty
+    ///   buffer, the connection ended cleanly between requests — that
+    ///   case returns `Err(ConnectionClosed)` to match the blocking
+    ///   path).
+    /// * `Err(_)` — same error classes as [`read_request`]: the
+    ///   connection should answer 400 (BadRequest) or just close.
+    ///
+    /// `eof` says the peer half-closed: buffered bytes are final.
+    pub fn poll(&mut self, eof: bool) -> Result<Option<Request>, HttpError> {
+        loop {
+            match &mut self.state {
+                ParseState::RequestLine => {
+                    let Some(range) = take_line(&self.buf, self.pos, eof) else {
+                        if eof && self.pos >= self.buf.len() {
+                            return Err(HttpError::ConnectionClosed);
+                        }
+                        // Unterminated request line: the head budget
+                        // still applies (the blocking path errors as
+                        // soon as the line completes over budget; a
+                        // line that can no longer complete under
+                        // budget is rejected here without waiting).
+                        if self.buf.len() - self.pos > MAX_HEAD_BYTES {
+                            return Err(HttpError::BadRequest(
+                                "header section too large".into(),
+                            ));
+                        }
+                        return Ok(None);
+                    };
+                    if range.len() > MAX_HEAD_BYTES {
+                        return Err(HttpError::BadRequest("header section too large".into()));
+                    }
+                    let line = Self::line_str(&self.buf, range.clone())?;
+                    let rl = parse_request_line(line.trim_end())?;
+                    let head_bytes = range.len();
+                    self.pos = range.end;
+                    self.state = ParseState::Headers {
+                        rl: Box::new(rl),
+                        headers: Headers::default(),
+                        head_bytes,
+                    };
+                }
+                ParseState::Headers {
+                    rl,
+                    headers,
+                    head_bytes,
+                } => {
+                    let Some(range) = take_line(&self.buf, self.pos, eof) else {
+                        if eof {
+                            // Peer closed mid-head: blocking read_line
+                            // returns 0 here.
+                            return Err(HttpError::ConnectionClosed);
+                        }
+                        if *head_bytes + (self.buf.len() - self.pos) > MAX_HEAD_BYTES {
+                            return Err(HttpError::BadRequest(
+                                "header section too large".into(),
+                            ));
+                        }
+                        return Ok(None);
+                    };
+                    *head_bytes += range.len();
+                    if *head_bytes > MAX_HEAD_BYTES {
+                        return Err(HttpError::BadRequest("header section too large".into()));
+                    }
+                    let line = Self::line_str(&self.buf, range.clone())?;
+                    let hl = line.trim_end();
+                    if hl.is_empty() {
+                        let need = check_body_length(headers)?;
+                        let rl = std::mem::take(rl);
+                        let headers = std::mem::take(headers);
+                        self.pos = range.end;
+                        self.state = ParseState::Body { rl, headers, need };
+                    } else {
+                        parse_header_line(hl, headers)?;
+                        self.pos = range.end;
+                    }
+                }
+                ParseState::Body { rl, headers, need } => {
+                    let have = self.buf.len() - self.pos;
+                    if have < *need {
+                        if eof {
+                            // Mirrors read_exact on a truncated stream.
+                            return Err(HttpError::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "failed to fill whole buffer",
+                            )));
+                        }
+                        return Ok(None);
+                    }
+                    let body = self.buf[self.pos..self.pos + *need].to_vec();
+                    let req = Request {
+                        method: rl.method,
+                        path: std::mem::take(&mut rl.path),
+                        query: std::mem::take(&mut rl.query),
+                        headers: std::mem::take(headers),
+                        body,
+                    };
+                    // Drop everything consumed; pipelined bytes shift
+                    // to the front for the next request.
+                    let consumed = self.pos + *need;
+                    self.buf.drain(..consumed);
+                    self.pos = 0;
+                    self.state = ParseState::RequestLine;
+                    return Ok(Some(req));
+                }
+            }
+        }
+    }
+}
+
+impl Default for RequestLine {
+    fn default() -> Self {
+        RequestLine {
+            method: Method::Get,
+            path: String::new(),
+            query: BTreeMap::new(),
+        }
+    }
+}
+
+/// Incremental response parser: the client-side mirror of
+/// [`RequestParser`], used by the open-loop load generator to multiplex
+/// many nonblocking sessions on a few threads. Parses
+/// `status line → headers → content-length body`; our server always
+/// declares `content-length`, so a response without one is a protocol
+/// error here.
+#[derive(Debug, Default)]
+pub struct ResponseParser {
+    buf: Vec<u8>,
+    pos: usize,
+    state: RespState,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+enum RespState {
+    #[default]
+    StatusLine,
+    Headers {
+        status: u16,
+        content_length: Option<usize>,
+    },
+    Body {
+        status: u16,
+        need: usize,
+    },
+}
+
+impl ResponseParser {
+    /// A fresh parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether no partial response is buffered.
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty() && matches!(self.state, RespState::StatusLine)
+    }
+
+    /// Drives the parse; `Ok(Some((status, body)))` when one response
+    /// completed (pipelined successors stay buffered), `Ok(None)` when
+    /// more bytes are needed.
+    pub fn poll(&mut self) -> Result<Option<(u16, Vec<u8>)>, HttpError> {
+        loop {
+            match self.state {
+                RespState::StatusLine => {
+                    let Some(range) = take_line(&self.buf, self.pos, false) else {
+                        if self.buf.len() - self.pos > MAX_HEAD_BYTES {
+                            return Err(HttpError::BadRequest("status line too large".into()));
+                        }
+                        return Ok(None);
+                    };
+                    let line = RequestParser::line_str(&self.buf, range.clone())?;
+                    let status: u16 = line
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| {
+                            HttpError::BadRequest(format!("bad status line {line:?}"))
+                        })?;
+                    self.pos = range.end;
+                    self.state = RespState::Headers {
+                        status,
+                        content_length: None,
+                    };
+                }
+                RespState::Headers {
+                    status,
+                    content_length,
+                } => {
+                    let Some(range) = take_line(&self.buf, self.pos, false) else {
+                        if self.buf.len() - self.pos > MAX_HEAD_BYTES {
+                            return Err(HttpError::BadRequest("header section too large".into()));
+                        }
+                        return Ok(None);
+                    };
+                    let line = RequestParser::line_str(&self.buf, range.clone())?;
+                    let hl = line.trim_end();
+                    self.pos = range.end;
+                    if hl.is_empty() {
+                        let need = content_length.ok_or_else(|| {
+                            HttpError::BadRequest("response without content-length".into())
+                        })?;
+                        self.state = RespState::Body { status, need };
+                    } else if let Some((k, v)) = hl.split_once(':') {
+                        if k.trim().eq_ignore_ascii_case("content-length") {
+                            let len = v.trim().parse().map_err(|_| {
+                                HttpError::BadRequest(format!("bad content-length {v:?}"))
+                            })?;
+                            self.state = RespState::Headers {
+                                status,
+                                content_length: Some(len),
+                            };
+                        }
+                    } else {
+                        return Err(HttpError::BadRequest(format!("malformed header {hl:?}")));
+                    }
+                }
+                RespState::Body { status, need } => {
+                    if self.buf.len() - self.pos < need {
+                        return Ok(None);
+                    }
+                    let body = self.buf[self.pos..self.pos + need].to_vec();
+                    let consumed = self.pos + need;
+                    self.buf.drain(..consumed);
+                    self.pos = 0;
+                    self.state = RespState::StatusLine;
+                    return Ok(Some((status, body)));
+                }
+            }
+        }
+    }
 }
 
 /// A response under construction.
@@ -620,6 +997,161 @@ mod tests {
         // Substrings of close are not close.
         let req = parse("GET / HTTP/1.1\r\nConnection: closed\r\n\r\n").unwrap();
         assert!(req.keep_alive());
+    }
+
+    /// Coarse verdict classes for cross-front-end comparison: the two
+    /// parsers must agree on the class, and on all fields on accept.
+    fn verdict(r: &Result<Request, HttpError>) -> &'static str {
+        match r {
+            Ok(_) => "ok",
+            Err(HttpError::ConnectionClosed) => "closed",
+            Err(HttpError::BadRequest(_)) => "bad",
+            Err(HttpError::Io(_)) => "io",
+        }
+    }
+
+    fn parse_incremental(raw: &[u8], chunk: usize) -> Result<Request, HttpError> {
+        let mut p = RequestParser::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let end = (i + chunk.max(1)).min(raw.len());
+            p.feed(&raw[i..end]);
+            i = end;
+            match p.poll(false) {
+                Ok(Some(req)) => return Ok(req),
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        match p.poll(true) {
+            Ok(Some(req)) => Ok(req),
+            Ok(None) => Err(HttpError::ConnectionClosed),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn assert_fronts_agree(raw: &[u8], chunk: usize) {
+        let whole = read_request(&mut BufReader::new(raw));
+        let inc = parse_incremental(raw, chunk);
+        assert_eq!(
+            verdict(&whole),
+            verdict(&inc),
+            "chunk {chunk}: verdicts diverge on {:?}",
+            String::from_utf8_lossy(raw)
+        );
+        if let (Ok(w), Ok(i)) = (&whole, &inc) {
+            assert_eq!(w.method, i.method);
+            assert_eq!(w.path, i.path);
+            assert_eq!(w.query, i.query);
+            assert_eq!(w.headers.content_length, i.headers.content_length);
+            assert_eq!(w.headers.connection_close, i.headers.connection_close);
+            assert_eq!(w.body, i.body);
+        }
+    }
+
+    /// A fixed adversarial corpus; the proptest suite extends this with
+    /// arbitrary partitions of generated requests.
+    const CORPUS: &[&str] = &[
+        "GET /api/v2/probes?country=DE&tag=wired HTTP/1.1\r\nHost: x\r\n\r\n",
+        "POST /api/v2/measurements HTTP/1.1\r\ncontent-length: 7\r\nConnection: close\r\n\r\n{\"x\":1}",
+        "DELETE /api/v2/measurements/3 HTTP/1.1\r\n\r\n",
+        "GET /%中 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        "GET /a%20b+c?q=caf%C3%A9 HTTP/1.1\r\n\r\n",
+        "BREW /tea HTTP/1.1\r\n\r\n",
+        "GET /x HTTP/2\r\n\r\n",
+        "GET\r\n\r\n",
+        "POST /x HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+        "POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+        "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        "GET / HTTP/1.1\r\nConnection: close, te\r\n\r\n",
+        "GET / HTTP/1.1\r\nConnection: close\r\nConnection: keep-alive\r\n\r\n",
+        "POST /short HTTP/1.1\r\ncontent-length: 50\r\n\r\ntruncated",
+        "",
+        "\r\n",
+        "GET / HTTP/1.1",
+        "GET / HTTP/1.1\r\nHost: t\r\n",
+    ];
+
+    #[test]
+    fn incremental_parser_agrees_with_whole_buffer_at_every_chunk_size() {
+        for raw in CORPUS {
+            for chunk in [1, 2, 3, 7, 64, 4096] {
+                assert_fronts_agree(raw.as_bytes(), chunk);
+            }
+        }
+        // Non-UTF-8 head bytes: read_line fails with InvalidData.
+        assert_fronts_agree(b"GET /\xff\xfe HTTP/1.1\r\n\r\n", 1);
+        assert_fronts_agree(b"GET / HTTP/1.1\r\nX: \xff\r\n\r\n", 3);
+    }
+
+    #[test]
+    fn incremental_parser_handles_pipelined_requests() {
+        let raw = b"GET /a HTTP/1.1\r\nHost: t\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        let mut p = RequestParser::new();
+        // Feed a byte at a time; collect both requests.
+        let mut got = Vec::new();
+        for (i, &b) in raw.iter().enumerate() {
+            p.feed(&[b]);
+            let eof = i == raw.len() - 1;
+            loop {
+                match p.poll(eof) {
+                    Ok(Some(req)) => got.push(req),
+                    Ok(None) => break,
+                    // Once the last request is consumed, a further poll
+                    // at EOF reports the clean close — exactly what the
+                    // blocking front's next read_request would say.
+                    Err(HttpError::ConnectionClosed) => {
+                        assert!(eof, "spurious close before the final byte");
+                        break;
+                    }
+                    Err(e) => panic!("pipelined parse failed: {e:?}"),
+                }
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].path, "/a");
+        assert_eq!(got[1].path, "/b");
+        assert_eq!(got[1].body, b"hi");
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_by_both_fronts() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(&raw), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse_incremental(raw.as_bytes(), 4096),
+            Err(HttpError::BadRequest(_))
+        ));
+        // The incremental front rejects an unterminated over-budget
+        // line without waiting for the newline.
+        let mut p = RequestParser::new();
+        p.feed("GET /".as_bytes());
+        p.feed("a".repeat(MAX_HEAD_BYTES + 1).as_bytes());
+        assert!(matches!(p.poll(false), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn response_parser_round_trips_server_responses() {
+        let mut wire = Vec::new();
+        Response::json(&serde_json::json!({"ok": true}))
+            .send(&mut wire, true)
+            .unwrap();
+        Response::error(404, "gone").send(&mut wire, false).unwrap();
+        let mut p = ResponseParser::new();
+        // Dribble one byte at a time; both responses must come out.
+        let mut got = Vec::new();
+        for &b in &wire {
+            p.feed(&[b]);
+            while let Some(r) = p.poll().unwrap() {
+                got.push(r);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 200);
+        assert_eq!(got[1].0, 404);
+        assert_eq!(got[1].1, br#"{"error":"gone"}"#);
+        assert!(p.is_idle());
     }
 
     #[test]

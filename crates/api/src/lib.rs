@@ -19,14 +19,21 @@
 //! | `POST /api/v2/traceroutes` | hop-by-hop paths from selected probes |
 //! | `GET /api/v2/credits` | remaining credit balance |
 //!
-//! The stack is deliberately std-only: a blocking HTTP/1.1 server
-//! ([`server`]) with content-length framing and keep-alive on
-//! `std::net::TcpListener` — a blocking accept loop feeding a bounded
-//! worker pool, 503 under overload — plus a matching blocking client
-//! ([`client`], with a keep-alive [`client::ApiSession`] for
-//! high-throughput use). No async runtime — the API serves tens of
-//! concurrent clients, which is exactly the regime where the Tokio
-//! guide itself recommends blocking I/O.
+//! The stack is deliberately std-only: an HTTP/1.1 server ([`server`])
+//! with content-length framing and keep-alive on
+//! `std::net::TcpListener`. The default engine is a readiness-driven
+//! event loop (the `reactor` module behind
+//! [`server::ServerMode::Reactor`]): nonblocking sockets multiplexed
+//! over a few reactor threads, each connection an explicit state
+//! machine, handlers fanned out to a bounded compute pool and 503 shed
+//! under overload — so idle keep-alive sessions cost a slab slot, not
+//! a thread, and tens of thousands can stay connected. The earlier
+//! blocking accept-loop → worker-pool engine survives as
+//! [`server::ServerMode::WorkerPool`] for architecture-independence
+//! tests. A matching blocking client rides along ([`client`], with a
+//! keep-alive [`client::ApiSession`] for high-throughput use). No
+//! async runtime anywhere — readiness is emulated with nonblocking
+//! sweeps + parked reactors, which is all this workload needs.
 //!
 //! The read path is built to scale with cores: service state is
 //! sharded per measurement (no global lock on any GET) and stats
@@ -59,6 +66,7 @@
 pub mod client;
 pub mod dto;
 pub mod http;
+mod reactor;
 pub mod server;
 pub mod service;
 

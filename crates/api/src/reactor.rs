@@ -1,0 +1,776 @@
+//! The readiness-driven connection reactor.
+//!
+//! Replaces the thread-per-connection worker pool on the serving path:
+//! every accepted socket is nonblocking and owned by exactly one of a
+//! small, fixed set of *reactor* threads, each running a poll-style
+//! event loop over its connections. A connection is an explicit state
+//! machine —
+//!
+//! ```text
+//! Idle ──bytes──▶ ReadingRequest ──complete──▶ Handling ──response──▶
+//! WritingResponse ──drained──▶ Idle   (or Closing at any edge)
+//! ```
+//!
+//! — so 10k idle keep-alive sessions cost zero threads: they are slab
+//! slots plus one registered deadline in the idle-timeout wheel, not
+//! parked OS threads. Request *handling* still fans out to a bounded
+//! compute pool (handlers run campaigns and build analysis frames; that
+//! work should use cores, and a bounded queue gives back-pressure: when
+//! it is full the reactor answers 503 immediately — the connection
+//! survives, the work is shed).
+//!
+//! ## Readiness without `epoll`
+//!
+//! The workspace forbids `unsafe` (and adds no dependencies), so there
+//! is no raw `epoll`/`kqueue` here. Readiness is *emulated*: all
+//! sockets are nonblocking, and each reactor sweeps its connections
+//! with nonblocking reads/writes — `WouldBlock` simply means "not
+//! ready". Between sweeps that made no progress the reactor parks on a
+//! condvar for one tick (1 ms); compute completions and new-connection
+//! hand-offs unpark it, so response latency does not pay the park. To
+//! keep huge idle fleets cheap, connections idle for more than a few
+//! ticks graduate to a *cold tier* swept only every
+//! [`COLD_SWEEP_EVERY`]th iteration: a 10k-idle-session soak costs a
+//! few hundred — not ten thousand — read syscalls per sweep.
+//!
+//! ## Ownership & wake-up paths
+//!
+//! * The listener is nonblocking and polled by reactor 0, which
+//!   round-robins accepted sockets across all reactors through
+//!   per-reactor mailboxes. No dedicated acceptor thread.
+//! * Compute workers block on one shared job queue; each finished
+//!   response is pushed to the owning reactor's completion list and the
+//!   reactor is unparked. Slot generations guard against a completion
+//!   landing on a recycled slot.
+//! * Shutdown sets a flag and unparks everyone: reactors drop their
+//!   connections and their job senders, compute workers drain and exit
+//!   on the disconnected queue.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{HttpError, Request, RequestParser, Response};
+use crate::server::{ServerMetrics, ThreadGuard};
+use crate::service::AtlasService;
+
+/// Park interval when a sweep made no progress. Bounds both accept
+/// latency (reactor 0 polls the listener each wake) and the added
+/// latency of a request arriving on a connection nobody unparks for.
+const PARK: Duration = Duration::from_millis(1);
+
+/// Sweep iterations between cold-tier scans. Idle connections are read
+/// this much less often; a request landing on one waits at most
+/// `COLD_SWEEP_EVERY × PARK` extra before it is noticed.
+const COLD_SWEEP_EVERY: u64 = 16;
+
+/// A connection is cold once it has been idle this long.
+const COLD_AFTER: Duration = Duration::from_millis(50);
+
+/// Per-iteration accept cap so one flood cannot starve existing
+/// connections of sweep time.
+const ACCEPT_BATCH: usize = 256;
+
+/// Read scratch size per reactor (shared across its connections).
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Condvar-based parker: reactors park between idle sweeps, compute
+/// workers and the acceptor unpark them on new work.
+pub(crate) struct Parker {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Self {
+            ready: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn park_timeout(&self, d: Duration) {
+        let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        if !*ready {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(ready, d)
+                .unwrap_or_else(|e| e.into_inner());
+            ready = guard;
+        }
+        *ready = false;
+    }
+
+    pub(crate) fn unpark(&self) {
+        *self.ready.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_one();
+    }
+}
+
+/// A handler's finished work, routed back to the owning reactor.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    /// The serialised response (head + body), ready to write.
+    bytes: Vec<u8>,
+    keep_alive: bool,
+    /// The handler panicked (the response is a canned 500); the
+    /// connection closes after the write regardless of keep-alive.
+    panicked: bool,
+}
+
+/// A request dispatched to the compute pool.
+struct Job {
+    reactor: usize,
+    slot: usize,
+    gen: u64,
+    req: Request,
+    keep_alive: bool,
+}
+
+/// Per-reactor mailbox: how the outside world reaches a reactor thread.
+pub(crate) struct Mailbox {
+    pub(crate) parker: Parker,
+    completions: Mutex<Vec<Completion>>,
+    inbox: Mutex<VecDeque<TcpStream>>,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Self {
+            parker: Parker::new(),
+            completions: Mutex::new(Vec::new()),
+            inbox: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+/// State shared by all reactor + compute threads of one server.
+pub(crate) struct Shared {
+    pub(crate) service: Arc<AtlasService>,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    idle_timeout: Duration,
+    max_connections: usize,
+}
+
+impl Shared {
+    /// Wakes every reactor (shutdown, or broadcast events).
+    pub(crate) fn unpark_all(&self) {
+        for mb in &self.mailboxes {
+            mb.parker.unpark();
+        }
+    }
+}
+
+/// Spawns the reactor threads + compute pool for `listener`. Returns
+/// the shared handle and every thread to join at shutdown.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    service: Arc<AtlasService>,
+    metrics: Arc<ServerMetrics>,
+    reactor_threads: usize,
+    compute_threads: usize,
+    queue_depth: usize,
+    idle_timeout: Duration,
+    max_connections: usize,
+) -> std::io::Result<(Arc<Shared>, Vec<std::thread::JoinHandle<()>>)> {
+    listener.set_nonblocking(true)?;
+    let reactors = reactor_threads.max(1);
+    let shared = Arc::new(Shared {
+        service,
+        metrics,
+        stop: AtomicBool::new(false),
+        mailboxes: (0..reactors).map(|_| Mailbox::new()).collect(),
+        idle_timeout,
+        max_connections: max_connections.max(8),
+    });
+
+    let (job_tx, job_rx) = sync_channel::<Job>(queue_depth.max(1));
+    let job_rx = Arc::new(Mutex::new(job_rx));
+
+    let mut threads = Vec::with_capacity(reactors + compute_threads);
+    for i in 0..compute_threads.max(1) {
+        let rx = Arc::clone(&job_rx);
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("shears-api-compute-{i}"))
+                .spawn(move || compute_loop(&rx, &shared))?,
+        );
+    }
+    for r in 0..reactors {
+        let shared = Arc::clone(&shared);
+        let tx = job_tx.clone();
+        let listener = if r == 0 { Some(listener.try_clone()?) } else { None };
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("shears-api-reactor-{r}"))
+                .spawn(move || Reactor::new(r, shared, tx, listener).run())?,
+        );
+    }
+    // The reactor threads hold the only senders now: when they exit,
+    // the queue disconnects and the compute pool drains out.
+    drop(job_tx);
+    Ok((shared, threads))
+}
+
+/// The compute pool: blocking workers executing handlers outside the
+/// event loop, isolated from panics.
+fn compute_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    let _guard = ThreadGuard::enter(&shared.metrics);
+    loop {
+        // Hold the receiver lock only for the dequeue.
+        let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(job) => job,
+            Err(_) => return, // all reactors gone
+        };
+        let service = Arc::clone(&shared.service);
+        let req = job.req;
+        let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.handle(&req)
+        }));
+        let (resp, panicked) = match handled {
+            Ok(resp) => (resp, false),
+            Err(_) => {
+                shared.metrics.note_handler_panic();
+                (Response::error(500, "internal server error"), true)
+            }
+        };
+        let keep_alive = job.keep_alive && !panicked;
+        let mut buf = bytes::BytesMut::with_capacity(256 + resp.body.len());
+        resp.write_into(&mut buf, keep_alive);
+        let mb = &shared.mailboxes[job.reactor];
+        mb.completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Completion {
+                slot: job.slot,
+                gen: job.gen,
+                bytes: buf.to_vec(),
+                keep_alive,
+                panicked,
+            });
+        mb.parker.unpark();
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Connection lifecycle states (the explicit machine the module doc
+/// draws). `Handling` means a job for this connection is in the
+/// compute pool; the reactor neither reads nor writes it until the
+/// completion lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Keep-alive connection with no partial request buffered.
+    Idle,
+    /// A partial request has arrived; more bytes expected.
+    ReadingRequest,
+    /// Request dispatched to the compute pool.
+    Handling,
+    /// Response bytes queued; draining to the socket.
+    WritingResponse,
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    state: ConnState,
+    /// Response bytes being drained and the write cursor into them.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Guards completions/timers against slab slot reuse.
+    gen: u64,
+    last_active: Instant,
+    close_after_write: bool,
+    /// Peer half-closed its write side; serve what is buffered, then
+    /// close.
+    peer_eof: bool,
+}
+
+/// The idle-timeout deadline wheel: 32 coarse slots of
+/// `idle_timeout / 16` ticks. Entries are `(slot, gen)` tokens checked
+/// lazily on expiry — activity never *moves* an entry, it just updates
+/// the connection's `last_active`; a popped token whose connection is
+/// still fresh is reinserted at its true deadline. O(1) insert,
+/// amortised O(1) per expiry.
+struct IdleWheel {
+    slots: Vec<Vec<(usize, u64)>>,
+    tick: Duration,
+    cursor: usize,
+    last_advance: Instant,
+}
+
+impl IdleWheel {
+    fn new(timeout: Duration, now: Instant) -> Self {
+        let tick = (timeout / 16).max(Duration::from_millis(1));
+        Self {
+            slots: (0..32).map(|_| Vec::new()).collect(),
+            tick,
+            cursor: 0,
+            last_advance: now,
+        }
+    }
+
+    fn insert(&mut self, token: (usize, u64), deadline: Instant, now: Instant) {
+        let ticks_ahead = if deadline <= now {
+            1
+        } else {
+            let dt = deadline.duration_since(now);
+            ((dt.as_nanos() / self.tick.as_nanos().max(1)) as usize + 1).min(self.slots.len() - 1)
+        };
+        let idx = (self.cursor + ticks_ahead) % self.slots.len();
+        self.slots[idx].push(token);
+    }
+
+    /// Advances the cursor to `now`, appending every token whose slot
+    /// came due to `expired` (the caller re-checks real deadlines).
+    fn advance(&mut self, now: Instant, expired: &mut Vec<(usize, u64)>) {
+        while self.last_advance + self.tick <= now {
+            self.last_advance += self.tick;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            expired.append(&mut self.slots[self.cursor]);
+        }
+    }
+}
+
+struct Reactor {
+    id: usize,
+    shared: Arc<Shared>,
+    job_tx: SyncSender<Job>,
+    /// Reactor 0 polls the listener; the rest receive hand-offs.
+    listener: Option<TcpListener>,
+    slab: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    wheel: IdleWheel,
+    next_gen: u64,
+    /// Round-robin cursor for distributing accepted connections.
+    rr: usize,
+    iteration: u64,
+}
+
+impl Reactor {
+    fn new(
+        id: usize,
+        shared: Arc<Shared>,
+        job_tx: SyncSender<Job>,
+        listener: Option<TcpListener>,
+    ) -> Self {
+        let now = Instant::now();
+        let wheel = IdleWheel::new(shared.idle_timeout, now);
+        Self {
+            id,
+            shared,
+            job_tx,
+            listener,
+            slab: Vec::new(),
+            free: Vec::new(),
+            wheel,
+            next_gen: 0,
+            rr: 0,
+            iteration: 0,
+        }
+    }
+
+    fn run(mut self) {
+        let shared = Arc::clone(&self.shared);
+        let _guard = ThreadGuard::enter(&shared.metrics);
+        let mut scratch = vec![0u8; READ_CHUNK];
+        let mut expired = Vec::new();
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                self.close_all();
+                return;
+            }
+            self.iteration += 1;
+            let mut progress = false;
+
+            // 1. Apply finished handler work.
+            let done: Vec<Completion> = std::mem::take(
+                &mut *shared.mailboxes[self.id]
+                    .completions
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
+            for c in done {
+                progress |= self.apply_completion(c);
+            }
+
+            // 2. Adopt connections handed to this reactor.
+            loop {
+                let next = shared.mailboxes[self.id]
+                    .inbox
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front();
+                match next {
+                    Some(stream) => {
+                        self.register(stream);
+                        progress = true;
+                    }
+                    None => break,
+                }
+            }
+
+            // 3. Reactor 0: poll the listener.
+            if self.listener.is_some() {
+                progress |= self.accept_batch();
+            }
+
+            // 4. Sweep owned connections.
+            let cold_sweep = self.iteration % COLD_SWEEP_EVERY == 0;
+            let now = Instant::now();
+            for slot in 0..self.slab.len() {
+                progress |= self.sweep_conn(slot, now, cold_sweep, &mut scratch);
+            }
+
+            // 5. Idle-timeout wheel.
+            expired.clear();
+            self.wheel.advance(now, &mut expired);
+            for (slot, gen) in expired.drain(..) {
+                self.check_deadline(slot, gen, now);
+            }
+
+            if !progress {
+                shared.mailboxes[self.id].parker.park_timeout(PARK);
+            }
+        }
+    }
+
+    fn accept_batch(&mut self) -> bool {
+        let mut progress = false;
+        for _ in 0..ACCEPT_BATCH {
+            let listener = self.listener.as_ref().expect("only reactor 0 accepts");
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    progress = true;
+                    self.shared.metrics.note_accept();
+                    if self.shared.metrics.connections_open() as usize
+                        >= self.shared.max_connections
+                    {
+                        // Admission control: refuse beyond the fd
+                        // budget instead of dying on EMFILE later.
+                        let mut s = stream;
+                        let _ = Response::error(503, "server overloaded").send(&mut s, false);
+                        self.shared.metrics.note_503();
+                        continue;
+                    }
+                    // Round-robin across reactors; own slice directly.
+                    let target = self.rr % self.shared.mailboxes.len();
+                    self.rr = self.rr.wrapping_add(1);
+                    if target == self.id {
+                        self.register(stream);
+                    } else {
+                        self.shared.mailboxes[target]
+                            .inbox
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push_back(stream);
+                        self.shared.mailboxes[target].parker.unpark();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failure (peer reset mid-
+                    // handshake, fd pressure): stop this batch; the
+                    // park interval is the backoff.
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        self.next_gen += 1;
+        let now = Instant::now();
+        let conn = Conn {
+            stream,
+            parser: RequestParser::new(),
+            state: ConnState::Idle,
+            out: Vec::new(),
+            out_pos: 0,
+            gen: self.next_gen,
+            last_active: now,
+            close_after_write: false,
+            peer_eof: false,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s] = Some(conn);
+                s
+            }
+            None => {
+                self.slab.push(Some(conn));
+                self.slab.len() - 1
+            }
+        };
+        self.wheel
+            .insert((slot, self.next_gen), now + self.shared.idle_timeout, now);
+        self.shared.metrics.note_conn_opened();
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.slab[slot].take() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.free.push(slot);
+            self.shared.metrics.note_conn_closed();
+        }
+    }
+
+    fn close_all(&mut self) {
+        for slot in 0..self.slab.len() {
+            self.close(slot);
+        }
+    }
+
+    /// One sweep step for one connection; returns whether it made
+    /// progress.
+    fn sweep_conn(&mut self, slot: usize, now: Instant, cold_sweep: bool, scratch: &mut [u8]) -> bool {
+        let Some(conn) = &mut self.slab[slot] else {
+            return false;
+        };
+        match conn.state {
+            ConnState::Handling => false, // waiting on the compute pool
+            ConnState::WritingResponse => self.write_step(slot, now),
+            ConnState::Idle | ConnState::ReadingRequest => {
+                // Cold-tier gating: long-idle connections are swept
+                // only on cold sweeps, so huge idle fleets cost a
+                // fraction of the read syscalls.
+                if conn.state == ConnState::Idle
+                    && !cold_sweep
+                    && now.duration_since(conn.last_active) > COLD_AFTER
+                {
+                    return false;
+                }
+                self.read_step(slot, now, scratch)
+            }
+        }
+    }
+
+    /// Nonblocking read + incremental parse + dispatch.
+    fn read_step(&mut self, slot: usize, now: Instant, scratch: &mut [u8]) -> bool {
+        let mut progress = false;
+        let mut dead = false;
+        {
+            let Some(conn) = &mut self.slab[slot] else {
+                return false;
+            };
+            loop {
+                match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        progress = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.parser.feed(&scratch[..n]);
+                        conn.last_active = now;
+                        conn.state = ConnState::ReadingRequest;
+                        progress = true;
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close(slot);
+            return true;
+        }
+        if progress {
+            self.drive_parser(slot, now);
+        }
+        progress
+    }
+
+    /// Polls the incremental parser and advances the state machine:
+    /// dispatch on a complete request, 400-and-close on a malformed
+    /// one, close on EOF.
+    fn drive_parser(&mut self, slot: usize, now: Instant) {
+        let Some(conn) = &mut self.slab[slot] else {
+            return;
+        };
+        if conn.state != ConnState::Idle && conn.state != ConnState::ReadingRequest {
+            return;
+        }
+        match conn.parser.poll(conn.peer_eof) {
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive() && !conn.peer_eof;
+                conn.state = ConnState::Handling;
+                conn.last_active = now;
+                let job = Job {
+                    reactor: self.id,
+                    slot,
+                    gen: conn.gen,
+                    req,
+                    keep_alive,
+                };
+                self.shared.metrics.note_request();
+                match self.job_tx.try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // Back-pressure: shed the request, keep the
+                        // connection. The client sees 503 and may
+                        // retry after the queue drains.
+                        self.shared.metrics.note_503();
+                        self.queue_response(
+                            slot,
+                            &Response::error(503, "server overloaded"),
+                            keep_alive,
+                            now,
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => self.close(slot),
+                }
+            }
+            Ok(None) => {
+                if conn.peer_eof && conn.parser.is_idle() {
+                    self.close(slot);
+                } else if conn.parser.is_idle() {
+                    conn.state = ConnState::Idle;
+                }
+            }
+            Err(HttpError::ConnectionClosed) => self.close(slot),
+            Err(HttpError::BadRequest(why)) => {
+                self.shared.metrics.note_400();
+                self.queue_response(slot, &Response::error(400, &why), false, now);
+            }
+            Err(HttpError::Io(_)) => self.close(slot),
+        }
+    }
+
+    /// Serialises `resp` straight into the connection's write buffer
+    /// (reactor-side responses: 400/503 — handler responses arrive via
+    /// completions) and starts draining it.
+    fn queue_response(&mut self, slot: usize, resp: &Response, keep_alive: bool, now: Instant) {
+        let Some(conn) = &mut self.slab[slot] else {
+            return;
+        };
+        let mut buf = bytes::BytesMut::with_capacity(256 + resp.body.len());
+        resp.write_into(&mut buf, keep_alive);
+        conn.out = buf.to_vec();
+        conn.out_pos = 0;
+        conn.close_after_write = !keep_alive;
+        conn.state = ConnState::WritingResponse;
+        conn.last_active = now;
+        self.write_step(slot, now);
+    }
+
+    /// Routes a compute completion to its connection (if the slot still
+    /// holds the same generation).
+    fn apply_completion(&mut self, c: Completion) -> bool {
+        let now = Instant::now();
+        let Some(Some(conn)) = self.slab.get_mut(c.slot) else {
+            return false;
+        };
+        if conn.gen != c.gen || conn.state != ConnState::Handling {
+            return false;
+        }
+        conn.out = c.bytes;
+        conn.out_pos = 0;
+        conn.close_after_write = !c.keep_alive || c.panicked;
+        conn.state = ConnState::WritingResponse;
+        conn.last_active = now;
+        self.write_step(c.slot, now);
+        true
+    }
+
+    /// Nonblocking write; on a full drain the connection goes back to
+    /// reading (immediately serving a pipelined successor if one is
+    /// already buffered) or closes.
+    fn write_step(&mut self, slot: usize, now: Instant) -> bool {
+        let mut progress = false;
+        let mut dead = false;
+        let mut drained = false;
+        let mut close_after = false;
+        {
+            let Some(conn) = &mut self.slab[slot] else {
+                return false;
+            };
+            while conn.out_pos < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_active = now;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return progress,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Peer went away mid-response (EPIPE/reset):
+                        // this connection dies, the reactor shrugs.
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                // Fully drained.
+                drained = true;
+                close_after = conn.close_after_write;
+                conn.out = Vec::new();
+                conn.out_pos = 0;
+                if !close_after {
+                    conn.state = ConnState::Idle;
+                    conn.last_active = now;
+                }
+            }
+        }
+        if dead || close_after {
+            self.close(slot);
+        } else if drained {
+            // A pipelined request may be fully buffered already.
+            self.drive_parser(slot, now);
+        }
+        true
+    }
+
+    /// Re-checks a popped timer token against the connection's true
+    /// idle deadline: close if expired, reinsert otherwise.
+    fn check_deadline(&mut self, slot: usize, gen: u64, now: Instant) {
+        let timeout = self.shared.idle_timeout;
+        let Some(Some(conn)) = self.slab.get_mut(slot) else {
+            return;
+        };
+        if conn.gen != gen {
+            return; // slot was recycled; the new conn has its own token
+        }
+        // Only quiet connections time out: Handling/Writing are live by
+        // definition (their progress updates last_active), and a
+        // mid-request dribble (slowloris) is judged by the same clock —
+        // any byte resets it.
+        let idle_for = now.duration_since(conn.last_active);
+        if idle_for >= timeout && matches!(conn.state, ConnState::Idle | ConnState::ReadingRequest)
+        {
+            self.shared.metrics.note_idle_closed();
+            self.close(slot);
+        } else {
+            let deadline = conn.last_active + timeout;
+            self.wheel.insert((slot, gen), deadline, now);
+        }
+    }
+}

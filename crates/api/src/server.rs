@@ -1,24 +1,32 @@
-//! The blocking HTTP server.
+//! The HTTP server: a readiness-driven reactor (default) with a
+//! worker-pool compat engine.
 //!
-//! A blocking accept loop feeds accepted connections into a bounded
-//! queue drained by a fixed worker pool:
+//! Two engines share one [`ApiServer`] surface, selected by
+//! [`ServerConfig::mode`]:
 //!
-//! * keep-alive (multiple requests per connection),
-//! * backpressure: when the queue is full the acceptor answers 503
-//!   immediately instead of piling up threads,
-//! * per-connection read timeouts so dead peers release their worker,
-//! * reused per-connection read/write buffers (one header-line scratch
-//!   `String` and one response `BytesMut` per connection lifetime),
-//! * clean shutdown: a self-connect wakes the blocking accept call —
-//!   no sleep-polling anywhere — and dropping the queue sender drains
-//!   the workers,
-//! * resilience: handler panics are caught per connection (the pool
-//!   never shrinks) and persistent accept errors (fd exhaustion) back
-//!   off briefly instead of busy-spinning the acceptor.
+//! * [`ServerMode::Reactor`] — the [`crate::reactor`] event loop:
+//!   nonblocking sockets multiplexed over a few reactor threads, each
+//!   connection an explicit state machine, request handling fanned out
+//!   to a bounded compute pool. Idle keep-alive sessions cost a slab
+//!   slot, not a thread, so tens of thousands can stay connected; a
+//!   configurable idle timeout (deadline wheel) reclaims dead ones.
+//! * [`ServerMode::WorkerPool`] — the earlier blocking engine kept as a
+//!   compatibility shim: accept loop → bounded queue → fixed workers,
+//!   one connection per worker, 503 when the queue is full. Retained so
+//!   invariant tests can prove server-architecture independence (and as
+//!   the fallback should the reactor regress).
+//!
+//! Both engines expose [`ServerMetrics`] counters
+//! ([`ApiServer::metrics`]): accepted/open connections, requests,
+//! 503/400 counts, handler panics, idle-timeout closes, and — the one
+//! the scaling claim hangs on — live server threads, maintained by RAII
+//! guards on every thread either engine spawns. The 10k-idle-session
+//! soak pins `threads_live == reactor_threads + compute_threads`
+//! directly from these counters.
 
 use std::io::BufReader;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -27,57 +35,242 @@ use std::time::Duration;
 use bytes::BytesMut;
 
 use crate::http::{read_request_buffered, HttpError, Response};
+use crate::reactor;
 use crate::service::AtlasService;
 
-/// Socket read timeout: a keep-alive connection idle this long is
-/// closed.
+/// Socket read timeout for the worker-pool engine (its keep-alive
+/// idle limit; the reactor uses [`ServerConfig::idle_timeout`]).
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// Worker-pool sizing.
+/// Which serving engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Readiness-driven event loop + bounded compute pool (default).
+    Reactor,
+    /// The blocking accept→queue→worker-pool engine (compat shim; one
+    /// thread per in-flight connection).
+    WorkerPool,
+}
+
+/// Server sizing and connection policy.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads serving connections. Each worker owns one
-    /// connection at a time (requests on a connection are sequential
-    /// anyway), so this is also the concurrent-connection limit.
-    pub workers: usize,
-    /// Accepted connections that may queue for a free worker before the
-    /// acceptor starts refusing with 503.
+    /// Engine selection.
+    pub mode: ServerMode,
+    /// Reactor event-loop threads (reactor mode). Each owns a slice of
+    /// the connections; reactor 0 also polls the listener.
+    pub reactor_threads: usize,
+    /// Handler threads. In reactor mode this is the compute pool; in
+    /// worker-pool mode, the pool itself (and thus the
+    /// concurrent-connection limit).
+    pub compute_threads: usize,
+    /// Bounded handler queue. Reactor mode: dispatched requests that
+    /// may wait for a free compute thread — when full, the reactor
+    /// answers 503 and keeps the connection. Worker-pool mode: accepted
+    /// connections that may wait for a worker — when full, the acceptor
+    /// refuses with 503.
     pub queue_depth: usize,
+    /// Close a keep-alive connection idle this long (reactor mode;
+    /// enforced by the deadline wheel, so expiry is approximate to
+    /// about one wheel tick = `idle_timeout / 16`).
+    pub idle_timeout: Duration,
+    /// Admission cap on concurrently open connections (reactor mode):
+    /// beyond it, new arrivals get an immediate 503 instead of the
+    /// process dying on fd exhaustion.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        // Handlers are short and CPU-bound (the campaign itself runs
-        // lock-free), but a worker can sit in a keep-alive read for up
-        // to READ_TIMEOUT — so oversubscribe cores, within reason.
         let cores = std::thread::available_parallelism().map_or(8, |n| n.get());
         Self {
-            workers: (cores * 2).clamp(4, 64),
+            mode: ServerMode::Reactor,
+            // The event loop is cheap; connection counts, not core
+            // counts, decide how many reactors pay off.
+            reactor_threads: (cores / 4).clamp(1, 4),
+            // Handlers are short and CPU-bound (campaigns run
+            // lock-free) and never block on the network — the reactor
+            // owns all socket I/O — so the pool tracks cores instead of
+            // oversubscribing them.
+            compute_threads: cores.clamp(2, 32),
             queue_depth: 64,
+            idle_timeout: Duration::from_secs(5),
+            max_connections: 16_384,
         }
     }
+}
+
+impl ServerConfig {
+    /// Reactor-mode config with explicit thread counts.
+    pub fn reactor(reactor_threads: usize, compute_threads: usize, queue_depth: usize) -> Self {
+        Self {
+            mode: ServerMode::Reactor,
+            reactor_threads,
+            compute_threads,
+            queue_depth,
+            ..Self::default()
+        }
+    }
+
+    /// Worker-pool-mode config, matching the pre-reactor `{workers,
+    /// queue_depth}` shape.
+    pub fn worker_pool(workers: usize, queue_depth: usize) -> Self {
+        Self {
+            mode: ServerMode::WorkerPool,
+            compute_threads: workers,
+            queue_depth,
+            ..Self::default()
+        }
+    }
+
+    /// Returns `self` with the given idle timeout (builder-style).
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Returns `self` with the given connection admission cap.
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap;
+        self
+    }
+}
+
+/// Liveness + traffic counters, shared by both engines. All relaxed
+/// atomics: they are observability, not synchronisation.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    conns_accepted: AtomicU64,
+    conns_open: AtomicU64,
+    requests: AtomicU64,
+    resp_503: AtomicU64,
+    resp_400: AtomicU64,
+    handler_panics: AtomicU64,
+    idle_closed: AtomicU64,
+    threads_live: AtomicU64,
+}
+
+impl ServerMetrics {
+    pub(crate) fn note_accept(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_conn_opened(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_503(&self) {
+        self.resp_503.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_400(&self) {
+        self.resp_400.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_handler_panic(&self) {
+        self.handler_panics.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_idle_closed(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn connections_open(&self) -> u64 {
+        self.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            connections_open: self.conns_open.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_503: self.resp_503.load(Ordering::Relaxed),
+            responses_400: self.resp_400.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            threads_live: self.threads_live.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copy of the server's [`ServerMetrics`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections the listener has accepted (including ones refused
+    /// post-accept by the admission cap).
+    pub connections_accepted: u64,
+    /// Connections currently open (registered and not yet closed).
+    pub connections_open: u64,
+    /// Complete requests parsed off connections.
+    pub requests: u64,
+    /// 503 responses (queue-full shed + admission-cap refusals).
+    pub responses_503: u64,
+    /// 400 responses written for malformed requests.
+    pub responses_400: u64,
+    /// Handler panics caught (each cost one 500 and one connection).
+    pub handler_panics: u64,
+    /// Connections closed by the idle-timeout wheel.
+    pub idle_closed: u64,
+    /// Threads the server currently runs (reactors + compute pool, or
+    /// acceptor + workers), maintained by RAII guards on each thread.
+    pub threads_live: u64,
+}
+
+/// RAII thread accounting: every server thread holds one for its
+/// lifetime, so `threads_live` is exact even across panics (the guard
+/// drops on unwind).
+pub(crate) struct ThreadGuard {
+    metrics: Arc<ServerMetrics>,
+}
+
+impl ThreadGuard {
+    pub(crate) fn enter(metrics: &Arc<ServerMetrics>) -> Self {
+        metrics.threads_live.fetch_add(1, Ordering::Relaxed);
+        Self {
+            metrics: Arc::clone(metrics),
+        }
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        self.metrics.threads_live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The engine actually running behind an [`ApiServer`].
+enum Engine {
+    Reactor {
+        shared: Arc<reactor::Shared>,
+        threads: Vec<JoinHandle<()>>,
+    },
+    WorkerPool {
+        stop: Arc<AtomicBool>,
+        accept_thread: Option<JoinHandle<()>>,
+        /// Clone of the bound listener, kept to flip it non-blocking at
+        /// shutdown so the accept loop cannot re-block after the wake.
+        wake_listener: TcpListener,
+    },
 }
 
 /// A running API server.
 pub struct ApiServer {
     local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    /// Clone of the bound listener, kept to flip it non-blocking at
-    /// shutdown so the accept loop cannot re-block after the wake.
-    wake_listener: TcpListener,
     service: Arc<AtlasService>,
+    metrics: Arc<ServerMetrics>,
+    engine: Option<Engine>,
 }
 
 impl ApiServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `service` with default pool sizing.
+    /// serving `service` with default (reactor) sizing.
     pub fn spawn<A: ToSocketAddrs>(addr: A, service: AtlasService) -> std::io::Result<ApiServer> {
         Self::spawn_with(addr, service, ServerConfig::default())
     }
 
-    /// Binds `addr` and starts serving `service` with explicit pool
-    /// sizing.
+    /// Binds `addr` and starts serving `service` with an explicit
+    /// engine + sizing.
     pub fn spawn_with<A: ToSocketAddrs>(
         addr: A,
         service: AtlasService,
@@ -85,33 +278,54 @@ impl ApiServer {
     ) -> std::io::Result<ApiServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let wake_listener = listener.try_clone()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let service = Arc::new(service);
+        let metrics = Arc::new(ServerMetrics::default());
 
-        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_depth.max(1));
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        for i in 0..config.workers.max(1) {
-            let rx = Arc::clone(&conn_rx);
-            let service = Arc::clone(&service);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name(format!("shears-api-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &service, &stop))?;
-        }
-
-        let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name("shears-api-accept".into())
-            .spawn(move || {
-                accept_loop(&listener, &conn_tx, &stop2);
-            })?;
+        let engine = match config.mode {
+            ServerMode::Reactor => {
+                let (shared, threads) = reactor::spawn(
+                    listener,
+                    Arc::clone(&service),
+                    Arc::clone(&metrics),
+                    config.reactor_threads,
+                    config.compute_threads,
+                    config.queue_depth,
+                    config.idle_timeout,
+                    config.max_connections,
+                )?;
+                Engine::Reactor { shared, threads }
+            }
+            ServerMode::WorkerPool => {
+                let wake_listener = listener.try_clone()?;
+                let stop = Arc::new(AtomicBool::new(false));
+                let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_depth.max(1));
+                let conn_rx = Arc::new(Mutex::new(conn_rx));
+                for i in 0..config.compute_threads.max(1) {
+                    let rx = Arc::clone(&conn_rx);
+                    let service = Arc::clone(&service);
+                    let stop = Arc::clone(&stop);
+                    let metrics = Arc::clone(&metrics);
+                    std::thread::Builder::new()
+                        .name(format!("shears-api-worker-{i}"))
+                        .spawn(move || worker_loop(&rx, &service, &stop, &metrics))?;
+                }
+                let stop2 = Arc::clone(&stop);
+                let metrics2 = Arc::clone(&metrics);
+                let accept_thread = std::thread::Builder::new()
+                    .name("shears-api-accept".into())
+                    .spawn(move || accept_loop(&listener, &conn_tx, &stop2, &metrics2))?;
+                Engine::WorkerPool {
+                    stop,
+                    accept_thread: Some(accept_thread),
+                    wake_listener,
+                }
+            }
+        };
         Ok(ApiServer {
             local_addr,
-            stop,
-            accept_thread: Some(accept_thread),
-            wake_listener,
             service,
+            metrics,
+            engine: Some(engine),
         })
     }
 
@@ -127,30 +341,57 @@ impl ApiServer {
         self.local_addr
     }
 
-    /// Stops accepting connections, joins the accept thread, and
-    /// flushes the service's durable state (measurement journal files +
-    /// ledger) so a graceful shutdown never loses finished work.
-    /// In-flight connections finish their current request.
+    /// A point-in-time copy of the server's own counters — the soak
+    /// test's thread-count pin reads these, not `/proc`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Stops serving and flushes the service's durable state
+    /// (measurement journal files + ledger) so a graceful shutdown
+    /// never loses finished work.
     pub fn shutdown(mut self) -> std::io::Result<()> {
         self.halt();
         self.service.flush()
     }
 
-    /// Wakes and joins the accept thread. Workers drain and exit once
-    /// the queue sender drops with it; they are not joined, because an
+    /// Stops the engine. Reactor: flags stop, wakes every thread, joins
+    /// them all (reactors close their connections on the way out; the
+    /// job queue disconnecting drains the compute pool). Worker pool:
+    /// wakes and joins the acceptor; workers drain and exit when the
+    /// queue sender drops with it — they are not joined, because an
     /// idle keep-alive peer would otherwise hold shutdown hostage for
     /// up to `READ_TIMEOUT`.
     fn halt(&mut self) {
-        let Some(t) = self.accept_thread.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::SeqCst);
-        // Even if the wake connect below cannot land, the next accept
-        // returns WouldBlock instead of blocking forever.
-        let _ = self.wake_listener.set_nonblocking(true);
-        // Kick the accept call that is already blocking.
-        let _ = TcpStream::connect_timeout(&wake_addr(self.local_addr), Duration::from_millis(250));
-        let _ = t.join();
+        match self.engine.take() {
+            None => {}
+            Some(Engine::Reactor { shared, threads }) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.unpark_all();
+                for t in threads {
+                    let _ = t.join();
+                }
+            }
+            Some(Engine::WorkerPool {
+                stop,
+                mut accept_thread,
+                wake_listener,
+            }) => {
+                let Some(t) = accept_thread.take() else {
+                    return;
+                };
+                stop.store(true, Ordering::SeqCst);
+                // Even if the wake connect below cannot land, the next
+                // accept returns WouldBlock instead of blocking forever.
+                let _ = wake_listener.set_nonblocking(true);
+                // Kick the accept call that is already blocking.
+                let _ = TcpStream::connect_timeout(
+                    &wake_addr(self.local_addr),
+                    Duration::from_millis(250),
+                );
+                let _ = t.join();
+            }
+        }
     }
 }
 
@@ -173,7 +414,13 @@ impl Drop for ApiServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, conns: &SyncSender<TcpStream>, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    conns: &SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    metrics: &Arc<ServerMetrics>,
+) {
+    let _guard = ThreadGuard::enter(metrics);
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -181,10 +428,12 @@ fn accept_loop(listener: &TcpListener, conns: &SyncSender<TcpStream>, stop: &Ato
                     // The shutdown wake (or a late client): drop it.
                     return;
                 }
+                metrics.note_accept();
                 match conns.try_send(stream) {
                     Ok(()) => {}
                     Err(TrySendError::Full(stream)) => {
                         // Overloaded: refuse politely and move on.
+                        metrics.note_503();
                         let mut s = stream;
                         let _ = Response::error(503, "server overloaded").send(&mut s, false);
                     }
@@ -208,7 +457,13 @@ fn accept_loop(listener: &TcpListener, conns: &SyncSender<TcpStream>, stop: &Ato
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &AtlasService, stop: &AtomicBool) {
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    service: &AtlasService,
+    stop: &AtomicBool,
+    metrics: &Arc<ServerMetrics>,
+) {
+    let _guard = ThreadGuard::enter(metrics);
     loop {
         // Hold the receiver lock only for the dequeue, not while
         // serving: idle workers queue on the lock, busy ones don't.
@@ -218,6 +473,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &AtlasService, stop: &A
         };
         match next {
             Ok(stream) => {
+                metrics.note_conn_opened();
                 // Isolate the worker from handler panics: a panic while
                 // serving must cost only that connection, never shrink
                 // the pool (the service's parking_lot locks release on
@@ -225,13 +481,15 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &AtlasService, stop: &A
                 // the client before dropping the connection.
                 let panic_writer = stream.try_clone().ok();
                 let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let _ = serve_connection(stream, service, stop);
+                    let _ = serve_connection(stream, service, stop, metrics);
                 }));
                 if served.is_err() {
+                    metrics.note_handler_panic();
                     if let Some(mut w) = panic_writer {
                         let _ = Response::error(500, "internal server error").send(&mut w, false);
                     }
                 }
+                metrics.note_conn_closed();
             }
             // All senders gone: the server shut down.
             Err(_) => return,
@@ -243,6 +501,7 @@ fn serve_connection(
     stream: TcpStream,
     service: &AtlasService,
     stop: &AtomicBool,
+    metrics: &ServerMetrics,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     stream.set_nodelay(true)?;
@@ -257,6 +516,7 @@ fn serve_connection(
         }
         match read_request_buffered(&mut reader, &mut line) {
             Ok(req) => {
+                metrics.note_request();
                 let keep_alive = req.keep_alive();
                 let resp = service.handle(&req);
                 resp.send_buffered(&mut writer, &mut out, keep_alive)?;
@@ -266,6 +526,7 @@ fn serve_connection(
             }
             Err(HttpError::ConnectionClosed) => return Ok(()),
             Err(HttpError::BadRequest(why)) => {
+                metrics.note_400();
                 let _ = Response::error(400, &why).send_buffered(&mut writer, &mut out, false);
                 return Ok(());
             }
@@ -350,6 +611,8 @@ mod tests {
         let server = spawn_server();
         let resp = raw_request(server.local_addr(), "NOTHTTP\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        let snap = server.metrics();
+        assert_eq!(snap.responses_400, 1);
         server.shutdown().unwrap();
     }
 
@@ -370,18 +633,15 @@ mod tests {
     }
 
     #[test]
-    fn overflow_connections_get_503_not_a_hang() {
-        // One worker, one queue slot: the worker parks in a keep-alive
-        // read on the first connection, a second waits in the queue, so
-        // a third must be refused fast.
+    fn pool_overflow_connections_get_503_not_a_hang() {
+        // Worker-pool engine: one worker, one queue slot — the worker
+        // parks in a keep-alive read on the first connection, a second
+        // waits in the queue, so a third must be refused fast.
         let platform = Platform::build(&PlatformConfig::quick(4));
         let server = ApiServer::spawn_with(
             "127.0.0.1:0",
             AtlasService::new(platform),
-            ServerConfig {
-                workers: 1,
-                queue_depth: 1,
-            },
+            ServerConfig::worker_pool(1, 1),
         )
         .unwrap();
         let addr = server.local_addr();
@@ -405,22 +665,77 @@ mod tests {
         let mut resp = String::new();
         refused.read_to_string(&mut resp).unwrap();
         assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(server.metrics().responses_503 >= 1);
         drop(busy);
         server.shutdown().unwrap();
     }
 
     #[test]
-    fn handler_panic_does_not_shrink_the_worker_pool() {
-        // One worker: if a panic killed it, the server would stop
-        // serving after the first hostile request.
+    fn reactor_sheds_overload_with_503_and_recovers() {
+        // Reactor engine: one compute thread, one queue slot. Occupy
+        // the compute thread with a slow debug request and fill the
+        // queue; the next request on a *fresh* connection must get 503
+        // immediately (the reactor sheds it without blocking), and once
+        // the queue drains the same connection serves again.
+        let platform = Platform::build(&PlatformConfig::quick(4));
+        let server = ApiServer::spawn_with(
+            "127.0.0.1:0",
+            AtlasService::new(platform).with_debug_routes(),
+            ServerConfig::reactor(1, 1, 1),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let sleep_req = b"GET /api/v2/__debug/sleep?ms=700 HTTP/1.1\r\nHost: t\r\n\r\n";
+        // Occupy the compute thread, then fill the single queue slot.
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.write_all(sleep_req).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        let mut queued = TcpStream::connect(addr).unwrap();
+        queued.write_all(sleep_req).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        // This one finds the queue full: immediate 503, connection kept.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        shed.set_read_timeout(Some(Duration::from_millis(400))).unwrap();
+        shed.write_all(b"GET /api/v2/credits HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut head = [0u8; 12];
+        shed.read_exact(&mut head).unwrap();
+        assert_eq!(&head, b"HTTP/1.1 503");
+        assert!(server.metrics().responses_503 >= 1);
+        // Drain the rest of the 503 response, then reuse the very same
+        // connection once the queue has drained: recovery.
+        let mut drain = Vec::new();
+        loop {
+            let mut b = [0u8; 256];
+            match shed.read(&mut b) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    drain.extend_from_slice(&b[..n]);
+                    if drain.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1_800));
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        shed.write_all(b"GET /api/v2/credits HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        shed.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "no recovery: {resp}");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn handler_panic_does_not_shrink_the_compute_pool() {
+        // One compute thread: if a panic killed it, the server would
+        // stop serving after the first hostile request.
         let platform = Platform::build(&PlatformConfig::quick(4));
         let server = ApiServer::spawn_with(
             "127.0.0.1:0",
             AtlasService::new(platform),
-            ServerConfig {
-                workers: 1,
-                queue_depth: 4,
-            },
+            ServerConfig::reactor(1, 1, 4),
         )
         .unwrap();
         let addr = server.local_addr();
@@ -435,22 +750,26 @@ mod tests {
             addr,
             "GET /api/v2/credits HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
         );
-        assert!(resp.starts_with("HTTP/1.1 200 OK"), "worker died: {resp}");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "pool died: {resp}");
+        // Every response above was produced by the compute thread, so
+        // both server threads are provably up — and still exactly two:
+        // 1 reactor + 1 compute, panics notwithstanding.
+        let snap = server.metrics();
+        assert_eq!(snap.threads_live, 2, "a thread died or was spawned");
+        assert_eq!(snap.handler_panics, 2);
         server.shutdown().unwrap();
     }
 
     #[test]
     fn hostile_percent_escape_cannot_kill_the_server() {
         // `GET /%中` used to panic percent_decode (str slice at a
-        // non-char-boundary); with one worker that was a full outage.
+        // non-char-boundary); with one compute thread that was a full
+        // outage.
         let platform = Platform::build(&PlatformConfig::quick(4));
         let server = ApiServer::spawn_with(
             "127.0.0.1:0",
             AtlasService::new(platform),
-            ServerConfig {
-                workers: 1,
-                queue_depth: 4,
-            },
+            ServerConfig::reactor(1, 1, 4),
         )
         .unwrap();
         let addr = server.local_addr();
@@ -463,12 +782,12 @@ mod tests {
             addr,
             "GET /api/v2/credits HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
         );
-        assert!(resp.starts_with("HTTP/1.1 200 OK"), "worker died: {resp}");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "server died: {resp}");
         server.shutdown().unwrap();
     }
 
     #[test]
-    fn parallel_requests_spread_across_workers() {
+    fn parallel_requests_spread_across_the_pool() {
         let server = spawn_server();
         let addr = server.local_addr();
         let handles: Vec<_> = (0..8)
@@ -485,6 +804,65 @@ mod tests {
             let resp = h.join().unwrap();
             assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
         }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_time_out_and_active_ones_do_not() {
+        // Two keep-alive sessions against a 200ms idle timeout: one
+        // goes quiet, one keeps issuing requests. The quiet one must be
+        // closed cleanly (EOF, not a reset mid-response); the busy one
+        // must survive well past the timeout.
+        let platform = Platform::build(&PlatformConfig::quick(4));
+        let server = ApiServer::spawn_with(
+            "127.0.0.1:0",
+            AtlasService::new(platform),
+            ServerConfig::reactor(1, 2, 16).with_idle_timeout(Duration::from_millis(200)),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let idle = TcpStream::connect(addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        let mut active = TcpStream::connect(addr).unwrap();
+        active.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        // Keep the active session busy across 4× the idle timeout.
+        for _ in 0..8 {
+            active
+                .write_all(b"GET /api/v2/credits HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            let mut head = [0u8; 12];
+            active.read_exact(&mut head).unwrap();
+            assert_eq!(&head, b"HTTP/1.1 200");
+            // Drain to the end of this response (headers + body).
+            let mut buf = Vec::new();
+            let mut b = [0u8; 512];
+            let mut content_length = None;
+            loop {
+                let n = active.read(&mut b).unwrap();
+                buf.extend_from_slice(&b[..n]);
+                if content_length.is_none() {
+                    if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                        let head_text = String::from_utf8_lossy(&buf[..end]);
+                        let cl = head_text
+                            .lines()
+                            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().parse::<usize>().unwrap()));
+                        content_length = Some((end + 4, cl.unwrap_or(0)));
+                    }
+                }
+                if let Some((body_at, cl)) = content_length {
+                    if buf.len() >= body_at + cl {
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        // The idle session must be gone by now: a read sees clean EOF.
+        let mut probe = [0u8; 8];
+        let mut idle = idle;
+        let got = idle.read(&mut probe);
+        assert!(matches!(got, Ok(0)), "idle conn not closed cleanly: {got:?}");
+        assert!(server.metrics().idle_closed >= 1);
         server.shutdown().unwrap();
     }
 }

@@ -127,6 +127,10 @@ pub struct AtlasService {
     frame_appends: AtomicU64,
     seed: u64,
     durability: Option<PathBuf>,
+    /// Serve `/api/v2/__debug/*` (sleep, panic). Off by default; the
+    /// connection-level test battery switches it on to occupy or crash
+    /// handlers on demand from outside the crate.
+    debug_routes: bool,
 }
 
 impl AtlasService {
@@ -141,7 +145,18 @@ impl AtlasService {
             frame_appends: AtomicU64::new(0),
             seed: 0xA71_A50A1,
             durability: None,
+            debug_routes: false,
         }
+    }
+
+    /// Enables the `/api/v2/__debug/*` routes: `GET
+    /// /api/v2/__debug/sleep?ms=N` holds a handler for `N` ms (clamped
+    /// to 5000) and `GET /api/v2/__debug/panic` panics inside the
+    /// handler. Test instrumentation — never enable on a real
+    /// deployment.
+    pub fn with_debug_routes(mut self) -> Self {
+        self.debug_routes = true;
+        self
     }
 
     /// Wraps a platform with persistent measurement state: measurements
@@ -219,6 +234,21 @@ impl AtlasService {
             // worker pool. Compiled out of release builds entirely.
             #[cfg(test)]
             (Method::Get, ["api", "v2", "__panic"]) => panic!("injected handler panic"),
+            // Opt-in instrumentation for the connection-level battery
+            // (integration tests cannot see `cfg(test)` routes): hold a
+            // handler busy, or crash it, on demand.
+            (Method::Get, ["api", "v2", "__debug", "sleep"]) if self.debug_routes => {
+                let ms: u64 = req
+                    .query
+                    .get("ms")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(100);
+                std::thread::sleep(std::time::Duration::from_millis(ms.min(5_000)));
+                Response::json(&serde_json::json!({ "slept_ms": ms.min(5_000) }))
+            }
+            (Method::Get, ["api", "v2", "__debug", "panic"]) if self.debug_routes => {
+                panic!("injected debug-route panic")
+            }
             (_, ["api", "v2", ..]) => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such resource"),
         }
@@ -297,9 +327,10 @@ impl AtlasService {
     }
 
     /// The create path after body parsing: validate, charge, run the
-    /// campaign (lock-free), store. Exposed crate-wide so tests can
-    /// seed measurements without going through the JSON surface.
-    pub(crate) fn create_from_spec(&self, spec: &CreateMeasurementDto) -> Response {
+    /// campaign (lock-free), store. Public so tests and the load
+    /// harness can seed measurements without going through the JSON
+    /// surface (which the offline serde stub cannot round-trip).
+    pub fn create_from_spec(&self, spec: &CreateMeasurementDto) -> Response {
         if spec.target_region >= self.platform.catalog().regions().len() {
             return Response::error(400, "unknown target region");
         }

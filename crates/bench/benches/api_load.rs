@@ -33,13 +33,10 @@ fn mixed_path(ids: &[u64], i: u64) -> String {
 
 fn bench_api_load(c: &mut Criterion) {
     let platform = Platform::build(&PlatformConfig::quick(5));
-    // Workers hold keep-alive connections for their lifetime, so the
-    // pool must outsize the widest client count (8) even on small-core
-    // machines where the default would be 4.
-    let config = ServerConfig {
-        workers: 16,
-        queue_depth: 64,
-    };
+    // Reactor engine: keep-alive sessions cost no threads, but the
+    // compute pool must outsize the widest client count (8) so closed-
+    // loop clients never serialise behind a busy handler slot.
+    let config = ServerConfig::reactor(2, 16, 64);
     let server = ApiServer::spawn_with("127.0.0.1:0", AtlasService::new(platform), config)
         .expect("bind server");
     let addr = server.local_addr();

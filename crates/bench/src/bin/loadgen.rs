@@ -1,0 +1,179 @@
+//! Open-loop load harness: spawns the API server in-process, offers
+//! Poisson traffic at a configured rate over a keep-alive session
+//! fleet, and folds p50/p99/p999 + throughput into `BENCH_api.json`.
+//!
+//! ```sh
+//! cargo run --release -p shears-bench --bin loadgen                 # one run
+//! cargo run --release -p shears-bench --bin loadgen -- --grid       # 3 rates × {64,1k,10k}
+//! cargo run --release -p shears-bench --bin loadgen -- \
+//!     --rate 1000 --sessions 1000 --secs 10 --mode pool
+//! ```
+//!
+//! `--merge BENCH_api.json` (the default for `--grid`, used by
+//! `scripts/bench.sh`) inserts the results under a `"loadgen"` key,
+//! preserving the Criterion summaries already in the file.
+
+use std::time::Duration;
+
+use shears_api::dto::CreateMeasurementDto;
+use shears_api::server::{ApiServer, ServerConfig, ServerMode};
+use shears_api::service::AtlasService;
+use shears_atlas::{Platform, PlatformConfig};
+use shears_bench::loadgen::{LoadReport, TrafficMix, Workload};
+
+struct Args {
+    rate: f64,
+    sessions: usize,
+    secs: f64,
+    seed: u64,
+    mode: ServerMode,
+    grid: bool,
+    read_only: bool,
+    merge: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rate: 500.0,
+        sessions: 64,
+        secs: 5.0,
+        seed: 42,
+        mode: ServerMode::Reactor,
+        grid: false,
+        read_only: false,
+        merge: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--rate" => args.rate = val("--rate").parse().expect("--rate: f64"),
+            "--sessions" => args.sessions = val("--sessions").parse().expect("--sessions: usize"),
+            "--secs" => args.secs = val("--secs").parse().expect("--secs: f64"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed: u64"),
+            "--mode" => {
+                args.mode = match val("--mode").as_str() {
+                    "reactor" => ServerMode::Reactor,
+                    "pool" => ServerMode::WorkerPool,
+                    other => panic!("--mode: reactor|pool, got {other}"),
+                }
+            }
+            "--grid" => args.grid = true,
+            "--read-only" => args.read_only = true,
+            "--merge" => args.merge = Some(val("--merge")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn spawn_server(mode: ServerMode) -> ApiServer {
+    let platform = Platform::build(&PlatformConfig::quick(8));
+    let service = AtlasService::new(platform);
+    // Seed the measurement the read mix targets through the service
+    // directly — independent of JSON round-trips.
+    let created = service.create_from_spec(&CreateMeasurementDto {
+        target_region: 0,
+        packets: 2,
+        rounds: 2,
+        probe_limit: 16,
+        country: None,
+        fault_profile: None,
+        retries: None,
+        durability: false,
+    });
+    assert_eq!(created.status, 201, "seed measurement failed");
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let config = match mode {
+        ServerMode::Reactor => ServerConfig::reactor(2, cores.clamp(2, 32), 256),
+        ServerMode::WorkerPool => ServerConfig::worker_pool(cores * 2, 256),
+    }
+    // Low-rate sessions in a big fleet legitimately sit idle for
+    // minutes; don't let the idle wheel shear the fleet mid-run.
+    .with_idle_timeout(Duration::from_secs(120))
+    .with_max_connections(30_000);
+    ApiServer::spawn_with("127.0.0.1:0", service, config).unwrap()
+}
+
+fn run_one(server: &ApiServer, rate: f64, sessions: usize, secs: f64, seed: u64, read_only: bool) -> LoadReport {
+    let mut w = Workload::new(rate, sessions);
+    w.duration = Duration::from_secs_f64(secs);
+    w.seed = seed;
+    if read_only {
+        w.mix = TrafficMix::read_only();
+    }
+    let report = w.run(server.local_addr()).expect("load run failed");
+    eprintln!(
+        "[loadgen] rate={rate} sessions={sessions}: {} completed, p50={:.2}ms p99={:.2}ms p999={:.2}ms",
+        report.completed,
+        report.latency.quantile(0.5),
+        report.latency.quantile(0.99),
+        report.latency.quantile(0.999),
+    );
+    report
+}
+
+/// Inserts `"loadgen": payload` into the JSON object in `path`,
+/// preserving whatever `bench_summary` already put there. Textual
+/// merge — no JSON parsing — so it behaves identically with the
+/// offline serde stub. If the file is absent, isn't a single object,
+/// or already carries a `"loadgen"` key (bench_summary regenerates it
+/// fresh each run, so that means a stale manual run), it is replaced
+/// wholesale.
+fn merge_into(path: &str, payload: &str) {
+    let fresh = format!("{{\"loadgen\":{payload}}}\n");
+    let merged = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let trimmed = text.trim_end();
+            let inner = trimmed
+                .strip_suffix('}')
+                .map(str::trim_end)
+                .unwrap_or_default();
+            if inner.starts_with('{') && inner != "{" && !trimmed.contains("\"loadgen\"") {
+                format!("{inner},\"loadgen\":{payload}}}\n")
+            } else {
+                fresh
+            }
+        }
+        Err(_) => fresh,
+    };
+    std::fs::write(path, merged).expect("writing BENCH file");
+    eprintln!("[loadgen] merged into {path}");
+}
+
+fn main() {
+    let args = parse_args();
+    let server = spawn_server(args.mode);
+    let mode_name = match args.mode {
+        ServerMode::Reactor => "reactor",
+        ServerMode::WorkerPool => "pool",
+    };
+
+    let runs: Vec<(f64, usize)> = if args.grid {
+        let mut grid = Vec::new();
+        for &rate in &[200.0, 1_000.0, 5_000.0] {
+            for &sessions in &[64usize, 1_000, 10_000] {
+                grid.push((rate, sessions));
+            }
+        }
+        grid
+    } else {
+        vec![(args.rate, args.sessions)]
+    };
+
+    let mut entries = Vec::new();
+    for (rate, sessions) in runs {
+        let report = run_one(&server, rate, sessions, args.secs, args.seed, args.read_only);
+        entries.push(report.to_json());
+    }
+    let payload = format!("{{\"mode\":\"{mode_name}\",\"runs\":[{}]}}", entries.join(","));
+    println!("{payload}");
+
+    if let Some(path) = &args.merge {
+        merge_into(path, &payload);
+    }
+    server.shutdown().unwrap();
+}

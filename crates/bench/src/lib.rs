@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loadgen;
+
 use shears_analysis::CampaignData;
 use shears_atlas::{
     Campaign, CampaignConfig, FleetConfig, Platform, PlatformConfig, ResultStore,

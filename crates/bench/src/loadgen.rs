@@ -1,0 +1,571 @@
+//! Open-loop API load generation.
+//!
+//! Models the client side the way fantoch's `Workload` does: traffic is
+//! described by an **arrival rate** and a **mix**, not by a client
+//! count. Requests are *scheduled* on a Poisson process (exponential
+//! inter-arrival gaps from a seeded [`SimRng`], so a given
+//! `(seed, rate, mix)` is the same request sequence on every run) and
+//! each request's latency is measured from its **scheduled** time — if
+//! the server (or the driver) falls behind, queueing delay lands in the
+//! histogram instead of silently throttling the offered load. That is
+//! the difference from a closed loop (like the `api_load` Criterion
+//! bench, where N clients wait for each response before sending the
+//! next): a closed loop can never show you an overloaded server, only a
+//! slower client.
+//!
+//! The driver multiplexes all sessions on one thread with nonblocking
+//! sockets — the same emulated-readiness idiom as the server's reactor
+//! — so "10k sessions" is 10k sockets and one thread, and the generator
+//! itself stays far from thread-scheduler artefacts. Scheduled requests
+//! are pipelined onto their session's keep-alive connection; responses
+//! are matched FIFO (HTTP/1.1 guarantees ordering per connection).
+//!
+//! Latencies land in a log-bucketed [`Histogram`] (~5% relative
+//! resolution) from which the report pulls p50/p99/p999; a
+//! [`LoadReport`] serialises itself to JSON by hand so the offline
+//! serde stub cannot silently empty it.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use shears_api::http::ResponseParser;
+use shears_netsim::stochastic::SimRng;
+
+/// Relative width of one histogram bucket.
+const BUCKET_GROWTH: f64 = 1.05;
+
+/// How long past the scheduling window the driver keeps draining
+/// in-flight responses before declaring them lost.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// Request-type weights (normalised on use). The default mix leans on
+/// reads the way a measurement dashboard does, with a trickle of
+/// campaign creation — creates run a real campaign server-side, so
+/// their weight dominates offered CPU cost.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficMix {
+    /// `POST /api/v2/measurements` (runs a small campaign).
+    pub create: f64,
+    /// `GET /api/v2/measurements/{id}/stats`.
+    pub stats: f64,
+    /// `GET /api/v2/measurements/{id}/results`.
+    pub results: f64,
+    /// `GET /api/v2/measurements` (the listing).
+    pub listing: f64,
+}
+
+impl Default for TrafficMix {
+    fn default() -> Self {
+        Self {
+            create: 0.02,
+            stats: 0.38,
+            results: 0.20,
+            listing: 0.40,
+        }
+    }
+}
+
+/// The request kinds a mix draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Measurement creation.
+    Create,
+    /// Stats summary read.
+    Stats,
+    /// Raw results read.
+    Results,
+    /// Measurement listing.
+    Listing,
+}
+
+impl TrafficMix {
+    /// Read-only variant of the default mix (for environments where
+    /// `POST` bodies cannot round-trip, e.g. the offline serde stub).
+    pub fn read_only() -> Self {
+        Self {
+            create: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Draws one request kind. Deterministic in the RNG stream.
+    pub fn pick(&self, rng: &mut SimRng) -> Op {
+        let total = (self.create + self.stats + self.results + self.listing).max(f64::MIN_POSITIVE);
+        let r = rng.uniform() * total;
+        if r < self.create {
+            Op::Create
+        } else if r < self.create + self.stats {
+            Op::Stats
+        } else if r < self.create + self.stats + self.results {
+            Op::Results
+        } else {
+            Op::Listing
+        }
+    }
+}
+
+/// An open-loop workload: offered rate × mix × session fleet.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Offered load, requests per second across all sessions.
+    pub rate: f64,
+    /// Keep-alive sessions to spread requests over.
+    pub sessions: usize,
+    /// Scheduling window (requests are scheduled for this long; the
+    /// driver then drains what is still in flight).
+    pub duration: Duration,
+    /// Request-type weights.
+    pub mix: TrafficMix,
+    /// RNG seed: fixes the arrival schedule, the session assignment,
+    /// and the op sequence.
+    pub seed: u64,
+    /// Measurement id the read ops target (seed it before running).
+    pub measurement_id: u64,
+}
+
+impl Workload {
+    /// A workload at `rate` req/s over `sessions` sessions with the
+    /// default mix, seed 42, 5-second window.
+    pub fn new(rate: f64, sessions: usize) -> Self {
+        Self {
+            rate,
+            sessions,
+            duration: Duration::from_secs(5),
+            mix: TrafficMix::default(),
+            seed: 42,
+            measurement_id: 1,
+        }
+    }
+
+    /// The request bytes for one op (keep-alive framing).
+    fn render(&self, op: Op) -> Vec<u8> {
+        let id = self.measurement_id;
+        match op {
+            Op::Listing => b"GET /api/v2/measurements HTTP/1.1\r\nhost: l\r\ncontent-length: 0\r\n\r\n".to_vec(),
+            Op::Stats => format!(
+                "GET /api/v2/measurements/{id}/stats HTTP/1.1\r\nhost: l\r\ncontent-length: 0\r\n\r\n"
+            )
+            .into_bytes(),
+            Op::Results => format!(
+                "GET /api/v2/measurements/{id}/results HTTP/1.1\r\nhost: l\r\ncontent-length: 0\r\n\r\n"
+            )
+            .into_bytes(),
+            Op::Create => {
+                let body = r#"{"target_region":0,"packets":1,"rounds":1,"probe_limit":2,"durability":false}"#;
+                format!(
+                    "POST /api/v2/measurements HTTP/1.1\r\nhost: l\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .into_bytes()
+            }
+        }
+    }
+
+    /// Runs the workload against `addr` and reports latencies.
+    pub fn run(&self, addr: SocketAddr) -> std::io::Result<LoadReport> {
+        let mut driver = Driver::connect(addr, self.sessions)?;
+        driver.run(self)
+    }
+}
+
+/// A log-bucketed latency histogram (~5% relative resolution, so p999
+/// is honest without storing every sample of a million-request run).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: f64,
+    max_us: u64,
+}
+
+impl Histogram {
+    fn bucket_of(us: u64) -> usize {
+        // index = log_{1.05}(us + 1); bucket 0 holds sub-microsecond.
+        (((us + 1) as f64).ln() / BUCKET_GROWTH.ln()) as usize
+    }
+
+    /// Records one latency.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let b = Self::bucket_of(us);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum_us += us as f64;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), in milliseconds: the upper
+    /// edge of the bucket holding the `q·count`-th sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper_us = BUCKET_GROWTH.powi(b as i32 + 1) - 1.0;
+                return upper_us.min(self.max_us as f64) / 1_000.0;
+            }
+        }
+        self.max_us as f64 / 1_000.0
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64 / 1_000.0
+        }
+    }
+
+    /// Maximum latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1_000.0
+    }
+}
+
+/// What one workload run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Offered rate (req/s).
+    pub rate: f64,
+    /// Session count.
+    pub sessions: usize,
+    /// Requests scheduled.
+    pub scheduled: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 503 sheds observed.
+    pub shed_503: u64,
+    /// Other non-2xx responses.
+    pub other_status: u64,
+    /// Requests lost to socket errors or the drain deadline.
+    pub lost: u64,
+    /// Achieved throughput over the scheduling window (responses/s).
+    pub throughput: f64,
+    /// Latency distribution, scheduled-time to response-complete.
+    pub latency: Histogram,
+}
+
+impl LoadReport {
+    /// Hand-rolled JSON (stable under the offline serde stub).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"rate\":{:.1},\"sessions\":{},\"scheduled\":{},\"completed\":{},",
+                "\"ok\":{},\"shed_503\":{},\"other_status\":{},\"lost\":{},",
+                "\"throughput_rps\":{:.1},\"latency_ms\":{{\"p50\":{:.3},\"p99\":{:.3},",
+                "\"p999\":{:.3},\"mean\":{:.3},\"max\":{:.3}}}}}"
+            ),
+            self.rate,
+            self.sessions,
+            self.scheduled,
+            self.completed,
+            self.ok,
+            self.shed_503,
+            self.other_status,
+            self.lost,
+            self.throughput,
+            self.latency.quantile(0.50),
+            self.latency.quantile(0.99),
+            self.latency.quantile(0.999),
+            self.latency.mean_ms(),
+            self.latency.max_ms(),
+        )
+    }
+}
+
+/// One multiplexed client session.
+struct Session {
+    stream: TcpStream,
+    parser: ResponseParser,
+    /// Bytes queued to write (pipelined requests) + write cursor.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Scheduled times of requests written-or-queued, FIFO-matched to
+    /// responses.
+    inflight: VecDeque<Instant>,
+    dead: bool,
+}
+
+/// The single-threaded nonblocking driver.
+struct Driver {
+    sessions: Vec<Session>,
+}
+
+impl Driver {
+    fn connect(addr: SocketAddr, n: usize) -> std::io::Result<Self> {
+        let mut sessions = Vec::with_capacity(n);
+        for i in 0..n.max(1) {
+            let stream = match TcpStream::connect_timeout(&addr, Duration::from_secs(10)) {
+                Ok(s) => s,
+                // Partial fleet (fd limit, admission cap): run with
+                // what connected rather than refusing to measure.
+                Err(e) if i > 0 => {
+                    eprintln!("[loadgen] fleet capped at {i}/{n} sessions: {e}");
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            sessions.push(Session {
+                stream,
+                parser: ResponseParser::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                inflight: VecDeque::new(),
+                dead: false,
+            });
+        }
+        Ok(Self { sessions })
+    }
+
+    fn run(&mut self, w: &Workload) -> std::io::Result<LoadReport> {
+        let mut rng = SimRng::new(w.seed);
+        let mut latency = Histogram::default();
+        let (mut scheduled, mut completed, mut ok, mut shed_503, mut other_status, mut lost) =
+            (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+        let start = Instant::now();
+        let window_end = start + w.duration;
+        let mean_gap = 1.0 / w.rate.max(f64::MIN_POSITIVE);
+        let mut next_arrival = start + Duration::from_secs_f64(rng.exponential(mean_gap));
+        let mut scratch = vec![0u8; 16 * 1024];
+
+        loop {
+            let now = Instant::now();
+            // Schedule every arrival that has come due. An overloaded
+            // driver bursts here instead of thinning the offered load —
+            // open loop means the schedule does not wait for anyone.
+            while next_arrival <= now && next_arrival < window_end {
+                let op = w.mix.pick(&mut rng);
+                let s = rng.below(self.sessions.len());
+                let sess = &mut self.sessions[s];
+                if !sess.dead {
+                    sess.out.extend_from_slice(&w.render(op));
+                    sess.inflight.push_back(next_arrival);
+                    scheduled += 1;
+                } else {
+                    scheduled += 1;
+                    lost += 1;
+                }
+                next_arrival += Duration::from_secs_f64(rng.exponential(mean_gap));
+            }
+
+            // Sweep sessions: drain writes, pump reads through the
+            // incremental response parser.
+            let mut progress = false;
+            for sess in &mut self.sessions {
+                if sess.dead {
+                    continue;
+                }
+                // Writes.
+                while sess.out_pos < sess.out.len() {
+                    match sess.stream.write(&sess.out[sess.out_pos..]) {
+                        Ok(0) => {
+                            sess.dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            sess.out_pos += n;
+                            progress = true;
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            sess.dead = true;
+                            break;
+                        }
+                    }
+                }
+                if sess.out_pos == sess.out.len() && !sess.out.is_empty() {
+                    sess.out.clear();
+                    sess.out_pos = 0;
+                }
+                // Reads.
+                loop {
+                    match sess.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            sess.dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            sess.parser.feed(&scratch[..n]);
+                            progress = true;
+                            if n < scratch.len() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            sess.dead = true;
+                            break;
+                        }
+                    }
+                }
+                // Completions.
+                loop {
+                    match sess.parser.poll() {
+                        Ok(Some((status, _body))) => {
+                            let sent_at = match sess.inflight.pop_front() {
+                                Some(t) => t,
+                                None => {
+                                    // A response with no matching
+                                    // request: protocol breakage.
+                                    sess.dead = true;
+                                    break;
+                                }
+                            };
+                            latency.record(Instant::now().duration_since(sent_at));
+                            completed += 1;
+                            match status {
+                                200..=299 => ok += 1,
+                                503 => shed_503 += 1,
+                                _ => other_status += 1,
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            sess.dead = true;
+                            break;
+                        }
+                    }
+                }
+                if sess.dead {
+                    lost += sess.inflight.len() as u64;
+                    sess.inflight.clear();
+                }
+            }
+
+            let now = Instant::now();
+            let in_flight: usize = self.sessions.iter().map(|s| s.inflight.len()).sum();
+            if now >= window_end && in_flight == 0 {
+                break;
+            }
+            if now >= window_end + DRAIN_GRACE {
+                lost += in_flight as u64;
+                break;
+            }
+            if !progress && next_arrival > now {
+                // Nothing readable/writable and no arrival due: nap
+                // until whichever comes first.
+                let nap = next_arrival
+                    .min(window_end + DRAIN_GRACE)
+                    .saturating_duration_since(now)
+                    .min(Duration::from_millis(1));
+                std::thread::sleep(nap.max(Duration::from_micros(50)));
+            }
+        }
+
+        let elapsed = w.duration.as_secs_f64().max(f64::MIN_POSITIVE);
+        Ok(LoadReport {
+            rate: w.rate,
+            sessions: self.sessions.len(),
+            scheduled,
+            completed,
+            ok,
+            shed_503,
+            other_status,
+            lost,
+            throughput: completed as f64 / elapsed,
+            latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_api::server::{ApiServer, ServerConfig};
+    use shears_api::service::AtlasService;
+    use shears_api::dto::CreateMeasurementDto;
+    use shears_atlas::{Platform, PlatformConfig};
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_tight() {
+        let mut h = Histogram::default();
+        for ms in 1..=1000u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let (p50, p99, p999) = (h.quantile(0.5), h.quantile(0.99), h.quantile(0.999));
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        // ~5% bucket resolution around the true medians.
+        assert!((450.0..=560.0).contains(&p50), "{p50}");
+        assert!((930.0..=1050.0).contains(&p99), "{p99}");
+        assert!(h.max_ms() >= 999.0);
+        assert!(h.mean_ms() > 400.0 && h.mean_ms() < 600.0);
+    }
+
+    #[test]
+    fn mix_and_schedule_are_seed_deterministic() {
+        let mix = TrafficMix::default();
+        let draw = |seed: u64| -> Vec<(Op, usize, u64)> {
+            let mut rng = SimRng::new(seed);
+            (0..64)
+                .map(|_| {
+                    let op = mix.pick(&mut rng);
+                    let sess = rng.below(16);
+                    let gap_ns = (rng.exponential(0.005) * 1e9) as u64;
+                    (op, sess, gap_ns)
+                })
+                .collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+        // All op kinds show up in a reasonable draw count.
+        let ops = draw(7);
+        for kind in [Op::Stats, Op::Results, Op::Listing] {
+            assert!(ops.iter().any(|(o, _, _)| *o == kind), "{kind:?} missing");
+        }
+    }
+
+    #[test]
+    fn open_loop_run_reports_completions_against_a_live_server() {
+        let platform = Platform::build(&PlatformConfig::quick(4));
+        let service = AtlasService::new(platform);
+        // Seed the measurement the read mix targets, bypassing JSON so
+        // the offline serde stub cannot starve the test.
+        let created = service.create_from_spec(&CreateMeasurementDto {
+            target_region: 0,
+            packets: 1,
+            rounds: 1,
+            probe_limit: 3,
+            country: None,
+            fault_profile: None,
+            retries: None,
+            durability: false,
+        });
+        assert_eq!(created.status, 201);
+        let server =
+            ApiServer::spawn_with("127.0.0.1:0", service, ServerConfig::reactor(1, 2, 32))
+                .unwrap();
+        let mut w = Workload::new(200.0, 8);
+        w.duration = Duration::from_millis(500);
+        w.mix = TrafficMix::read_only();
+        let report = w.run(server.local_addr()).unwrap();
+        assert!(report.scheduled > 0, "nothing scheduled");
+        assert_eq!(report.completed, report.scheduled - report.lost);
+        assert!(report.ok > 0, "no 2xx at all: {}", report.to_json());
+        assert_eq!(report.other_status, 0, "{}", report.to_json());
+        assert!(report.latency.count() == report.completed);
+        let json = report.to_json();
+        assert!(json.contains("\"p999\""), "{json}");
+        server.shutdown().unwrap();
+    }
+}

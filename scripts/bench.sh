@@ -50,4 +50,16 @@ echo "==> summarising api groups -> BENCH_api.json"
 cargo run --release -p shears-bench --bin bench_summary -- \
     target/criterion/api_load BENCH_api.json
 
+# Open-loop load harness: Poisson arrivals at 3 rates × {64, 1k, 10k}
+# keep-alive sessions against the readiness-driven reactor, folding
+# p50/p99/p999 + throughput under a "loadgen" key in BENCH_api.json
+# (after bench_summary, which rewrites the file fresh). The 10k-session
+# legs need ~20k fds in one process (client + server ends both live
+# here); raise the soft limit when the hard limit admits it.
+echo "==> open-loop loadgen grid -> BENCH_api.json"
+ulimit -Sn 30000 2>/dev/null || \
+    echo "    (could not raise fd limit; 10k-session legs may degrade)"
+cargo run --release -p shears-bench --bin loadgen -- \
+    --grid --secs 5 --merge BENCH_api.json
+
 echo "bench: OK (see BENCH_campaign.json, BENCH_frame.json, BENCH_api.json)"

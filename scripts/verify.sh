@@ -19,6 +19,15 @@
 #               append-vs-rebuild bit-equality grid (1/2/8 threads,
 #               clean + chaos campaigns), the figure-pipeline golden
 #               equivalence, and the API's extend⇒append counter pins
+#   reactor   — only the connection-level adversarial battery against
+#               the readiness-driven event loop: slowloris vs fast
+#               sessions, split-at-every-byte pipelined parsing,
+#               mid-response disconnects, 503 shed + drain recovery
+#               (each at 1/2/8 reactor threads), the idle soak's
+#               thread-count pin (SHEARS_SOAK_SESSIONS=10000 where
+#               `ulimit -n` admits ≥20k fds), reactor-vs-worker-pool
+#               byte equality, the server/reactor unit tests, and the
+#               parser chunk-partition property tests
 #   kernels   — only the column-kernel suite: the scalar/chunked/simd
 #               bit-equality property tests, the stats pins (two-pointer
 #               KS, selection bootstrap, Summary-over-Ecdf), and the
@@ -78,6 +87,17 @@ if [ "$profile" = "frame" ]; then
     cargo test --release -p shears-api service::tests::divergent_durable_copy
     cargo test --release -p shears-api service::tests::stats_cache_invalidates
     echo "verify (frame): OK"
+    exit 0
+fi
+
+if [ "$profile" = "reactor" ]; then
+    echo "==> reactor profile: adversarial connection-level battery"
+    cargo test --release --test api_reactor
+    cargo test --release -p shears-api server::
+    cargo test --release -p shears-api http::
+    cargo test --release --test api_concurrency
+    cargo test --release --test proptests parser_
+    echo "verify (reactor): OK"
     exit 0
 fi
 

@@ -14,6 +14,12 @@
 //! JSON-content assertions are skipped under the offline serde stub
 //! (which serialises to empty bodies); status/framing assertions and
 //! the no-deadlock property hold everywhere.
+//!
+//! The whole battery runs twice — once against the readiness-driven
+//! reactor engine and once against the worker-pool compat shim — so
+//! the invariants are provably server-architecture-independent: they
+//! live in the sharded service state, not in accidental serialisation
+//! by either engine's threading model.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,17 +51,24 @@ fn json_enabled() -> bool {
 }
 
 #[test]
-fn readers_never_observe_torn_state_while_writer_churns() {
-    let platform = Platform::build(&PlatformConfig::quick(4));
-    // Each worker owns one connection for its keep-alive lifetime, so
-    // the pool must outsize the persistent reader sessions or the
-    // writer's short-lived connections starve behind them. Size it
-    // explicitly: 8 readers + writer + slack, independent of the
+fn readers_never_observe_torn_state_while_writer_churns_reactor() {
+    // Reactor engine: sessions cost no threads; the compute pool only
+    // needs enough slots for genuinely concurrent handler work.
+    churn_against(ServerConfig::reactor(2, 6, 64));
+}
+
+#[test]
+fn readers_never_observe_torn_state_while_writer_churns_worker_pool() {
+    // Worker-pool shim: each worker owns one connection for its
+    // keep-alive lifetime, so the pool must outsize the persistent
+    // reader sessions or the writer's short-lived connections starve
+    // behind them — 8 readers + writer + slack, independent of the
     // core-count-derived default.
-    let config = ServerConfig {
-        workers: 12,
-        queue_depth: 64,
-    };
+    churn_against(ServerConfig::worker_pool(12, 64));
+}
+
+fn churn_against(config: ServerConfig) {
+    let platform = Platform::build(&PlatformConfig::quick(4));
     let server = ApiServer::spawn_with("127.0.0.1:0", AtlasService::new(platform), config).unwrap();
     let addr = server.local_addr();
     let json = json_enabled();

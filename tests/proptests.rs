@@ -344,3 +344,140 @@ proptest! {
         let _ = std::fs::remove_file(&crash_path);
     }
 }
+
+// ---------------------------------------------------------------------
+// Incremental HTTP parser: chunk-partition independence.
+//
+// The reactor feeds the parser whatever byte slices the kernel hands
+// it, so the parse outcome must be a function of the byte *stream*,
+// never of how it was chopped up. For every corpus entry — valid,
+// pipelined, hostile percent-escapes, oversized Content-Length, plain
+// garbage — an arbitrary partition into chunks must produce the exact
+// same trace (requests parsed + terminal verdict) as feeding the whole
+// buffer at once, and must never panic.
+
+use latency_shears::api::http::{HttpError, RequestParser};
+
+/// Wire corpus the partition property quantifies over. Index-addressed
+/// so proptest shrinks to a corpus entry + partition, which reproduces
+/// exactly.
+const WIRE_CORPUS: &[&[u8]] = &[
+    b"GET /api/v2/credits HTTP/1.1\r\nhost: t\r\n\r\n",
+    b"GET /api/v2/probes?limit=5&country=NL HTTP/1.1\r\nhost: t\r\nConnection: close\r\n\r\n",
+    b"POST /api/v2/measurements HTTP/1.1\r\ncontent-length: 24\r\n\r\n{\"target_region\":0,\"x\":1}",
+    // Pipelined keep-alive pair ending in a close.
+    b"GET /api/v2/credits HTTP/1.1\r\n\r\nGET /api/v2/regions HTTP/1.1\r\nConnection: close\r\n\r\n",
+    // Hostile: bare '%' followed by multi-byte UTF-8 in the path.
+    "GET /api/v2/%\u{4e2d} HTTP/1.1\r\nhost: t\r\n\r\n".as_bytes(),
+    // Hostile: truncated and overflowing percent escapes.
+    b"GET /a%2 HTTP/1.1\r\n\r\n",
+    b"GET /a%zz%ff HTTP/1.1\r\n\r\n",
+    // Hostile: Content-Length larger than any sane body cap.
+    b"POST /api/v2/measurements HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n",
+    b"POST /x HTTP/1.1\r\ncontent-length: not-a-number\r\n\r\n",
+    // Declared body never arrives (EOF mid-body).
+    b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc",
+    // Not HTTP at all.
+    b"NOTHTTP\r\n\r\n",
+    b"GET / HTTP/2\r\n\r\n",
+    b"\r\n\r\n\r\n",
+];
+
+/// Parses `bytes` delivered as the given chunk partition, returning
+/// the comparable trace: every request observed (rendered to a string)
+/// followed by the terminal verdict. Errors compare by rendered
+/// message, which pins the *reason*, not just the kind.
+fn parse_trace(bytes: &[u8], cuts: &[usize]) -> Vec<String> {
+    let mut trace = Vec::new();
+    let mut parser = RequestParser::new();
+    let mut start = 0;
+    let mut feeds: Vec<&[u8]> = Vec::new();
+    for &cut in cuts {
+        feeds.push(&bytes[start..cut]);
+        start = cut;
+    }
+    feeds.push(&bytes[start..]);
+    let last = feeds.len() - 1;
+    for (i, chunk) in feeds.into_iter().enumerate() {
+        parser.feed(chunk);
+        let eof = i == last;
+        loop {
+            match parser.poll(eof) {
+                Ok(Some(req)) => trace.push(format!(
+                    "req {:?} {} q={:?} body={:?}",
+                    req.method, req.path, req.query, req.body
+                )),
+                Ok(None) => break,
+                Err(e) => {
+                    trace.push(format!("err {e}"));
+                    return trace;
+                }
+            }
+        }
+    }
+    trace
+}
+
+proptest! {
+    #[test]
+    fn parser_verdict_is_chunk_partition_independent(
+        idx in 0..WIRE_CORPUS.len(),
+        raw_cuts in proptest::collection::vec(0usize..200, 0..12),
+    ) {
+        let bytes = WIRE_CORPUS[idx];
+        // Fold arbitrary cut points into a sorted partition of `bytes`
+        // (empty chunks included on purpose — feed(&[]) must be a
+        // no-op too).
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+        cuts.sort_unstable();
+
+        let whole = parse_trace(bytes, &[]);
+        let chunked = parse_trace(bytes, &cuts);
+        prop_assert_eq!(&whole, &chunked, "partition {:?} diverged on corpus[{}]", cuts, idx);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        raw_cuts in proptest::collection::vec(0usize..512, 0..8),
+    ) {
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+        cuts.sort_unstable();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parse_trace(&bytes, &cuts)));
+        prop_assert!(outcome.is_ok(), "parser panicked on {:?}", bytes);
+        // And whatever the verdict was, it is still partition-independent.
+        let whole =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parse_trace(&bytes, &[])))
+                .unwrap();
+        prop_assert_eq!(outcome.unwrap(), whole);
+    }
+
+    #[test]
+    fn parser_errors_are_sticky_and_harmless(
+        idx in 0..WIRE_CORPUS.len(),
+        extra in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // After a terminal error the parser may be fed more garbage
+        // without panicking — the reactor closes the connection, but a
+        // race may deliver one more chunk first.
+        let bytes = WIRE_CORPUS[idx];
+        let mut parser = RequestParser::new();
+        parser.feed(bytes);
+        let mut errored = false;
+        loop {
+            match parser.poll(true) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(HttpError::ConnectionClosed) => break,
+                Err(_) => { errored = true; break; }
+            }
+        }
+        parser.feed(&extra);
+        let after = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut p = parser;
+            let _ = p.poll(true);
+        }));
+        prop_assert!(after.is_ok(), "post-error feed panicked (errored={errored})");
+    }
+}
