@@ -55,22 +55,45 @@ pub struct ApiClient {
 }
 
 impl ApiClient {
-    /// Creates a client for the given server address.
+    /// Creates a client for the given server address with the default
+    /// 10-second socket timeouts.
     pub fn new(addr: SocketAddr) -> Self {
-        Self {
-            addr,
-            timeout: Duration::from_secs(10),
-        }
+        Self::with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Creates a client with explicit read/write socket timeouts, so a
+    /// hung peer can never wedge the calling thread past `timeout`.
+    pub fn with_timeout(addr: SocketAddr, timeout: Duration) -> Self {
+        Self { addr, timeout }
     }
 
     /// Issues a request and returns `(status, body)`.
+    ///
+    /// Idempotent `GET`s are retried exactly once on a fresh
+    /// connection when the peer drops the socket mid-exchange
+    /// (reset/broken pipe/unexpected EOF — the stale-keep-alive and
+    /// server-restart races); other methods surface the error.
     pub fn request(
         &self,
         method: &str,
         path_and_query: &str,
         body: Option<&[u8]>,
     ) -> Result<(u16, Vec<u8>), ClientError> {
-        let mut stream = TcpStream::connect(self.addr)?;
+        match self.request_once(method, path_and_query, body) {
+            Err(e) if method == "GET" && dropped_connection(&e) => {
+                self.request_once(method, path_and_query, body)
+            }
+            r => r,
+        }
+    }
+
+    fn request_once(
+        &self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         stream.set_nodelay(true)?;
@@ -190,11 +213,35 @@ impl ApiClient {
     }
 }
 
+/// Whether a client error means the peer dropped the connection —
+/// the cases where retrying an idempotent request on a fresh
+/// connection is safe and likely to succeed.
+fn dropped_connection(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::UnexpectedEof
+        ),
+        _ => false,
+    }
+}
+
 /// Reads one response's status line + headers, leaving the reader
 /// positioned at the body. Returns `(status, content_length)`.
 fn read_response_head<R: BufRead>(reader: &mut R) -> Result<(u16, Option<usize>), ClientError> {
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        // EOF before a single status byte: the peer closed the
+        // connection (stale keep-alive, restart). Surface it as the
+        // retryable io kind rather than a framing violation.
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        )));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -234,6 +281,7 @@ pub struct ApiSession {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     addr: SocketAddr,
+    timeout: Duration,
 }
 
 impl ApiSession {
@@ -255,12 +303,41 @@ impl ApiSession {
             reader: BufReader::new(stream),
             writer,
             addr,
+            timeout,
         })
+    }
+
+    /// Replaces the underlying TCP connection with a fresh one to the
+    /// same address, using the session's configured timeouts. Any
+    /// buffered bytes from the dead connection are discarded.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        *self = Self::connect_with_timeout(self.addr, self.timeout)?;
+        Ok(())
     }
 
     /// Issues one request on the persistent connection and returns
     /// `(status, body)`.
+    ///
+    /// Idempotent `GET`s are retried exactly once after a transparent
+    /// [`reconnect`](Self::reconnect) when the peer drops the socket —
+    /// the stale-keep-alive race where the server idle-closed between
+    /// two requests. Other methods leave the session unusable on error.
     pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        match self.request_once(method, path_and_query, body) {
+            Err(e) if method == "GET" && dropped_connection(&e) => {
+                self.reconnect()?;
+                self.request_once(method, path_and_query, body)
+            }
+            r => r,
+        }
+    }
+
+    fn request_once(
         &mut self,
         method: &str,
         path_and_query: &str,
@@ -389,6 +466,54 @@ mod tests {
             let listed = client.list_measurements().unwrap();
             assert_eq!(listed.len(), 1);
             assert_eq!(listed[0].id, 1);
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn session_get_survives_a_stale_keep_alive_close() {
+        use crate::server::ServerConfig;
+        let platform = Platform::build(&PlatformConfig::quick(8));
+        let server = ApiServer::spawn_with(
+            "127.0.0.1:0",
+            AtlasService::new(platform),
+            ServerConfig::reactor(1, 2, 16).with_idle_timeout(Duration::from_millis(120)),
+        )
+        .unwrap();
+
+        let mut session = ApiSession::connect(server.local_addr()).unwrap();
+        let (status, _) = session.request("GET", "/api/v2/credits", None).unwrap();
+        assert_eq!(status, 200);
+
+        // Let the server idle-close the connection under us, then issue
+        // another GET: the session must reconnect and retry on its own.
+        std::thread::sleep(Duration::from_millis(400));
+        let (status, _) = session.request("GET", "/api/v2/credits", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn session_post_is_not_retried_after_a_dead_connection() {
+        use crate::server::ServerConfig;
+        let platform = Platform::build(&PlatformConfig::quick(8));
+        let server = ApiServer::spawn_with(
+            "127.0.0.1:0",
+            AtlasService::new(platform),
+            ServerConfig::reactor(1, 2, 16).with_idle_timeout(Duration::from_millis(120)),
+        )
+        .unwrap();
+
+        let mut session = ApiSession::connect(server.local_addr()).unwrap();
+        let (status, _) = session.request("GET", "/api/v2/credits", None).unwrap();
+        assert_eq!(status, 200);
+
+        std::thread::sleep(Duration::from_millis(400));
+        // A POST on the stale connection must surface the error — it is
+        // not safe to replay blindly.
+        match session.request("POST", "/api/v2/traceroutes", Some(b"{}")) {
+            Err(e) => assert!(dropped_connection(&e), "unexpected error class: {e}"),
+            Ok((status, _)) => panic!("stale POST unexpectedly succeeded with {status}"),
         }
         server.shutdown().unwrap();
     }

@@ -708,6 +708,17 @@ impl Response {
         r
     }
 
+    /// A 200 binary response (`application/octet-stream`) — the work
+    /// dispatch endpoints speak the journal's CRC-framed wire format,
+    /// not JSON.
+    pub fn octets(bytes: Vec<u8>) -> Self {
+        let mut r = Self::status(200);
+        r.headers
+            .insert("content-type".into(), "application/octet-stream".into());
+        r.body = bytes;
+        r
+    }
+
     /// A JSON error response. The `{"error": message}` body is written
     /// directly into one preallocated buffer (byte-identical to what
     /// serde_json would emit) instead of building and then serialising

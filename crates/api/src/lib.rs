@@ -18,6 +18,8 @@
 //! | `DELETE /api/v2/measurements/{id}` | forget a measurement |
 //! | `POST /api/v2/traceroutes` | hop-by-hop paths from selected probes |
 //! | `GET /api/v2/credits` | remaining credit balance |
+//! | `GET /api/v2/metrics` | server + work-queue counters as JSON |
+//! | `POST /api/v2/work/{register,poll,heartbeat,frame}` | distributed-execution work protocol (CRC-framed binary, see `shears-dist`) |
 //!
 //! The stack is deliberately std-only: an HTTP/1.1 server ([`server`])
 //! with content-length framing and keep-alive on
@@ -69,7 +71,9 @@ pub mod http;
 mod reactor;
 pub mod server;
 pub mod service;
+pub mod work;
 
 pub use client::ApiClient;
 pub use server::ApiServer;
 pub use service::AtlasService;
+pub use work::{WorkQueue, WorkSpec};

@@ -156,6 +156,7 @@ pub(crate) struct Shared {
     pub(crate) stop: AtomicBool,
     pub(crate) mailboxes: Vec<Mailbox>,
     idle_timeout: Duration,
+    write_timeout: Duration,
     max_connections: usize,
 }
 
@@ -178,6 +179,7 @@ pub(crate) fn spawn(
     compute_threads: usize,
     queue_depth: usize,
     idle_timeout: Duration,
+    write_timeout: Duration,
     max_connections: usize,
 ) -> std::io::Result<(Arc<Shared>, Vec<std::thread::JoinHandle<()>>)> {
     listener.set_nonblocking(true)?;
@@ -188,6 +190,7 @@ pub(crate) fn spawn(
         stop: AtomicBool::new(false),
         mailboxes: (0..reactors).map(|_| Mailbox::new()).collect(),
         idle_timeout,
+        write_timeout,
         max_connections: max_connections.max(8),
     });
 
@@ -289,10 +292,20 @@ struct Conn {
     /// Guards completions/timers against slab slot reuse.
     gen: u64,
     last_active: Instant,
+    /// When the current response *started* draining. Write progress
+    /// refreshes `last_active`, so a peer sipping one byte per
+    /// interval would never look idle — the write deadline is judged
+    /// from this fixed start instead.
+    write_started: Option<Instant>,
     close_after_write: bool,
     /// Peer half-closed its write side; serve what is buffered, then
     /// close.
     peer_eof: bool,
+    /// Live timer-wheel tokens pointing at this incarnation. Arming
+    /// the write deadline adds a second, sooner token; the deadline
+    /// check drops surplus pops instead of reinserting them, so the
+    /// count stays bounded at the number of genuinely armed deadlines.
+    timers: u32,
 }
 
 /// The idle-timeout deadline wheel: 32 coarse slots of
@@ -504,8 +517,10 @@ impl Reactor {
             out_pos: 0,
             gen: self.next_gen,
             last_active: now,
+            write_started: None,
             close_after_write: false,
             peer_eof: false,
+            timers: 1,
         };
         let slot = match self.free.pop() {
             Some(s) => {
@@ -673,7 +688,28 @@ impl Reactor {
         conn.close_after_write = !keep_alive;
         conn.state = ConnState::WritingResponse;
         conn.last_active = now;
+        conn.write_started = Some(now);
         self.write_step(slot, now);
+        self.arm_write_deadline(slot, now);
+    }
+
+    /// If `slot` is still stuck in `WritingResponse` after the first
+    /// drain attempt, schedule a wheel token at the write deadline.
+    /// The standing idle token is typically much later (idle timeout
+    /// vs write timeout), so without this a stalled write would only
+    /// be judged when the idle token happened to pop.
+    fn arm_write_deadline(&mut self, slot: usize, now: Instant) {
+        let write_timeout = self.shared.write_timeout;
+        let Some(Some(conn)) = self.slab.get_mut(slot) else {
+            return;
+        };
+        if conn.state != ConnState::WritingResponse {
+            return;
+        }
+        let started = conn.write_started.unwrap_or(now);
+        let gen = conn.gen;
+        conn.timers += 1;
+        self.wheel.insert((slot, gen), started + write_timeout, now);
     }
 
     /// Routes a compute completion to its connection (if the slot still
@@ -691,7 +727,9 @@ impl Reactor {
         conn.close_after_write = !c.keep_alive || c.panicked;
         conn.state = ConnState::WritingResponse;
         conn.last_active = now;
+        conn.write_started = Some(now);
         self.write_step(c.slot, now);
+        self.arm_write_deadline(c.slot, now);
         true
     }
 
@@ -734,6 +772,7 @@ impl Reactor {
                 close_after = conn.close_after_write;
                 conn.out = Vec::new();
                 conn.out_pos = 0;
+                conn.write_started = None;
                 if !close_after {
                     conn.state = ConnState::Idle;
                     conn.last_active = now;
@@ -750,27 +789,59 @@ impl Reactor {
     }
 
     /// Re-checks a popped timer token against the connection's true
-    /// idle deadline: close if expired, reinsert otherwise.
+    /// deadline: close if expired, reinsert otherwise.
+    ///
+    /// Quiet connections (`Idle`/`ReadingRequest`) are judged by
+    /// inactivity — a mid-request dribble (slowloris) is reset by any
+    /// byte. In-flight writes are judged from when the response
+    /// *started* draining: a peer sipping one byte per interval keeps
+    /// `last_active` fresh forever, so inactivity alone can never
+    /// catch a slow reader holding a response open.
     fn check_deadline(&mut self, slot: usize, gen: u64, now: Instant) {
-        let timeout = self.shared.idle_timeout;
+        let idle_timeout = self.shared.idle_timeout;
+        let write_timeout = self.shared.write_timeout;
         let Some(Some(conn)) = self.slab.get_mut(slot) else {
             return;
         };
         if conn.gen != gen {
             return; // slot was recycled; the new conn has its own token
         }
-        // Only quiet connections time out: Handling/Writing are live by
-        // definition (their progress updates last_active), and a
-        // mid-request dribble (slowloris) is judged by the same clock —
-        // any byte resets it.
-        let idle_for = now.duration_since(conn.last_active);
-        if idle_for >= timeout && matches!(conn.state, ConnState::Idle | ConnState::ReadingRequest)
-        {
-            self.shared.metrics.note_idle_closed();
-            self.close(slot);
-        } else {
-            let deadline = conn.last_active + timeout;
-            self.wheel.insert((slot, gen), deadline, now);
+        conn.timers = conn.timers.saturating_sub(1);
+        // Surplus tokens (an armed write deadline whose response has
+        // since drained) are dropped, not reinserted: the survivor
+        // carries the connection. Only the last live token re-arms.
+        let last_token = conn.timers == 0;
+        match conn.state {
+            ConnState::Idle | ConnState::ReadingRequest => {
+                if now.duration_since(conn.last_active) >= idle_timeout {
+                    self.shared.metrics.note_idle_closed();
+                    self.close(slot);
+                } else if last_token {
+                    let deadline = conn.last_active + idle_timeout;
+                    conn.timers += 1;
+                    self.wheel.insert((slot, gen), deadline, now);
+                }
+            }
+            ConnState::WritingResponse => {
+                let started = conn.write_started.unwrap_or(conn.last_active);
+                if now.duration_since(started) >= write_timeout {
+                    self.shared.metrics.note_write_deadline_closed();
+                    self.close(slot);
+                } else if last_token {
+                    conn.timers += 1;
+                    self.wheel.insert((slot, gen), started + write_timeout, now);
+                }
+            }
+            ConnState::Handling => {
+                // The compute pool bounds handler time; keep the timer
+                // ticking so the write deadline arms as soon as the
+                // response starts draining.
+                if last_token {
+                    let deadline = conn.last_active + idle_timeout;
+                    conn.timers += 1;
+                    self.wheel.insert((slot, gen), deadline, now);
+                }
+            }
         }
     }
 }

@@ -74,6 +74,13 @@ pub struct ServerConfig {
     /// enforced by the deadline wheel, so expiry is approximate to
     /// about one wheel tick = `idle_timeout / 16`).
     pub idle_timeout: Duration,
+    /// Deadline on an in-flight response: a connection still in
+    /// `WritingResponse` this long after the response *started*
+    /// draining is closed (reactor mode). Inactivity cannot catch a
+    /// peer that reads one byte per interval — every sip refreshes the
+    /// idle clock — so slow readers are bounded by this write-start
+    /// deadline instead (same wheel, same tick granularity).
+    pub write_timeout: Duration,
     /// Admission cap on concurrently open connections (reactor mode):
     /// beyond it, new arrivals get an immediate 503 instead of the
     /// process dying on fd exhaustion.
@@ -95,6 +102,7 @@ impl Default for ServerConfig {
             compute_threads: cores.clamp(2, 32),
             queue_depth: 64,
             idle_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
             max_connections: 16_384,
         }
     }
@@ -134,6 +142,12 @@ impl ServerConfig {
         self.max_connections = cap;
         self
     }
+
+    /// Returns `self` with the given in-flight write deadline.
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
 }
 
 /// Liveness + traffic counters, shared by both engines. All relaxed
@@ -147,6 +161,7 @@ pub struct ServerMetrics {
     resp_400: AtomicU64,
     handler_panics: AtomicU64,
     idle_closed: AtomicU64,
+    write_deadline_closed: AtomicU64,
     threads_live: AtomicU64,
 }
 
@@ -175,6 +190,9 @@ impl ServerMetrics {
     pub(crate) fn note_idle_closed(&self) {
         self.idle_closed.fetch_add(1, Ordering::Relaxed);
     }
+    pub(crate) fn note_write_deadline_closed(&self) {
+        self.write_deadline_closed.fetch_add(1, Ordering::Relaxed);
+    }
     pub(crate) fn connections_open(&self) -> u64 {
         self.conns_open.load(Ordering::Relaxed)
     }
@@ -189,6 +207,7 @@ impl ServerMetrics {
             responses_400: self.resp_400.load(Ordering::Relaxed),
             handler_panics: self.handler_panics.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            write_deadline_closed: self.write_deadline_closed.load(Ordering::Relaxed),
             threads_live: self.threads_live.load(Ordering::Relaxed),
         }
     }
@@ -212,6 +231,10 @@ pub struct MetricsSnapshot {
     pub handler_panics: u64,
     /// Connections closed by the idle-timeout wheel.
     pub idle_closed: u64,
+    /// Connections closed for blowing the in-flight write deadline
+    /// (slow readers holding a response open past
+    /// [`ServerConfig::write_timeout`]).
+    pub write_deadline_closed: u64,
     /// Threads the server currently runs (reactors + compute pool, or
     /// acceptor + workers), maintained by RAII guards on each thread.
     pub threads_live: u64,
@@ -280,6 +303,9 @@ impl ApiServer {
         let local_addr = listener.local_addr()?;
         let service = Arc::new(service);
         let metrics = Arc::new(ServerMetrics::default());
+        // Give the service a handle to the engine counters so
+        // `GET /api/v2/metrics` can export them alongside its own.
+        service.attach_server_metrics(Arc::clone(&metrics));
 
         let engine = match config.mode {
             ServerMode::Reactor => {
@@ -291,6 +317,7 @@ impl ApiServer {
                     config.compute_threads,
                     config.queue_depth,
                     config.idle_timeout,
+                    config.write_timeout,
                     config.max_connections,
                 )?;
                 Engine::Reactor { shared, threads }

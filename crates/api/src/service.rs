@@ -44,6 +44,8 @@ use crate::dto::{
     ProbeDto, RegionDto, ResultDto, ResumeReportDto, TracerouteDto,
 };
 use crate::http::{Method, Request, Response};
+use crate::server::ServerMetrics;
+use crate::work::{self, WorkQueue};
 
 /// Service-enforced caps on on-demand measurements (an HTTP request
 /// must stay interactive; campaigns run offline).
@@ -131,6 +133,13 @@ pub struct AtlasService {
     /// connection-level test battery switches it on to occupy or crash
     /// handlers on demand from outside the crate.
     debug_routes: bool,
+    /// The distributed-campaign shard queue, when this service fronts a
+    /// coordinator (`/api/v2/work/*` routes 404 without one).
+    work: Option<Arc<WorkQueue>>,
+    /// The hosting server's connection counters, attached at spawn so
+    /// `GET /api/v2/metrics` can export them next to service and work
+    /// counters.
+    server_metrics: std::sync::OnceLock<Arc<ServerMetrics>>,
 }
 
 impl AtlasService {
@@ -146,14 +155,36 @@ impl AtlasService {
             seed: 0xA71_A50A1,
             durability: None,
             debug_routes: false,
+            work: None,
+            server_metrics: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attaches a coordinator work queue: the `/api/v2/work/*` routes
+    /// dispatch shards from (and submit frames to) it.
+    pub fn with_work_queue(mut self, queue: Arc<WorkQueue>) -> Self {
+        self.work = Some(queue);
+        self
+    }
+
+    /// The attached work queue, if any.
+    pub fn work_queue(&self) -> Option<&Arc<WorkQueue>> {
+        self.work.as_ref()
+    }
+
+    /// Called by the server at spawn so the metrics endpoint can see
+    /// connection counters. First attachment wins (a service serves one
+    /// server).
+    pub fn attach_server_metrics(&self, metrics: Arc<ServerMetrics>) {
+        let _ = self.server_metrics.set(metrics);
     }
 
     /// Enables the `/api/v2/__debug/*` routes: `GET
     /// /api/v2/__debug/sleep?ms=N` holds a handler for `N` ms (clamped
-    /// to 5000) and `GET /api/v2/__debug/panic` panics inside the
-    /// handler. Test instrumentation — never enable on a real
-    /// deployment.
+    /// to 5000), `GET /api/v2/__debug/panic` panics inside the
+    /// handler, and `GET /api/v2/__debug/blob?bytes=N` answers `N`
+    /// bytes (clamped to 32 MiB) of payload. Test instrumentation —
+    /// never enable on a real deployment.
     pub fn with_debug_routes(mut self) -> Self {
         self.debug_routes = true;
         self
@@ -229,6 +260,11 @@ impl AtlasService {
             (Method::Get, ["api", "v2", "credits"]) => Response::json(&serde_json::json!({
                 "balance": self.credits(),
             })),
+            (Method::Get, ["api", "v2", "metrics"]) => self.get_metrics(),
+            (Method::Post, ["api", "v2", "work", "register"]) => self.work_register(req),
+            (Method::Post, ["api", "v2", "work", "poll"]) => self.work_poll(req, false),
+            (Method::Post, ["api", "v2", "work", "heartbeat"]) => self.work_poll(req, true),
+            (Method::Post, ["api", "v2", "work", "frame"]) => self.work_frame(req),
             // Test-only: a handler that panics on demand, so server
             // tests can prove a panicking request cannot shrink the
             // worker pool. Compiled out of release builds entirely.
@@ -248,6 +284,18 @@ impl AtlasService {
             }
             (Method::Get, ["api", "v2", "__debug", "panic"]) if self.debug_routes => {
                 panic!("injected debug-route panic")
+            }
+            // A response big enough to overrun any kernel socket
+            // buffering — the write-deadline battery needs the server
+            // to genuinely stall in `WritingResponse` against a slow
+            // reader.
+            (Method::Get, ["api", "v2", "__debug", "blob"]) if self.debug_routes => {
+                let bytes: usize = req
+                    .query
+                    .get("bytes")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1 << 20);
+                Response::octets(vec![b'x'; bytes.min(1 << 25)])
             }
             (_, ["api", "v2", ..]) => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such resource"),
@@ -851,6 +899,141 @@ impl AtlasService {
         }
     }
 
+    // --- Metrics + distributed work dispatch ----------------------------
+
+    /// `GET /api/v2/metrics`: every counter the deployment watches, in
+    /// one JSON object with a fixed key order. The body is hand-built
+    /// byte-identically to what serde_json would emit (keys are plain
+    /// identifiers, values are integers), pinned by a unit test — so it
+    /// works under the offline serde stub too.
+    fn get_metrics(&self) -> Response {
+        fn push_counters(buf: &mut Vec<u8>, fields: &[(&str, u64)]) {
+            buf.push(b'{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    buf.push(b',');
+                }
+                buf.push(b'"');
+                buf.extend_from_slice(k.as_bytes());
+                buf.extend_from_slice(b"\":");
+                buf.extend_from_slice(v.to_string().as_bytes());
+            }
+            buf.push(b'}');
+        }
+        let mut body = Vec::with_capacity(512);
+        body.extend_from_slice(b"{\"server\":");
+        match self.server_metrics.get() {
+            Some(m) => {
+                let s = m.snapshot();
+                push_counters(
+                    &mut body,
+                    &[
+                        ("connections_accepted", s.connections_accepted),
+                        ("connections_open", s.connections_open),
+                        ("requests", s.requests),
+                        ("responses_503", s.responses_503),
+                        ("responses_400", s.responses_400),
+                        ("handler_panics", s.handler_panics),
+                        ("idle_closed", s.idle_closed),
+                        ("write_deadline_closed", s.write_deadline_closed),
+                        ("threads_live", s.threads_live),
+                    ],
+                );
+            }
+            None => body.extend_from_slice(b"null"),
+        }
+        body.extend_from_slice(b",\"service\":");
+        push_counters(
+            &mut body,
+            &[
+                ("frame_builds", self.frame_builds()),
+                ("frame_appends", self.frame_appends()),
+                ("credits", self.credits()),
+            ],
+        );
+        body.extend_from_slice(b",\"work\":");
+        match &self.work {
+            Some(q) => {
+                let m = q.metrics();
+                push_counters(
+                    &mut body,
+                    &[
+                        ("workers_live", m.workers_live),
+                        ("workers_registered", m.workers_registered),
+                        ("heartbeats_missed", m.heartbeats_missed),
+                        ("shards_reassigned", m.shards_reassigned),
+                        ("rounds_retried", m.rounds_retried),
+                        ("duplicate_frames_dropped", m.duplicate_frames_dropped),
+                        ("frames_accepted", m.frames_accepted),
+                        ("frames_rejected", m.frames_rejected),
+                        ("lost_rounds", m.lost_rounds),
+                    ],
+                );
+            }
+            None => body.extend_from_slice(b"null"),
+        }
+        body.push(b'}');
+        let mut r = Response::status(200);
+        r.headers
+            .insert("content-type".into(), "application/json".into());
+        r.body = body;
+        r
+    }
+
+    /// `POST /api/v2/work/register`: admit a worker incarnation and
+    /// ship it the campaign header.
+    fn work_register(&self, req: &Request) -> Response {
+        let Some(q) = &self.work else {
+            return Response::error(404, "no work queue attached");
+        };
+        match work::decode_hello(&req.body) {
+            Ok(v) if v == work::WORK_PROTO_VERSION => {
+                let id = q.register(std::time::Instant::now());
+                Response::octets(work::encode_welcome(
+                    id,
+                    q.spec().heartbeat_interval.as_millis() as u64,
+                    &q.spec().header_wire,
+                ))
+            }
+            Ok(v) => Response::error(400, &format!("unsupported work protocol {v}")),
+            Err(e) => Response::error(400, e),
+        }
+    }
+
+    /// `POST /api/v2/work/{poll,heartbeat}`: liveness refresh; poll
+    /// additionally acquires a free shard.
+    fn work_poll(&self, req: &Request, heartbeat_only: bool) -> Response {
+        let Some(q) = &self.work else {
+            return Response::error(404, "no work queue attached");
+        };
+        match work::decode_poll(&req.body) {
+            Ok(worker) => {
+                let now = std::time::Instant::now();
+                let reply = if heartbeat_only {
+                    q.heartbeat(worker, now)
+                } else {
+                    q.poll(worker, now)
+                };
+                Response::octets(work::encode_reply(&reply))
+            }
+            Err(e) => Response::error(400, e),
+        }
+    }
+
+    /// `POST /api/v2/work/frame`: one completed round in, verdict out.
+    fn work_frame(&self, req: &Request) -> Response {
+        let Some(q) = &self.work else {
+            return Response::error(404, "no work queue attached");
+        };
+        match work::decode_frame_submit(&req.body) {
+            Ok(sub) => {
+                let (verdict, current) = q.submit(sub, std::time::Instant::now());
+                Response::octets(work::encode_verdict(verdict, current))
+            }
+            Err(e) => Response::error(400, e),
+        }
+    }
+
     fn get_results(&self, id: &str) -> Response {
         let Ok(id) = id.parse::<u64>() else {
             return Response::error(400, "measurement id must be an integer");
@@ -1108,6 +1291,105 @@ mod tests {
         assert_eq!(svc.frame_builds(), 2);
         assert_eq!(svc.handle(&get("/api/v2/measurements/2/stats", &[])).status, 200);
         assert_eq!(svc.frame_builds(), 2);
+    }
+
+    #[test]
+    fn metrics_endpoint_emits_exact_json_bytes() {
+        use crate::work::{WorkQueue, WorkSpec};
+        use std::time::Instant;
+
+        // Without a server or work queue attached, both slots are null.
+        let svc = service();
+        let resp = svc.handle(&get("/api/v2/metrics", &[]));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers["content-type"], "application/json");
+        assert_eq!(
+            resp.body,
+            b"{\"server\":null,\"service\":{\"frame_builds\":0,\"frame_appends\":0,\
+               \"credits\":1000000},\"work\":null}"
+                .to_vec()
+        );
+
+        // With both attached, every counter appears in fixed order.
+        let svc = service()
+            .with_work_queue(Arc::new(WorkQueue::new(WorkSpec::quick(2, 2))));
+        svc.attach_server_metrics(Arc::new(ServerMetrics::default()));
+        let q = Arc::clone(svc.work_queue().unwrap());
+        let t = Instant::now();
+        let a = q.register(t);
+        let _ = q.register(t);
+        q.poll(a, t);
+        let resp = svc.handle(&get("/api/v2/metrics", &[]));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(
+            body,
+            "{\"server\":{\"connections_accepted\":0,\"connections_open\":0,\
+             \"requests\":0,\"responses_503\":0,\"responses_400\":0,\
+             \"handler_panics\":0,\"idle_closed\":0,\"write_deadline_closed\":0,\
+             \"threads_live\":0},\"service\":{\"frame_builds\":0,\
+             \"frame_appends\":0,\"credits\":1000000},\"work\":{\
+             \"workers_live\":2,\"workers_registered\":2,\"heartbeats_missed\":0,\
+             \"shards_reassigned\":0,\"rounds_retried\":0,\
+             \"duplicate_frames_dropped\":0,\"frames_accepted\":0,\
+             \"frames_rejected\":0,\"lost_rounds\":0}}"
+        );
+        // Where a real serde_json is linked, the hand-built bytes agree
+        // with the library encoding of the same structure.
+        if let Ok(via_serde) = serde_json::to_vec(&serde_json::json!({
+            "server": {
+                "connections_accepted": 0, "connections_open": 0,
+                "requests": 0, "responses_503": 0, "responses_400": 0,
+                "handler_panics": 0, "idle_closed": 0,
+                "write_deadline_closed": 0, "threads_live": 0
+            },
+            "service": {"frame_builds": 0, "frame_appends": 0, "credits": 1_000_000},
+            "work": {
+                "workers_live": 2, "workers_registered": 2,
+                "heartbeats_missed": 0, "shards_reassigned": 0,
+                "rounds_retried": 0, "duplicate_frames_dropped": 0,
+                "frames_accepted": 0, "frames_rejected": 0, "lost_rounds": 0
+            }
+        })) {
+            if !via_serde.is_empty() {
+                assert_eq!(String::from_utf8(via_serde).unwrap(), body);
+            }
+        }
+    }
+
+    #[test]
+    fn work_routes_dispatch_shards_over_the_wire_codec() {
+        use crate::work::{self, WorkQueue, WorkReply, WorkSpec};
+
+        // Routes 404 without a queue.
+        let svc = service();
+        assert_eq!(
+            svc.handle(&post("/api/v2/work/register", "")).status,
+            404
+        );
+
+        let svc = service()
+            .with_work_queue(Arc::new(WorkQueue::new(WorkSpec::quick(1, 1))));
+        let raw = |body: Vec<u8>, path: &str| Request {
+            method: Method::Post,
+            path: path.to_string(),
+            query: BTreeMap::new(),
+            headers: Headers::default(),
+            body,
+        };
+        let resp = svc.handle(&raw(work::encode_hello(), "/api/v2/work/register"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers["content-type"], "application/octet-stream");
+        let (worker, interval_ms, _header) = work::decode_welcome(&resp.body).unwrap();
+        assert!(interval_ms > 0);
+
+        let resp = svc.handle(&raw(work::encode_poll(worker), "/api/v2/work/poll"));
+        let reply = work::decode_reply(&resp.body).unwrap();
+        assert!(matches!(reply, WorkReply::Assigned(a) if a.shard == 0 && a.rounds == 1));
+
+        // Garbage bodies are a 400, never a panic or a hang.
+        assert_eq!(svc.handle(&raw(vec![1, 2, 3], "/api/v2/work/frame")).status, 400);
+        assert_eq!(svc.handle(&raw(Vec::new(), "/api/v2/work/poll")).status, 400);
     }
 
     #[test]

@@ -1,0 +1,1055 @@
+//! Distributed work dispatch: the coordinator-side shard queue and the
+//! binary wire protocol behind the `/api/v2/work/*` endpoints.
+//!
+//! A campaign is partitioned into contiguous probe shards
+//! ([`shears_atlas::Campaign::shard_ranges`]); workers claim shards,
+//! execute rounds, and stream each completed round back as one framed
+//! submission. The [`WorkQueue`] is the coordinator's single source of
+//! truth for assignment, liveness, and accepted frames:
+//!
+//! * **Heartbeats** — every worker request (poll, heartbeat, frame)
+//!   refreshes that worker's liveness clock; [`WorkQueue::sweep`]
+//!   declares a worker dead after `heartbeat_timeout` of silence and
+//!   frees its shard for a survivor.
+//! * **Round deadlines** — an assigned shard must deliver its next
+//!   round within `round_timeout`; a miss re-arms the deadline with
+//!   decorrelated-jitter backoff (the [`shears_atlas::RetryPolicy`]
+//!   discipline), and after `max_round_retries` misses the assignment
+//!   is stripped so a survivor can take over even though the original
+//!   worker still heartbeats (it may be wedged mid-round).
+//! * **Idempotent merge** — every accepted `(shard, round)` frame is
+//!   digest-pinned. A bit-identical resubmission (WAL replay after a
+//!   worker restart, or a fenced worker racing its replacement) is
+//!   counted and dropped, never double-merged; a *mismatched*
+//!   resubmission is rejected loudly, because shard rounds are
+//!   deterministic and two honest computations cannot disagree.
+//!
+//! The wire format reuses the campaign journal's CRC-framed byte
+//! encoding (`[len][crc32][payload]`) rather than JSON: round frames
+//! are columnar sample blocks, and the offline build's serde stub
+//! cannot round-trip JSON anyway. Every message is one frame whose
+//! payload starts with a tag byte.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use shears_atlas::journal::{frame, get_samples_wire, put_samples_wire, read_frame, ByteReader};
+use shears_atlas::ResultStore;
+use shears_netsim::fault::Fnv1a;
+
+/// Protocol version spoken by both sides; a mismatch aborts register.
+pub const WORK_PROTO_VERSION: u32 = 1;
+
+const TAG_HELLO: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_POLL: u8 = 3;
+const TAG_REPLY: u8 = 4;
+const TAG_FRAME: u8 = 5;
+const TAG_VERDICT: u8 = 6;
+
+/// One shard assignment handed to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkAssignment {
+    /// Shard index.
+    pub shard: u32,
+    /// Total shard count (fixed for the campaign).
+    pub shard_count: u32,
+    /// First round the coordinator still needs from this shard.
+    pub start_round: u32,
+    /// Total rounds in the campaign (the worker runs
+    /// `start_round..rounds`).
+    pub rounds: u32,
+}
+
+/// Coordinator's answer to a poll or heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkReply {
+    /// No shard available right now; poll again after a heartbeat
+    /// interval.
+    Idle,
+    /// A shard to run (or the worker's current assignment, restated).
+    Assigned(WorkAssignment),
+    /// The campaign is fully merged; the worker may exit.
+    Done,
+    /// The campaign failed (strict mode); the worker must exit.
+    Abort,
+}
+
+/// One completed round, as submitted by a worker.
+#[derive(Debug, Clone)]
+pub struct FrameSubmission {
+    /// Submitting worker.
+    pub worker: u64,
+    /// Shard index.
+    pub shard: u32,
+    /// Round index.
+    pub round: u32,
+    /// Gross credits the round debited.
+    pub gross: u64,
+    /// Credits the round refunded.
+    pub refund: u64,
+    /// The round's samples.
+    pub store: ResultStore,
+}
+
+/// Coordinator's verdict on a submitted frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameVerdict {
+    /// First sighting of this `(shard, round)`: merged.
+    Accepted,
+    /// Bit-identical duplicate of an already-accepted frame: dropped.
+    Duplicate,
+    /// Malformed, out of range, or *divergent* duplicate: refused.
+    Rejected,
+}
+
+// --- Codec -----------------------------------------------------------
+
+fn unframe(body: &[u8]) -> Result<&[u8], &'static str> {
+    match read_frame(body, 0) {
+        Ok(Some((payload, _))) => Ok(payload),
+        _ => Err("bad work frame"),
+    }
+}
+
+fn expect_tag(r: &mut ByteReader<'_>, tag: u8) -> Result<(), &'static str> {
+    if r.u8()? != tag {
+        return Err("unexpected message tag");
+    }
+    Ok(())
+}
+
+/// `POST /api/v2/work/register` request body.
+pub fn encode_hello() -> Vec<u8> {
+    let mut p = vec![TAG_HELLO];
+    p.extend_from_slice(&WORK_PROTO_VERSION.to_le_bytes());
+    frame(&p)
+}
+
+/// Decodes a hello; returns the client's protocol version.
+pub fn decode_hello(body: &[u8]) -> Result<u32, &'static str> {
+    let mut r = ByteReader::new(unframe(body)?);
+    expect_tag(&mut r, TAG_HELLO)?;
+    r.u32()
+}
+
+/// Register response: worker id, heartbeat interval, and the campaign's
+/// journal header ([`shears_atlas::JournalHeader::to_wire`]) from which
+/// the worker reconstructs and digest-validates its view of the fleet.
+pub fn encode_welcome(worker: u64, heartbeat_interval_ms: u64, header_wire: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(32 + header_wire.len());
+    p.push(TAG_WELCOME);
+    p.extend_from_slice(&worker.to_le_bytes());
+    p.extend_from_slice(&heartbeat_interval_ms.to_le_bytes());
+    p.extend_from_slice(&(header_wire.len() as u32).to_le_bytes());
+    p.extend_from_slice(header_wire);
+    frame(&p)
+}
+
+/// Decodes a welcome into `(worker, heartbeat_interval_ms, header_wire)`.
+pub fn decode_welcome(body: &[u8]) -> Result<(u64, u64, Vec<u8>), &'static str> {
+    let mut r = ByteReader::new(unframe(body)?);
+    expect_tag(&mut r, TAG_WELCOME)?;
+    let worker = r.u64()?;
+    let interval = r.u64()?;
+    let len = r.u32()? as usize;
+    let header = r.take(len)?.to_vec();
+    Ok((worker, interval, header))
+}
+
+/// `POST /api/v2/work/{poll,heartbeat}` request body.
+pub fn encode_poll(worker: u64) -> Vec<u8> {
+    let mut p = vec![TAG_POLL];
+    p.extend_from_slice(&worker.to_le_bytes());
+    frame(&p)
+}
+
+/// Decodes a poll/heartbeat; returns the worker id.
+pub fn decode_poll(body: &[u8]) -> Result<u64, &'static str> {
+    let mut r = ByteReader::new(unframe(body)?);
+    expect_tag(&mut r, TAG_POLL)?;
+    r.u64()
+}
+
+/// Poll/heartbeat response body.
+pub fn encode_reply(reply: &WorkReply) -> Vec<u8> {
+    let mut p = vec![TAG_REPLY];
+    match reply {
+        WorkReply::Idle => p.push(0),
+        WorkReply::Assigned(a) => {
+            p.push(1);
+            p.extend_from_slice(&a.shard.to_le_bytes());
+            p.extend_from_slice(&a.shard_count.to_le_bytes());
+            p.extend_from_slice(&a.start_round.to_le_bytes());
+            p.extend_from_slice(&a.rounds.to_le_bytes());
+        }
+        WorkReply::Done => p.push(2),
+        WorkReply::Abort => p.push(3),
+    }
+    frame(&p)
+}
+
+/// Decodes a poll/heartbeat response.
+pub fn decode_reply(body: &[u8]) -> Result<WorkReply, &'static str> {
+    let mut r = ByteReader::new(unframe(body)?);
+    expect_tag(&mut r, TAG_REPLY)?;
+    match r.u8()? {
+        0 => Ok(WorkReply::Idle),
+        1 => Ok(WorkReply::Assigned(WorkAssignment {
+            shard: r.u32()?,
+            shard_count: r.u32()?,
+            start_round: r.u32()?,
+            rounds: r.u32()?,
+        })),
+        2 => Ok(WorkReply::Done),
+        3 => Ok(WorkReply::Abort),
+        _ => Err("unknown reply kind"),
+    }
+}
+
+/// `POST /api/v2/work/frame` request body: one completed round.
+pub fn encode_frame_submit(
+    worker: u64,
+    shard: u32,
+    round: u32,
+    gross: u64,
+    refund: u64,
+    store: &ResultStore,
+) -> Vec<u8> {
+    let mut p = Vec::with_capacity(40 + store.len() * 24);
+    p.push(TAG_FRAME);
+    p.extend_from_slice(&worker.to_le_bytes());
+    p.extend_from_slice(&shard.to_le_bytes());
+    p.extend_from_slice(&round.to_le_bytes());
+    p.extend_from_slice(&gross.to_le_bytes());
+    p.extend_from_slice(&refund.to_le_bytes());
+    put_samples_wire(&mut p, store);
+    frame(&p)
+}
+
+/// Decodes a frame submission.
+pub fn decode_frame_submit(body: &[u8]) -> Result<FrameSubmission, &'static str> {
+    let mut r = ByteReader::new(unframe(body)?);
+    expect_tag(&mut r, TAG_FRAME)?;
+    let worker = r.u64()?;
+    let shard = r.u32()?;
+    let round = r.u32()?;
+    let gross = r.u64()?;
+    let refund = r.u64()?;
+    let store = get_samples_wire(&mut r)?;
+    Ok(FrameSubmission {
+        worker,
+        shard,
+        round,
+        gross,
+        refund,
+        store,
+    })
+}
+
+/// Frame response body.
+pub fn encode_verdict(verdict: FrameVerdict, current: bool) -> Vec<u8> {
+    let v = match verdict {
+        FrameVerdict::Accepted => 0,
+        FrameVerdict::Duplicate => 1,
+        FrameVerdict::Rejected => 2,
+    };
+    frame(&[TAG_VERDICT, v, u8::from(current)])
+}
+
+/// Decodes a frame verdict into `(verdict, still_owns_shard)`.
+pub fn decode_verdict(body: &[u8]) -> Result<(FrameVerdict, bool), &'static str> {
+    let mut r = ByteReader::new(unframe(body)?);
+    expect_tag(&mut r, TAG_VERDICT)?;
+    let verdict = match r.u8()? {
+        0 => FrameVerdict::Accepted,
+        1 => FrameVerdict::Duplicate,
+        2 => FrameVerdict::Rejected,
+        _ => return Err("unknown verdict"),
+    };
+    let current = r.u8()? != 0;
+    Ok((verdict, current))
+}
+
+// --- Coordinator queue -----------------------------------------------
+
+/// Static description of the distributed campaign, fixed at queue
+/// construction.
+#[derive(Debug, Clone)]
+pub struct WorkSpec {
+    /// Rounds per shard.
+    pub rounds: u32,
+    /// Number of shards (independent of worker count).
+    pub shard_count: u32,
+    /// Per-shard `[start, end)` probe-index ranges — the garbage
+    /// defense: a submitted sample whose probe falls outside its
+    /// shard's range is rejected before it can touch the merge.
+    pub probe_ranges: Vec<(u32, u32)>,
+    /// `JournalHeader::to_wire` bytes shipped to workers at register.
+    pub header_wire: Vec<u8>,
+    /// How often idle workers should poll / running workers heartbeat.
+    pub heartbeat_interval: Duration,
+    /// Silence after which a worker is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// How long an assigned shard may sit on one round.
+    pub round_timeout: Duration,
+    /// Backoff floor for a missed round deadline.
+    pub retry_base: Duration,
+    /// Backoff ceiling.
+    pub retry_cap: Duration,
+    /// Deadline misses after which the assignment is stripped and the
+    /// shard handed to a survivor.
+    pub max_round_retries: u32,
+    /// Seed for the backoff jitter (deterministic per campaign).
+    pub seed: u64,
+}
+
+impl WorkSpec {
+    /// Localhost-test defaults: snappy heartbeats, short deadlines.
+    pub fn quick(rounds: u32, shard_count: u32) -> Self {
+        Self {
+            rounds,
+            shard_count,
+            probe_ranges: Vec::new(),
+            header_wire: Vec::new(),
+            heartbeat_interval: Duration::from_millis(25),
+            heartbeat_timeout: Duration::from_millis(250),
+            round_timeout: Duration::from_millis(500),
+            retry_base: Duration::from_millis(50),
+            retry_cap: Duration::from_millis(400),
+            max_round_retries: 3,
+            seed: 0x5EED_D157,
+        }
+    }
+}
+
+/// Point-in-time copy of the queue's robustness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkMetrics {
+    /// Workers currently considered live.
+    pub workers_live: u64,
+    /// Workers ever registered (includes restarts — each incarnation
+    /// registers anew).
+    pub workers_registered: u64,
+    /// Heartbeat deadlines blown (each one declared a worker dead).
+    pub heartbeats_missed: u64,
+    /// Shard assignments handed to a worker other than the first.
+    pub shards_reassigned: u64,
+    /// Round deadlines blown (each re-armed with jittered backoff).
+    pub rounds_retried: u64,
+    /// Bit-identical resubmissions detected and dropped.
+    pub duplicate_frames_dropped: u64,
+    /// Frames accepted into the merge.
+    pub frames_accepted: u64,
+    /// Frames refused (malformed, out of range, or divergent).
+    pub frames_rejected: u64,
+    /// Rounds abandoned as lost (degraded completion only).
+    pub lost_rounds: u64,
+}
+
+/// One accepted round, waiting for (or consumed by) the merge.
+#[derive(Debug)]
+pub struct RoundFrame {
+    /// Gross credits the round debited.
+    pub gross: u64,
+    /// Credits the round refunded.
+    pub refund: u64,
+    /// The round's samples.
+    pub store: ResultStore,
+}
+
+#[derive(Debug)]
+struct ShardState {
+    assigned: Option<u64>,
+    ever_assigned: bool,
+    /// Lowest round neither accepted nor marked lost: where a (re)
+    /// assignment starts.
+    next_needed: u32,
+    /// When the next round must arrive (assigned shards only).
+    deadline: Option<Instant>,
+    retries: u32,
+    backoff: Duration,
+    /// Accepted-but-unmerged rounds.
+    frames: HashMap<u32, RoundFrame>,
+    /// Digest of every accepted round, kept past the merge so late
+    /// duplicates are still recognised.
+    digests: HashMap<u32, u64>,
+    lost: HashSet<u32>,
+}
+
+#[derive(Debug)]
+struct WorkerState {
+    last_seen: Instant,
+    live: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<ShardState>,
+    workers: HashMap<u64, WorkerState>,
+    next_worker: u64,
+    finished: bool,
+    aborted: bool,
+    last_accept: Option<Instant>,
+    rng: u64,
+    metrics: WorkMetrics,
+}
+
+/// The coordinator's shard queue: assignment, liveness, dedup, merge
+/// hand-off. All waits are bounded — no caller ever blocks longer than
+/// the timeout it passes in.
+pub struct WorkQueue {
+    spec: WorkSpec,
+    inner: Mutex<Inner>,
+    /// Signalled whenever a frame is accepted or the campaign
+    /// finishes/aborts; the merge loop waits on it with a deadline.
+    ready: Condvar,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decorrelated jitter: `min(cap, base + U[0,1) * (prev*3 - base))`.
+fn decorrelated(rng: &mut u64, prev: Duration, base: Duration, cap: Duration) -> Duration {
+    let unit = (splitmix(rng) >> 11) as f64 / (1u64 << 53) as f64;
+    let span = (prev.as_secs_f64() * 3.0 - base.as_secs_f64()).max(0.0);
+    let next = base.as_secs_f64() + unit * span;
+    Duration::from_secs_f64(next.min(cap.as_secs_f64()))
+}
+
+impl WorkQueue {
+    /// Builds a queue over the spec; all shards start unassigned.
+    pub fn new(spec: WorkSpec) -> Self {
+        let shards = (0..spec.shard_count)
+            .map(|_| ShardState {
+                assigned: None,
+                ever_assigned: false,
+                next_needed: 0,
+                deadline: None,
+                retries: 0,
+                backoff: spec.retry_base,
+                frames: HashMap::new(),
+                digests: HashMap::new(),
+                lost: HashSet::new(),
+            })
+            .collect();
+        let rng = spec.seed | 1;
+        Self {
+            spec,
+            inner: Mutex::new(Inner {
+                shards,
+                workers: HashMap::new(),
+                next_worker: 1,
+                finished: false,
+                aborted: false,
+                last_accept: None,
+                rng,
+                metrics: WorkMetrics::default(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The campaign spec this queue dispatches.
+    pub fn spec(&self) -> &WorkSpec {
+        &self.spec
+    }
+
+    /// Registers a new worker incarnation; returns its id.
+    pub fn register(&self, now: Instant) -> u64 {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        let id = inner.next_worker;
+        inner.next_worker += 1;
+        inner.workers.insert(
+            id,
+            WorkerState {
+                last_seen: now,
+                live: true,
+            },
+        );
+        inner.metrics.workers_registered += 1;
+        inner.metrics.workers_live += 1;
+        id
+    }
+
+    fn touch(inner: &mut Inner, worker: u64, now: Instant) {
+        let entry = inner.workers.entry(worker).or_insert(WorkerState {
+            last_seen: now,
+            live: false,
+        });
+        entry.last_seen = now;
+        if !entry.live {
+            entry.live = true;
+            inner.metrics.workers_live += 1;
+        }
+    }
+
+    fn owned_shard(inner: &Inner, worker: u64) -> Option<u32> {
+        inner
+            .shards
+            .iter()
+            .position(|s| s.assigned == Some(worker))
+            .map(|s| s as u32)
+    }
+
+    fn assignment(&self, inner: &Inner, shard: u32) -> WorkAssignment {
+        WorkAssignment {
+            shard,
+            shard_count: self.spec.shard_count,
+            start_round: inner.shards[shard as usize].next_needed,
+            rounds: self.spec.rounds,
+        }
+    }
+
+    fn all_done(&self, inner: &Inner) -> bool {
+        inner.shards.iter().all(|s| s.next_needed >= self.spec.rounds)
+    }
+
+    /// Poll: heartbeat + acquire work. An idle worker is handed the
+    /// lowest unassigned, unfinished shard; a worker that already owns
+    /// a shard has its assignment restated (resume after a dropped
+    /// reply).
+    pub fn poll(&self, worker: u64, now: Instant) -> WorkReply {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        Self::touch(&mut inner, worker, now);
+        if inner.aborted {
+            return WorkReply::Abort;
+        }
+        if inner.finished || self.all_done(&inner) {
+            return WorkReply::Done;
+        }
+        if let Some(shard) = Self::owned_shard(&inner, worker) {
+            if inner.shards[shard as usize].next_needed < self.spec.rounds {
+                return WorkReply::Assigned(self.assignment(&inner, shard));
+            }
+            // The worker's shard is complete: release it and fall
+            // through to pick up more work — holding a finished shard
+            // would wedge the worker restating an empty assignment.
+            let s = &mut inner.shards[shard as usize];
+            s.assigned = None;
+            s.deadline = None;
+        }
+        let free = inner
+            .shards
+            .iter()
+            .position(|s| s.assigned.is_none() && s.next_needed < self.spec.rounds);
+        match free {
+            Some(i) => {
+                let reassigned = inner.shards[i].ever_assigned;
+                {
+                    let s = &mut inner.shards[i];
+                    s.assigned = Some(worker);
+                    s.ever_assigned = true;
+                    s.deadline = Some(now + self.spec.round_timeout);
+                    s.retries = 0;
+                    s.backoff = self.spec.retry_base;
+                }
+                if reassigned {
+                    inner.metrics.shards_reassigned += 1;
+                }
+                WorkReply::Assigned(self.assignment(&inner, i as u32))
+            }
+            None => WorkReply::Idle,
+        }
+    }
+
+    /// Heartbeat: liveness refresh only — never acquires new work, but
+    /// restates ownership so a fenced worker learns it lost its shard
+    /// (reply `Idle`) and falls back to polling.
+    pub fn heartbeat(&self, worker: u64, now: Instant) -> WorkReply {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        Self::touch(&mut inner, worker, now);
+        if inner.aborted {
+            return WorkReply::Abort;
+        }
+        if inner.finished || self.all_done(&inner) {
+            return WorkReply::Done;
+        }
+        match Self::owned_shard(&inner, worker) {
+            Some(shard) => WorkReply::Assigned(self.assignment(&inner, shard)),
+            None => WorkReply::Idle,
+        }
+    }
+
+    fn advance(spec_rounds: u32, s: &mut ShardState) {
+        while s.next_needed < spec_rounds
+            && (s.digests.contains_key(&s.next_needed) || s.lost.contains(&s.next_needed))
+        {
+            s.next_needed += 1;
+        }
+    }
+
+    /// Content digest of a round frame — deliberately excludes the
+    /// worker id, so the same round computed by two workers (or
+    /// replayed from a WAL) hashes identically.
+    fn frame_digest(sub: &FrameSubmission) -> u64 {
+        let mut bytes = Vec::with_capacity(24 + sub.store.len() * 24);
+        bytes.extend_from_slice(&sub.shard.to_le_bytes());
+        bytes.extend_from_slice(&sub.round.to_le_bytes());
+        bytes.extend_from_slice(&sub.gross.to_le_bytes());
+        bytes.extend_from_slice(&sub.refund.to_le_bytes());
+        put_samples_wire(&mut bytes, &sub.store);
+        Fnv1a::digest_of(&bytes)
+    }
+
+    /// Submit one completed round. Accepts regardless of current
+    /// ownership (a fenced worker's in-flight round is still valid
+    /// work); the returned flag says whether the submitter still owns
+    /// the shard.
+    pub fn submit(&self, sub: FrameSubmission, now: Instant) -> (FrameVerdict, bool) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        Self::touch(&mut inner, sub.worker, now);
+        let current =
+            Self::owned_shard(&inner, sub.worker) == Some(sub.shard) && !inner.aborted;
+        if sub.shard >= self.spec.shard_count || sub.round >= self.spec.rounds {
+            inner.metrics.frames_rejected += 1;
+            return (FrameVerdict::Rejected, current);
+        }
+        if let Some(&(lo, hi)) = self.spec.probe_ranges.get(sub.shard as usize) {
+            let stray = sub
+                .store
+                .iter()
+                .any(|s| s.probe.0 < lo || s.probe.0 >= hi);
+            if stray {
+                inner.metrics.frames_rejected += 1;
+                return (FrameVerdict::Rejected, current);
+            }
+        }
+        let digest = Self::frame_digest(&sub);
+        let shard = &mut inner.shards[sub.shard as usize];
+        if let Some(&seen) = shard.digests.get(&sub.round) {
+            if seen == digest {
+                inner.metrics.duplicate_frames_dropped += 1;
+                return (FrameVerdict::Duplicate, current);
+            }
+            inner.metrics.frames_rejected += 1;
+            return (FrameVerdict::Rejected, current);
+        }
+        if shard.lost.contains(&sub.round) {
+            // The merge already wrote this round off; late truth cannot
+            // be spliced back in without breaking determinism.
+            inner.metrics.frames_rejected += 1;
+            return (FrameVerdict::Rejected, current);
+        }
+        shard.digests.insert(sub.round, digest);
+        shard.frames.insert(
+            sub.round,
+            RoundFrame {
+                gross: sub.gross,
+                refund: sub.refund,
+                store: sub.store,
+            },
+        );
+        Self::advance(self.spec.rounds, shard);
+        if current {
+            shard.deadline = Some(now + self.spec.round_timeout);
+            shard.retries = 0;
+            shard.backoff = self.spec.retry_base;
+        }
+        inner.metrics.frames_accepted += 1;
+        inner.last_accept = Some(now);
+        drop(inner);
+        self.ready.notify_all();
+        (FrameVerdict::Accepted, current)
+    }
+
+    /// Failure detection: declares silent workers dead (freeing their
+    /// shards) and re-arms or strips blown round deadlines. Called from
+    /// the coordinator's control loop; cheap enough for every tick.
+    pub fn sweep(&self, now: Instant) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        let timeout = self.spec.heartbeat_timeout;
+        let mut dead: Vec<u64> = Vec::new();
+        for (&id, w) in inner.workers.iter() {
+            if w.live && now.duration_since(w.last_seen) >= timeout {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            if let Some(w) = inner.workers.get_mut(&id) {
+                w.live = false;
+            }
+            inner.metrics.workers_live = inner.metrics.workers_live.saturating_sub(1);
+            inner.metrics.heartbeats_missed += 1;
+            for s in inner.shards.iter_mut() {
+                if s.assigned == Some(id) {
+                    s.assigned = None;
+                    s.deadline = None;
+                }
+            }
+        }
+        let rounds = self.spec.rounds;
+        let (base, cap, max_retries) = (
+            self.spec.retry_base,
+            self.spec.retry_cap,
+            self.spec.max_round_retries,
+        );
+        let mut rng = inner.rng;
+        let mut retried = 0u64;
+        for s in inner.shards.iter_mut() {
+            if s.assigned.is_none() || s.next_needed >= rounds {
+                continue;
+            }
+            let Some(deadline) = s.deadline else { continue };
+            if now < deadline {
+                continue;
+            }
+            retried += 1;
+            s.retries += 1;
+            if s.retries > max_retries {
+                // The worker may still heartbeat, but it is wedged on
+                // this round: fence it so a survivor takes over.
+                s.assigned = None;
+                s.deadline = None;
+            } else {
+                s.backoff = decorrelated(&mut rng, s.backoff, base, cap);
+                s.deadline = Some(now + s.backoff);
+            }
+        }
+        inner.rng = rng;
+        inner.metrics.rounds_retried += retried;
+    }
+
+    /// Whether every shard has delivered (or written off) `round`.
+    pub fn round_ready(&self, round: u32) -> bool {
+        let inner = self.inner.lock().expect("work queue poisoned");
+        inner
+            .shards
+            .iter()
+            .all(|s| s.digests.contains_key(&round) || s.lost.contains(&round))
+    }
+
+    /// Blocks until `round` is ready, the campaign aborts, or `timeout`
+    /// elapses — the coordinator's merge loop never waits unbounded.
+    pub fn wait_round(&self, round: u32, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        loop {
+            let ready = inner
+                .shards
+                .iter()
+                .all(|s| s.digests.contains_key(&round) || s.lost.contains(&round));
+            if ready || inner.aborted {
+                return ready;
+            }
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now) else {
+                return false;
+            };
+            let (guard, _) = self
+                .ready
+                .wait_timeout(inner, left)
+                .expect("work queue poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Takes an accepted round out of the queue for merging (`None` if
+    /// the round was marked lost).
+    pub fn take_round(&self, shard: u32, round: u32) -> Option<RoundFrame> {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        inner.shards.get_mut(shard as usize)?.frames.remove(&round)
+    }
+
+    /// Shards that have not yet delivered `round`.
+    pub fn missing_for_round(&self, round: u32) -> Vec<u32> {
+        let inner = self.inner.lock().expect("work queue poisoned");
+        inner
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.digests.contains_key(&round) && !s.lost.contains(&round))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Writes `(shard, round)` off as lost (degraded completion): the
+    /// merge substitutes synthesised lost-round samples and any late
+    /// real frame is rejected.
+    pub fn mark_lost(&self, shard: u32, round: u32) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        let rounds = self.spec.rounds;
+        if let Some(s) = inner.shards.get_mut(shard as usize) {
+            if s.lost.insert(round) {
+                Self::advance(rounds, s);
+                inner.metrics.lost_rounds += 1;
+            }
+        }
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Marks the campaign complete: workers see `Done` and exit.
+    pub fn finish(&self) {
+        self.inner.lock().expect("work queue poisoned").finished = true;
+        self.ready.notify_all();
+    }
+
+    /// Marks the campaign failed: workers see `Abort` and exit.
+    pub fn abort(&self) {
+        self.inner.lock().expect("work queue poisoned").aborted = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`WorkQueue::abort`] was called.
+    pub fn aborted(&self) -> bool {
+        self.inner.lock().expect("work queue poisoned").aborted
+    }
+
+    /// Workers currently considered live.
+    pub fn live_workers(&self) -> u64 {
+        self.inner.lock().expect("work queue poisoned").metrics.workers_live
+    }
+
+    /// When the queue last accepted a frame (grace clock for the
+    /// degraded-completion decision).
+    pub fn last_accept(&self) -> Option<Instant> {
+        self.inner.lock().expect("work queue poisoned").last_accept
+    }
+
+    /// Point-in-time copy of the robustness counters.
+    pub fn metrics(&self) -> WorkMetrics {
+        self.inner.lock().expect("work queue poisoned").metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shears_atlas::RttSample;
+    use shears_netsim::SimTime;
+
+    fn sample(probe: u32, at_hours: u64) -> RttSample {
+        RttSample {
+            probe: shears_atlas::ProbeId(probe),
+            region: 3,
+            at: SimTime::from_hours(at_hours),
+            min_ms: 10.0,
+            avg_ms: 12.0,
+            sent: 3,
+            received: 3,
+        }
+    }
+
+    fn store_of(probes: &[u32]) -> ResultStore {
+        let mut s = ResultStore::new();
+        for &p in probes {
+            s.push(sample(p, 1));
+        }
+        s
+    }
+
+    fn sub(worker: u64, shard: u32, round: u32, probes: &[u32]) -> FrameSubmission {
+        FrameSubmission {
+            worker,
+            shard,
+            round,
+            gross: 30,
+            refund: 0,
+            store: store_of(probes),
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_every_message() {
+        assert_eq!(decode_hello(&encode_hello()).unwrap(), WORK_PROTO_VERSION);
+
+        let (w, hb, hdr) =
+            decode_welcome(&encode_welcome(7, 250, b"header-bytes")).unwrap();
+        assert_eq!((w, hb, hdr.as_slice()), (7, 250, b"header-bytes".as_slice()));
+
+        assert_eq!(decode_poll(&encode_poll(42)).unwrap(), 42);
+
+        for reply in [
+            WorkReply::Idle,
+            WorkReply::Done,
+            WorkReply::Abort,
+            WorkReply::Assigned(WorkAssignment {
+                shard: 2,
+                shard_count: 4,
+                start_round: 1,
+                rounds: 6,
+            }),
+        ] {
+            assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
+        }
+
+        let wire = encode_frame_submit(9, 1, 3, 120, 30, &store_of(&[4, 5]));
+        let got = decode_frame_submit(&wire).unwrap();
+        assert_eq!((got.worker, got.shard, got.round), (9, 1, 3));
+        assert_eq!((got.gross, got.refund), (120, 30));
+        assert_eq!(got.store.len(), 2);
+
+        for v in [FrameVerdict::Accepted, FrameVerdict::Duplicate, FrameVerdict::Rejected] {
+            assert_eq!(decode_verdict(&encode_verdict(v, true)).unwrap(), (v, true));
+            assert_eq!(decode_verdict(&encode_verdict(v, false)).unwrap(), (v, false));
+        }
+
+        // Corrupt frames are refused, never panic.
+        let mut bad = encode_poll(1);
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(decode_poll(&bad).is_err());
+        assert!(decode_reply(b"short").is_err());
+    }
+
+    #[test]
+    fn shards_are_assigned_lowest_first_and_restated() {
+        let q = WorkQueue::new(WorkSpec::quick(2, 2));
+        let t = Instant::now();
+        let (a, b) = (q.register(t), q.register(t));
+        assert_eq!(
+            q.poll(a, t),
+            WorkReply::Assigned(WorkAssignment { shard: 0, shard_count: 2, start_round: 0, rounds: 2 })
+        );
+        assert_eq!(
+            q.poll(b, t),
+            WorkReply::Assigned(WorkAssignment { shard: 1, shard_count: 2, start_round: 0, rounds: 2 })
+        );
+        // Re-poll restates, never double-assigns.
+        assert!(matches!(q.poll(a, t), WorkReply::Assigned(x) if x.shard == 0));
+        let c = q.register(t);
+        assert_eq!(q.poll(c, t), WorkReply::Idle);
+    }
+
+    #[test]
+    fn duplicate_frames_are_dropped_and_divergent_ones_rejected() {
+        let q = WorkQueue::new(WorkSpec::quick(2, 1));
+        let t = Instant::now();
+        let w = q.register(t);
+        q.poll(w, t);
+        let (v, current) = q.submit(sub(w, 0, 0, &[1, 2]), t);
+        assert_eq!((v, current), (FrameVerdict::Accepted, true));
+        // Bit-identical resubmission (WAL replay): dropped, counted.
+        let (v, _) = q.submit(sub(w, 0, 0, &[1, 2]), t);
+        assert_eq!(v, FrameVerdict::Duplicate);
+        // Same round, different content: loud rejection.
+        let (v, _) = q.submit(sub(w, 0, 0, &[1, 3]), t);
+        assert_eq!(v, FrameVerdict::Rejected);
+        let m = q.metrics();
+        assert_eq!(m.frames_accepted, 1);
+        assert_eq!(m.duplicate_frames_dropped, 1);
+        assert_eq!(m.frames_rejected, 1);
+        // A different worker submitting the identical round also dedups
+        // (digest excludes the worker id).
+        let w2 = q.register(t);
+        let (v, current) = q.submit(sub(w2, 0, 0, &[1, 2]), t);
+        assert_eq!((v, current), (FrameVerdict::Duplicate, false));
+    }
+
+    #[test]
+    fn dead_workers_free_their_shards_for_survivors() {
+        let spec = WorkSpec::quick(3, 1);
+        let hb = spec.heartbeat_timeout;
+        let q = WorkQueue::new(spec);
+        let t = Instant::now();
+        let a = q.register(t);
+        q.poll(a, t);
+        q.submit(sub(a, 0, 0, &[1]), t);
+        assert_eq!(q.live_workers(), 1);
+
+        // `a` goes silent past the heartbeat deadline.
+        let later = t + hb + Duration::from_millis(1);
+        q.sweep(later);
+        assert_eq!(q.live_workers(), 0);
+        let m = q.metrics();
+        assert_eq!(m.heartbeats_missed, 1);
+
+        // A survivor picks the shard up from the first unaccepted round.
+        let b = q.register(later);
+        match q.poll(b, later) {
+            WorkReply::Assigned(x) => {
+                assert_eq!(x.shard, 0);
+                assert_eq!(x.start_round, 1, "resumes after a's accepted round");
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+        assert_eq!(q.metrics().shards_reassigned, 1);
+    }
+
+    #[test]
+    fn blown_round_deadlines_back_off_then_fence() {
+        let spec = WorkSpec::quick(2, 1);
+        let (rt, max) = (spec.round_timeout, spec.max_round_retries);
+        let q = WorkQueue::new(spec);
+        let t = Instant::now();
+        let a = q.register(t);
+        q.poll(a, t);
+        // Keep `a` heartbeating but never delivering: deadline misses
+        // accumulate with backoff until the assignment is stripped.
+        let mut now = t;
+        for _ in 0..=max {
+            now += rt + Duration::from_secs(1);
+            q.heartbeat(a, now);
+            q.sweep(now);
+        }
+        assert_eq!(q.metrics().rounds_retried, u64::from(max) + 1);
+        // `a` is fenced: heartbeat says Idle even though it is live.
+        assert_eq!(q.heartbeat(a, now), WorkReply::Idle);
+        let b = q.register(now);
+        assert!(matches!(q.poll(b, now), WorkReply::Assigned(x) if x.shard == 0));
+        // `a`'s stale in-flight round still merges (then dedups b's).
+        let (v, current) = q.submit(sub(a, 0, 0, &[1]), now);
+        assert_eq!((v, current), (FrameVerdict::Accepted, false));
+        let (v, _) = q.submit(sub(b, 0, 0, &[1]), now);
+        assert_eq!(v, FrameVerdict::Duplicate);
+    }
+
+    #[test]
+    fn merge_hand_off_and_lost_rounds() {
+        let q = WorkQueue::new(WorkSpec::quick(2, 2));
+        let t = Instant::now();
+        let w = q.register(t);
+        q.poll(w, t);
+        assert!(!q.round_ready(0));
+        q.submit(sub(w, 0, 0, &[1]), t);
+        assert_eq!(q.missing_for_round(0), vec![1]);
+        q.mark_lost(1, 0);
+        assert!(q.round_ready(0));
+        assert!(q.wait_round(0, Duration::from_millis(1)));
+        assert!(q.take_round(0, 0).is_some());
+        assert!(q.take_round(1, 0).is_none(), "lost round yields no frame");
+        // A late real frame for the written-off round is refused.
+        let (v, _) = q.submit(sub(w, 1, 0, &[5]), t);
+        assert_eq!(v, FrameVerdict::Rejected);
+        assert_eq!(q.metrics().lost_rounds, 1);
+    }
+
+    #[test]
+    fn out_of_range_samples_are_rejected_before_the_merge() {
+        let mut spec = WorkSpec::quick(1, 2);
+        spec.probe_ranges = vec![(0, 4), (4, 8)];
+        let q = WorkQueue::new(spec);
+        let t = Instant::now();
+        let w = q.register(t);
+        q.poll(w, t);
+        let (v, _) = q.submit(sub(w, 0, 0, &[2, 5]), t);
+        assert_eq!(v, FrameVerdict::Rejected, "probe 5 is outside shard 0");
+        let (v, _) = q.submit(sub(w, 0, 0, &[2, 3]), t);
+        assert_eq!(v, FrameVerdict::Accepted);
+    }
+
+    #[test]
+    fn completion_and_abort_are_terminal() {
+        let q = WorkQueue::new(WorkSpec::quick(1, 1));
+        let t = Instant::now();
+        let w = q.register(t);
+        q.poll(w, t);
+        q.submit(sub(w, 0, 0, &[1]), t);
+        // All rounds accepted: polls turn Done without an explicit
+        // finish().
+        assert_eq!(q.poll(w, t), WorkReply::Done);
+
+        let q = WorkQueue::new(WorkSpec::quick(1, 1));
+        let w = q.register(t);
+        q.abort();
+        assert_eq!(q.poll(w, t), WorkReply::Abort);
+        assert!(!q.wait_round(0, Duration::from_millis(1)));
+    }
+}

@@ -734,6 +734,170 @@ impl<'p> Campaign<'p> {
         journal.sync()?;
         Ok(())
     }
+
+    /// The deterministic contiguous partition of the probe fleet into
+    /// (at most) `count` shards: the exact `chunks(ceil(n / count))`
+    /// split the durable round barrier uses, expressed as probe-index
+    /// ranges. Merging per-round shard outputs in this order yields a
+    /// store bit-identical to [`Campaign::run`], which is the invariant
+    /// the distributed coordinator builds on. When `count` exceeds what
+    /// the fleet can fill, fewer (never empty) shards are returned —
+    /// callers must treat `shard_ranges(count).len()` as the real shard
+    /// count.
+    pub fn shard_ranges(&self, count: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.platform.probes().len();
+        let chunk = n.div_ceil(count.max(1)).max(1);
+        (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect()
+    }
+
+    /// Builds the execution context for shard `shard` of a `count`-way
+    /// partition (see [`Campaign::shard_ranges`]). The context resolves
+    /// the target table, fault plan, and churn outages eagerly; the
+    /// shard's route table is built lazily on the first
+    /// [`Campaign::run_shard`] call, so a coordinator that only ever
+    /// synthesises lost rounds never pays for routing.
+    ///
+    /// # Panics
+    /// Panics when `shard` is out of range for the partition.
+    pub fn shard_context(&self, shard: usize, count: usize) -> ShardContext {
+        let ranges = self.shard_ranges(count);
+        let range = ranges[shard].clone();
+        let master = SimRng::new(self.cfg.seed);
+        ShardContext {
+            shard: shard as u32,
+            count: ranges.len() as u32,
+            range,
+            targets: self.target_table(),
+            plan: self.fault_plan(),
+            outages: self.outage_table(&master),
+            table: None,
+        }
+    }
+
+    /// The journal header a worker writes at the head of its per-shard
+    /// WAL: the campaign config with the fleet-digest slot holding the
+    /// [`journal::shard_digest`] of this shard, so a shard WAL can only
+    /// ever be resumed by a worker holding the same shard of the same
+    /// partition of the same fleet.
+    pub fn shard_header(&self, ctx: &ShardContext) -> JournalHeader {
+        let probes = &self.platform.probes()[ctx.range.clone()];
+        JournalHeader {
+            config: self.cfg,
+            fleet_digest: journal::shard_digest(ctx.shard, ctx.count, probes, &ctx.targets),
+            plan_digest: self.fault_plan().map_or(0, |p| p.digest()),
+        }
+    }
+
+    /// One shard's slice of one round — the public entry point for
+    /// out-of-process workers. Returns the shard's samples in probe
+    /// order plus its gross credit spend and refund for the round,
+    /// exactly what [`Campaign::run_durable`]'s in-process shards feed
+    /// the round barrier: merging every shard's output in shard order
+    /// and settling `debit(Σgross)` then `refund(Σrefund)` reproduces
+    /// the sequential run bit for bit.
+    pub fn run_shard(&self, ctx: &mut ShardContext, round: u32) -> (ResultStore, u64, u64) {
+        if ctx.table.is_none() {
+            ctx.table = Some(self.shard_route_table(ctx));
+        }
+        let table = ctx.table.as_ref().expect("shard route table just built");
+        let mut prober = RoundProber::new(self.platform, self.cfg.kind, table, ctx.plan.as_ref());
+        let shard = &self.platform.probes()[ctx.range.clone()];
+        self.run_shard_round(&mut prober, shard, &ctx.targets, ctx.outages.as_deref(), round)
+    }
+
+    /// Synthesises the samples a lost shard-round *would have
+    /// scheduled*, every one marked lost (`min/avg = ∞`,
+    /// `sent = received = 0`). The availability draw consumes the same
+    /// keyed-stream prefix as a real round, so exactly the probes that
+    /// would have measured appear, at their scheduled timestamps.
+    /// Degraded-completion coordinators merge these in place of a shard
+    /// whose workers all died: the loss is attributed in the store
+    /// (mirroring how fault-injected campaigns record lost samples)
+    /// without shifting any other shard's rows. `sent = 0`
+    /// distinguishes "never measured" from a measured-but-unanswered
+    /// sample, whose `sent` counts its attempts.
+    pub fn lost_shard_round(&self, ctx: &ShardContext, round: u32) -> ResultStore {
+        let master = SimRng::new(self.cfg.seed);
+        let mut store = ResultStore::new();
+        for probe in &self.platform.probes()[ctx.range.clone()] {
+            let mut rng = master.fork_keyed(u64::from(probe.id.0), u64::from(round));
+            let at = SimTime::from_nanos(
+                self.cfg.interval.as_nanos() * u64::from(round)
+                    + self.probe_offset(probe).as_nanos(),
+            );
+            let up = match ctx.outages.as_deref() {
+                Some(schedules) => schedules[probe.id.index()].is_up(at),
+                None => rng.chance(probe.stability),
+            };
+            if !up {
+                continue;
+            }
+            for &region in &ctx.targets[probe.id.index()] {
+                store.push(RttSample {
+                    probe: probe.id,
+                    region,
+                    at,
+                    min_ms: f32::INFINITY,
+                    avg_ms: f32::INFINITY,
+                    sent: 0,
+                    received: 0,
+                });
+            }
+        }
+        store
+    }
+
+    /// Routes for exactly the shard's probe→DC pairs (the table is
+    /// keyed by node pair, so a subset build answers every lookup the
+    /// shard will make while skipping the rest of the fleet's searches).
+    fn shard_route_table(&self, ctx: &ShardContext) -> RouteTable {
+        let wants: Vec<_> = self.platform.probes()[ctx.range.clone()]
+            .iter()
+            .map(|p| {
+                (
+                    self.platform.probe_node(p.id),
+                    ctx.targets[p.id.index()]
+                        .iter()
+                        .map(|&region| self.platform.dc_node(region as usize))
+                        .collect(),
+                )
+            })
+            .collect();
+        RouteTable::build(self.platform.topology(), &wants, 1)
+    }
+}
+
+/// Everything a worker needs to execute one shard of a campaign round
+/// by round: the shard's probe range and partition coordinates, the
+/// resolved target table, the materialised fault plan and churn
+/// outages, and (built lazily) the shard-restricted route table. Built
+/// once per assignment via [`Campaign::shard_context`], then fed to
+/// [`Campaign::run_shard`] for each round.
+pub struct ShardContext {
+    shard: u32,
+    count: u32,
+    range: std::ops::Range<usize>,
+    targets: Vec<Vec<u16>>,
+    plan: Option<FaultPlan>,
+    outages: Option<Vec<OutageSchedule>>,
+    table: Option<RouteTable>,
+}
+
+impl ShardContext {
+    /// The shard index within its partition.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// The partition's (non-empty) shard count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The probe-index range this shard covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.range.clone()
+    }
 }
 
 /// Durability knobs for [`Campaign::run_durable`] / [`Campaign::resume`].
@@ -1216,5 +1380,99 @@ mod tests {
             assert_eq!(s.probe, p.probes()[s.probe.index()].id);
         }
         let _ = ProbeId(0);
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_fleet_contiguously() {
+        let p = tiny_platform();
+        let c = Campaign::new(&p, tiny_cfg());
+        let n = p.probes().len();
+        for count in [1usize, 2, 3, 7, n, n + 5] {
+            let ranges = c.shard_ranges(count);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= count);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "shards must be contiguous");
+                assert!(!w[0].is_empty() && !w[1].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn public_shard_rounds_merge_to_run_bit_for_bit() {
+        let p = tiny_platform();
+        let cfg = tiny_cfg();
+        let c = Campaign::new(&p, cfg);
+        let expected = c.run().unwrap();
+
+        for count in [1usize, 3] {
+            let shards = c.shard_ranges(count).len();
+            let mut ctxs: Vec<ShardContext> =
+                (0..shards).map(|s| c.shard_context(s, count)).collect();
+            let mut store = ResultStore::new();
+            let mut ledger = CreditLedger::new(cfg.credits);
+            for round in 0..cfg.rounds {
+                let outputs: Vec<_> =
+                    ctxs.iter_mut().map(|ctx| c.run_shard(ctx, round)).collect();
+                let gross: u64 = outputs.iter().map(|(_, g, _)| g).sum();
+                let refunds: u64 = outputs.iter().map(|(_, _, r)| r).sum();
+                ledger.debit(gross).unwrap();
+                ledger.refund(refunds);
+                for (shard_store, _, _) in outputs {
+                    store.merge(shard_store);
+                }
+            }
+            assert_eq!(
+                store.samples(),
+                expected.samples(),
+                "{count}-way public shard merge must equal run()"
+            );
+        }
+    }
+
+    #[test]
+    fn lost_shard_round_schedules_exactly_the_live_probes() {
+        let p = tiny_platform();
+        let cfg = tiny_cfg();
+        let c = Campaign::new(&p, cfg);
+        let mut ctx = c.shard_context(0, 2);
+        for round in 0..cfg.rounds {
+            let (real, _, _) = c.run_shard(&mut ctx, round);
+            let lost = c.lost_shard_round(&ctx, round);
+            // Same probes, regions, and timestamps row for row; values
+            // are the lost-sample sentinels.
+            assert_eq!(lost.len(), real.len());
+            assert_eq!(lost.probes(), real.probes());
+            assert_eq!(lost.regions(), real.regions());
+            assert_eq!(lost.ats(), real.ats());
+            for s in lost.samples() {
+                assert!(s.min_ms.is_infinite() && s.avg_ms.is_infinite());
+                assert_eq!((s.sent, s.received), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_headers_pin_partition_geometry() {
+        let p = tiny_platform();
+        let c = Campaign::new(&p, tiny_cfg());
+        let h00 = c.shard_header(&c.shard_context(0, 2));
+        let h01 = c.shard_header(&c.shard_context(1, 2));
+        let h03 = c.shard_header(&c.shard_context(0, 3));
+        assert_ne!(h00.fleet_digest, h01.fleet_digest, "shard index must matter");
+        assert_ne!(h00.fleet_digest, h03.fleet_digest, "shard count must matter");
+        assert_eq!(
+            h00.fleet_digest,
+            c.shard_header(&c.shard_context(0, 2)).fleet_digest,
+            "digest must be deterministic"
+        );
+        // Wire round-trip preserves the header exactly.
+        let wire = h00.to_wire();
+        let back = JournalHeader::from_wire(&wire).unwrap();
+        assert_eq!(back.fleet_digest, h00.fleet_digest);
+        assert_eq!(back.plan_digest, h00.plan_digest);
+        assert_eq!(back.config, h00.config);
     }
 }

@@ -325,6 +325,19 @@ fn kind_from_code(code: u8) -> Result<MeasurementType, &'static str> {
 }
 
 impl JournalHeader {
+    /// Serialises the header as a standalone wire payload — the exact
+    /// byte layout of the journal's header frame — for handing a
+    /// campaign config and its digests across a process boundary (the
+    /// distributed coordinator ships this to registering workers).
+    pub fn to_wire(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Decodes a [`JournalHeader::to_wire`] payload.
+    pub fn from_wire(payload: &[u8]) -> Result<JournalHeader, &'static str> {
+        Self::decode(payload)
+    }
+
     fn encode(&self) -> Vec<u8> {
         let cfg = &self.config;
         let mut out = Vec::with_capacity(192);
@@ -641,6 +654,25 @@ impl JournalWriter {
 // Replay.
 // ---------------------------------------------------------------------------
 
+/// One durable round's location inside a replayed journal: the row
+/// span its samples occupy in [`Replay::store`] plus its credit
+/// deltas. This is the shard-framing hook for distributed workers —
+/// a restarted worker re-frames any journaled round (samples, gross
+/// spend, refund) straight from its WAL without recomputing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundMark {
+    /// The round number.
+    pub round: u32,
+    /// First row of the round's samples in the replayed store.
+    pub rows_start: usize,
+    /// One past the last row of the round's samples.
+    pub rows_end: usize,
+    /// Gross credits debited during the round (spend before refunds).
+    pub gross: u64,
+    /// Credits refunded within the round.
+    pub refund: u64,
+}
+
 /// Everything recovered from a journal: the state a resumed campaign
 /// continues from.
 #[derive(Debug)]
@@ -657,12 +689,24 @@ pub struct Replay {
     pub torn_tail: bool,
     /// Byte length of the valid prefix (the torn tail starts here).
     pub valid_len: u64,
+    /// Per-round sample spans and credit deltas for every round frame
+    /// replayed *after* the last checkpoint (a checkpoint folds prior
+    /// rounds into one snapshot, so only rounds appended since remain
+    /// individually addressable). Journals written with checkpoints
+    /// disabled — worker shard WALs — keep every round here.
+    pub marks: Vec<RoundMark>,
 }
 
 impl Replay {
     /// True when every scheduled round is already in the journal.
     pub fn complete(&self) -> bool {
         self.next_round >= self.header.config.rounds
+    }
+
+    /// The replayed mark for `round`, if it is individually
+    /// addressable (appended after the last checkpoint).
+    pub fn mark(&self, round: u32) -> Option<&RoundMark> {
+        self.marks.iter().find(|m| m.round == round)
     }
 }
 
@@ -693,6 +737,7 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
     let mut ledger = CreditLedger::new(0);
     let mut next_round = 0u32;
     let mut torn_tail = false;
+    let mut marks: Vec<RoundMark> = Vec::new();
 
     while at < bytes.len() {
         let offset = at as u64;
@@ -720,11 +765,24 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
                 if round >= h.config.rounds {
                     return Err(corrupt("round beyond the campaign's schedule"));
                 }
+                let rows_start = store.len();
+                // Credit deltas vs the pre-frame counters: `spent` is
+                // net of refunds, so the round's gross spend is the
+                // spent delta plus the refund delta.
+                let (prev_spent, prev_refunded) = (ledger.spent(), ledger.refunded());
                 ledger = get_ledger(&mut r).map_err(corrupt)?;
                 get_samples(&mut r, &mut store).map_err(corrupt)?;
                 if r.remaining() != 0 {
                     return Err(corrupt("trailing bytes after round frame"));
                 }
+                let refund = ledger.refunded().saturating_sub(prev_refunded);
+                marks.push(RoundMark {
+                    round,
+                    rows_start,
+                    rows_end: store.len(),
+                    gross: ledger.spent().saturating_sub(prev_spent).saturating_add(refund),
+                    refund,
+                });
                 next_round = round + 1;
             }
             FRAME_CHECKPOINT => {
@@ -746,6 +804,7 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
                 store = snapshot;
                 ledger = checkpoint_ledger;
                 next_round = checkpoint_next;
+                marks.clear();
             }
             _ => return Err(corrupt("unknown frame tag")),
         }
@@ -760,6 +819,7 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
         next_round,
         torn_tail,
         valid_len: at as u64,
+        marks,
     })
 }
 
@@ -787,6 +847,25 @@ pub fn fleet_digest(probes: &[crate::probe::Probe], targets: &[Vec<u16>]) -> u64
             h.write_u64(u64::from(region));
         }
     }
+    h.finish()
+}
+
+/// FNV-1a digest identifying one shard of a campaign's fleet: the
+/// shard coordinates mixed with the fleet digest of exactly the probes
+/// in the shard (resolved against the full target table, which
+/// [`fleet_digest`] indexes by probe id). Worker-side shard journals
+/// carry this in the header's fleet-digest slot, so a WAL can never be
+/// resumed against the wrong shard or a different partition geometry.
+pub fn shard_digest(
+    shard: u32,
+    shard_count: u32,
+    probes: &[crate::probe::Probe],
+    targets: &[Vec<u16>],
+) -> u64 {
+    let mut h = shears_netsim::fault::Fnv1a::new();
+    h.write_u64(u64::from(shard));
+    h.write_u64(u64::from(shard_count));
+    h.write_u64(fleet_digest(probes, targets));
     h.finish()
 }
 

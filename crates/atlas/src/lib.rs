@@ -52,10 +52,12 @@ pub mod store;
 pub mod tags;
 
 pub use availability::OutageSchedule;
-pub use campaign::{Campaign, CampaignConfig, CampaignError, DurabilityConfig, DurableOutcome};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignError, DurabilityConfig, DurableOutcome, ShardContext,
+};
 pub use credits::{CreditError, CreditLedger};
 pub use fleet::{FleetBuilder, FleetConfig};
-pub use journal::{JournalError, JournalHeader, JournalWriter, Replay};
+pub use journal::{JournalError, JournalHeader, JournalWriter, Replay, RoundMark};
 pub use measurement::{MeasurementSpec, MeasurementType};
 pub use platform::{Platform, PlatformConfig};
 pub use probe::{Probe, ProbeId};

@@ -1,0 +1,198 @@
+//! Distributed-execution scaling harness: runs the in-process
+//! coordinator + worker fleet at 1/2/4/8 workers, measures merged
+//! shard-rounds per second, then re-runs with a scheduled worker kill
+//! to price reassignment recovery. Results fold into
+//! `BENCH_dist.json` under a `"dist_scaling"` key.
+//!
+//! ```sh
+//! cargo run --release -p shears-bench --bin dist_scaling
+//! cargo run --release -p shears-bench --bin dist_scaling -- \
+//!     --probes 120 --rounds 6 --shards 8 --merge BENCH_dist.json
+//! ```
+//!
+//! Everything crosses the real wire (HTTP registration, polls,
+//! heartbeats, CRC-framed result frames, worker WALs on disk), so the
+//! numbers include the full protocol cost — this is the distributed
+//! counterpart of the `campaign_round` bench, not a function
+//! microbenchmark.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use shears_atlas::{CampaignConfig, FleetConfig, PlatformConfig};
+use shears_dist::{run_distributed, ChaosProxy, DistConfig, DistOutcome, FleetSpec};
+
+struct Args {
+    probes: usize,
+    rounds: u32,
+    shards: u32,
+    seed: u64,
+    merge: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        probes: 120,
+        rounds: 6,
+        shards: 8,
+        seed: 42,
+        merge: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--probes" => args.probes = val("--probes").parse().expect("--probes: usize"),
+            "--rounds" => args.rounds = val("--rounds").parse().expect("--rounds: u32"),
+            "--shards" => args.shards = val("--shards").parse().expect("--shards: u32"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed: u64"),
+            "--merge" => args.merge = Some(val("--merge")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn platform_cfg(args: &Args) -> PlatformConfig {
+    PlatformConfig {
+        fleet: FleetConfig {
+            target_size: args.probes,
+            seed: args.seed,
+        },
+        ..PlatformConfig::default()
+    }
+}
+
+fn campaign_cfg(args: &Args) -> CampaignConfig {
+    CampaignConfig {
+        rounds: args.rounds,
+        targets_per_probe: 1,
+        adjacent_targets: 1,
+        seed: args.seed,
+        credits: 500_000_000,
+        ..CampaignConfig::quick()
+    }
+}
+
+/// Bench-speed failure detection: tight enough that the recovery leg
+/// measures reassignment, not timer slack.
+fn dist_cfg(shards: u32) -> DistConfig {
+    DistConfig {
+        heartbeat_interval: Duration::from_millis(10),
+        heartbeat_timeout: Duration::from_millis(120),
+        round_timeout: Duration::from_millis(2_000),
+        retry_base: Duration::from_millis(30),
+        retry_cap: Duration::from_millis(150),
+        stall_grace: Duration::from_millis(400),
+        ..DistConfig::quick(shards)
+    }
+}
+
+fn wal_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("shears-dist-bench-{}-{tag}", std::process::id()))
+}
+
+fn timed_run(args: &Args, fleet: FleetSpec, tag: &str) -> (DistOutcome, f64) {
+    let root = wal_root(tag);
+    let start = Instant::now();
+    let out = run_distributed(
+        &platform_cfg(args),
+        campaign_cfg(args),
+        dist_cfg(args.shards),
+        fleet,
+        &root,
+    )
+    .expect("distributed run failed");
+    let secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&root);
+    (out, secs)
+}
+
+/// Same textual merge as loadgen's: insert the key into the existing
+/// JSON object without parsing it, so the offline serde stub behaves
+/// identically. A file that is absent, malformed, or already carries
+/// the key is replaced wholesale.
+fn merge_into(path: &str, payload: &str) {
+    let fresh = format!("{{\"dist_scaling\":{payload}}}\n");
+    let merged = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let trimmed = text.trim_end();
+            let inner = trimmed
+                .strip_suffix('}')
+                .map(str::trim_end)
+                .unwrap_or_default();
+            if inner.starts_with('{') && inner != "{" && !trimmed.contains("\"dist_scaling\"") {
+                format!("{inner},\"dist_scaling\":{payload}}}\n")
+            } else {
+                fresh
+            }
+        }
+        Err(_) => fresh,
+    };
+    std::fs::write(path, merged).expect("writing BENCH file");
+    eprintln!("[dist_scaling] merged into {path}");
+}
+
+fn main() {
+    let args = parse_args();
+    let shard_rounds = (args.shards * args.rounds) as f64;
+
+    // Scaling leg: clean fleets, 1..8 workers over the same campaign.
+    let mut scaling = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let (out, secs) = timed_run(&args, FleetSpec::clean(workers), &format!("scale{workers}"));
+        assert_eq!(out.metrics.lost_rounds, 0, "clean run lost rounds");
+        let rps = shard_rounds / secs;
+        eprintln!(
+            "[dist_scaling] workers={workers}: {secs:.3}s, {rps:.1} shard-rounds/s, {} samples",
+            out.store.len()
+        );
+        scaling.push(format!(
+            "{{\"workers\":{workers},\"secs\":{secs:.4},\"shard_rounds_per_sec\":{rps:.2},\"samples\":{}}}",
+            out.store.len()
+        ));
+    }
+
+    // Recovery leg: kill one worker mid-campaign and price the
+    // reassignment against the clean run at the same fleet size. The
+    // delta folds in failure detection (heartbeat silence), shard
+    // takeover, and the survivor re-running the orphaned rounds.
+    let mut recovery = Vec::new();
+    for &workers in &[2usize, 4] {
+        let (_, clean_secs) = timed_run(&args, FleetSpec::clean(workers), "rec-clean");
+        let fleet = FleetSpec::clean(workers).with_chaos(0, ChaosProxy::kill_at(1));
+        let (out, chaos_secs) = timed_run(&args, fleet, &format!("rec{workers}"));
+        assert_eq!(out.metrics.lost_rounds, 0, "recovery run lost rounds");
+        assert!(
+            out.metrics.shards_reassigned >= 1,
+            "kill produced no reassignment"
+        );
+        let recovery_ms = ((chaos_secs - clean_secs) * 1e3).max(0.0);
+        eprintln!(
+            "[dist_scaling] workers={workers} kill@1: {chaos_secs:.3}s (clean {clean_secs:.3}s), \
+             recovery ~{recovery_ms:.0}ms, {} shards reassigned",
+            out.metrics.shards_reassigned
+        );
+        recovery.push(format!(
+            "{{\"workers\":{workers},\"secs\":{chaos_secs:.4},\"clean_secs\":{clean_secs:.4},\
+             \"recovery_ms\":{recovery_ms:.1},\"shards_reassigned\":{}}}",
+            out.metrics.shards_reassigned
+        ));
+    }
+
+    let payload = format!(
+        "{{\"probes\":{},\"rounds\":{},\"shards\":{},\"scaling\":[{}],\"recovery\":[{}]}}",
+        args.probes,
+        args.rounds,
+        args.shards,
+        scaling.join(","),
+        recovery.join(",")
+    );
+    println!("{payload}");
+    if let Some(path) = &args.merge {
+        merge_into(path, &payload);
+    }
+}

@@ -1,0 +1,141 @@
+//! In-process distributed execution: a real coordinator, a real HTTP
+//! server, and N worker threads on localhost.
+//!
+//! This is the chaos harness the recovery tests and the scaling bench
+//! drive: everything crosses the actual wire (registration, polls,
+//! heartbeats, CRC-framed result frames), but lives in one process so
+//! a test can run a 4-worker fleet with scheduled kills in tens of
+//! milliseconds. Killed workers either stay dead (their shard is
+//! reassigned to a survivor) or — with
+//! [`FleetSpec::restart_killed`] — are respawned as fresh
+//! incarnations pointed at the same WAL directory, exercising the
+//! journal-resume path.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use shears_api::server::ServerConfig;
+use shears_api::{ApiServer, AtlasService};
+use shears_atlas::{CampaignConfig, Platform, PlatformConfig};
+
+use crate::chaos::ChaosProxy;
+use crate::coordinator::{Coordinator, DistConfig, DistOutcome};
+use crate::worker::{run_worker, WorkerConfig, WorkerExit};
+use crate::DistError;
+
+/// The worker fleet the harness spawns.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Worker thread count (independent of the shard count).
+    pub workers: usize,
+    /// Respawn a chaos-killed worker as a fresh incarnation with the
+    /// same WAL directory (crash-restart-resume) instead of leaving
+    /// its shard to be reassigned.
+    pub restart_killed: bool,
+    /// Per-worker chaos schedules; workers beyond the vector get
+    /// [`ChaosProxy::none`].
+    pub chaos: Vec<ChaosProxy>,
+    /// fsync worker WAL appends.
+    pub fsync: bool,
+}
+
+impl FleetSpec {
+    /// `workers` well-behaved workers.
+    pub fn clean(workers: usize) -> Self {
+        Self {
+            workers,
+            restart_killed: false,
+            chaos: Vec::new(),
+            fsync: false,
+        }
+    }
+
+    /// Schedules `chaos` on worker `worker` (builder style).
+    pub fn with_chaos(mut self, worker: usize, chaos: ChaosProxy) -> Self {
+        if self.chaos.len() <= worker {
+            self.chaos.resize(worker + 1, ChaosProxy::none());
+        }
+        self.chaos[worker] = chaos;
+        self
+    }
+
+    /// Respawn killed workers (crash-restart-resume mode).
+    pub fn restart_killed(mut self) -> Self {
+        self.restart_killed = true;
+        self
+    }
+}
+
+/// Runs a full distributed campaign in-process: builds the platform
+/// twice (one copy for the coordinator's plan and the worker threads,
+/// one owned by the serving [`AtlasService`] — construction is
+/// deterministic, so they agree), spawns the API server and the
+/// fleet, and merges to completion. Worker WALs live under
+/// `wal_root/worker-{n}/`.
+pub fn run_distributed(
+    platform_cfg: &PlatformConfig,
+    cfg: CampaignConfig,
+    dcfg: DistConfig,
+    fleet: FleetSpec,
+    wal_root: &Path,
+) -> Result<DistOutcome, DistError> {
+    let platform = Platform::build(platform_cfg);
+    let coordinator = Coordinator::new(&platform, cfg, dcfg);
+    let service =
+        AtlasService::new(Platform::build(platform_cfg)).with_work_queue(coordinator.queue());
+    let server = ApiServer::spawn_with(
+        "127.0.0.1:0",
+        service,
+        ServerConfig::reactor(1, fleet.workers.max(2), 64),
+    )?;
+    let addr = server.local_addr();
+
+    let outcome = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(fleet.workers);
+        for w in 0..fleet.workers {
+            let mut chaos = fleet.chaos.get(w).cloned().unwrap_or_default();
+            let wcfg = WorkerConfig {
+                fsync: fleet.fsync,
+                ..WorkerConfig::new(wal_root.join(format!("worker-{w}")))
+            };
+            let platform = &platform;
+            let restart = fleet.restart_killed;
+            handles.push(s.spawn(move || -> Result<WorkerExit, DistError> {
+                loop {
+                    match run_worker(addr, platform, &wcfg, &mut chaos)? {
+                        WorkerExit::Killed if restart => continue,
+                        exit => return Ok(exit),
+                    }
+                }
+            }));
+        }
+
+        let mut outcome = coordinator.run();
+        // The queue is now finished or aborted; workers observe Done /
+        // Abort on their next poll and drain.
+        let mut worker_error = None;
+        for h in handles {
+            if let Ok(Err(e)) = h.join() {
+                worker_error = Some(e);
+            }
+        }
+        // Re-snapshot the counters after the fleet drains: a revenant
+        // worker's late (deduplicated) frames land *after* the merge
+        // completed, and they are exactly what the robustness metrics
+        // exist to account for.
+        if let Ok(out) = &mut outcome {
+            out.metrics = coordinator.queue().metrics();
+        }
+        match (outcome, worker_error) {
+            // A worker error behind a successful merge is still a bug
+            // worth surfacing (the merge may have succeeded off
+            // reassignment while a healthy worker tripped a protocol
+            // error).
+            (Ok(_), Some(e)) => Err(e),
+            (outcome, _) => outcome,
+        }
+    });
+
+    server.shutdown()?;
+    outcome
+}

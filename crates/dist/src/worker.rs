@@ -1,0 +1,277 @@
+//! The worker side: execute assigned shards behind a local WAL.
+//!
+//! A worker is a loop around the `/api/v2/work/*` protocol: register
+//! (and prove, by digest, that its locally-built platform reproduces
+//! the coordinator's campaign), poll for a shard, execute it round by
+//! round, stream each completed round back as a CRC-framed columnar
+//! frame. Every round is appended to a per-shard write-ahead journal
+//! *before* it is submitted, so a worker that dies mid-shard and
+//! restarts re-frames the journaled rounds straight from its WAL —
+//! no recomputation, and the coordinator's digest-based dedup makes
+//! the resend idempotent.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use shears_api::client::ApiSession;
+use shears_api::work::{self, FrameVerdict, WorkAssignment, WorkReply};
+use shears_atlas::journal::{self, JournalWriter};
+use shears_atlas::{Campaign, CreditLedger, JournalHeader, Platform, ResultStore};
+
+use crate::chaos::{ChaosAction, ChaosProxy};
+use crate::DistError;
+
+/// Where (and how durably) a worker journals its shards.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Directory for the per-shard WALs (`shard-{n}.wal`); created on
+    /// first use. A restarted worker pointed at the same directory
+    /// resumes its shards from these journals.
+    pub wal_dir: PathBuf,
+    /// fsync every append (crash-durable) vs. leave flushing to the OS
+    /// (fast, test-friendly).
+    pub fsync: bool,
+    /// Socket connect/read/write timeout for every API round trip.
+    pub request_timeout: Duration,
+}
+
+impl WorkerConfig {
+    /// A worker journaling into `wal_dir` with test-friendly defaults.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            wal_dir: wal_dir.into(),
+            fsync: false,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How a worker's run ended (errors are `Err` instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The campaign is fully merged.
+    Done,
+    /// The coordinator aborted the campaign (strict-mode failure).
+    Aborted,
+    /// A scheduled [`ChaosAction`] killed this incarnation; its WAL
+    /// remains for a successor.
+    Killed,
+}
+
+enum AssignmentEnd {
+    /// Every round submitted; poll for more work.
+    Completed,
+    /// The shard was reassigned away mid-run; poll for more work.
+    Fenced,
+    /// Terminal: propagate to the caller.
+    Exit(WorkerExit),
+}
+
+/// Runs one worker incarnation against the coordinator at `addr`,
+/// using `platform` (which must be built from the same configuration
+/// as the coordinator's — this is verified by digest at registration)
+/// and injecting the scheduled `chaos`. Returns how the incarnation
+/// ended; a [`WorkerExit::Killed`] worker can be restarted with the
+/// same [`WorkerConfig::wal_dir`] to resume from its journals.
+pub fn run_worker(
+    addr: std::net::SocketAddr,
+    platform: &Platform,
+    wcfg: &WorkerConfig,
+    chaos: &mut ChaosProxy,
+) -> Result<WorkerExit, DistError> {
+    let mut session = ApiSession::connect_with_timeout(addr, wcfg.request_timeout)?;
+
+    let (status, body) =
+        session.request("POST", "/api/v2/work/register", Some(&work::encode_hello()))?;
+    if status != 200 {
+        return Err(DistError::Protocol("registration refused"));
+    }
+    let (worker_id, hb_ms, header_wire) =
+        work::decode_welcome(&body).map_err(DistError::Protocol)?;
+    let header = JournalHeader::from_wire(&header_wire).map_err(DistError::Protocol)?;
+    let campaign = Campaign::new(platform, header.config);
+    let local = campaign.journal_header();
+    if local.fleet_digest != header.fleet_digest || local.plan_digest != header.plan_digest {
+        return Err(DistError::CampaignMismatch);
+    }
+    let heartbeat = Duration::from_millis(hb_ms.max(1));
+
+    loop {
+        let (status, body) =
+            session.request("POST", "/api/v2/work/poll", Some(&work::encode_poll(worker_id)))?;
+        if status != 200 {
+            return Err(DistError::Protocol("poll refused"));
+        }
+        match work::decode_reply(&body).map_err(DistError::Protocol)? {
+            WorkReply::Idle => std::thread::sleep(heartbeat),
+            WorkReply::Done => return Ok(WorkerExit::Done),
+            WorkReply::Abort => return Ok(WorkerExit::Aborted),
+            WorkReply::Assigned(a) => {
+                match run_assignment(&mut session, worker_id, &campaign, a, wcfg, chaos, heartbeat)?
+                {
+                    AssignmentEnd::Completed | AssignmentEnd::Fenced => {}
+                    AssignmentEnd::Exit(exit) => return Ok(exit),
+                }
+            }
+        }
+    }
+}
+
+/// Executes one shard assignment to completion (or until fenced,
+/// killed, or errored). The WAL protocol: replay-and-resend first,
+/// then `run_shard → append_round → submit` per remaining round.
+fn run_assignment(
+    session: &mut ApiSession,
+    worker_id: u64,
+    campaign: &Campaign<'_>,
+    a: WorkAssignment,
+    wcfg: &WorkerConfig,
+    chaos: &mut ChaosProxy,
+    heartbeat: Duration,
+) -> Result<AssignmentEnd, DistError> {
+    let mut ctx = campaign.shard_context(a.shard as usize, a.shard_count as usize);
+    let shard_header = campaign.shard_header(&ctx);
+    std::fs::create_dir_all(&wcfg.wal_dir)?;
+    let path = wcfg.wal_dir.join(format!("shard-{}.wal", a.shard));
+
+    let mut replayed = None;
+    if path.exists() {
+        let rep = journal::replay(&path)?;
+        if rep.header == shard_header {
+            replayed = Some(rep);
+        } else {
+            // A WAL for some other partition or campaign — useless
+            // here, and resuming it would corrupt the merge.
+            std::fs::remove_file(&path)?;
+        }
+    }
+
+    let (mut writer, mut wal_store, mut wal_ledger, start);
+    match replayed {
+        Some(rep) => {
+            // Re-send every journaled round the coordinator still
+            // needs. Digest-based dedup upstream makes this idempotent:
+            // rounds it already has come back `Duplicate` and are
+            // dropped, never double-merged.
+            for mark in rep.marks.iter().filter(|m| m.round >= a.start_round) {
+                let mut frame = ResultStore::with_capacity(mark.rows_end - mark.rows_start);
+                for i in mark.rows_start..mark.rows_end {
+                    frame.push(rep.store.get(i));
+                }
+                match submit_frame(
+                    session,
+                    worker_id,
+                    a.shard,
+                    mark.round,
+                    mark.gross,
+                    mark.refund,
+                    &frame,
+                )? {
+                    (FrameVerdict::Rejected, true) => {
+                        return Err(DistError::Protocol("journaled frame rejected"))
+                    }
+                    (_, false) => return Ok(AssignmentEnd::Fenced),
+                    _ => {}
+                }
+            }
+            start = rep.next_round.max(a.start_round);
+            writer = JournalWriter::open_append(&path, &rep, wcfg.fsync)?;
+            wal_store = rep.store;
+            wal_ledger = rep.ledger;
+        }
+        None => {
+            writer = JournalWriter::create(&path, &shard_header, wcfg.fsync)?;
+            wal_store = ResultStore::new();
+            wal_ledger = CreditLedger::new(shard_header.config.credits);
+            if a.start_round > 0 {
+                // Takeover: rounds before `start_round` were delivered
+                // by a previous owner. Checkpoint an empty base so our
+                // own restarts resume here, not at round 0.
+                writer.checkpoint(a.start_round, &wal_store, &wal_ledger)?;
+            }
+            start = a.start_round;
+        }
+    }
+
+    for round in start..a.rounds {
+        let mut kill_after_journal = false;
+        match chaos.take(round) {
+            Some(ChaosAction::Kill) => return Ok(AssignmentEnd::Exit(WorkerExit::Killed)),
+            Some(ChaosAction::KillAfterJournal) => kill_after_journal = true,
+            Some(ChaosAction::Hang(d)) => std::thread::sleep(d),
+            Some(ChaosAction::Delay(d)) => {
+                if let Some(exit) = heartbeat_through(session, worker_id, d, heartbeat)? {
+                    return Ok(AssignmentEnd::Exit(exit));
+                }
+            }
+            None => {}
+        }
+
+        let (frame, gross, refund) = campaign.run_shard(&mut ctx, round);
+        let from = wal_store.len();
+        wal_store.merge(frame.clone());
+        wal_ledger.debit(gross)?;
+        wal_ledger.refund(refund);
+        writer.append_round(round, &wal_store, from, &wal_ledger)?;
+        if kill_after_journal {
+            return Ok(AssignmentEnd::Exit(WorkerExit::Killed));
+        }
+
+        match submit_frame(session, worker_id, a.shard, round, gross, refund, &frame)? {
+            (FrameVerdict::Rejected, true) => {
+                return Err(DistError::Protocol("fresh frame rejected"))
+            }
+            (_, false) => return Ok(AssignmentEnd::Fenced),
+            _ => {}
+        }
+    }
+    Ok(AssignmentEnd::Completed)
+}
+
+/// One frame submission round trip.
+fn submit_frame(
+    session: &mut ApiSession,
+    worker: u64,
+    shard: u32,
+    round: u32,
+    gross: u64,
+    refund: u64,
+    frame: &ResultStore,
+) -> Result<(FrameVerdict, bool), DistError> {
+    let body = work::encode_frame_submit(worker, shard, round, gross, refund, frame);
+    let (status, resp) = session.request("POST", "/api/v2/work/frame", Some(&body))?;
+    if status != 200 {
+        return Err(DistError::Protocol("frame submission refused"));
+    }
+    work::decode_verdict(&resp).map_err(DistError::Protocol)
+}
+
+/// Sleeps for `d` in heartbeat-sized slices, heartbeating between
+/// slices so the liveness detector sees an alive-but-slow worker, not
+/// a dead one. Returns a terminal exit if the coordinator finished or
+/// aborted mid-delay.
+fn heartbeat_through(
+    session: &mut ApiSession,
+    worker: u64,
+    d: Duration,
+    heartbeat: Duration,
+) -> Result<Option<WorkerExit>, DistError> {
+    let end = Instant::now() + d;
+    loop {
+        let now = Instant::now();
+        let Some(left) = end.checked_duration_since(now) else {
+            return Ok(None);
+        };
+        std::thread::sleep(left.min(heartbeat));
+        let (status, body) =
+            session.request("POST", "/api/v2/work/heartbeat", Some(&work::encode_poll(worker)))?;
+        if status != 200 {
+            return Err(DistError::Protocol("heartbeat refused"));
+        }
+        match work::decode_reply(&body).map_err(DistError::Protocol)? {
+            WorkReply::Done => return Ok(Some(WorkerExit::Done)),
+            WorkReply::Abort => return Ok(Some(WorkerExit::Aborted)),
+            WorkReply::Idle | WorkReply::Assigned(_) => {}
+        }
+    }
+}

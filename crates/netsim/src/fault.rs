@@ -640,6 +640,15 @@ impl Fnv1a {
     pub fn finish(self) -> u64 {
         self.0
     }
+
+    /// One-shot digest of a byte slice — the idempotence primitive the
+    /// distributed merge path keys `(shard, round)` frames by, reusing
+    /// the same accumulator the journal and fault plans digest with.
+    pub fn digest_of(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(bytes);
+        h.finish()
+    }
 }
 
 impl Default for Fnv1a {

@@ -9,7 +9,10 @@
 # while a campaign is still landing, vs full rebuilds) are folded into
 # BENCH_frame.json, and the column-kernel benches (scalar vs chunked
 # vs simd scans, bucketed percentile vs full sort, grouped minima)
-# into BENCH_kernels.json.
+# into BENCH_kernels.json. The distributed-execution scaling harness
+# (coordinator + 1/2/4/8 worker fleets over the real wire, plus the
+# kill-one-worker reassignment-recovery legs) folds into
+# BENCH_dist.json.
 #
 # Usage: scripts/bench.sh [extra cargo-bench filter args...]
 set -euo pipefail
@@ -62,4 +65,11 @@ ulimit -Sn 30000 2>/dev/null || \
 cargo run --release -p shears-bench --bin loadgen -- \
     --grid --secs 5 --merge BENCH_api.json
 
-echo "bench: OK (see BENCH_campaign.json, BENCH_frame.json, BENCH_api.json)"
+# Distributed scaling: clean 1/2/4/8-worker fleets (shard-rounds/sec)
+# plus kill-one-worker recovery legs at 2 and 4 workers, all over the
+# real work protocol with worker WALs on disk.
+echo "==> distributed scaling grid -> BENCH_dist.json"
+cargo run --release -p shears-bench --bin dist_scaling -- \
+    --merge BENCH_dist.json
+
+echo "bench: OK (see BENCH_campaign.json, BENCH_frame.json, BENCH_api.json, BENCH_dist.json)"

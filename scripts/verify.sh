@@ -28,6 +28,13 @@
 #               `ulimit -n` admits ≥20k fds), reactor-vs-worker-pool
 #               byte equality, the server/reactor unit tests, and the
 #               parser chunk-partition property tests
+#   dist      — only the distributed-execution suite: the recovery
+#               harness (clean 1/2/4/8-worker bit-identity, the
+#               kill grid — 5 seeds × kill round {0,1,2} × {2,4}
+#               workers × {reassign, restart-resume} — hang/delay
+#               chaos, degraded vs strict completion), the dist
+#               crate's unit tests, and the work-queue unit tests
+#               (assignment, heartbeats, fencing, frame dedup)
 #   kernels   — only the column-kernel suite: the scalar/chunked/simd
 #               bit-equality property tests, the stats pins (two-pointer
 #               KS, selection bootstrap, Summary-over-Ecdf), and the
@@ -98,6 +105,15 @@ if [ "$profile" = "reactor" ]; then
     cargo test --release --test api_concurrency
     cargo test --release --test proptests parser_
     echo "verify (reactor): OK"
+    exit 0
+fi
+
+if [ "$profile" = "dist" ]; then
+    echo "==> dist profile: fault-tolerant distributed execution"
+    cargo test --release --test dist_recovery
+    cargo test --release -p shears-dist
+    cargo test --release -p shears-api work::
+    echo "verify (dist): OK"
     exit 0
 fi
 

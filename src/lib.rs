@@ -31,6 +31,7 @@
 //! | [`cloud`] | `shears-cloud` | the 101-region, 7-provider catalogue |
 //! | [`atlas`] | `shears-atlas` | probes, tags, credits, campaign |
 //! | [`api`] | `shears-api` | Atlas-style HTTP API (server + client) |
+//! | [`dist`] | `shears-dist` | fault-tolerant distributed campaign execution |
 //! | [`apps`] | `shears-apps` | application envelopes, quadrants, FZ |
 //! | [`trends`] | `shears-trends` | Fig. 1 era series & changepoints |
 //! | [`analysis`] | `shears-analysis` | the paper's analysis pipeline |
@@ -43,6 +44,7 @@ pub use shears_api as api;
 pub use shears_apps as apps;
 pub use shears_atlas as atlas;
 pub use shears_cloud as cloud;
+pub use shears_dist as dist;
 pub use shears_geo as geo;
 pub use shears_netsim as netsim;
 pub use shears_trends as trends;

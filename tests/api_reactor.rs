@@ -18,6 +18,10 @@
 //! * **mid-response disconnect** — clients that vanish after reading
 //!   one response byte never take a reactor or compute thread with
 //!   them (pinned via the server's own `threads_live` counter),
+//! * **slow reader** — a client draining a 32 MiB response one byte
+//!   per 100 ms parks the connection in `WritingResponse`, where the
+//!   idle wheel cannot see it; the write deadline reaps it (pinned via
+//!   `write_deadline_closed`) while fast sessions stay unaffected,
 //! * **overload shed + drain** — with a single-slot compute queue, a
 //!   full queue answers 503 on the same connection immediately, and
 //!   the *same* connection serves 200 again once the queue drains,
@@ -226,6 +230,72 @@ fn mid_response_disconnect_never_kills_the_reactor() {
             (reactors + compute) as u64,
             "a disconnect took a thread with it at {reactors} reactors"
         );
+        server.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn slow_readers_hit_the_write_deadline_without_starving_fast_sessions() {
+    for reactors in [1usize, 2] {
+        let server = ApiServer::spawn_with(
+            "127.0.0.1:0",
+            service(),
+            ServerConfig::reactor(reactors, 2, 16)
+                .with_write_timeout(Duration::from_millis(400)),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // The slow reader: asks for far more than any kernel socket
+        // buffering will absorb, then drains one byte per 100 ms. The
+        // server's write stalls in `WritingResponse` — a state the
+        // idle wheel never reaps, which is exactly why in-flight
+        // writes carry their own deadline.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        slow.write_all(
+            b"GET /api/v2/__debug/blob?bytes=33554432 HTTP/1.1\r\nhost: t\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let reader = std::thread::spawn(move || {
+            // Dribble for ~2.5 s, far past the 400 ms write deadline.
+            // (EOF is not observable from here: the client-side kernel
+            // buffer keeps serving bytes long after the server closes,
+            // so the pin below reads the server's own counter instead.)
+            let mut one = [0u8; 1];
+            for _ in 0..25 {
+                if matches!(slow.read(&mut one), Ok(0) | Err(_)) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+
+        // While the slow reader stalls its connection, fast sessions
+        // are untouched.
+        for i in 0..10 {
+            let resp = oneshot(addr, FAST_REQ);
+            assert!(
+                resp.starts_with(b"HTTP/1.1 200"),
+                "fast request {i} starved by a slow reader at {reactors} reactors"
+            );
+        }
+
+        // The server reaps the stalled write within its deadline (plus
+        // sweep slack), and says so on its own counter.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if server.metrics().write_deadline_closed >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "write deadline never fired at {reactors} reactors: {:?}",
+                server.metrics()
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        reader.join().unwrap();
         server.shutdown().unwrap();
     }
 }
