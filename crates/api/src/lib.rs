@@ -20,6 +20,7 @@
 //! | `GET /api/v2/credits` | remaining credit balance |
 //! | `GET /api/v2/metrics` | server + work-queue counters as JSON |
 //! | `POST /api/v2/work/{register,poll,heartbeat,frame}` | distributed-execution work protocol (CRC-framed binary, see `shears-dist`) |
+//! | raw `SHRSWRK1` stream | the same work protocol pipelined over one long-lived connection ([`transport`]) — a connection that opens with the preamble upgrades out of HTTP parsing into length-prefixed framing |
 //!
 //! The stack is deliberately std-only: an HTTP/1.1 server ([`server`])
 //! with content-length framing and keep-alive on
@@ -71,9 +72,11 @@ pub mod http;
 mod reactor;
 pub mod server;
 pub mod service;
+pub mod transport;
 pub mod work;
 
 pub use client::ApiClient;
 pub use server::ApiServer;
 pub use service::AtlasService;
+pub use transport::{StreamDecoder, StreamError, WorkStreamClient, STREAM_PREAMBLE};
 pub use work::{WorkQueue, WorkSpec};

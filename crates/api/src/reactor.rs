@@ -57,6 +57,7 @@ use std::time::{Duration, Instant};
 use crate::http::{HttpError, Request, RequestParser, Response};
 use crate::server::{ServerMetrics, ThreadGuard};
 use crate::service::AtlasService;
+use crate::transport::{WorkStream, STREAM_PREAMBLE};
 
 /// Park interval when a sweep made no progress. Bounds both accept
 /// latency (reactor 0 polls the listener each wake) and the added
@@ -285,6 +286,16 @@ enum ConnState {
 struct Conn {
     stream: TcpStream,
     parser: RequestParser,
+    /// First-bytes buffer while the connection's dialect is undecided:
+    /// a [`STREAM_PREAMBLE`] prefix upgrades it to a raw work stream,
+    /// anything else falls through to HTTP parsing. `None` once
+    /// resolved.
+    sniff: Option<Vec<u8>>,
+    /// Present iff this connection upgraded to the binary work plane.
+    /// The reactor keeps driving the same state machine (read sweep,
+    /// write drain, idle wheel, write deadline); only the byte
+    /// discipline changes.
+    work: Option<Box<WorkStream>>,
     state: ConnState,
     /// Response bytes being drained and the write cursor into them.
     out: Vec<u8>,
@@ -512,6 +523,8 @@ impl Reactor {
         let conn = Conn {
             stream,
             parser: RequestParser::new(),
+            sniff: Some(Vec::new()),
+            work: None,
             state: ConnState::Idle,
             out: Vec::new(),
             out_pos: 0,
@@ -538,11 +551,23 @@ impl Reactor {
     }
 
     fn close(&mut self, slot: usize) {
-        if let Some(conn) = self.slab[slot].take() {
+        if let Some(mut conn) = self.slab[slot].take() {
+            if let Some(ws) = conn.work.as_mut() {
+                if let Some(queue) = self.shared.service.work_queue() {
+                    ws.on_close(queue);
+                }
+            }
             let _ = conn.stream.shutdown(Shutdown::Both);
             self.free.push(slot);
             self.shared.metrics.note_conn_closed();
         }
+    }
+
+    fn is_work(&self, slot: usize) -> bool {
+        self.slab
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .is_some_and(|c| c.work.is_some())
     }
 
     fn close_all(&mut self) {
@@ -591,7 +616,7 @@ impl Reactor {
                         break;
                     }
                     Ok(n) => {
-                        conn.parser.feed(&scratch[..n]);
+                        Self::route_bytes(conn, &scratch[..n]);
                         conn.last_active = now;
                         conn.state = ConnState::ReadingRequest;
                         progress = true;
@@ -613,9 +638,102 @@ impl Reactor {
             return true;
         }
         if progress {
-            self.drive_parser(slot, now);
+            if self.is_work(slot) {
+                self.drive_work(slot, now);
+            } else {
+                self.drive_parser(slot, now);
+            }
         }
         progress
+    }
+
+    /// Feeds freshly read bytes to the right decoder: the work-stream
+    /// framer once upgraded, the HTTP parser once the first bytes rule
+    /// the preamble out, or the sniff buffer while still undecided.
+    fn route_bytes(conn: &mut Conn, data: &[u8]) {
+        if let Some(ws) = conn.work.as_mut() {
+            ws.feed(data);
+            return;
+        }
+        let Some(pre) = conn.sniff.as_mut() else {
+            conn.parser.feed(data);
+            return;
+        };
+        pre.extend_from_slice(data);
+        if pre.len() >= STREAM_PREAMBLE.len() {
+            let pre = conn.sniff.take().expect("sniff checked above");
+            if pre[..STREAM_PREAMBLE.len()] == STREAM_PREAMBLE {
+                let mut ws = Box::new(WorkStream::new());
+                ws.feed(&pre[STREAM_PREAMBLE.len()..]);
+                conn.work = Some(ws);
+            } else {
+                conn.parser.feed(&pre);
+            }
+        } else if !STREAM_PREAMBLE.starts_with(pre.as_slice()) {
+            // Too short to be the preamble already: hand to HTTP now
+            // rather than withholding a short request from the parser.
+            let pre = conn.sniff.take().expect("sniff checked above");
+            conn.parser.feed(&pre);
+        }
+    }
+
+    /// Advances an upgraded work-stream connection: decode whatever is
+    /// buffered, drive the work queue, start draining replies. Any
+    /// stream error closes the connection — the worker's WAL replay on
+    /// reconnect makes that equivalent to a dropped HTTP response.
+    fn drive_work(&mut self, slot: usize, now: Instant) {
+        let Some(queue) = self.shared.service.work_queue().cloned() else {
+            // No work plane configured: a preamble here is garbage.
+            self.close(slot);
+            return;
+        };
+        let mut failed = false;
+        let mut writing = false;
+        {
+            let Some(conn) = &mut self.slab[slot] else {
+                return;
+            };
+            let Some(ws) = conn.work.as_mut() else {
+                return;
+            };
+            if conn.state == ConnState::WritingResponse || conn.state == ConnState::Handling {
+                return; // finish the current drain; flushed → driven again
+            }
+            let mut out = std::mem::take(&mut conn.out);
+            failed = ws.drive(&queue, now, &mut out).is_err();
+            if !failed {
+                if out.is_empty() {
+                    conn.out = out;
+                    conn.state = if ws.has_pending_input() {
+                        ConnState::ReadingRequest
+                    } else {
+                        ConnState::Idle
+                    };
+                } else {
+                    conn.out = out;
+                    conn.out_pos = 0;
+                    conn.close_after_write = false;
+                    conn.state = ConnState::WritingResponse;
+                    conn.write_started = Some(now);
+                    writing = true;
+                }
+            }
+        }
+        if failed {
+            self.close(slot);
+            return;
+        }
+        if writing {
+            self.write_step(slot, now);
+            self.arm_write_deadline(slot, now);
+        } else if self
+            .slab
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .is_some_and(|c| c.peer_eof)
+        {
+            self.close(slot);
+        }
     }
 
     /// Polls the incremental parser and advances the state machine:
@@ -782,8 +900,22 @@ impl Reactor {
         if dead || close_after {
             self.close(slot);
         } else if drained {
-            // A pipelined request may be fully buffered already.
-            self.drive_parser(slot, now);
+            if self.is_work(slot) {
+                // Verdicts in that batch are now on the wire: settle
+                // the in-flight gauge + latency histogram, then decode
+                // anything that arrived while we were draining.
+                if let Some(queue) = self.shared.service.work_queue().cloned() {
+                    if let Some(Some(conn)) = self.slab.get_mut(slot) {
+                        if let Some(ws) = conn.work.as_mut() {
+                            ws.note_flushed(&queue, now);
+                        }
+                    }
+                }
+                self.drive_work(slot, now);
+            } else {
+                // A pipelined request may be fully buffered already.
+                self.drive_parser(slot, now);
+            }
         }
         true
     }

@@ -47,6 +47,7 @@ const TAG_POLL: u8 = 3;
 const TAG_REPLY: u8 = 4;
 const TAG_FRAME: u8 = 5;
 const TAG_VERDICT: u8 = 6;
+const TAG_HEARTBEAT: u8 = 7;
 
 /// One shard assignment handed to a worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,26 +175,10 @@ pub fn decode_poll(body: &[u8]) -> Result<u64, &'static str> {
 
 /// Poll/heartbeat response body.
 pub fn encode_reply(reply: &WorkReply) -> Vec<u8> {
-    let mut p = vec![TAG_REPLY];
-    match reply {
-        WorkReply::Idle => p.push(0),
-        WorkReply::Assigned(a) => {
-            p.push(1);
-            p.extend_from_slice(&a.shard.to_le_bytes());
-            p.extend_from_slice(&a.shard_count.to_le_bytes());
-            p.extend_from_slice(&a.start_round.to_le_bytes());
-            p.extend_from_slice(&a.rounds.to_le_bytes());
-        }
-        WorkReply::Done => p.push(2),
-        WorkReply::Abort => p.push(3),
-    }
-    frame(&p)
+    frame(&reply_payload(reply))
 }
 
-/// Decodes a poll/heartbeat response.
-pub fn decode_reply(body: &[u8]) -> Result<WorkReply, &'static str> {
-    let mut r = ByteReader::new(unframe(body)?);
-    expect_tag(&mut r, TAG_REPLY)?;
+fn reply_from(r: &mut ByteReader<'_>) -> Result<WorkReply, &'static str> {
     match r.u8()? {
         0 => Ok(WorkReply::Idle),
         1 => Ok(WorkReply::Assigned(WorkAssignment {
@@ -208,6 +193,13 @@ pub fn decode_reply(body: &[u8]) -> Result<WorkReply, &'static str> {
     }
 }
 
+/// Decodes a poll/heartbeat response.
+pub fn decode_reply(body: &[u8]) -> Result<WorkReply, &'static str> {
+    let mut r = ByteReader::new(unframe(body)?);
+    expect_tag(&mut r, TAG_REPLY)?;
+    reply_from(&mut r)
+}
+
 /// `POST /api/v2/work/frame` request body: one completed round.
 pub fn encode_frame_submit(
     worker: u64,
@@ -217,27 +209,16 @@ pub fn encode_frame_submit(
     refund: u64,
     store: &ResultStore,
 ) -> Vec<u8> {
-    let mut p = Vec::with_capacity(40 + store.len() * 24);
-    p.push(TAG_FRAME);
-    p.extend_from_slice(&worker.to_le_bytes());
-    p.extend_from_slice(&shard.to_le_bytes());
-    p.extend_from_slice(&round.to_le_bytes());
-    p.extend_from_slice(&gross.to_le_bytes());
-    p.extend_from_slice(&refund.to_le_bytes());
-    put_samples_wire(&mut p, store);
-    frame(&p)
+    frame(&frame_submit_payload(worker, shard, round, gross, refund, store))
 }
 
-/// Decodes a frame submission.
-pub fn decode_frame_submit(body: &[u8]) -> Result<FrameSubmission, &'static str> {
-    let mut r = ByteReader::new(unframe(body)?);
-    expect_tag(&mut r, TAG_FRAME)?;
+fn frame_submit_from(r: &mut ByteReader<'_>) -> Result<FrameSubmission, &'static str> {
     let worker = r.u64()?;
     let shard = r.u32()?;
     let round = r.u32()?;
     let gross = r.u64()?;
     let refund = r.u64()?;
-    let store = get_samples_wire(&mut r)?;
+    let store = get_samples_wire(r)?;
     Ok(FrameSubmission {
         worker,
         shard,
@@ -246,6 +227,13 @@ pub fn decode_frame_submit(body: &[u8]) -> Result<FrameSubmission, &'static str>
         refund,
         store,
     })
+}
+
+/// Decodes a frame submission.
+pub fn decode_frame_submit(body: &[u8]) -> Result<FrameSubmission, &'static str> {
+    let mut r = ByteReader::new(unframe(body)?);
+    expect_tag(&mut r, TAG_FRAME)?;
+    frame_submit_from(&mut r)
 }
 
 /// Frame response body.
@@ -270,6 +258,195 @@ pub fn decode_verdict(body: &[u8]) -> Result<(FrameVerdict, bool), &'static str>
     };
     let current = r.u8()? != 0;
     Ok((verdict, current))
+}
+
+// --- Stream codec ----------------------------------------------------
+//
+// The TCP work plane ships the same tagged payloads as raw CRC frames
+// on one long-lived stream instead of one HTTP body per request. Two
+// shapes exist only on the stream: HEARTBEAT (explicit liveness when
+// the send window has been idle past the tick) and the *tagged*
+// verdict, which carries `(shard, round)` so a pipelined worker can
+// match out-of-order acks to its in-flight frames. A fence is pushed
+// as an unsolicited `Reply(Idle)`.
+
+/// Stream HELLO payload; `reconnect` marks a re-established stream
+/// (counted in [`WorkMetrics::stream_reconnects`]).
+pub fn stream_hello_payload(reconnect: bool) -> Vec<u8> {
+    let mut p = vec![TAG_HELLO];
+    p.extend_from_slice(&WORK_PROTO_VERSION.to_le_bytes());
+    p.push(u8::from(reconnect));
+    p
+}
+
+/// Stream WELCOME payload (same layout as the HTTP register response).
+pub fn welcome_payload(worker: u64, heartbeat_interval_ms: u64, header_wire: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(32 + header_wire.len());
+    p.push(TAG_WELCOME);
+    p.extend_from_slice(&worker.to_le_bytes());
+    p.extend_from_slice(&heartbeat_interval_ms.to_le_bytes());
+    p.extend_from_slice(&(header_wire.len() as u32).to_le_bytes());
+    p.extend_from_slice(header_wire);
+    p
+}
+
+/// Stream POLL payload (liveness + acquire/restate work).
+pub fn poll_payload(worker: u64) -> Vec<u8> {
+    let mut p = vec![TAG_POLL];
+    p.extend_from_slice(&worker.to_le_bytes());
+    p
+}
+
+/// Stream HEARTBEAT payload: liveness only, no reply is sent.
+pub fn heartbeat_payload(worker: u64) -> Vec<u8> {
+    let mut p = vec![TAG_HEARTBEAT];
+    p.extend_from_slice(&worker.to_le_bytes());
+    p
+}
+
+/// Stream REPLY payload (poll answer or unsolicited coordinator push).
+pub fn reply_payload(reply: &WorkReply) -> Vec<u8> {
+    let mut p = vec![TAG_REPLY];
+    match reply {
+        WorkReply::Idle => p.push(0),
+        WorkReply::Assigned(a) => {
+            p.push(1);
+            p.extend_from_slice(&a.shard.to_le_bytes());
+            p.extend_from_slice(&a.shard_count.to_le_bytes());
+            p.extend_from_slice(&a.start_round.to_le_bytes());
+            p.extend_from_slice(&a.rounds.to_le_bytes());
+        }
+        WorkReply::Done => p.push(2),
+        WorkReply::Abort => p.push(3),
+    }
+    p
+}
+
+/// Stream FRAME payload: one completed round.
+pub fn frame_submit_payload(
+    worker: u64,
+    shard: u32,
+    round: u32,
+    gross: u64,
+    refund: u64,
+    store: &ResultStore,
+) -> Vec<u8> {
+    let mut p = Vec::with_capacity(40 + store.len() * 24);
+    p.push(TAG_FRAME);
+    p.extend_from_slice(&worker.to_le_bytes());
+    p.extend_from_slice(&shard.to_le_bytes());
+    p.extend_from_slice(&round.to_le_bytes());
+    p.extend_from_slice(&gross.to_le_bytes());
+    p.extend_from_slice(&refund.to_le_bytes());
+    put_samples_wire(&mut p, store);
+    p
+}
+
+/// Stream VERDICT payload, tagged with `(shard, round)` so out-of-order
+/// acks can be matched to in-flight frames.
+pub fn verdict_payload(shard: u32, round: u32, verdict: FrameVerdict, current: bool) -> Vec<u8> {
+    let v = match verdict {
+        FrameVerdict::Accepted => 0,
+        FrameVerdict::Duplicate => 1,
+        FrameVerdict::Rejected => 2,
+    };
+    let mut p = vec![TAG_VERDICT];
+    p.extend_from_slice(&shard.to_le_bytes());
+    p.extend_from_slice(&round.to_le_bytes());
+    p.push(v);
+    p.push(u8::from(current));
+    p
+}
+
+/// One decoded stream message (either direction).
+#[derive(Debug)]
+pub enum StreamMsg {
+    /// Client HELLO: protocol version + reconnect flag.
+    Hello {
+        /// Client's [`WORK_PROTO_VERSION`].
+        version: u32,
+        /// Whether this stream replaces one that dropped.
+        reconnect: bool,
+    },
+    /// Server WELCOME: identity + campaign header.
+    Welcome {
+        /// Assigned worker id.
+        worker: u64,
+        /// Heartbeat interval, milliseconds.
+        heartbeat_ms: u64,
+        /// `JournalHeader::to_wire` bytes.
+        header: Vec<u8>,
+    },
+    /// Client poll: liveness + acquire/restate work.
+    Poll {
+        /// Polling worker.
+        worker: u64,
+    },
+    /// Client explicit heartbeat: liveness only, no reply.
+    Heartbeat {
+        /// Heartbeating worker.
+        worker: u64,
+    },
+    /// Server control reply (poll answer or unsolicited push).
+    Reply(WorkReply),
+    /// Client round frame.
+    Frame(Box<FrameSubmission>),
+    /// Server verdict for `(shard, round)`.
+    Verdict {
+        /// Shard the verdict is for.
+        shard: u32,
+        /// Round the verdict is for.
+        round: u32,
+        /// The coordinator's verdict.
+        verdict: FrameVerdict,
+        /// Whether the submitter still owns the shard.
+        current: bool,
+    },
+}
+
+/// Decodes one stream message payload (the bytes inside a CRC frame).
+pub fn decode_stream_msg(payload: &[u8]) -> Result<StreamMsg, &'static str> {
+    let mut r = ByteReader::new(payload);
+    match r.u8()? {
+        TAG_HELLO => {
+            let version = r.u32()?;
+            let reconnect = if r.remaining() > 0 { r.u8()? != 0 } else { false };
+            Ok(StreamMsg::Hello { version, reconnect })
+        }
+        TAG_WELCOME => {
+            let worker = r.u64()?;
+            let heartbeat_ms = r.u64()?;
+            let len = r.u32()? as usize;
+            let header = r.take(len)?.to_vec();
+            Ok(StreamMsg::Welcome {
+                worker,
+                heartbeat_ms,
+                header,
+            })
+        }
+        TAG_POLL => Ok(StreamMsg::Poll { worker: r.u64()? }),
+        TAG_HEARTBEAT => Ok(StreamMsg::Heartbeat { worker: r.u64()? }),
+        TAG_REPLY => Ok(StreamMsg::Reply(reply_from(&mut r)?)),
+        TAG_FRAME => Ok(StreamMsg::Frame(Box::new(frame_submit_from(&mut r)?))),
+        TAG_VERDICT => {
+            let shard = r.u32()?;
+            let round = r.u32()?;
+            let verdict = match r.u8()? {
+                0 => FrameVerdict::Accepted,
+                1 => FrameVerdict::Duplicate,
+                2 => FrameVerdict::Rejected,
+                _ => return Err("unknown verdict"),
+            };
+            let current = r.u8()? != 0;
+            Ok(StreamMsg::Verdict {
+                shard,
+                round,
+                verdict,
+                current,
+            })
+        }
+        _ => Err("unexpected message tag"),
+    }
 }
 
 // --- Coordinator queue -----------------------------------------------
@@ -346,6 +523,26 @@ pub struct WorkMetrics {
     pub frames_rejected: u64,
     /// Rounds abandoned as lost (degraded completion only).
     pub lost_rounds: u64,
+    /// Work-plane TCP streams opened (HELLO handshakes).
+    pub streams_opened: u64,
+    /// Streams re-established after a drop (HELLO reconnect flag).
+    pub stream_reconnects: u64,
+    /// Round frames decoded from streams whose verdicts have not yet
+    /// reached the wire (pipelining gauge).
+    pub frames_in_flight: u64,
+    /// High-water mark of `frames_in_flight`.
+    pub frames_in_flight_peak: u64,
+    /// Control replies pushed down a stream unprompted (fence,
+    /// reassignment notice, done, abort).
+    pub replies_pushed: u64,
+    /// Verdicts on the wire within 1ms of frame arrival.
+    pub verdicts_le_1ms: u64,
+    /// Verdicts on the wire within 10ms.
+    pub verdicts_le_10ms: u64,
+    /// Verdicts on the wire within 100ms.
+    pub verdicts_le_100ms: u64,
+    /// Verdicts slower than 100ms.
+    pub verdicts_gt_100ms: u64,
 }
 
 /// One accepted round, waiting for (or consumed by) the merge.
@@ -816,6 +1013,77 @@ impl WorkQueue {
     /// Point-in-time copy of the robustness counters.
     pub fn metrics(&self) -> WorkMetrics {
         self.inner.lock().expect("work queue poisoned").metrics
+    }
+
+    // --- Stream transport accounting ---------------------------------
+
+    /// Records a work-plane stream HELLO (and whether it was a
+    /// reconnect).
+    pub fn note_stream(&self, reconnect: bool) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        inner.metrics.streams_opened += 1;
+        if reconnect {
+            inner.metrics.stream_reconnects += 1;
+        }
+    }
+
+    /// Raises the frames-in-flight gauge by `n` (frames decoded off a
+    /// stream, verdicts not yet on the wire).
+    pub fn note_frames_inflight(&self, n: u64) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        inner.metrics.frames_in_flight += n;
+        inner.metrics.frames_in_flight_peak = inner
+            .metrics
+            .frames_in_flight_peak
+            .max(inner.metrics.frames_in_flight);
+    }
+
+    /// Lowers the frames-in-flight gauge by `n` (verdicts flushed to
+    /// the socket, or the stream died with verdicts queued).
+    pub fn release_frames_inflight(&self, n: u64) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        inner.metrics.frames_in_flight = inner.metrics.frames_in_flight.saturating_sub(n);
+    }
+
+    /// Counts one control reply pushed down a stream unprompted.
+    pub fn note_reply_pushed(&self) {
+        self.inner.lock().expect("work queue poisoned").metrics.replies_pushed += 1;
+    }
+
+    /// Buckets one frame-arrival → verdict-on-the-wire latency.
+    pub fn note_verdict_latency(&self, elapsed: Duration) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        let m = &mut inner.metrics;
+        if elapsed <= Duration::from_millis(1) {
+            m.verdicts_le_1ms += 1;
+        } else if elapsed <= Duration::from_millis(10) {
+            m.verdicts_le_10ms += 1;
+        } else if elapsed <= Duration::from_millis(100) {
+            m.verdicts_le_100ms += 1;
+        } else {
+            m.verdicts_gt_100ms += 1;
+        }
+    }
+
+    /// Read-only push check for a stream connection: `Some(reply)` when
+    /// the coordinator has news worth pushing — a terminal state, or a
+    /// fence (the shard this worker was last assigned moved on without
+    /// it while work remains). Never touches liveness: a dead worker's
+    /// silence must still be observable by [`WorkQueue::sweep`].
+    pub fn push_status(&self, worker: u64, assigned: Option<u32>) -> Option<WorkReply> {
+        let inner = self.inner.lock().expect("work queue poisoned");
+        if inner.aborted {
+            return Some(WorkReply::Abort);
+        }
+        if inner.finished || self.all_done(&inner) {
+            return Some(WorkReply::Done);
+        }
+        let shard = assigned?;
+        let s = inner.shards.get(shard as usize)?;
+        if s.assigned != Some(worker) && s.next_needed < self.spec.rounds {
+            return Some(WorkReply::Idle);
+        }
+        None
     }
 }
 

@@ -1,8 +1,11 @@
 //! Distributed-execution scaling harness: runs the in-process
 //! coordinator + worker fleet at 1/2/4/8 workers, measures merged
-//! shard-rounds per second, then re-runs with a scheduled worker kill
-//! to price reassignment recovery. Results fold into
-//! `BENCH_dist.json` under a `"dist_scaling"` key.
+//! shard-rounds per second, re-runs with a scheduled worker kill to
+//! price reassignment recovery, then races the two work-plane
+//! transports (per-request HTTP vs the pipelined binary stream)
+//! under injected per-wait RTT to price the blocking waits each wire
+//! pays. Results fold into `BENCH_dist.json` under a
+//! `"dist_scaling"` key.
 //!
 //! ```sh
 //! cargo run --release -p shears-bench --bin dist_scaling
@@ -20,7 +23,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use shears_atlas::{CampaignConfig, FleetConfig, PlatformConfig};
-use shears_dist::{run_distributed, ChaosProxy, DistConfig, DistOutcome, FleetSpec};
+use shears_dist::{run_distributed, ChaosProxy, DistConfig, DistOutcome, FleetSpec, WorkTransport};
 
 struct Args {
     probes: usize,
@@ -96,11 +99,18 @@ fn wal_root(tag: &str) -> PathBuf {
 }
 
 fn timed_run(args: &Args, fleet: FleetSpec, tag: &str) -> (DistOutcome, f64) {
+    timed_run_rounds(args, args.rounds, fleet, tag)
+}
+
+fn timed_run_rounds(args: &Args, rounds: u32, fleet: FleetSpec, tag: &str) -> (DistOutcome, f64) {
     let root = wal_root(tag);
     let start = Instant::now();
     let out = run_distributed(
         &platform_cfg(args),
-        campaign_cfg(args),
+        CampaignConfig {
+            rounds,
+            ..campaign_cfg(args)
+        },
         dist_cfg(args.shards),
         fleet,
         &root,
@@ -183,13 +193,68 @@ fn main() {
         ));
     }
 
+    // Transport leg: one worker, both wires, same campaign, with an
+    // injected per-blocking-wait RTT so the pipelining win shows up
+    // in wall-clock and not only in the wait counters. HTTP pays a
+    // round trip per request (register, poll, every frame submit);
+    // the stream pays one per handshake/poll answer plus whatever the
+    // in-flight window (8) forces it to drain — so the wait counts,
+    // unlike the timings, are machine-independent.
+    let t_rounds = args.rounds.max(8);
+    let shard_count = f64::from(args.shards);
+    let mut transport = Vec::new();
+    for &rtt_ms in &[0u64, 5] {
+        let mut legs = Vec::new();
+        for (name, wire) in [("http", WorkTransport::Http), ("tcp", WorkTransport::Tcp)] {
+            let fleet = FleetSpec::clean(1)
+                .with_chaos(0, ChaosProxy::none().with_rtt(Duration::from_millis(rtt_ms)))
+                .transport(wire);
+            let (out, secs) =
+                timed_run_rounds(&args, t_rounds, fleet, &format!("wire-{name}-{rtt_ms}"));
+            assert_eq!(out.metrics.lost_rounds, 0, "transport leg lost rounds");
+            let waits = out.worker_stats.blocking_waits;
+            eprintln!(
+                "[dist_scaling] transport={name} rtt={rtt_ms}ms: {secs:.3}s, \
+                 {waits} blocking waits ({:.1}/shard), {} frames",
+                waits as f64 / shard_count,
+                out.worker_stats.frames_sent
+            );
+            legs.push((secs, waits));
+        }
+        let (http_secs, http_waits) = legs[0];
+        let (tcp_secs, tcp_waits) = legs[1];
+        let waits_ratio = http_waits as f64 / tcp_waits.max(1) as f64;
+        let speedup = http_secs / tcp_secs.max(1e-9);
+        eprintln!(
+            "[dist_scaling] rtt={rtt_ms}ms: stream pays {waits_ratio:.1}x fewer blocking \
+             waits than HTTP ({speedup:.2}x wall-clock)"
+        );
+        assert!(
+            tcp_waits.saturating_mul(4) <= http_waits,
+            "pipelined stream should pay >=4x fewer blocking waits \
+             (http {http_waits}, tcp {tcp_waits})"
+        );
+        transport.push(format!(
+            "{{\"rtt_ms\":{rtt_ms},\
+             \"http\":{{\"secs\":{http_secs:.4},\"blocking_waits\":{http_waits},\
+             \"waits_per_shard\":{:.2}}},\
+             \"tcp\":{{\"secs\":{tcp_secs:.4},\"blocking_waits\":{tcp_waits},\
+             \"waits_per_shard\":{:.2}}},\
+             \"waits_ratio\":{waits_ratio:.2},\"speedup\":{speedup:.2}}}",
+            http_waits as f64 / shard_count,
+            tcp_waits as f64 / shard_count,
+        ));
+    }
+
     let payload = format!(
-        "{{\"probes\":{},\"rounds\":{},\"shards\":{},\"scaling\":[{}],\"recovery\":[{}]}}",
+        "{{\"probes\":{},\"rounds\":{},\"shards\":{},\"scaling\":[{}],\"recovery\":[{}],\
+         \"transport\":[{}]}}",
         args.probes,
         args.rounds,
         args.shards,
         scaling.join(","),
-        recovery.join(",")
+        recovery.join(","),
+        transport.join(",")
     );
     println!("{payload}");
     if let Some(path) = &args.merge {

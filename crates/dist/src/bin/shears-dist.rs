@@ -13,6 +13,10 @@
 //!     worker --connect 127.0.0.1:4790 --wal /tmp/shears-w1
 //! ```
 //!
+//! Workers default to the pipelined binary stream transport
+//! (`--transport tcp`, in-flight window `--window 8`); pass
+//! `--transport http` for the blocking request/response shim.
+//!
 //! The coordinator exits when every round is merged (bit-identical to
 //! a sequential run) and prints the robustness counters; workers exit
 //! when told `Done` or `Abort`. Kill a worker mid-campaign and restart
@@ -25,7 +29,10 @@ use std::time::Duration;
 use shears_api::server::{ApiServer, ServerConfig};
 use shears_api::service::AtlasService;
 use shears_atlas::{CampaignConfig, Platform, PlatformConfig};
-use shears_dist::{run_worker, ChaosProxy, Coordinator, DistConfig, WorkerConfig, WorkerExit};
+use shears_dist::{
+    run_worker_stats, ChaosProxy, Coordinator, DistConfig, WorkTransport, WorkerConfig, WorkerExit,
+    WorkerStats,
+};
 
 struct Args {
     listen: String,
@@ -37,6 +44,8 @@ struct Args {
     degraded: bool,
     wal: String,
     restart: bool,
+    transport: WorkTransport,
+    window: usize,
 }
 
 fn parse_args(it: &mut std::env::Args) -> Args {
@@ -50,6 +59,8 @@ fn parse_args(it: &mut std::env::Args) -> Args {
         degraded: false,
         wal: "shears-dist-wal".into(),
         restart: false,
+        transport: WorkTransport::Tcp,
+        window: 8,
     };
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -70,6 +81,14 @@ fn parse_args(it: &mut std::env::Args) -> Args {
             "--degraded" => args.degraded = true,
             "--wal" => args.wal = val("--wal"),
             "--restart" => args.restart = true,
+            "--transport" => {
+                args.transport = match val("--transport").as_str() {
+                    "http" => WorkTransport::Http,
+                    "tcp" => WorkTransport::Tcp,
+                    other => panic!("--transport: http|tcp (got {other:?})"),
+                }
+            }
+            "--window" => args.window = val("--window").parse().expect("--window: usize"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -156,12 +175,24 @@ fn coordinator(args: Args) {
 
 fn worker(args: Args) {
     let platform = Platform::build(&PlatformConfig::quick(args.platform_seed));
-    let wcfg = WorkerConfig::new(&args.wal);
+    let wcfg = WorkerConfig {
+        transport: args.transport,
+        window: args.window,
+        ..WorkerConfig::new(&args.wal)
+    };
     let mut chaos = ChaosProxy::none();
+    let mut total = WorkerStats::default();
     loop {
-        match run_worker(args.connect, &platform, &wcfg, &mut chaos) {
+        let outcome = run_worker_stats(args.connect, &platform, &wcfg, &mut chaos);
+        if let Ok((_, stats)) = &outcome {
+            total.absorb(*stats);
+        }
+        match outcome.map(|(exit, _)| exit) {
             Ok(WorkerExit::Done) => {
-                println!("campaign complete");
+                println!(
+                    "campaign complete ({} frames sent, {} blocking waits, {} reconnects)",
+                    total.frames_sent, total.blocking_waits, total.stream_reconnects
+                );
                 return;
             }
             Ok(WorkerExit::Aborted) => {

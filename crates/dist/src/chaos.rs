@@ -26,18 +26,23 @@ pub enum ChaosAction {
     /// get the shard reassigned; the revenant's late frames are then
     /// deduplicated, not double-merged.
     Hang(Duration),
-    /// The worker stalls for the duration but keeps heartbeating —
-    /// alive-but-slow. Blows round deadlines (backoff, eventually
-    /// fencing) without ever tripping the liveness detector.
+    /// The worker stalls for the duration — alive-but-slow. The
+    /// transport-layer heartbeater keeps liveness flowing, so a delay
+    /// blows round deadlines (backoff, eventually fencing) without
+    /// ever tripping the liveness detector.
     Delay(Duration),
 }
 
 /// A worker's chaos schedule: at most one action per round, consumed
 /// as the worker reaches that round (a restarted incarnation does not
-/// replay already-consumed events).
+/// replay already-consumed events). Besides the per-round events, a
+/// proxy can model a constant per-message wire delay ([`Self::rtt`])
+/// that the worker pays on every *blocking* coordinator wait — the
+/// knob the transport bench uses to make pipelining wins measurable.
 #[derive(Debug, Clone, Default)]
 pub struct ChaosProxy {
     events: Vec<(u32, ChaosAction)>,
+    rtt: Duration,
 }
 
 impl ChaosProxy {
@@ -64,6 +69,21 @@ impl ChaosProxy {
     /// Stall (heartbeating) for `d` at the top of `round`.
     pub fn delay_at(round: u32, d: Duration) -> Self {
         Self::none().and(round, ChaosAction::Delay(d))
+    }
+
+    /// Injects a simulated round-trip delay: every blocking wait on
+    /// the coordinator (handshake, poll answer, verdict the window
+    /// forced the worker to wait for) costs an extra `rtt` of sleep.
+    /// Pipelined sends are *not* delayed — that is precisely the
+    /// bandwidth-delay effect the streamed transport exploits.
+    pub fn with_rtt(mut self, rtt: Duration) -> Self {
+        self.rtt = rtt;
+        self
+    }
+
+    /// The injected per-wait round-trip delay (zero by default).
+    pub fn rtt(&self) -> Duration {
+        self.rtt
     }
 
     /// Adds another scheduled action (builder style). A later action
@@ -103,7 +123,10 @@ impl ChaosProxy {
             };
             events.push((round, action));
         }
-        Self { events }
+        Self {
+            events,
+            rtt: Duration::ZERO,
+        }
     }
 
     /// Consumes and returns the action scheduled for `round`, if any.

@@ -103,6 +103,10 @@ pub struct DistOutcome {
     pub ledger: CreditLedger,
     /// The queue's robustness counters at completion.
     pub metrics: WorkMetrics,
+    /// Fleet-aggregated wire counters (filled in by the harness; a
+    /// bare [`Coordinator::run`] leaves them zeroed — the coordinator
+    /// never sees its workers' client-side stalls).
+    pub worker_stats: crate::worker::WorkerStats,
 }
 
 /// The coordinator: owns the campaign plan and the work queue, runs
@@ -222,6 +226,7 @@ impl<'p> Coordinator<'p> {
             store,
             ledger,
             metrics: self.queue.metrics(),
+            worker_stats: crate::worker::WorkerStats::default(),
         })
     }
 }

@@ -20,7 +20,7 @@ use shears_atlas::{CampaignConfig, Platform, PlatformConfig};
 
 use crate::chaos::ChaosProxy;
 use crate::coordinator::{Coordinator, DistConfig, DistOutcome};
-use crate::worker::{run_worker, WorkerConfig, WorkerExit};
+use crate::worker::{run_worker_stats, WorkTransport, WorkerConfig, WorkerExit, WorkerStats};
 use crate::DistError;
 
 /// The worker fleet the harness spawns.
@@ -37,6 +37,9 @@ pub struct FleetSpec {
     pub chaos: Vec<ChaosProxy>,
     /// fsync worker WAL appends.
     pub fsync: bool,
+    /// Which wire the fleet speaks ([`WorkTransport::Tcp`] by
+    /// default; the merge result must not depend on it).
+    pub transport: WorkTransport,
 }
 
 impl FleetSpec {
@@ -47,6 +50,7 @@ impl FleetSpec {
             restart_killed: false,
             chaos: Vec::new(),
             fsync: false,
+            transport: WorkTransport::Tcp,
         }
     }
 
@@ -62,6 +66,12 @@ impl FleetSpec {
     /// Respawn killed workers (crash-restart-resume mode).
     pub fn restart_killed(mut self) -> Self {
         self.restart_killed = true;
+        self
+    }
+
+    /// Selects the fleet's work-plane transport (builder style).
+    pub fn transport(mut self, transport: WorkTransport) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -96,15 +106,19 @@ pub fn run_distributed(
             let mut chaos = fleet.chaos.get(w).cloned().unwrap_or_default();
             let wcfg = WorkerConfig {
                 fsync: fleet.fsync,
+                transport: fleet.transport,
                 ..WorkerConfig::new(wal_root.join(format!("worker-{w}")))
             };
             let platform = &platform;
             let restart = fleet.restart_killed;
-            handles.push(s.spawn(move || -> Result<WorkerExit, DistError> {
+            handles.push(s.spawn(move || -> Result<WorkerStats, DistError> {
+                let mut total = WorkerStats::default();
                 loop {
-                    match run_worker(addr, platform, &wcfg, &mut chaos)? {
+                    let (exit, stats) = run_worker_stats(addr, platform, &wcfg, &mut chaos)?;
+                    total.absorb(stats);
+                    match exit {
                         WorkerExit::Killed if restart => continue,
-                        exit => return Ok(exit),
+                        _ => return Ok(total),
                     }
                 }
             }));
@@ -114,9 +128,12 @@ pub fn run_distributed(
         // The queue is now finished or aborted; workers observe Done /
         // Abort on their next poll and drain.
         let mut worker_error = None;
+        let mut fleet_stats = WorkerStats::default();
         for h in handles {
-            if let Ok(Err(e)) = h.join() {
-                worker_error = Some(e);
+            match h.join() {
+                Ok(Ok(stats)) => fleet_stats.absorb(stats),
+                Ok(Err(e)) => worker_error = Some(e),
+                Err(_) => {}
             }
         }
         // Re-snapshot the counters after the fleet drains: a revenant
@@ -125,6 +142,7 @@ pub fn run_distributed(
         // exist to account for.
         if let Ok(out) = &mut outcome {
             out.metrics = coordinator.queue().metrics();
+            out.worker_stats = fleet_stats;
         }
         match (outcome, worker_error) {
             // A worker error behind a successful merge is still a bug

@@ -25,7 +25,10 @@
 //! - [`run_worker`] — the worker loop: register, validate the
 //!   campaign digests, poll for a shard, execute it round by round
 //!   behind a local WAL, stream frames back, resume from the WAL
-//!   after a crash.
+//!   after a crash. Two wire shapes ([`WorkTransport`]): the default
+//!   pipelined binary TCP stream (windowed frame submission, async
+//!   verdicts, pushed fencing/abort, transport-level heartbeats) and
+//!   the blocking HTTP compat shim.
 //! - [`ChaosProxy`] — the seeded fault-injection schedule the tests
 //!   and the chaos harness thread between a worker and its rounds:
 //!   kills, hangs (silent — trips the failure detector) and delays.
@@ -59,7 +62,7 @@ pub mod worker;
 pub use chaos::{ChaosAction, ChaosProxy};
 pub use coordinator::{Coordinator, DistConfig, DistOutcome};
 pub use harness::{run_distributed, FleetSpec};
-pub use worker::{run_worker, WorkerConfig, WorkerExit};
+pub use worker::{run_worker, run_worker_stats, WorkTransport, WorkerConfig, WorkerExit, WorkerStats};
 
 use shears_api::client::ClientError;
 use shears_atlas::{CreditError, JournalError};

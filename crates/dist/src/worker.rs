@@ -1,27 +1,64 @@
 //! The worker side: execute assigned shards behind a local WAL.
 //!
-//! A worker is a loop around the `/api/v2/work/*` protocol: register
-//! (and prove, by digest, that its locally-built platform reproduces
-//! the coordinator's campaign), poll for a shard, execute it round by
+//! A worker is a loop around the work protocol: register (and prove,
+//! by digest, that its locally-built platform reproduces the
+//! coordinator's campaign), poll for a shard, execute it round by
 //! round, stream each completed round back as a CRC-framed columnar
 //! frame. Every round is appended to a per-shard write-ahead journal
 //! *before* it is submitted, so a worker that dies mid-shard and
 //! restarts re-frames the journaled rounds straight from its WAL —
 //! no recomputation, and the coordinator's digest-based dedup makes
 //! the resend idempotent.
+//!
+//! Two wire shapes speak the same protocol ([`WorkTransport`]):
+//!
+//! - **Tcp** (default): one long-lived CRC-framed stream. Completed
+//!   rounds are *pipelined* — up to [`WorkerConfig::window`] frames
+//!   ride the wire unacked, verdicts come back asynchronously matched
+//!   by `(shard, round)`, and the coordinator pushes fencing / Done /
+//!   Abort down the stream instead of waiting for the next poll.
+//!   Unacked-in-window frames are still journaled first, so crash
+//!   semantics are identical to the blocking path.
+//! - **Http**: the PR-9 compat shim — one `POST /api/v2/work/*`
+//!   round trip per protocol step, every frame blocking on its
+//!   verdict.
+//!
+//! On both transports, heartbeats come from a dedicated transport
+//! layer thread (piggybacking on recent traffic, sending explicit
+//! beats only when idle past the tick) — never from the session the
+//! worker computes on, so a long round can no longer starve liveness
+//! into a false fence.
 
+use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use shears_api::client::ApiSession;
-use shears_api::work::{self, FrameVerdict, WorkAssignment, WorkReply};
+use shears_api::work::{self, FrameVerdict, StreamMsg, WorkAssignment, WorkReply};
+use shears_api::WorkStreamClient;
 use shears_atlas::journal::{self, JournalWriter};
 use shears_atlas::{Campaign, CreditLedger, JournalHeader, Platform, ResultStore};
 
 use crate::chaos::{ChaosAction, ChaosProxy};
 use crate::DistError;
 
-/// Where (and how durably) a worker journals its shards.
+/// Which wire the worker speaks to the coordinator over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkTransport {
+    /// One HTTP POST per protocol step over a keep-alive session —
+    /// the compat shim; every frame blocks on its verdict.
+    Http,
+    /// A single long-lived CRC-framed TCP stream with pipelined frame
+    /// submission, async verdicts and pushed control replies.
+    #[default]
+    Tcp,
+}
+
+/// Where (and how durably) a worker journals its shards, and how it
+/// talks to the coordinator.
 #[derive(Debug, Clone)]
 pub struct WorkerConfig {
     /// Directory for the per-shard WALs (`shard-{n}.wal`); created on
@@ -33,6 +70,12 @@ pub struct WorkerConfig {
     pub fsync: bool,
     /// Socket connect/read/write timeout for every API round trip.
     pub request_timeout: Duration,
+    /// Which wire shape to use (default [`WorkTransport::Tcp`]).
+    pub transport: WorkTransport,
+    /// Streamed-transport in-flight window: how many submitted frames
+    /// may await their verdict before the worker blocks (default 8).
+    /// Ignored by the HTTP transport, which is window-1 by nature.
+    pub window: usize,
 }
 
 impl WorkerConfig {
@@ -42,7 +85,15 @@ impl WorkerConfig {
             wal_dir: wal_dir.into(),
             fsync: false,
             request_timeout: Duration::from_secs(10),
+            transport: WorkTransport::Tcp,
+            window: 8,
         }
+    }
+
+    /// Returns `self` speaking `transport` (builder style).
+    pub fn transport(mut self, transport: WorkTransport) -> Self {
+        self.transport = transport;
+        self
     }
 }
 
@@ -56,6 +107,34 @@ pub enum WorkerExit {
     /// A scheduled [`ChaosAction`] killed this incarnation; its WAL
     /// remains for a successor.
     Killed,
+}
+
+/// Wire-level counters from one worker incarnation — the measurable
+/// side of the pipelining win. A *blocking wait* is one episode where
+/// the worker thread could not proceed without hearing from the
+/// coordinator (connect/register handshake, a poll answer, a verdict
+/// the full window forced it to wait for, the end-of-assignment
+/// drain); however many messages arrive during the episode, it counts
+/// once. The blocking HTTP transport pays one wait per request — one
+/// per round — where the streamed transport pays one per stall.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Episodes spent blocked on the coordinator (each also costs one
+    /// [`ChaosProxy::rtt`] of injected wire delay).
+    pub blocking_waits: u64,
+    /// Round frames sent, including WAL resends.
+    pub frames_sent: u64,
+    /// Times the TCP stream was re-dialed after an I/O failure.
+    pub stream_reconnects: u64,
+}
+
+impl WorkerStats {
+    /// Folds another incarnation's counters into this one.
+    pub fn absorb(&mut self, other: WorkerStats) {
+        self.blocking_waits += other.blocking_waits;
+        self.frames_sent += other.frames_sent;
+        self.stream_reconnects += other.stream_reconnects;
+    }
 }
 
 enum AssignmentEnd {
@@ -79,15 +158,158 @@ pub fn run_worker(
     wcfg: &WorkerConfig,
     chaos: &mut ChaosProxy,
 ) -> Result<WorkerExit, DistError> {
-    let mut session = ApiSession::connect_with_timeout(addr, wcfg.request_timeout)?;
+    run_worker_stats(addr, platform, wcfg, chaos).map(|(exit, _)| exit)
+}
 
-    let (status, body) =
-        session.request("POST", "/api/v2/work/register", Some(&work::encode_hello()))?;
-    if status != 200 {
-        return Err(DistError::Protocol("registration refused"));
+/// [`run_worker`], also returning the incarnation's wire counters.
+pub fn run_worker_stats(
+    addr: std::net::SocketAddr,
+    platform: &Platform,
+    wcfg: &WorkerConfig,
+    chaos: &mut ChaosProxy,
+) -> Result<(WorkerExit, WorkerStats), DistError> {
+    let mut stats = WorkerStats::default();
+    let exit = match wcfg.transport {
+        WorkTransport::Http => run_worker_http(addr, platform, wcfg, chaos, &mut stats)?,
+        WorkTransport::Tcp => run_worker_tcp(addr, platform, wcfg, chaos, &mut stats)?,
+    };
+    Ok((exit, stats))
+}
+
+/// One blocking-wait episode: counted, and charged the injected RTT.
+fn wire_stall(stats: &mut WorkerStats, rtt: Duration) {
+    stats.blocking_waits += 1;
+    if !rtt.is_zero() {
+        std::thread::sleep(rtt);
     }
-    let (worker_id, hb_ms, header_wire) =
-        work::decode_welcome(&body).map_err(DistError::Protocol)?;
+}
+
+// ---------------------------------------------------------------------------
+// Shared WAL machinery
+// ---------------------------------------------------------------------------
+
+/// A shard WAL opened (or resumed) for an assignment.
+struct WalResume {
+    writer: JournalWriter,
+    store: ResultStore,
+    ledger: CreditLedger,
+    /// First round to *compute* (everything before it is journaled).
+    start: u32,
+    /// Journaled rounds `>= start_round` to re-send before computing:
+    /// `(round, gross, refund, frame)`. Digest-based dedup upstream
+    /// makes the resend idempotent.
+    resend: Vec<(u32, u64, u64, ResultStore)>,
+}
+
+/// Opens the per-shard WAL: replay-and-extract if a matching journal
+/// exists, create (with a takeover checkpoint when `start_round > 0`)
+/// otherwise. A WAL for some other partition or campaign is removed —
+/// resuming it would corrupt the merge.
+fn open_wal(
+    a: &WorkAssignment,
+    shard_header: &JournalHeader,
+    wcfg: &WorkerConfig,
+) -> Result<WalResume, DistError> {
+    std::fs::create_dir_all(&wcfg.wal_dir)?;
+    let path = wcfg.wal_dir.join(format!("shard-{}.wal", a.shard));
+
+    let mut replayed = None;
+    if path.exists() {
+        let rep = journal::replay(&path)?;
+        if rep.header == *shard_header {
+            replayed = Some(rep);
+        } else {
+            std::fs::remove_file(&path)?;
+        }
+    }
+
+    match replayed {
+        Some(rep) => {
+            let mut resend = Vec::new();
+            for mark in rep.marks.iter().filter(|m| m.round >= a.start_round) {
+                let mut frame = ResultStore::with_capacity(mark.rows_end - mark.rows_start);
+                for i in mark.rows_start..mark.rows_end {
+                    frame.push(rep.store.get(i));
+                }
+                resend.push((mark.round, mark.gross, mark.refund, frame));
+            }
+            let start = rep.next_round.max(a.start_round);
+            let writer = JournalWriter::open_append(&path, &rep, wcfg.fsync)?;
+            Ok(WalResume {
+                writer,
+                store: rep.store,
+                ledger: rep.ledger,
+                start,
+                resend,
+            })
+        }
+        None => {
+            let mut writer = JournalWriter::create(&path, shard_header, wcfg.fsync)?;
+            let store = ResultStore::new();
+            let ledger = CreditLedger::new(shard_header.config.credits);
+            if a.start_round > 0 {
+                // Takeover: rounds before `start_round` were delivered
+                // by a previous owner. Checkpoint an empty base so our
+                // own restarts resume here, not at round 0.
+                writer.checkpoint(a.start_round, &store, &ledger)?;
+            }
+            Ok(WalResume {
+                writer,
+                store,
+                ledger,
+                start: a.start_round,
+                resend: Vec::new(),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streamed TCP transport (default)
+// ---------------------------------------------------------------------------
+
+fn run_worker_tcp(
+    addr: SocketAddr,
+    platform: &Platform,
+    wcfg: &WorkerConfig,
+    chaos: &mut ChaosProxy,
+    stats: &mut WorkerStats,
+) -> Result<WorkerExit, DistError> {
+    let rtt = chaos.rtt();
+    let mut reconnect = false;
+    // One internal re-dial per incarnation: a broken stream is
+    // recoverable (the WAL re-frames whatever was in flight), but a
+    // second break in a row is surfaced as the error it is.
+    let mut redials_left = 1u32;
+    loop {
+        match tcp_incarnation(addr, platform, wcfg, chaos, rtt, reconnect, stats) {
+            Ok(exit) => return Ok(exit),
+            Err(DistError::Io(_)) if redials_left > 0 => {
+                redials_left -= 1;
+                stats.stream_reconnects += 1;
+                reconnect = true;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One stream lifetime: connect, validate digests, poll/execute until
+/// a terminal reply. Any `DistError::Io` out of here may be retried by
+/// the caller on a fresh stream.
+fn tcp_incarnation(
+    addr: SocketAddr,
+    platform: &Platform,
+    wcfg: &WorkerConfig,
+    chaos: &mut ChaosProxy,
+    rtt: Duration,
+    reconnect: bool,
+    stats: &mut WorkerStats,
+) -> Result<WorkerExit, DistError> {
+    wire_stall(stats, rtt); // connect + HELLO/WELCOME handshake
+    let (mut stream, worker_id, hb_ms, header_wire) =
+        WorkStreamClient::connect(addr, wcfg.request_timeout, reconnect)?;
     let header = JournalHeader::from_wire(&header_wire).map_err(DistError::Protocol)?;
     let campaign = Campaign::new(platform, header.config);
     let local = campaign.journal_header();
@@ -95,20 +317,423 @@ pub fn run_worker(
         return Err(DistError::CampaignMismatch);
     }
     let heartbeat = Duration::from_millis(hb_ms.max(1));
+    stream.start_heartbeats(worker_id, heartbeat);
 
     loop {
-        let (status, body) =
-            session.request("POST", "/api/v2/work/poll", Some(&work::encode_poll(worker_id)))?;
-        if status != 200 {
-            return Err(DistError::Protocol("poll refused"));
+        stream.send(&work::poll_payload(worker_id))?;
+        match tcp_wait_reply(&mut stream, rtt, stats)? {
+            WorkReply::Idle => std::thread::sleep(heartbeat),
+            WorkReply::Done => return Ok(WorkerExit::Done),
+            WorkReply::Abort => return Ok(WorkerExit::Aborted),
+            WorkReply::Assigned(a) => {
+                match run_assignment_tcp(&mut stream, worker_id, &campaign, a, wcfg, chaos, rtt, stats)?
+                {
+                    AssignmentEnd::Completed | AssignmentEnd::Fenced => {}
+                    AssignmentEnd::Exit(exit) => return Ok(exit),
+                }
+            }
         }
+    }
+}
+
+/// Waits for the next control [`WorkReply`] (poll answer or pushed
+/// terminal). Verdict stragglers from a fenced assignment are
+/// discarded here: the stream is ordered, so every verdict for an old
+/// assignment arrives — and is skipped — *before* the reply that
+/// grants a new one, which is what makes `(shard, round)` matching
+/// unambiguous across assignments.
+fn tcp_wait_reply(
+    stream: &mut WorkStreamClient,
+    rtt: Duration,
+    stats: &mut WorkerStats,
+) -> Result<WorkReply, DistError> {
+    let mut stalled = false;
+    loop {
+        let msg = match stream.take_buffered()? {
+            Some(m) => m,
+            None => {
+                if !stalled {
+                    wire_stall(stats, rtt);
+                    stalled = true;
+                }
+                stream.recv(Instant::now() + stream.timeout())?
+            }
+        };
+        match msg {
+            StreamMsg::Reply(r) => return Ok(r),
+            StreamMsg::Verdict { .. } => {}
+            _ => return Err(DistError::Protocol("unexpected message awaiting reply")),
+        }
+    }
+}
+
+/// Executes one shard assignment over the stream: WAL resends and
+/// fresh rounds are all pushed through the same in-flight window,
+/// then the tail is drained so the assignment only completes with
+/// every frame acked.
+#[allow(clippy::too_many_arguments)]
+fn run_assignment_tcp(
+    stream: &mut WorkStreamClient,
+    worker_id: u64,
+    campaign: &Campaign<'_>,
+    a: WorkAssignment,
+    wcfg: &WorkerConfig,
+    chaos: &mut ChaosProxy,
+    rtt: Duration,
+    stats: &mut WorkerStats,
+) -> Result<AssignmentEnd, DistError> {
+    let mut ctx = campaign.shard_context(a.shard as usize, a.shard_count as usize);
+    let shard_header = campaign.shard_header(&ctx);
+    let mut wal = open_wal(&a, &shard_header, wcfg)?;
+    let window = wcfg.window.max(1);
+    let mut inflight: Vec<u32> = Vec::new();
+
+    for (round, gross, refund, frame) in std::mem::take(&mut wal.resend) {
+        let payload = work::frame_submit_payload(worker_id, a.shard, round, gross, refund, &frame);
+        if let Some(end) =
+            push_frame(stream, &mut inflight, round, &payload, window, a.shard, rtt, stats)?
+        {
+            return Ok(end);
+        }
+    }
+
+    for round in wal.start..a.rounds {
+        let mut kill_after_journal = false;
+        match chaos.take(round) {
+            Some(ChaosAction::Kill) => return Ok(AssignmentEnd::Exit(WorkerExit::Killed)),
+            Some(ChaosAction::KillAfterJournal) => kill_after_journal = true,
+            Some(ChaosAction::Hang(d)) => {
+                // Fully wedged: even the heartbeater goes silent, so
+                // the failure detector sees a dead worker.
+                stream.pause_heartbeats(true);
+                std::thread::sleep(d);
+                stream.pause_heartbeats(false);
+            }
+            Some(ChaosAction::Delay(d)) => std::thread::sleep(d),
+            None => {}
+        }
+
+        let (frame, gross, refund) = campaign.run_shard(&mut ctx, round);
+        let from = wal.store.len();
+        wal.store.merge(frame.clone());
+        wal.ledger.debit(gross)?;
+        wal.ledger.refund(refund);
+        wal.writer.append_round(round, &wal.store, from, &wal.ledger)?;
+        if kill_after_journal {
+            return Ok(AssignmentEnd::Exit(WorkerExit::Killed));
+        }
+
+        let payload = work::frame_submit_payload(worker_id, a.shard, round, gross, refund, &frame);
+        if let Some(end) =
+            push_frame(stream, &mut inflight, round, &payload, window, a.shard, rtt, stats)?
+        {
+            return Ok(end);
+        }
+    }
+
+    // Drain the window: one blocking episode, however many verdicts
+    // are still in flight.
+    if !inflight.is_empty() {
+        wire_stall(stats, rtt);
+        while !inflight.is_empty() {
+            let msg = stream.recv(Instant::now() + stream.timeout())?;
+            if let Some(end) = on_stream_msg(msg, a.shard, &mut inflight)? {
+                return Ok(end);
+            }
+        }
+    }
+    Ok(AssignmentEnd::Completed)
+}
+
+/// Sends one frame through the window: drain whatever verdicts are
+/// already buffered (free), block only when the window is full, then
+/// ship. Returns `Some(end)` if a verdict or pushed reply ended the
+/// assignment first.
+#[allow(clippy::too_many_arguments)]
+fn push_frame(
+    stream: &mut WorkStreamClient,
+    inflight: &mut Vec<u32>,
+    round: u32,
+    payload: &[u8],
+    window: usize,
+    shard: u32,
+    rtt: Duration,
+    stats: &mut WorkerStats,
+) -> Result<Option<AssignmentEnd>, DistError> {
+    while let Some(msg) = stream.take_buffered()? {
+        if let Some(end) = on_stream_msg(msg, shard, inflight)? {
+            return Ok(Some(end));
+        }
+    }
+    if inflight.len() >= window {
+        wire_stall(stats, rtt);
+        while inflight.len() >= window {
+            let msg = stream.recv(Instant::now() + stream.timeout())?;
+            if let Some(end) = on_stream_msg(msg, shard, inflight)? {
+                return Ok(Some(end));
+            }
+        }
+    }
+    stream.send(payload)?;
+    inflight.push(round);
+    stats.frames_sent += 1;
+    Ok(None)
+}
+
+/// Applies one mid-assignment stream message: async verdicts retire
+/// in-flight rounds (out-of-order is fine — matching is by round),
+/// pushed replies fence or terminate.
+fn on_stream_msg(
+    msg: StreamMsg,
+    shard: u32,
+    inflight: &mut Vec<u32>,
+) -> Result<Option<AssignmentEnd>, DistError> {
+    match msg {
+        StreamMsg::Verdict {
+            shard: s,
+            round,
+            verdict,
+            current,
+        } => {
+            let slot = if s == shard {
+                inflight.iter().position(|&r| r == round)
+            } else {
+                None
+            };
+            let Some(i) = slot else {
+                // A straggler from a previous (fenced) assignment;
+                // its dedup already happened server-side.
+                return Ok(None);
+            };
+            inflight.swap_remove(i);
+            if !current {
+                return Ok(Some(AssignmentEnd::Fenced));
+            }
+            if matches!(verdict, FrameVerdict::Rejected) {
+                return Err(DistError::Protocol("in-window frame rejected"));
+            }
+            Ok(None)
+        }
+        StreamMsg::Reply(WorkReply::Idle) => Ok(Some(AssignmentEnd::Fenced)),
+        StreamMsg::Reply(WorkReply::Done) => Ok(Some(AssignmentEnd::Exit(WorkerExit::Done))),
+        StreamMsg::Reply(WorkReply::Abort) => Ok(Some(AssignmentEnd::Exit(WorkerExit::Aborted))),
+        StreamMsg::Reply(WorkReply::Assigned(_)) => {
+            Err(DistError::Protocol("unsolicited assignment mid-shard"))
+        }
+        _ => Err(DistError::Protocol("unexpected message on work stream")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking HTTP transport (compat shim)
+// ---------------------------------------------------------------------------
+
+/// Control flags between the HTTP heartbeater thread and the main
+/// loop. The heartbeater only beats while an assignment is active
+/// (between assignments the poll loop itself is the liveness signal)
+/// and only when the piggyback clock says the main session has been
+/// quiet for a full interval.
+struct HbGate {
+    epoch: Instant,
+    stop: AtomicBool,
+    paused: AtomicBool,
+    assigned: AtomicBool,
+    /// ms since `epoch` of the last main-loop request.
+    last_traffic_ms: AtomicU64,
+    /// Highest-priority reply the heartbeater saw: 0 none, 1 fenced
+    /// (Idle while assigned), 2 done, 3 abort.
+    flag: AtomicU8,
+}
+
+const HB_NONE: u8 = 0;
+const HB_FENCED: u8 = 1;
+const HB_DONE: u8 = 2;
+const HB_ABORT: u8 = 3;
+
+impl HbGate {
+    fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            stop: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            assigned: AtomicBool::new(false),
+            last_traffic_ms: AtomicU64::new(0),
+            flag: AtomicU8::new(HB_NONE),
+        }
+    }
+
+    fn touch(&self) {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        self.last_traffic_ms.store(now, Ordering::Relaxed);
+    }
+}
+
+/// Stops and joins the heartbeater on the way out, error paths
+/// included.
+struct HbGuard {
+    gate: Arc<HbGate>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for HbGuard {
+    fn drop(&mut self) {
+        self.gate.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The heartbeater: its own [`ApiSession`] (never the one the worker
+/// measures with — the bug this replaces), beating only when the main
+/// session has been idle past the interval. Terminal or fencing
+/// replies are flagged for the main loop to act on at the next round
+/// boundary.
+fn spawn_http_heartbeater(
+    addr: SocketAddr,
+    timeout: Duration,
+    worker: u64,
+    interval: Duration,
+    gate: Arc<HbGate>,
+) -> HbGuard {
+    let tick = (interval / 4).max(Duration::from_millis(1));
+    let interval_ms = interval.as_millis() as u64;
+    let thread_gate = Arc::clone(&gate);
+    let handle = std::thread::spawn(move || {
+        let gate = thread_gate;
+        let mut session: Option<ApiSession> = None;
+        loop {
+            std::thread::sleep(tick);
+            if gate.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if gate.paused.load(Ordering::Relaxed) || !gate.assigned.load(Ordering::Relaxed) {
+                continue;
+            }
+            let now_ms = gate.epoch.elapsed().as_millis() as u64;
+            let idle = now_ms.saturating_sub(gate.last_traffic_ms.load(Ordering::Relaxed));
+            if idle < interval_ms {
+                continue;
+            }
+            if session.is_none() {
+                session = ApiSession::connect_with_timeout(addr, timeout).ok();
+            }
+            let Some(s) = session.as_mut() else { continue };
+            match s.request("POST", "/api/v2/work/heartbeat", Some(&work::encode_poll(worker))) {
+                Ok((200, body)) => {
+                    gate.touch();
+                    match work::decode_reply(&body) {
+                        Ok(WorkReply::Idle) => {
+                            // Assigned but the queue says idle: the
+                            // shard moved on without us.
+                            gate.flag.fetch_max(HB_FENCED, Ordering::Relaxed);
+                        }
+                        Ok(WorkReply::Done) => {
+                            gate.flag.fetch_max(HB_DONE, Ordering::Relaxed);
+                        }
+                        Ok(WorkReply::Abort) => {
+                            gate.flag.fetch_max(HB_ABORT, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                }
+                _ => session = None,
+            }
+        }
+    });
+    HbGuard {
+        gate,
+        handle: Some(handle),
+    }
+}
+
+/// The main-loop HTTP session plus its gate: every request is one
+/// blocking wait, pays the injected RTT, and feeds the piggyback
+/// clock so the heartbeater stays quiet while traffic flows.
+struct HttpPlane {
+    session: ApiSession,
+    gate: Arc<HbGate>,
+    rtt: Duration,
+}
+
+impl HttpPlane {
+    fn request(
+        &mut self,
+        path: &'static str,
+        body: &[u8],
+        refused: &'static str,
+        stats: &mut WorkerStats,
+    ) -> Result<Vec<u8>, DistError> {
+        wire_stall(stats, self.rtt);
+        let (status, resp) = self.session.request("POST", path, Some(body))?;
+        self.gate.touch();
+        if status != 200 {
+            return Err(DistError::Protocol(refused));
+        }
+        Ok(resp)
+    }
+}
+
+fn run_worker_http(
+    addr: SocketAddr,
+    platform: &Platform,
+    wcfg: &WorkerConfig,
+    chaos: &mut ChaosProxy,
+    stats: &mut WorkerStats,
+) -> Result<WorkerExit, DistError> {
+    let gate = Arc::new(HbGate::new());
+    let mut plane = HttpPlane {
+        session: ApiSession::connect_with_timeout(addr, wcfg.request_timeout)?,
+        gate: Arc::clone(&gate),
+        rtt: chaos.rtt(),
+    };
+
+    let body = plane.request(
+        "/api/v2/work/register",
+        &work::encode_hello(),
+        "registration refused",
+        stats,
+    )?;
+    let (worker_id, hb_ms, header_wire) = work::decode_welcome(&body).map_err(DistError::Protocol)?;
+    let header = JournalHeader::from_wire(&header_wire).map_err(DistError::Protocol)?;
+    let campaign = Campaign::new(platform, header.config);
+    let local = campaign.journal_header();
+    if local.fleet_digest != header.fleet_digest || local.plan_digest != header.plan_digest {
+        return Err(DistError::CampaignMismatch);
+    }
+    let heartbeat = Duration::from_millis(hb_ms.max(1));
+    let _hb = spawn_http_heartbeater(
+        addr,
+        wcfg.request_timeout,
+        worker_id,
+        heartbeat,
+        Arc::clone(&gate),
+    );
+
+    loop {
+        let body = plane.request(
+            "/api/v2/work/poll",
+            &work::encode_poll(worker_id),
+            "poll refused",
+            stats,
+        )?;
         match work::decode_reply(&body).map_err(DistError::Protocol)? {
             WorkReply::Idle => std::thread::sleep(heartbeat),
             WorkReply::Done => return Ok(WorkerExit::Done),
             WorkReply::Abort => return Ok(WorkerExit::Aborted),
             WorkReply::Assigned(a) => {
-                match run_assignment(&mut session, worker_id, &campaign, a, wcfg, chaos, heartbeat)?
-                {
+                gate.assigned.store(true, Ordering::Relaxed);
+                // A fence flag left over from a previous assignment's
+                // last heartbeat is stale; terminal flags are not.
+                let _ = gate.flag.compare_exchange(
+                    HB_FENCED,
+                    HB_NONE,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                let end = run_assignment_http(&mut plane, worker_id, &campaign, a, wcfg, chaos, stats);
+                gate.assigned.store(false, Ordering::Relaxed);
+                match end? {
                     AssignmentEnd::Completed | AssignmentEnd::Fenced => {}
                     AssignmentEnd::Exit(exit) => return Ok(exit),
                 }
@@ -119,105 +744,70 @@ pub fn run_worker(
 
 /// Executes one shard assignment to completion (or until fenced,
 /// killed, or errored). The WAL protocol: replay-and-resend first,
-/// then `run_shard → append_round → submit` per remaining round.
-fn run_assignment(
-    session: &mut ApiSession,
+/// then `run_shard → append_round → submit` per remaining round, each
+/// submit blocking on its verdict (this is the window-1 shim).
+fn run_assignment_http(
+    plane: &mut HttpPlane,
     worker_id: u64,
     campaign: &Campaign<'_>,
     a: WorkAssignment,
     wcfg: &WorkerConfig,
     chaos: &mut ChaosProxy,
-    heartbeat: Duration,
+    stats: &mut WorkerStats,
 ) -> Result<AssignmentEnd, DistError> {
     let mut ctx = campaign.shard_context(a.shard as usize, a.shard_count as usize);
     let shard_header = campaign.shard_header(&ctx);
-    std::fs::create_dir_all(&wcfg.wal_dir)?;
-    let path = wcfg.wal_dir.join(format!("shard-{}.wal", a.shard));
+    let mut wal = open_wal(&a, &shard_header, wcfg)?;
 
-    let mut replayed = None;
-    if path.exists() {
-        let rep = journal::replay(&path)?;
-        if rep.header == shard_header {
-            replayed = Some(rep);
-        } else {
-            // A WAL for some other partition or campaign — useless
-            // here, and resuming it would corrupt the merge.
-            std::fs::remove_file(&path)?;
+    for (round, gross, refund, frame) in std::mem::take(&mut wal.resend) {
+        match submit_frame_http(plane, worker_id, a.shard, round, gross, refund, &frame, stats)? {
+            (FrameVerdict::Rejected, true) => {
+                return Err(DistError::Protocol("journaled frame rejected"))
+            }
+            (_, false) => return Ok(AssignmentEnd::Fenced),
+            _ => {}
         }
     }
 
-    let (mut writer, mut wal_store, mut wal_ledger, start);
-    match replayed {
-        Some(rep) => {
-            // Re-send every journaled round the coordinator still
-            // needs. Digest-based dedup upstream makes this idempotent:
-            // rounds it already has come back `Duplicate` and are
-            // dropped, never double-merged.
-            for mark in rep.marks.iter().filter(|m| m.round >= a.start_round) {
-                let mut frame = ResultStore::with_capacity(mark.rows_end - mark.rows_start);
-                for i in mark.rows_start..mark.rows_end {
-                    frame.push(rep.store.get(i));
-                }
-                match submit_frame(
-                    session,
-                    worker_id,
-                    a.shard,
-                    mark.round,
-                    mark.gross,
-                    mark.refund,
-                    &frame,
-                )? {
-                    (FrameVerdict::Rejected, true) => {
-                        return Err(DistError::Protocol("journaled frame rejected"))
-                    }
-                    (_, false) => return Ok(AssignmentEnd::Fenced),
-                    _ => {}
-                }
-            }
-            start = rep.next_round.max(a.start_round);
-            writer = JournalWriter::open_append(&path, &rep, wcfg.fsync)?;
-            wal_store = rep.store;
-            wal_ledger = rep.ledger;
+    for round in wal.start..a.rounds {
+        match plane.gate.flag.swap(HB_NONE, Ordering::Relaxed) {
+            HB_ABORT => return Ok(AssignmentEnd::Exit(WorkerExit::Aborted)),
+            HB_DONE => return Ok(AssignmentEnd::Exit(WorkerExit::Done)),
+            HB_FENCED => return Ok(AssignmentEnd::Fenced),
+            _ => {}
         }
-        None => {
-            writer = JournalWriter::create(&path, &shard_header, wcfg.fsync)?;
-            wal_store = ResultStore::new();
-            wal_ledger = CreditLedger::new(shard_header.config.credits);
-            if a.start_round > 0 {
-                // Takeover: rounds before `start_round` were delivered
-                // by a previous owner. Checkpoint an empty base so our
-                // own restarts resume here, not at round 0.
-                writer.checkpoint(a.start_round, &wal_store, &wal_ledger)?;
-            }
-            start = a.start_round;
-        }
-    }
 
-    for round in start..a.rounds {
         let mut kill_after_journal = false;
         match chaos.take(round) {
             Some(ChaosAction::Kill) => return Ok(AssignmentEnd::Exit(WorkerExit::Killed)),
             Some(ChaosAction::KillAfterJournal) => kill_after_journal = true,
-            Some(ChaosAction::Hang(d)) => std::thread::sleep(d),
+            Some(ChaosAction::Hang(d)) => {
+                // Fully wedged: the heartbeater goes silent too.
+                plane.gate.paused.store(true, Ordering::Relaxed);
+                std::thread::sleep(d);
+                plane.gate.paused.store(false, Ordering::Relaxed);
+            }
             Some(ChaosAction::Delay(d)) => {
-                if let Some(exit) = heartbeat_through(session, worker_id, d, heartbeat)? {
-                    return Ok(AssignmentEnd::Exit(exit));
-                }
+                // Alive-but-slow: just sleep. The heartbeater keeps
+                // liveness flowing off its own session, so a slow
+                // round can no longer starve heartbeats into a false
+                // fence.
+                std::thread::sleep(d);
             }
             None => {}
         }
 
         let (frame, gross, refund) = campaign.run_shard(&mut ctx, round);
-        let from = wal_store.len();
-        wal_store.merge(frame.clone());
-        wal_ledger.debit(gross)?;
-        wal_ledger.refund(refund);
-        writer.append_round(round, &wal_store, from, &wal_ledger)?;
+        let from = wal.store.len();
+        wal.store.merge(frame.clone());
+        wal.ledger.debit(gross)?;
+        wal.ledger.refund(refund);
+        wal.writer.append_round(round, &wal.store, from, &wal.ledger)?;
         if kill_after_journal {
             return Ok(AssignmentEnd::Exit(WorkerExit::Killed));
         }
 
-        match submit_frame(session, worker_id, a.shard, round, gross, refund, &frame)? {
+        match submit_frame_http(plane, worker_id, a.shard, round, gross, refund, &frame, stats)? {
             (FrameVerdict::Rejected, true) => {
                 return Err(DistError::Protocol("fresh frame rejected"))
             }
@@ -229,49 +819,19 @@ fn run_assignment(
 }
 
 /// One frame submission round trip.
-fn submit_frame(
-    session: &mut ApiSession,
+#[allow(clippy::too_many_arguments)]
+fn submit_frame_http(
+    plane: &mut HttpPlane,
     worker: u64,
     shard: u32,
     round: u32,
     gross: u64,
     refund: u64,
     frame: &ResultStore,
+    stats: &mut WorkerStats,
 ) -> Result<(FrameVerdict, bool), DistError> {
     let body = work::encode_frame_submit(worker, shard, round, gross, refund, frame);
-    let (status, resp) = session.request("POST", "/api/v2/work/frame", Some(&body))?;
-    if status != 200 {
-        return Err(DistError::Protocol("frame submission refused"));
-    }
+    let resp = plane.request("/api/v2/work/frame", &body, "frame submission refused", stats)?;
+    stats.frames_sent += 1;
     work::decode_verdict(&resp).map_err(DistError::Protocol)
-}
-
-/// Sleeps for `d` in heartbeat-sized slices, heartbeating between
-/// slices so the liveness detector sees an alive-but-slow worker, not
-/// a dead one. Returns a terminal exit if the coordinator finished or
-/// aborted mid-delay.
-fn heartbeat_through(
-    session: &mut ApiSession,
-    worker: u64,
-    d: Duration,
-    heartbeat: Duration,
-) -> Result<Option<WorkerExit>, DistError> {
-    let end = Instant::now() + d;
-    loop {
-        let now = Instant::now();
-        let Some(left) = end.checked_duration_since(now) else {
-            return Ok(None);
-        };
-        std::thread::sleep(left.min(heartbeat));
-        let (status, body) =
-            session.request("POST", "/api/v2/work/heartbeat", Some(&work::encode_poll(worker)))?;
-        if status != 200 {
-            return Err(DistError::Protocol("heartbeat refused"));
-        }
-        match work::decode_reply(&body).map_err(DistError::Protocol)? {
-            WorkReply::Done => return Ok(Some(WorkerExit::Done)),
-            WorkReply::Abort => return Ok(Some(WorkerExit::Aborted)),
-            WorkReply::Idle | WorkReply::Assigned(_) => {}
-        }
-    }
 }

@@ -35,6 +35,13 @@
 #               chaos, degraded vs strict completion), the dist
 #               crate's unit tests, and the work-queue unit tests
 #               (assignment, heartbeats, fencing, frame dedup)
+#   transport — only the work-plane transport suite: the stream-framing
+#               property tests (chunk-partition independence, arbitrary
+#               bytes and bit flips never panic or merge), the api
+#               crate's transport + work-queue unit tests, the dist
+#               crate's unit tests, and the full recovery grid — which
+#               runs every sweep over both the HTTP and the streamed
+#               TCP work planes and pins the merges bit-identical
 #   kernels   — only the column-kernel suite: the scalar/chunked/simd
 #               bit-equality property tests, the stats pins (two-pointer
 #               KS, selection bootstrap, Summary-over-Ecdf), and the
@@ -114,6 +121,17 @@ if [ "$profile" = "dist" ]; then
     cargo test --release -p shears-dist
     cargo test --release -p shears-api work::
     echo "verify (dist): OK"
+    exit 0
+fi
+
+if [ "$profile" = "transport" ]; then
+    echo "==> transport profile: pipelined work-plane stream"
+    cargo test --release --test proptests stream_
+    cargo test --release -p shears-api transport::
+    cargo test --release -p shears-api work::
+    cargo test --release -p shears-dist
+    cargo test --release --test dist_recovery
+    echo "verify (transport): OK"
     exit 0
 fi
 

@@ -18,16 +18,21 @@
 //! * degraded completion (fleet death → lost rounds attributed in
 //!   place, row-for-row aligned with the clean store) vs. strict mode
 //!   (fleet death → typed abort).
+//!
+//! Every sweep runs over **both work-plane transports** — the HTTP
+//! compat shim and the pipelined TCP stream — and the merged bytes
+//! must not depend on which wire carried them (DESIGN.md §7j).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use latency_shears::dist::{
-    run_distributed, ChaosProxy, DistConfig, DistError, DistOutcome, FleetSpec,
+    run_distributed, ChaosProxy, DistConfig, DistError, DistOutcome, FleetSpec, WorkTransport,
 };
 use latency_shears::prelude::*;
 
+const TRANSPORTS: [WorkTransport; 2] = [WorkTransport::Http, WorkTransport::Tcp];
 const SEEDS: [u64; 5] = [1, 2, 3, 5, 8];
 const KILL_ROUNDS: [u32; 3] = [0, 1, 2];
 const WORKER_COUNTS: [usize; 2] = [2, 4];
@@ -124,15 +129,31 @@ fn clean_fleets_of_every_size_merge_bit_identically() {
     assert_eq!(plain.samples(), clean.store.samples(), "durable vs plain");
 
     for workers in [1usize, 2, 4, 8] {
-        let out = run_fleet(seed, FleetSpec::clean(workers), dist_cfg(SHARDS), "clean")
-            .expect("clean fleet");
-        assert_bit_identical(&clean, &out, &format!("{workers} workers"));
+        let mut stores = Vec::new();
+        for transport in TRANSPORTS {
+            let fleet = FleetSpec::clean(workers).transport(transport);
+            let out = run_fleet(seed, fleet, dist_cfg(SHARDS), "clean").expect("clean fleet");
+            assert_bit_identical(&clean, &out, &format!("{workers} workers {transport:?}"));
+            assert_eq!(
+                out.metrics.frames_accepted,
+                u64::from(SHARDS * ROUNDS),
+                "every shard-round arrives exactly once at {workers} workers over {transport:?}"
+            );
+            assert_eq!(out.metrics.lost_rounds, 0);
+            assert_eq!(
+                out.worker_stats.frames_sent,
+                u64::from(SHARDS * ROUNDS),
+                "no resends on a clean fleet over {transport:?}"
+            );
+            stores.push(out.store);
+        }
+        // Explicit cross-transport check on top of the transitive one:
+        // the wire must never leak into the merged bytes.
         assert_eq!(
-            out.metrics.frames_accepted,
-            u64::from(SHARDS * ROUNDS),
-            "every shard-round arrives exactly once at {workers} workers"
+            stores[0].samples(),
+            stores[1].samples(),
+            "HTTP and TCP merges diverge at {workers} workers"
         );
-        assert_eq!(out.metrics.lost_rounds, 0);
     }
 }
 
@@ -144,15 +165,23 @@ fn kill_grid_shards_are_reassigned_to_survivors() {
         let clean = clean_baseline(seed);
         for kill in KILL_ROUNDS {
             for workers in WORKER_COUNTS {
-                let what = format!("seed {seed} kill {kill} workers {workers} reassign");
-                let fleet = FleetSpec::clean(workers).with_chaos(0, ChaosProxy::kill_at(kill));
-                let out = run_fleet(seed, fleet, dist_cfg(SHARDS), "reassign").expect(&what);
-                assert_bit_identical(&clean, &out, &what);
-                assert!(
-                    out.metrics.shards_reassigned >= 1,
-                    "{what}: the dead worker's shard was never handed over"
-                );
-                assert!(out.metrics.heartbeats_missed >= 1, "{what}: death went undetected");
+                for transport in TRANSPORTS {
+                    let what =
+                        format!("seed {seed} kill {kill} workers {workers} {transport:?} reassign");
+                    let fleet = FleetSpec::clean(workers)
+                        .with_chaos(0, ChaosProxy::kill_at(kill))
+                        .transport(transport);
+                    let out = run_fleet(seed, fleet, dist_cfg(SHARDS), "reassign").expect(&what);
+                    assert_bit_identical(&clean, &out, &what);
+                    assert!(
+                        out.metrics.shards_reassigned >= 1,
+                        "{what}: the dead worker's shard was never handed over"
+                    );
+                    assert!(
+                        out.metrics.heartbeats_missed >= 1,
+                        "{what}: death went undetected"
+                    );
+                }
             }
         }
     }
@@ -168,17 +197,21 @@ fn kill_grid_restarted_workers_resume_from_their_wal() {
         let clean = clean_baseline(seed);
         for kill in KILL_ROUNDS {
             for workers in WORKER_COUNTS {
-                let what = format!("seed {seed} kill {kill} workers {workers} restart");
-                let fleet = FleetSpec::clean(workers)
-                    .with_chaos(0, ChaosProxy::kill_after_journal_at(kill))
-                    .restart_killed();
-                let out = run_fleet(seed, fleet, dist_cfg(SHARDS), "restart").expect(&what);
-                assert_bit_identical(&clean, &out, &what);
-                assert_eq!(
-                    out.metrics.workers_registered,
-                    workers as u64 + 1,
-                    "{what}: the restarted incarnation must register anew"
-                );
+                for transport in TRANSPORTS {
+                    let what =
+                        format!("seed {seed} kill {kill} workers {workers} {transport:?} restart");
+                    let fleet = FleetSpec::clean(workers)
+                        .with_chaos(0, ChaosProxy::kill_after_journal_at(kill))
+                        .restart_killed()
+                        .transport(transport);
+                    let out = run_fleet(seed, fleet, dist_cfg(SHARDS), "restart").expect(&what);
+                    assert_bit_identical(&clean, &out, &what);
+                    assert_eq!(
+                        out.metrics.workers_registered,
+                        workers as u64 + 1,
+                        "{what}: the restarted incarnation must register anew"
+                    );
+                }
             }
         }
     }
@@ -192,17 +225,20 @@ fn kill_grid_restarted_workers_resume_from_their_wal() {
 fn hung_workers_are_detected_and_their_late_frames_deduplicated() {
     let seed = 11;
     let clean = clean_baseline(seed);
-    let fleet =
-        FleetSpec::clean(2).with_chaos(0, ChaosProxy::hang_at(1, Duration::from_millis(500)));
-    let out = run_fleet(seed, fleet, dist_cfg(SHARDS), "hang").expect("hang fleet");
-    assert_bit_identical(&clean, &out, "hang");
-    assert!(out.metrics.heartbeats_missed >= 1, "hang went undetected");
-    assert!(out.metrics.shards_reassigned >= 1, "hung shard never reassigned");
-    assert!(
-        out.metrics.duplicate_frames_dropped >= 1,
-        "the revenant's late frames must be dropped as duplicates, got {:?}",
-        out.metrics
-    );
+    for transport in TRANSPORTS {
+        let fleet = FleetSpec::clean(2)
+            .with_chaos(0, ChaosProxy::hang_at(1, Duration::from_millis(500)))
+            .transport(transport);
+        let out = run_fleet(seed, fleet, dist_cfg(SHARDS), "hang").expect("hang fleet");
+        assert_bit_identical(&clean, &out, &format!("hang {transport:?}"));
+        assert!(out.metrics.heartbeats_missed >= 1, "hang went undetected");
+        assert!(out.metrics.shards_reassigned >= 1, "hung shard never reassigned");
+        assert!(
+            out.metrics.duplicate_frames_dropped >= 1,
+            "the revenant's late frames must be dropped as duplicates over {transport:?}, got {:?}",
+            out.metrics
+        );
+    }
 }
 
 /// A delayed worker keeps heartbeating but blows its round deadline:
@@ -213,17 +249,20 @@ fn hung_workers_are_detected_and_their_late_frames_deduplicated() {
 fn wedged_workers_blow_round_deadlines_and_get_fenced() {
     let seed = 13;
     let clean = clean_baseline(seed);
-    let dcfg = DistConfig {
-        round_timeout: Duration::from_millis(100),
-        max_round_retries: 1,
-        ..dist_cfg(SHARDS)
-    };
-    let fleet =
-        FleetSpec::clean(2).with_chaos(0, ChaosProxy::delay_at(1, Duration::from_millis(600)));
-    let out = run_fleet(seed, fleet, dcfg, "delay").expect("delay fleet");
-    assert_bit_identical(&clean, &out, "delay");
-    assert!(out.metrics.rounds_retried >= 1, "deadline never blew: {:?}", out.metrics);
-    assert!(out.metrics.shards_reassigned >= 1, "wedged shard never fenced");
+    for transport in TRANSPORTS {
+        let dcfg = DistConfig {
+            round_timeout: Duration::from_millis(100),
+            max_round_retries: 1,
+            ..dist_cfg(SHARDS)
+        };
+        let fleet = FleetSpec::clean(2)
+            .with_chaos(0, ChaosProxy::delay_at(1, Duration::from_millis(600)))
+            .transport(transport);
+        let out = run_fleet(seed, fleet, dcfg, "delay").expect("delay fleet");
+        assert_bit_identical(&clean, &out, &format!("delay {transport:?}"));
+        assert!(out.metrics.rounds_retried >= 1, "deadline never blew: {:?}", out.metrics);
+        assert!(out.metrics.shards_reassigned >= 1, "wedged shard never fenced");
+    }
 }
 
 /// Degraded completion: the whole fleet dies and the campaign still
@@ -234,51 +273,59 @@ fn wedged_workers_blow_round_deadlines_and_get_fenced() {
 fn degraded_mode_attributes_lost_rounds_in_place() {
     let seed = 17;
     let clean = clean_baseline(seed);
-    let fleet = FleetSpec::clean(1).with_chaos(0, ChaosProxy::kill_at(1));
-    let out = run_fleet(seed, fleet, dist_cfg(SHARDS).degraded(), "degraded")
-        .expect("degraded completion");
+    for transport in TRANSPORTS {
+        let fleet = FleetSpec::clean(1)
+            .with_chaos(0, ChaosProxy::kill_at(1))
+            .transport(transport);
+        let out = run_fleet(seed, fleet, dist_cfg(SHARDS).degraded(), "degraded")
+            .expect("degraded completion");
 
-    // One shard delivered one round before the fleet died.
-    assert_eq!(
-        out.metrics.lost_rounds,
-        u64::from(SHARDS * ROUNDS - 1),
-        "exactly the undelivered shard-rounds are lost: {:?}",
-        out.metrics
-    );
-    let clean_rows = clean.store.samples();
-    let rows = out.store.samples();
-    assert_eq!(clean_rows.len(), rows.len(), "lost rounds must not drop rows");
-    let mut delivered = 0usize;
-    for (i, (c, d)) in clean_rows.iter().zip(&rows).enumerate() {
-        assert_eq!((c.probe, c.region, c.at), (d.probe, d.region, d.at), "row {i} misaligned");
-        if d.sent > 0 {
-            assert_eq!(c, d, "delivered row {i} diverges");
-            delivered += 1;
-        } else {
-            assert!(d.min_ms.is_infinite() && d.received == 0, "row {i} not marked lost");
+        // One shard delivered one round before the fleet died.
+        assert_eq!(
+            out.metrics.lost_rounds,
+            u64::from(SHARDS * ROUNDS - 1),
+            "exactly the undelivered shard-rounds are lost over {transport:?}: {:?}",
+            out.metrics
+        );
+        let clean_rows = clean.store.samples();
+        let rows = out.store.samples();
+        assert_eq!(clean_rows.len(), rows.len(), "lost rounds must not drop rows");
+        let mut delivered = 0usize;
+        for (i, (c, d)) in clean_rows.iter().zip(&rows).enumerate() {
+            assert_eq!((c.probe, c.region, c.at), (d.probe, d.region, d.at), "row {i} misaligned");
+            if d.sent > 0 {
+                assert_eq!(c, d, "delivered row {i} diverges");
+                delivered += 1;
+            } else {
+                assert!(d.min_ms.is_infinite() && d.received == 0, "row {i} not marked lost");
+            }
         }
+        assert!(delivered > 0, "the delivered round must survive verbatim");
+        assert!(
+            out.ledger.spent() < clean.ledger.spent(),
+            "lost rounds must not be charged"
+        );
+        assert_eq!(out.ledger.balance() + out.ledger.spent(), CREDITS);
     }
-    assert!(delivered > 0, "the delivered round must survive verbatim");
-    assert!(
-        out.ledger.spent() < clean.ledger.spent(),
-        "lost rounds must not be charged"
-    );
-    assert_eq!(out.ledger.balance() + out.ledger.spent(), CREDITS);
 }
 
 /// Strict mode: the same fleet death aborts the campaign with a typed
 /// error naming the stalled round, instead of completing degraded.
 #[test]
 fn strict_mode_aborts_when_the_fleet_dies() {
-    let fleet = FleetSpec::clean(1).with_chaos(0, ChaosProxy::kill_at(1));
-    let err = run_fleet(17, fleet, dist_cfg(SHARDS), "strict")
-        .expect_err("strict mode must refuse to complete");
-    match err {
-        DistError::Stalled { round, missing } => {
-            assert_eq!(round, 0, "the merge was still waiting on round 0");
-            assert!(!missing.is_empty(), "the stalled shards must be named");
+    for transport in TRANSPORTS {
+        let fleet = FleetSpec::clean(1)
+            .with_chaos(0, ChaosProxy::kill_at(1))
+            .transport(transport);
+        let err = run_fleet(17, fleet, dist_cfg(SHARDS), "strict")
+            .expect_err("strict mode must refuse to complete");
+        match err {
+            DistError::Stalled { round, missing } => {
+                assert_eq!(round, 0, "the merge was still waiting on round 0");
+                assert!(!missing.is_empty(), "the stalled shards must be named");
+            }
+            other => panic!("expected Stalled over {transport:?}, got {other}"),
         }
-        other => panic!("expected Stalled, got {other}"),
     }
 }
 
@@ -289,17 +336,110 @@ fn strict_mode_aborts_when_the_fleet_dies() {
 fn a_restarted_worker_resends_its_journaled_unsubmitted_round() {
     let seed = 19;
     let clean = clean_baseline(seed);
-    let root = tmp_wal_root("resume");
-    let fleet = FleetSpec::clean(1)
-        .with_chaos(0, ChaosProxy::kill_after_journal_at(2))
-        .restart_killed();
-    let out = run_distributed(&tiny_cfg(seed), campaign_cfg(seed), dist_cfg(2), fleet, &root)
-        .expect("restart-resume");
-    assert_bit_identical(&clean, &out, "restart-resume");
-    assert_eq!(out.metrics.workers_registered, 2, "one restart expected");
+    for transport in TRANSPORTS {
+        let root = tmp_wal_root("resume");
+        let fleet = FleetSpec::clean(1)
+            .with_chaos(0, ChaosProxy::kill_after_journal_at(2))
+            .restart_killed()
+            .transport(transport);
+        let out = run_distributed(&tiny_cfg(seed), campaign_cfg(seed), dist_cfg(2), fleet, &root)
+            .expect("restart-resume");
+        assert_bit_identical(&clean, &out, &format!("restart-resume {transport:?}"));
+        assert_eq!(out.metrics.workers_registered, 2, "one restart expected");
+        assert!(
+            root.join("worker-0").join("shard-0.wal").exists(),
+            "the worker's WAL must survive the crash"
+        );
+        // The crashed incarnation journaled round 2 but never sent it;
+        // the successor ships it from the WAL — so every shard-round
+        // still goes out exactly once, none recomputed, none lost.
+        assert_eq!(
+            out.worker_stats.frames_sent,
+            u64::from(2 * ROUNDS),
+            "journaled round sent exactly once over {transport:?}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+/// Regression (ISSUE 10 satellite): a slow round used to starve
+/// heartbeats into a false fence, because the worker heartbeated
+/// through the same blocking session it measured with. Heartbeats now
+/// come from the transport layer (a piggyback-gated heartbeater
+/// thread on both wires), so a round that outlives the heartbeat
+/// timeout must *not* get the worker declared dead, fenced, or
+/// retried — on either transport.
+#[test]
+fn slow_rounds_do_not_starve_heartbeats_into_a_false_fence() {
+    let seed = 23;
+    let clean = clean_baseline(seed);
+    for transport in TRANSPORTS {
+        let what = format!("slow round {transport:?}");
+        // The round delay (250ms) dwarfs the heartbeat timeout (80ms):
+        // only transport-level heartbeats keep the worker alive.
+        let dcfg = DistConfig {
+            heartbeat_interval: Duration::from_millis(10),
+            heartbeat_timeout: Duration::from_millis(80),
+            round_timeout: Duration::from_millis(2_000),
+            ..dist_cfg(SHARDS)
+        };
+        let fleet = FleetSpec::clean(1)
+            .with_chaos(0, ChaosProxy::delay_at(1, Duration::from_millis(250)))
+            .transport(transport);
+        let out = run_fleet(seed, fleet, dcfg, "slowround").expect(&what);
+        assert_bit_identical(&clean, &out, &what);
+        assert_eq!(
+            out.metrics.heartbeats_missed, 0,
+            "{what}: the slow worker went silent mid-round"
+        );
+        assert_eq!(out.metrics.shards_reassigned, 0, "{what}: false fence");
+        assert_eq!(out.metrics.rounds_retried, 0, "{what}: false deadline blow");
+        assert_eq!(out.metrics.workers_registered, 1, "{what}: phantom incarnation");
+    }
+}
+
+/// The pipelining win, visible without a stopwatch: the same campaign
+/// costs the streamed transport a fraction of the blocking
+/// coordinator waits the HTTP shim pays (HTTP blocks once per
+/// request — every frame a round trip — where the stream blocks once
+/// per stall: the handshake, each poll answer, and one end-of-shard
+/// drain). The quantitative ≥4×-per-shard pin at window=8 with
+/// injected RTT lives in the `dist_scaling` bench; this is the
+/// structural version on a real fleet.
+#[test]
+fn pipelined_streaming_pays_fewer_blocking_waits_than_http() {
+    let seed = 29;
+    let cfg = CampaignConfig {
+        rounds: 8, // one full default window per shard
+        targets_per_probe: 1,
+        adjacent_targets: 1,
+        seed,
+        credits: CREDITS,
+        ..CampaignConfig::quick()
+    };
+    let mut waits = Vec::new();
+    let mut stores = Vec::new();
+    for transport in TRANSPORTS {
+        let root = tmp_wal_root("pipeline");
+        let fleet = FleetSpec::clean(1).transport(transport);
+        let out = run_distributed(&tiny_cfg(seed), cfg, dist_cfg(2), fleet, &root)
+            .expect("pipelining fleet");
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(
+            out.worker_stats.frames_sent, 16,
+            "both transports ship the same 2 shards x 8 rounds"
+        );
+        waits.push(out.worker_stats.blocking_waits);
+        stores.push(out.store);
+    }
+    let (http, tcp) = (waits[0], waits[1]);
+    assert_eq!(stores[0].samples(), stores[1].samples(), "pipelining changed the bytes");
+    // HTTP: register + polls + 16 blocking verdict waits. TCP: connect
+    // + polls + at most one drain per shard. Same campaign, ≥3x fewer
+    // stalls end-to-end (the per-shard ratio is 8x).
     assert!(
-        root.join("worker-0").join("shard-0.wal").exists(),
-        "the worker's WAL must survive the crash"
+        tcp.saturating_mul(3) <= http,
+        "pipelining should shed blocking waits: http={http} tcp={tcp}"
     );
-    let _ = std::fs::remove_dir_all(&root);
+    assert!(http >= 16, "HTTP must pay at least one blocking wait per frame, got {http}");
 }

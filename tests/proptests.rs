@@ -418,6 +418,98 @@ fn parse_trace(bytes: &[u8], cuts: &[usize]) -> Vec<String> {
     trace
 }
 
+// ---------------------------------------------------------------------
+// Pipelined work-stream framing: the raw-stream front the reactor
+// upgrades work connections into (DESIGN.md §7j) gets the same battery
+// as the HTTP parser above. A pipelined FRAME burst must reach an
+// identical reply/verdict sequence under every byte-boundary split,
+// and torn or bit-flipped frames must close the stream with a typed
+// [`StreamError`] — never panic, never merge corrupt bytes.
+
+use latency_shears::api::transport::{StreamError, WorkStream};
+use latency_shears::api::work::{self as work, WorkQueue, WorkSpec};
+use latency_shears::atlas::ResultStore;
+use std::time::Instant;
+
+/// Rounds in the single-shard campaign the stream corpus drives; a
+/// burst of exactly this many frames completes it (and earns a pushed
+/// `Done`).
+const STREAM_ROUNDS: u32 = 4;
+
+fn stream_queue() -> WorkQueue {
+    WorkQueue::new(WorkSpec::quick(STREAM_ROUNDS, 1))
+}
+
+/// The worker id a fresh queue hands its first registrant — stable, so
+/// a burst can be built before the trace run that replays it.
+fn first_worker_id() -> u64 {
+    stream_queue().register(Instant::now())
+}
+
+/// A valid pipelined burst: HELLO, POLL, then `frames` FRAME
+/// submissions for shard 0 — all CRC-framed, ready for the wire.
+fn stream_burst_wire(frames: u32) -> Vec<u8> {
+    use latency_shears::atlas::journal::frame;
+    let worker = first_worker_id();
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&frame(&work::stream_hello_payload(false)));
+    wire.extend_from_slice(&frame(&work::poll_payload(worker)));
+    for round in 0..frames {
+        wire.extend_from_slice(&frame(&work::frame_submit_payload(
+            worker,
+            0,
+            round,
+            10,
+            0,
+            &ResultStore::new(),
+        )));
+    }
+    wire
+}
+
+/// Feeds `wire` to a fresh server-side stream as the given partition,
+/// driving after every chunk, and returns the accumulated reply bytes
+/// plus the terminal error (if the stream closed). Reply bytes are the
+/// comparable artifact: they contain the full welcome/reply/verdict
+/// sequence and nothing time-dependent.
+fn stream_trace(wire: &[u8], cuts: &[usize]) -> (Vec<u8>, Option<StreamError>) {
+    let queue = stream_queue();
+    let mut ws = WorkStream::new();
+    let now = Instant::now();
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut feeds: Vec<&[u8]> = Vec::new();
+    for &cut in cuts {
+        feeds.push(&wire[start..cut]);
+        start = cut;
+    }
+    feeds.push(&wire[start..]);
+    for chunk in feeds {
+        ws.feed(chunk);
+        if let Err(e) = ws.drive(&queue, now, &mut out) {
+            ws.on_close(&queue);
+            return (out, Some(e));
+        }
+        ws.note_flushed(&queue, now);
+    }
+    (out, None)
+}
+
+/// Decodes a reply byte stream into rendered messages for prefix
+/// comparisons (the framing itself is already byte-compared).
+fn decode_replies(out: &[u8]) -> Vec<String> {
+    let mut d = latency_shears::api::StreamDecoder::new();
+    d.feed(out);
+    let mut msgs = Vec::new();
+    while let Ok(Some(p)) = d.next_payload() {
+        match work::decode_stream_msg(&p) {
+            Ok(m) => msgs.push(format!("{m:?}")),
+            Err(why) => msgs.push(format!("undecodable: {why}")),
+        }
+    }
+    msgs
+}
+
 proptest! {
     #[test]
     fn parser_verdict_is_chunk_partition_independent(
@@ -451,6 +543,94 @@ proptest! {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parse_trace(&bytes, &[])))
                 .unwrap();
         prop_assert_eq!(outcome.unwrap(), whole);
+    }
+
+    #[test]
+    fn stream_verdicts_are_chunk_partition_independent(
+        frames in 0u32..5,
+        raw_cuts in proptest::collection::vec(0usize..600, 0..12),
+    ) {
+        let wire = stream_burst_wire(frames);
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (wire.len() + 1)).collect();
+        cuts.sort_unstable();
+
+        let (whole_out, whole_err) = stream_trace(&wire, &[]);
+        let (chunk_out, chunk_err) = stream_trace(&wire, &cuts);
+        prop_assert_eq!(whole_err, None, "a clean burst must not error");
+        prop_assert_eq!(chunk_err, None, "partition {:?} invented an error", cuts);
+        // The reply *bytes* are identical — welcome, poll reply, one
+        // tagged verdict per frame, pushes included — so the verdict
+        // sequence cannot depend on how the kernel chopped the stream.
+        prop_assert_eq!(&whole_out, &chunk_out, "partition {:?} changed the replies", cuts);
+        // welcome + poll reply + one verdict per frame, plus the
+        // pushed Done when the burst completes the campaign.
+        prop_assert_eq!(
+            decode_replies(&whole_out).len() as u32,
+            2 + frames + u32::from(frames == STREAM_ROUNDS)
+        );
+    }
+
+    #[test]
+    fn stream_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        raw_cuts in proptest::collection::vec(0usize..512, 0..8),
+    ) {
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+        cuts.sort_unstable();
+        let whole = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stream_trace(&bytes, &[])
+        }));
+        let chunked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stream_trace(&bytes, &cuts)
+        }));
+        prop_assert!(whole.is_ok() && chunked.is_ok(), "stream panicked on {:?}", bytes);
+        // Same verdict — typed error or replies — however delivered.
+        prop_assert_eq!(whole.unwrap(), chunked.unwrap());
+    }
+
+    #[test]
+    fn stream_bit_flips_are_caught_never_merged(
+        frames in 1u32..5,
+        flip_at in 0usize..1024,
+        flip_bit in 0u8..8,
+    ) {
+        // Flip one bit anywhere in a valid pipelined burst: the stream
+        // must either close with a typed error or — when the flip
+        // tears the tail frame into "not yet" — reply to a strict
+        // prefix of the burst. It must never decode *different*
+        // messages, and never panic.
+        let clean = stream_burst_wire(frames);
+        let mut wire = clean.clone();
+        let at = flip_at % wire.len();
+        wire[at] ^= 1 << flip_bit;
+
+        let (clean_out, clean_err) = stream_trace(&clean, &[]);
+        prop_assert_eq!(clean_err, None);
+        let clean_replies = decode_replies(&clean_out);
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stream_trace(&wire, &[])
+        }));
+        prop_assert!(outcome.is_ok(), "bit flip at {} panicked", at);
+        let (out, err) = outcome.unwrap();
+        let replies = decode_replies(&out);
+        prop_assert!(
+            replies.len() <= clean_replies.len(),
+            "a corrupt burst must not grow replies"
+        );
+        prop_assert_eq!(
+            &clean_replies[..replies.len()],
+            &replies[..],
+            "flip at byte {} produced divergent replies instead of an error",
+            at
+        );
+        if err.is_none() {
+            prop_assert!(
+                replies.len() < clean_replies.len(),
+                "flip at byte {} was silently accepted",
+                at
+            );
+        }
     }
 
     #[test]
